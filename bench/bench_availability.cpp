@@ -1,0 +1,114 @@
+// E5 — Service availability and graceful degradation under an attack
+// campaign. Availability = control-loop iterations achieved relative
+// to a clean run of the same platform. The paper's §V-3: the resilient
+// architecture "gracefully degrades system functionality while
+// maintaining critical services"; the passive baseline's only move is
+// a reboot (full service gap) or nothing at all.
+#include <functional>
+#include <memory>
+
+#include "attack/attacks.h"
+#include "bench_util.h"
+#include "platform/scenario.h"
+
+namespace {
+
+using namespace cres;
+
+struct Campaign {
+    std::string name;
+    // Attacks with launch offsets relative to warmup.
+    std::vector<std::pair<
+        std::function<std::unique_ptr<attack::Attack>(platform::Scenario&)>,
+        sim::Cycle>>
+        waves;
+};
+
+struct Run {
+    std::uint64_t iterations = 0;
+    std::uint64_t telemetry = 0;
+    std::uint64_t reboots = 0;
+    sim::Cycle downtime = 0;
+};
+
+Run run_campaign(const Campaign& campaign, bool resilient,
+                 std::uint64_t seed) {
+    platform::ScenarioConfig config;
+    config.node.name = resilient ? "res" : "pas";
+    config.node.resilient = resilient;
+    config.warmup = 20000;
+    config.horizon = 220000;
+    config.seed = seed;
+
+    platform::Scenario scenario(config);
+    // Launch every wave; Scenario::run() handles the first attack, the
+    // rest schedule themselves directly.
+    std::vector<std::unique_ptr<attack::Attack>> attacks;
+    for (const auto& [make, offset] : campaign.waves) {
+        attacks.push_back(make(scenario));
+    }
+    for (std::size_t i = 1; i < attacks.size(); ++i) {
+        attacks[i]->launch(scenario.node(),
+                           20000 + campaign.waves[i].second);
+    }
+    const auto r = scenario.run(
+        attacks.empty() ? nullptr : attacks[0].get(),
+        attacks.empty() ? 0 : 20000 + campaign.waves[0].second);
+    return Run{r.control_iterations, r.telemetry_frames, r.reboots,
+               r.downtime_cycles};
+}
+
+}  // namespace
+
+int main() {
+    const Campaign clean{"clean", {}};
+    const Campaign single_hang{
+        "task hang",
+        {{[](platform::Scenario&) {
+              return std::make_unique<attack::TaskHangAttack>();
+          },
+          10000}}};
+    const Campaign storm{
+        "attack storm (hang + spoof + smash)",
+        {{[](platform::Scenario&) {
+              return std::make_unique<attack::TaskHangAttack>();
+          },
+          10000},
+         {[](platform::Scenario&) {
+              return std::make_unique<attack::SensorSpoofAttack>();
+          },
+          60000},
+         {[](platform::Scenario&) {
+              return std::make_unique<attack::StackSmashAttack>();
+          },
+          110000}}};
+
+    bench::section(
+        "E5 — Service availability under attack campaigns "
+        "(iterations relative to the platform's own clean run)");
+
+    bench::Table table({"campaign", "platform", "ctrl iters", "avail %",
+                        "telemetry frames", "reboots", "downtime (cyc)"});
+
+    for (const bool resilient : {false, true}) {
+        const Run baseline = run_campaign(clean, resilient, 77);
+        for (const Campaign* campaign : {&clean, &single_hang, &storm}) {
+            const Run r = run_campaign(*campaign, resilient, 77);
+            const double availability =
+                100.0 * static_cast<double>(r.iterations) /
+                static_cast<double>(baseline.iterations);
+            table.row(campaign->name, resilient ? "resilient" : "passive",
+                      r.iterations, bench::fmt_double(availability, 1),
+                      r.telemetry, r.reboots, r.downtime);
+        }
+    }
+    table.print();
+
+    std::cout << "\nExpected shape: under attack the resilient platform "
+                 "keeps critical-loop availability near 100% (checkpoint "
+                 "restore instead of reboot; degradation sheds telemetry, "
+                 "not control), while the passive platform loses whole "
+                 "watchdog+reboot windows per incident and its telemetry "
+                 "availability tracks its control loss.\n";
+    return 0;
+}

@@ -1,0 +1,93 @@
+// E4 — Containment: ground-truth damage (secret bytes on the wire,
+// unsafe actuator commands) for the exfiltration/abuse attack classes,
+// passive baseline vs resilient platform. The paper's §V-3 claims
+// active response can isolate a compromised resource before the damage
+// completes; the passive platform has no response path at all.
+#include <functional>
+#include <memory>
+
+#include "attack/attacks.h"
+#include "bench_util.h"
+#include "platform/scenario.h"
+
+namespace {
+
+using namespace cres;
+
+struct Case {
+    std::string name;
+    std::function<std::unique_ptr<attack::Attack>(platform::Scenario&)> make;
+};
+
+struct Outcome {
+    std::uint64_t leaked = 0;
+    std::uint64_t unsafe = 0;
+    bool detected = false;
+    std::uint64_t responses = 0;
+};
+
+Outcome run_case(const Case& c, bool resilient, std::uint64_t seed) {
+    platform::ScenarioConfig config;
+    config.node.name = resilient ? "res" : "pas";
+    config.node.resilient = resilient;
+    config.warmup = 20000;
+    config.horizon = 140000;
+    config.seed = seed;
+
+    platform::Scenario scenario(config);
+    auto atk = c.make(scenario);
+    const auto r = scenario.run(atk.get(), 30000);
+    return Outcome{r.leaked_bytes, r.unsafe_commands, r.detected,
+                   r.responses_executed};
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<Case> cases = {
+        {"stack-smash exfil + actuator abuse",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::StackSmashAttack>();
+         }},
+        {"debug code injection",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::CodeInjectionAttack>();
+         }},
+        {"DMA exfiltration",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::DmaExfilAttack>();
+         }},
+        {"bus-attribute tamper (key theft)",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::BusTamperAttack>();
+         }},
+        {"sensor spoof (plant abuse)",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::SensorSpoofAttack>();
+         }},
+    };
+
+    bench::section(
+        "E4 — Containment: damage before the defence stops the attack "
+        "(passive vs resilient)");
+
+    bench::Table table({"attack", "platform", "leaked bytes",
+                        "unsafe actuator cmds", "detected", "responses"});
+
+    for (const auto& c : cases) {
+        const Outcome passive = run_case(c, false, 55);
+        const Outcome resilient = run_case(c, true, 55);
+        table.row(c.name, "passive", passive.leaked, passive.unsafe,
+                  bench::yesno(passive.detected), passive.responses);
+        table.row("", "resilient", resilient.leaked, resilient.unsafe,
+                  bench::yesno(resilient.detected), resilient.responses);
+    }
+    table.print();
+
+    std::cout << "\nExpected shape: the passive platform leaks the full "
+                 "secret and absorbs sustained plant abuse with zero "
+                 "detections; the resilient platform cuts leakage to (near) "
+                 "zero and curtails abuse via isolation/rate-limit/degrade."
+                 "\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+// E2 — Reproduces the paper's Figure 1 as a live trace: the five CSF
+// core security functions (Identify, Protect, Detect, Respond,
+// Recover) exercised by one incident on the resilient platform. The
+// output is the SSM's health-state walk plus the evidence records that
+// realise each function.
+#include "attack/attacks.h"
+#include "bench_util.h"
+#include "platform/scenario.h"
+
+int main() {
+    using namespace cres;
+
+    platform::ScenarioConfig config;
+    config.node.name = "lifecycle";
+    config.node.resilient = true;
+    config.warmup = 20000;
+    config.horizon = 100000;
+    config.seed = 42;
+
+    platform::Scenario scenario(config);
+    attack::StackSmashAttack attack;
+    const auto result = scenario.run(&attack, 30000);
+    auto& node = scenario.node();
+
+    bench::section("E2 / Figure 1 — CSF lifecycle walk on a live incident");
+
+    // IDENTIFY: the risk register ranked by live risk.
+    std::cout << "[IDENTIFY] asset inventory (top risks):\n";
+    bench::Table risks({"asset", "kind", "criticality", "exposure",
+                        "incidents", "risk score"});
+    int shown = 0;
+    for (const auto& asset : node.ssm->risks().ranked()) {
+        if (shown++ >= 6) break;
+        risks.row(asset.name, core::asset_kind_name(asset.kind),
+                  asset.criticality, asset.exposure, asset.incidents,
+                  bench::fmt_double(node.ssm->risks().risk_score(asset.name)));
+    }
+    risks.print();
+
+    // PROTECT: what the trust substrate provided.
+    std::cout << "\n[PROTECT] secure substrate: signed boot images, "
+                 "measured-boot PCRs, MPU W^X, secure bus attributes, "
+                 "authenticated M2M channel (see bench_boot)\n";
+
+    // DETECT / RESPOND / RECOVER: the state walk.
+    std::cout << "\n[DETECT->RESPOND->RECOVER] SSM state transitions:\n";
+    bench::Table states({"cycle", "transition / action"});
+    for (const auto& record : node.ssm->evidence().records()) {
+        if (record.kind == "state" || record.kind == "action" ||
+            record.kind == "decision") {
+            states.row(record.at, record.kind + ": " + record.detail);
+        }
+    }
+    states.print();
+
+    std::cout << "\nfinal health: "
+              << core::health_state_name(node.ssm->health()) << "\n";
+    std::cout << "detection latency: "
+              << (result.detection_latency
+                      ? std::to_string(*result.detection_latency) + " cycles"
+                      : "n/a")
+              << ", responses executed: " << result.responses_executed
+              << ", leaked bytes: " << result.leaked_bytes
+              << ", evidence chain verifies: "
+              << bench::yesno(result.evidence_chain_ok) << "\n";
+    return 0;
+}

@@ -1,0 +1,153 @@
+// E3 — Detection latency per attack class on the resilient platform:
+// cycles from attack launch to the first policy dispatch, plus the
+// detection rate across seeds. The paper claims continuous monitoring
+// yields prompt detection of diverse attack classes; this quantifies it.
+#include <algorithm>
+#include <functional>
+#include <memory>
+
+#include "attack/attacks.h"
+#include "bench_util.h"
+#include "platform/scenario.h"
+
+namespace {
+
+using namespace cres;
+
+struct AttackFactory {
+    std::string name;
+    std::function<std::unique_ptr<attack::Attack>(platform::Scenario&)> make;
+};
+
+}  // namespace
+
+int main() {
+    const std::vector<AttackFactory> factories = {
+        {"stack-smash-hijack",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::StackSmashAttack>();
+         }},
+        {"debug-code-injection",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::CodeInjectionAttack>();
+         }},
+        {"dma-exfiltration",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::DmaExfilAttack>();
+         }},
+        {"bus-attribute-tamper",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::BusTamperAttack>();
+         }},
+        {"sensor-spoof",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::SensorSpoofAttack>();
+         }},
+        {"m2m-replay",
+         [](platform::Scenario& s) {
+             return std::make_unique<attack::ReplayAttack>(s.link(), true);
+         }},
+        {"m2m-tamper",
+         [](platform::Scenario& s) {
+             return std::make_unique<attack::MitmTamperAttack>(s.link());
+         }},
+        {"task-hang",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::TaskHangAttack>();
+         }},
+        {"voltage-glitch",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::GlitchAttack>();
+         }},
+        {"bus-probe",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::BusProbeAttack>();
+         }},
+    };
+
+    constexpr int kSeeds = 5;
+
+    bench::section(
+        "E3 — Detection latency per attack class (resilient platform, " +
+        std::to_string(kSeeds) + " seeds)");
+
+    bench::Table table({"attack class", "detected", "min lat (cyc)",
+                        "median lat (cyc)", "max lat (cyc)",
+                        "operator alerted"});
+
+    for (const auto& factory : factories) {
+        std::vector<sim::Cycle> latencies;
+        int detected = 0;
+        int alerted = 0;
+        for (int seed = 0; seed < kSeeds; ++seed) {
+            platform::ScenarioConfig config;
+            config.node.name = "det";
+            config.node.resilient = true;
+            config.warmup = 20000;
+            config.horizon = 100000;
+            config.seed = 100 + static_cast<std::uint64_t>(seed);
+
+            platform::Scenario scenario(config);
+            auto atk = factory.make(scenario);
+            const auto result =
+                scenario.run(atk.get(), 30000 + 137 * seed);
+            if (result.detected) ++detected;
+            if (result.detection_latency) {
+                latencies.push_back(*result.detection_latency);
+            }
+            if (result.operator_alerts > 0) ++alerted;
+        }
+        std::sort(latencies.begin(), latencies.end());
+        const auto fmt = [&](std::size_t i) {
+            return latencies.empty() ? std::string("-")
+                                     : std::to_string(latencies[i]);
+        };
+        table.row(factory.name,
+                  std::to_string(detected) + "/" + std::to_string(kSeeds),
+                  fmt(0), fmt(latencies.size() / 2),
+                  fmt(latencies.empty() ? 0 : latencies.size() - 1),
+                  std::to_string(alerted) + "/" + std::to_string(kSeeds));
+    }
+    table.print();
+
+    std::cout << "\nExpected shape: every class detected in every seed; "
+                 "latency within a few thousand cycles (bounded by the "
+                 "attack's first observable architectural effect plus the "
+                 "SSM poll interval).\n";
+
+    // ---- E3b: latency vs SSM poll interval (figure series) ------------
+    bench::section(
+        "E3b — Detection latency vs SSM poll interval (stack-smash, "
+        "series for a latency/throughput design trade-off figure)");
+    bench::Table sweep({"poll interval (cyc)", "median latency (cyc)",
+                        "leaked bytes"});
+    for (const sim::Cycle poll : {1u, 10u, 50u, 200u, 1000u, 4000u}) {
+        std::vector<sim::Cycle> lats;
+        std::uint64_t leaked = 0;
+        for (int seed = 0; seed < 3; ++seed) {
+            platform::ScenarioConfig config;
+            config.node.name = "sweep";
+            config.node.resilient = true;
+            config.node.ssm_poll_interval = poll;
+            config.warmup = 20000;
+            config.horizon = 90000;
+            config.seed = 300 + static_cast<std::uint64_t>(seed);
+            platform::Scenario scenario(config);
+            attack::StackSmashAttack atk;
+            const auto r = scenario.run(&atk, 30000);
+            if (r.detection_latency) lats.push_back(*r.detection_latency);
+            leaked += r.leaked_bytes;
+        }
+        std::sort(lats.begin(), lats.end());
+        sweep.row(poll,
+                  lats.empty() ? std::string("-")
+                               : std::to_string(lats[lats.size() / 2]),
+                  leaked);
+    }
+    sweep.print();
+    std::cout << "\nExpected shape: latency grows with the poll interval; "
+                 "containment (leaked bytes) stays at zero until the poll "
+                 "interval exceeds the attack's exfiltration time, at which "
+                 "point slow polling starts to cost real data.\n";
+    return 0;
+}

@@ -1,0 +1,99 @@
+// E13 — Fleet-scale operation: an operator backend running periodic
+// attestation sweeps and health collection over a device population
+// while a subset is attacked. Measures localisation (which devices get
+// flagged), fleet service, and sweep cost vs fleet size — the
+// operational picture the paper's critical-infrastructure setting
+// implies.
+#include <chrono>
+
+#include "attack/attacks.h"
+#include "bench_util.h"
+#include "platform/fleet.h"
+
+namespace {
+
+using namespace cres;
+
+}  // namespace
+
+int main() {
+    bench::section("E13a — Compromise localisation in a 8-device fleet");
+    {
+        platform::FleetConfig config;
+        config.device_count = 8;
+        config.resilient = true;
+        config.seed = 44;
+        platform::Fleet fleet(config);
+        fleet.run(20000);
+        fleet.checkpoint_all();
+
+        // Wave of trouble: firmware implant on #2, key loss on #5,
+        // runtime breach on #6.
+        crypto::Hash256 implant;
+        implant.fill(0x66);
+        fleet.device(2).pcrs.extend(boot::PcrBank::kPcrFirmware, implant);
+        fleet.device(5).tee_ram.fill(0);
+        attack::StackSmashAttack smash;
+        smash.launch(fleet.device(6), fleet.device(6).sim.now() + 2000);
+        fleet.run(40000);
+
+        const auto sweep = fleet.attestation_sweep();
+        const auto health = fleet.collect_health();
+
+        bench::Table table({"device", "attestation verdict", "SSM health",
+                            "report verified", "evidence records",
+                            "ctrl iterations"});
+        for (std::size_t i = 0; i < fleet.size(); ++i) {
+            table.row("device-" + std::to_string(i),
+                      net::attest_result_name(sweep.verdicts[i]),
+                      core::health_state_name(health.states[i]),
+                      bench::yesno(health.report_valid[i]),
+                      fleet.device(i).ssm->evidence().size(),
+                      fleet.device(i).stats().control_iterations);
+        }
+        table.print();
+        std::cout << "\nsweep: " << sweep.trusted << " trusted, "
+                  << sweep.flagged << " flagged; flagged devices:";
+        for (const auto i : sweep.flagged_devices()) std::cout << " #" << i;
+        std::cout << "\nExpected shape: exactly the implanted (#2) and "
+                     "key-wiped (#5) devices fail attestation; the runtime "
+                     "breach on #6 passes attestation (firmware unchanged) "
+                     "but its signed evidence log carries the incident — "
+                     "the two mechanisms localise different attack stages.\n";
+    }
+
+    bench::section("E13b — Sweep cost vs fleet size");
+    {
+        bench::Table table({"devices", "enrol+warmup wall (ms)",
+                            "sweep wall (ms)", "all trusted"});
+        for (const std::size_t n : {2u, 4u, 8u, 16u, 32u}) {
+            platform::FleetConfig config;
+            config.device_count = n;
+            config.resilient = true;
+            config.seed = 45;
+            const auto t0 = std::chrono::steady_clock::now();
+            platform::Fleet fleet(config);
+            fleet.run(5000);
+            const auto t1 = std::chrono::steady_clock::now();
+            const auto sweep = fleet.attestation_sweep();
+            const auto t2 = std::chrono::steady_clock::now();
+            table.row(
+                n,
+                bench::fmt_double(
+                    std::chrono::duration<double, std::milli>(t1 - t0)
+                        .count(),
+                    1),
+                bench::fmt_double(
+                    std::chrono::duration<double, std::milli>(t2 - t1)
+                        .count(),
+                    1),
+                bench::yesno(sweep.trusted == n));
+        }
+        table.print();
+        std::cout << "\nExpected shape: both costs linear in fleet size "
+                     "(per-device HMAC quote + verify); attestation "
+                     "scales to fleets without per-device state explosion."
+                     "\n";
+    }
+    return 0;
+}

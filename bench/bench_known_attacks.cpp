@@ -1,0 +1,111 @@
+// E10 — Known-weakness matrix: every modelled attack class from the
+// paper's Section IV discussion, run against both architectures. Rows
+// report attack ground truth (did it achieve its objective) and the
+// platform's detect/respond/evidence outcome — the qualitative Table I
+// gap ("no response/recovery methods") made quantitative.
+#include <functional>
+#include <memory>
+
+#include "attack/attacks.h"
+#include "bench_util.h"
+#include "platform/scenario.h"
+
+namespace {
+
+using namespace cres;
+
+struct Case {
+    std::string name;
+    std::string mechanism;
+    std::function<std::unique_ptr<attack::Attack>(platform::Scenario&)> make;
+};
+
+}  // namespace
+
+int main() {
+    const std::vector<Case> cases = {
+        {"stack smash -> shellcode", "memory-corruption pivot [15]",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::StackSmashAttack>();
+         }},
+        {"debug code injection", "JTAG-class text rewrite",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::CodeInjectionAttack>();
+         }},
+        {"DMA exfiltration", "peripheral-master abuse",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::DmaExfilAttack>();
+         }},
+        {"bus attribute tamper", "TrustZone attribute clearing [34]",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::BusTamperAttack>();
+         }},
+        {"sensor spoof", "fabricated physics feed",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::SensorSpoofAttack>();
+         }},
+        {"M2M replay", "captured-frame replay",
+         [](platform::Scenario& s) {
+             return std::make_unique<attack::ReplayAttack>(s.link(), true);
+         }},
+        {"M2M tamper", "active man-in-the-middle",
+         [](platform::Scenario& s) {
+             return std::make_unique<attack::MitmTamperAttack>(s.link());
+         }},
+        {"task hang", "crash/starvation",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::TaskHangAttack>();
+         }},
+        {"voltage glitch", "fault injection",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::GlitchAttack>();
+         }},
+        {"address-space probe", "reconnaissance",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::BusProbeAttack>();
+         }},
+        {"SSM kill", "security-function attack [32]",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::SsmKillAttack>();
+         }},
+    };
+
+    bench::section(
+        "E10 — Known-attack matrix: objective achieved vs platform "
+        "response (passive | resilient)");
+
+    bench::Table table({"attack (mechanism)", "platform",
+                        "objective achieved", "detected", "responded",
+                        "attack-era evidence", "evidence verifiable"});
+
+    for (const auto& c : cases) {
+        for (const bool resilient : {false, true}) {
+            platform::ScenarioConfig config;
+            config.node.name = resilient ? "res" : "pas";
+            config.node.resilient = resilient;
+            config.warmup = 20000;
+            config.horizon = 120000;
+            config.seed = 11;
+
+            platform::Scenario scenario(config);
+            auto atk = c.make(scenario);
+            const auto r = scenario.run(atk.get(), 30000);
+            table.row(resilient ? "" : c.name + " (" + c.mechanism + ")",
+                      resilient ? "resilient" : "passive",
+                      bench::yesno(r.attack_succeeded),
+                      bench::yesno(r.detected), bench::yesno(r.responded),
+                      r.attack_window_records,
+                      bench::yesno(r.evidence_chain_ok));
+        }
+    }
+    table.print();
+
+    std::cout << "\nExpected shape: on the passive column attacks achieve "
+                 "their objectives with zero detection/response and little "
+                 "or no surviving evidence; on the resilient column every "
+                 "class is detected, most objectives are denied or cut "
+                 "short, and the attack era is fully evidenced. (SSM kill "
+                 "fails on the resilient platform by construction — that "
+                 "row is the paper's isolation requirement.)\n";
+    return 0;
+}

@@ -1,0 +1,155 @@
+// Microbenchmarks (google-benchmark): throughput of the substrate
+// primitives every experiment rests on — hashing, HMAC, AES, ChaCha20,
+// hash-based signatures, evidence appends, bus transactions and raw
+// CPU emulation speed.
+#include <benchmark/benchmark.h>
+
+#include "core/ssm/evidence.h"
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/wots.h"
+#include "isa/assembler.h"
+#include "isa/cpu.h"
+#include "mem/ram.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace cres;
+
+void BM_Sha256(benchmark::State& state) {
+    Rng rng(1);
+    const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::sha256(data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Sha256)->Arg(64)->Arg(1024)->Arg(16384);
+
+void BM_HmacSha256(benchmark::State& state) {
+    Rng rng(2);
+    const Bytes key = rng.bytes(32);
+    const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::hmac_sha256(key, data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_HmacSha256)->Arg(64)->Arg(4096);
+
+void BM_Aes128Ctr(benchmark::State& state) {
+    Rng rng(3);
+    const auto key = crypto::aes_key_from_bytes(rng.bytes(16));
+    const crypto::Aes128 aes(key);
+    const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+    crypto::Aes128Block nonce{};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(aes.ctr_crypt(data, nonce));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_Aes128Ctr)->Arg(1024)->Arg(16384);
+
+void BM_ChaCha20(benchmark::State& state) {
+    Rng rng(4);
+    crypto::ChaChaKey key;
+    rng.fill(key);
+    crypto::ChaChaNonce nonce{};
+    const Bytes data = rng.bytes(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(crypto::chacha20_crypt(key, nonce, 0, data));
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            state.range(0));
+}
+BENCHMARK(BM_ChaCha20)->Arg(1024)->Arg(16384);
+
+void BM_WotsSign(benchmark::State& state) {
+    crypto::Hash256 s1, s2;
+    s1.fill(1);
+    s2.fill(2);
+    const crypto::WotsKeyPair kp(s1, s2);
+    const Bytes msg = to_bytes("firmware digest");
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(kp.sign(msg));
+    }
+}
+BENCHMARK(BM_WotsSign);
+
+void BM_WotsVerify(benchmark::State& state) {
+    crypto::Hash256 s1, s2;
+    s1.fill(1);
+    s2.fill(2);
+    const crypto::WotsKeyPair kp(s1, s2);
+    const Bytes msg = to_bytes("firmware digest");
+    const auto sig = kp.sign(msg);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            crypto::wots_verify(sig, msg, kp.public_key(), s2));
+    }
+}
+BENCHMARK(BM_WotsVerify);
+
+void BM_MerkleKeygen(benchmark::State& state) {
+    crypto::Hash256 seed;
+    seed.fill(7);
+    const auto height = static_cast<std::uint32_t>(state.range(0));
+    for (auto _ : state) {
+        crypto::MerkleSigner signer(seed, height);
+        benchmark::DoNotOptimize(signer.public_key());
+    }
+}
+BENCHMARK(BM_MerkleKeygen)->Arg(2)->Arg(4)->Arg(6);
+
+void BM_EvidenceAppend(benchmark::State& state) {
+    core::EvidenceLog log(to_bytes("key"));
+    std::uint64_t cycle = 0;
+    for (auto _ : state) {
+        log.append(cycle++, "event", "bus-monitor alert at 0x40005000");
+    }
+}
+BENCHMARK(BM_EvidenceAppend);
+
+void BM_BusTransaction(benchmark::State& state) {
+    mem::Bus bus;
+    mem::Ram ram("ram", 0x10000);
+    bus.map(mem::RegionConfig{"ram", 0, 0x10000, false, false}, ram);
+    const mem::BusAttr attr{mem::Master::kCpu, false, true};
+    std::uint32_t addr = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(bus.read(addr & 0xfffc, 4, attr));
+        addr += 4;
+    }
+}
+BENCHMARK(BM_BusTransaction);
+
+void BM_CpuEmulation(benchmark::State& state) {
+    mem::Bus bus;
+    mem::Ram ram("ram", 0x10000);
+    bus.map(mem::RegionConfig{"ram", 0, 0x10000, false, false}, ram);
+    isa::Cpu cpu("cpu0", bus);
+    const isa::Program p = isa::assemble(R"(
+    loop:
+        addi r1, r1, 1
+        xor  r2, r2, r1
+        j loop
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0);
+    for (auto _ : state) {
+        cpu.step();
+    }
+    state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()));
+}
+BENCHMARK(BM_CpuEmulation);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,118 @@
+// E8b — Monitoring overhead: the paper's monitors sit beside the
+// pipeline, so guest progress (simulated service throughput) must be
+// unchanged; the cost appears as host-side simulation time. We measure
+// both: guest control iterations (architectural overhead) and host
+// wall time per configuration (emulation overhead proxy for monitor
+// hardware cost), monitor by monitor.
+#include <chrono>
+
+#include "bench_util.h"
+#include "platform/scenario.h"
+
+namespace {
+
+using namespace cres;
+
+struct Measurement {
+    std::uint64_t iterations = 0;
+    double wall_ms = 0.0;
+    std::uint64_t events = 0;
+};
+
+Measurement measure(bool resilient,
+                    const std::function<void(platform::Node&)>& configure) {
+    platform::ScenarioConfig config;
+    config.node.name = "ovh";
+    config.node.resilient = resilient;
+    config.warmup = 5000;
+    config.horizon = 120000;
+    config.seed = 21;
+
+    platform::Scenario scenario(config);
+    if (configure) configure(scenario.node());
+
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto r = scenario.run(nullptr);
+    const auto t1 = std::chrono::steady_clock::now();
+
+    Measurement m;
+    m.iterations = r.control_iterations;
+    m.wall_ms =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    m.events =
+        scenario.node().ssm ? scenario.node().ssm->events_processed() : 0;
+    return m;
+}
+
+void disable_all(platform::Node& node) {
+    node.bus_monitor->set_enabled(false);
+    node.cfi_monitor->set_enabled(false);
+    node.memory_monitor->set_enabled(false);
+    node.dift_monitor->set_enabled(false);
+    node.peripheral_monitor->set_enabled(false);
+    node.timing_monitor->set_enabled(false);
+    node.network_monitor->set_enabled(false);
+    node.environment_monitor->set_enabled(false);
+    node.config_monitor->set_enabled(false);
+}
+
+}  // namespace
+
+int main() {
+    bench::section(
+        "E8b — Per-monitor overhead (clean workload, 120k cycles)");
+
+    const Measurement passive = measure(false, nullptr);
+
+    struct Config {
+        std::string name;
+        std::function<void(platform::Node&)> configure;
+    };
+    const std::vector<Config> configs = {
+        {"passive (no security stack)", nullptr},
+        {"resilient, all monitors off", [](platform::Node& n) {
+             disable_all(n);
+         }},
+        {"resilient, bus monitor only", [](platform::Node& n) {
+             disable_all(n);
+             n.bus_monitor->set_enabled(true);
+         }},
+        {"resilient, CFI monitor only", [](platform::Node& n) {
+             disable_all(n);
+             n.cfi_monitor->set_enabled(true);
+         }},
+        {"resilient, memory monitor only", [](platform::Node& n) {
+             disable_all(n);
+             n.memory_monitor->set_enabled(true);
+         }},
+        {"resilient, DIFT monitor only", [](platform::Node& n) {
+             disable_all(n);
+             n.dift_monitor->set_enabled(true);
+         }},
+        {"resilient, peripheral monitor only", [](platform::Node& n) {
+             disable_all(n);
+             n.peripheral_monitor->set_enabled(true);
+         }},
+        {"resilient, full stack", nullptr},
+    };
+
+    bench::Table table({"configuration", "ctrl iterations",
+                        "guest overhead %", "host wall (ms)", "ssm events"});
+    for (const auto& config : configs) {
+        const bool resilient = config.name != configs[0].name;
+        const Measurement m = measure(resilient, config.configure);
+        const double guest_overhead =
+            100.0 * (1.0 - static_cast<double>(m.iterations) /
+                               static_cast<double>(passive.iterations));
+        table.row(config.name, m.iterations,
+                  bench::fmt_double(guest_overhead, 2),
+                  bench::fmt_double(m.wall_ms, 1), m.events);
+    }
+    table.print();
+
+    std::cout << "\nExpected shape: guest overhead ~0% for every "
+                 "configuration (the monitors are parallel hardware, not "
+                 "inline checks); the cost shows up only as host emulation "
+                 "time, growing with observation fan-out.\n";
+    return 0;
+}

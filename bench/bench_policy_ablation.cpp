@@ -1,0 +1,102 @@
+// E11 — Response-strategy ablation: the same attack under policies of
+// increasing activeness. Quantifies the paper's argument that
+// detection alone (or alerting alone) is not cyber resilience — the
+// *active* response path is what buys containment, and recovery is
+// what buys availability.
+#include <functional>
+#include <memory>
+
+#include "attack/attacks.h"
+#include "bench_util.h"
+#include "platform/scenario.h"
+
+namespace {
+
+using namespace cres;
+
+struct Strategy {
+    std::string name;
+    std::string dsl;
+};
+
+struct Outcome {
+    std::uint64_t leaked = 0;
+    std::uint64_t unsafe = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t alerts = 0;
+    bool detected = false;
+};
+
+Outcome run_with_policy(const std::string& dsl,
+                        const std::function<std::unique_ptr<attack::Attack>(
+                            platform::Scenario&)>& make_attack) {
+    platform::ScenarioConfig config;
+    config.node.name = "abl";
+    config.node.resilient = true;
+    config.node.policy_dsl = dsl;
+    config.warmup = 20000;
+    config.horizon = 140000;
+    config.seed = 66;
+
+    platform::Scenario scenario(config);
+    auto atk = make_attack(scenario);
+    const auto r = scenario.run(atk.get(), 30000);
+    return Outcome{r.leaked_bytes, r.unsafe_commands, r.control_iterations,
+                   r.operator_alerts, r.detected};
+}
+
+}  // namespace
+
+int main() {
+    const std::vector<Strategy> strategies = {
+        {"detect-only (log)",
+         "rule all: severity>=alert -> log-only\n"},
+        {"detect + alert",
+         "rule all: severity>=alert cooldown=5000 -> alert-operator\n"},
+        {"detect + isolate",
+         "rule flow: category=data-flow severity>=critical -> isolate-resource\n"
+         "rule cfg: category=bus-violation severity>=critical -> isolate-resource\n"
+         "rule periph: category=peripheral severity>=critical cooldown=5000 -> rate-limit\n"},
+        {"full active policy (default)", platform::Node::default_policy()},
+    };
+
+    struct Case {
+        std::string name;
+        std::function<std::unique_ptr<attack::Attack>(platform::Scenario&)>
+            make;
+    };
+    const std::vector<Case> cases = {
+        {"stack-smash exfil",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::StackSmashAttack>();
+         }},
+        {"sensor spoof",
+         [](platform::Scenario&) {
+             return std::make_unique<attack::SensorSpoofAttack>();
+         }},
+    };
+
+    bench::section(
+        "E11 — Response-strategy ablation: same attack, increasingly "
+        "active policies");
+
+    bench::Table table({"attack", "policy", "detected", "leaked bytes",
+                        "unsafe cmds", "ctrl iterations", "alerts"});
+    for (const auto& c : cases) {
+        for (const auto& s : strategies) {
+            const Outcome o = run_with_policy(s.dsl, c.make);
+            table.row(&s == &strategies[0] ? c.name : "", s.name,
+                      bench::yesno(o.detected), o.leaked, o.unsafe,
+                      o.iterations, o.alerts);
+        }
+    }
+    table.print();
+
+    std::cout << "\nExpected shape: detection without response sees the "
+                 "breach but leaks like the passive baseline; adding "
+                 "alerting informs the operator but still leaks; the "
+                 "isolate/rate-limit tier contains the damage; the full "
+                 "policy additionally recovers the task, preserving "
+                 "availability.\n";
+    return 0;
+}

@@ -1,0 +1,102 @@
+// E14 — Dynamic redundancy (Table I, recover row): lockstep process
+// pair under a single-event-upset (SEU) campaign. Measures detection
+// rate and latency vs the compare interval, and service availability
+// with and without the pair+restore path.
+#include "bench_util.h"
+#include "platform/scenario.h"
+
+namespace {
+
+using namespace cres;
+
+struct SeuRun {
+    std::uint64_t divergences = 0;
+    std::uint64_t restores = 0;
+    std::uint64_t iterations = 0;
+    std::uint64_t seus = 0;
+};
+
+SeuRun run_campaign(bool lockstep, std::uint64_t seed,
+                    sim::Cycle compare_interval = 64) {
+    platform::ScenarioConfig config;
+    config.node.name = "seu";
+    config.node.resilient = true;
+    config.node.lockstep = lockstep;
+    config.warmup = 15000;
+    config.horizon = 150000;
+    config.seed = seed;
+
+    platform::Scenario scenario(config);
+    auto& node = scenario.node();
+    if (lockstep && compare_interval != 64) {
+        // Rebuild the monitor at the requested interval.
+        node.sim.remove_tickable(node.redundancy_monitor.get());
+        node.redundancy_monitor =
+            std::make_unique<core::RedundancyMonitor>(
+                *node.ssm, node.sim, node.cpu, *node.shadow_cpu,
+                compare_interval);
+        node.sim.add_tickable(node.redundancy_monitor.get());
+    }
+
+    // SEU campaign: a register bit flip every 20k cycles.
+    SeuRun result;
+    Rng rng(seed ^ 0x5e5eull);
+    for (sim::Cycle at = 25000; at < 140000; at += 20000) {
+        ++result.seus;
+        node.sim.schedule_at(at, "seu", [&node, &rng] {
+            const unsigned reg = 1 + static_cast<unsigned>(rng.uniform(12));
+            node.cpu.set_reg(reg,
+                             node.cpu.reg(reg) ^
+                                 (1u << rng.uniform(32)));
+        });
+    }
+
+    const auto r = scenario.run(nullptr);
+    result.iterations = r.control_iterations;
+    result.divergences = node.redundancy_monitor
+                             ? node.redundancy_monitor->divergences()
+                             : 0;
+    result.restores = node.recovery ? node.recovery->restores() : 0;
+    return result;
+}
+
+}  // namespace
+
+int main() {
+    bench::section(
+        "E14a — SEU campaign (6 upsets): plain core vs lockstep pair");
+    {
+        bench::Table table({"configuration", "SEUs injected",
+                            "divergences flagged", "checkpoint restores",
+                            "ctrl iterations"});
+        const SeuRun plain = run_campaign(false, 73);
+        const SeuRun pair = run_campaign(true, 73);
+        table.row("single core (no redundancy)", plain.seus,
+                  plain.divergences, plain.restores, plain.iterations);
+        table.row("lockstep pair + restore", pair.seus, pair.divergences,
+                  pair.restores, pair.iterations);
+        table.print();
+        std::cout << "\nExpected shape: without redundancy, silent data "
+                     "corruption passes unnoticed (zero detections) unless "
+                     "it happens to crash the loop; the pair flags every "
+                     "upset that lands in live state and recovery restores "
+                     "a clean snapshot each time.\n";
+    }
+
+    bench::section("E14b — Detection latency vs compare interval");
+    {
+        bench::Table table({"compare interval (cyc)", "divergences",
+                            "restores", "ctrl iterations"});
+        for (const sim::Cycle interval : {16u, 64u, 256u, 1024u}) {
+            const SeuRun r = run_campaign(true, 74, interval);
+            table.row(interval, r.divergences, r.restores, r.iterations);
+        }
+        table.print();
+        std::cout << "\nExpected shape: coarser comparison still catches "
+                     "persistent corruption (the state stays wrong until "
+                     "compared) but pays more exposure time per upset; "
+                     "the compare interval buys checker bandwidth, not "
+                     "coverage, for persistent faults.\n";
+    }
+    return 0;
+}

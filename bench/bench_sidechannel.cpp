@@ -1,0 +1,136 @@
+// E12 — Microarchitectural side channel (paper §IV): a prime+probe
+// cache timing channel across the secure/non-secure boundary.
+//  (a) the open channel leaks secret nibbles with ~100% accuracy while
+//      violating no access-control rule — trust-based isolation is
+//      blind to it;
+//  (b) the CacheMonitor sees the prime+probe eviction signature and the
+//      SSM dispatches the partition-cache countermeasure;
+//  (c) with the cache partitioned, recovery collapses to chance.
+#include "attack/sidechannel.h"
+#include "bench_util.h"
+#include "core/monitor/cache_monitor.h"
+#include "core/policy/policy.h"
+#include "core/response/response.h"
+#include "core/ssm/ssm.h"
+
+namespace {
+
+using namespace cres;
+
+}  // namespace
+
+int main() {
+    bench::section(
+        "E12a — Covert-channel capacity: prime+probe nibble recovery");
+    {
+        bench::Table table({"cache configuration", "trials",
+                            "recovery accuracy", "access violations"});
+        {
+            attack::SideChannelLab lab;
+            const double open = lab.recovery_accuracy(256);
+            table.row("shared (trust-based isolation only)", 256,
+                      bench::fmt_double(open * 100.0, 1) + " %",
+                      0);  // Not a single denied access: the leak is timing.
+        }
+        {
+            attack::SideChannelLab lab;
+            lab.enable_partitioning();
+            const double closed = lab.recovery_accuracy(256);
+            table.row("partitioned (active countermeasure)", 256,
+                      bench::fmt_double(closed * 100.0, 1) + " %", 0);
+        }
+        table.print();
+    }
+
+    bench::section(
+        "E12c — Spectre-PHT gadget [18]: speculative leak of an "
+        "architecturally unreachable secret");
+    {
+        bench::Table table({"configuration", "secret bytes",
+                            "nibbles recovered", "accuracy"});
+        Rng rng(7);
+        const Bytes secret = rng.bytes(16);
+        {
+            attack::SideChannelLab lab;
+            const double acc = lab.spectre_recovery_accuracy(secret);
+            table.row("shared cache (speculation unchecked)", secret.size(),
+                      static_cast<std::size_t>(acc * secret.size() + 0.5),
+                      bench::fmt_double(acc * 100.0, 1) + " %");
+        }
+        {
+            attack::SideChannelLab lab;
+            lab.enable_partitioning();
+            const double acc = lab.spectre_recovery_accuracy(secret);
+            table.row("partitioned cache", secret.size(),
+                      static_cast<std::size_t>(acc * secret.size() + 0.5),
+                      bench::fmt_double(acc * 100.0, 1) + " %");
+        }
+        table.print();
+        std::cout << "The victim never architecturally reads out of "
+                     "bounds; the squashed speculative window leaks "
+                     "through cache state — and the partition "
+                     "countermeasure closes the transmitter.\n";
+    }
+
+    bench::section(
+        "E12b — Detect -> respond loop: CacheMonitor + partition-cache");
+    {
+        attack::SideChannelLab lab;
+        sim::Simulator sim;
+
+        core::SsmConfig config;
+        config.seal_key = to_bytes("side-channel-demo");
+        config.poll_interval = 10;
+        core::SystemSecurityManager ssm(sim, config);
+
+        core::CacheMonitor monitor(ssm, sim, lab.cache(),
+                                   /*threshold=*/4, /*period=*/200);
+
+        core::ResponseContext ctx;
+        ctx.sim = &sim;
+        ctx.cache_partitioner = [&lab](const std::string&) {
+            lab.enable_partitioning();
+            return std::string("cache partitioned by security domain");
+        };
+        core::ActiveResponseManager arm(ctx);
+        ssm.set_response_executor(&arm);
+        ssm.set_policy(core::PolicyEngine::parse(
+            "rule covert: category=data-flow severity>=alert "
+            "resource=shared-cache -> partition-cache\n"));
+
+        sim.add_tickable(&ssm);
+        sim.add_tickable(&monitor);
+
+        // The attacker steals nibbles while the system runs.
+        std::size_t stolen = 0, attempts = 0;
+        Rng rng(5);
+        bool partition_seen = false;
+        for (int round = 0; round < 200; ++round) {
+            const auto secret = static_cast<std::uint8_t>(rng.uniform(16));
+            const auto guess = lab.steal_nibble(secret);
+            ++attempts;
+            if (guess && *guess == secret) ++stolen;
+            sim.run_for(50);  // Monitors poll while the theft continues.
+            if (!partition_seen && lab.cache().partitioned()) {
+                partition_seen = true;
+                std::cout << "partition-cache response landed after "
+                          << attempts << " theft attempts (cycle "
+                          << sim.now() << ")\n";
+            }
+        }
+
+        std::cout << "nibbles recovered: " << stolen << "/" << attempts
+                  << " (" << bench::fmt_double(100.0 * stolen / attempts, 1)
+                  << " %)\n";
+        std::cout << "eviction storms flagged: " << monitor.storms_detected()
+                  << ", responses executed: " << arm.total()
+                  << ", cache partitioned: "
+                  << bench::yesno(lab.cache().partitioned()) << "\n";
+        std::cout << "\nExpected shape: near-perfect recovery for the "
+                     "handful of rounds before the monitor's first poll, "
+                     "then the partition lands and every later attempt "
+                     "fails — detection plus active response closes a "
+                     "channel that access control never saw.\n";
+    }
+    return 0;
+}

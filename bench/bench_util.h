@@ -1,0 +1,81 @@
+// Shared helpers for the experiment benches: fixed-width table output
+// so every bench prints paper-style rows.
+#pragma once
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace cres::bench {
+
+/// Prints a titled, fixed-width table.
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers)) {}
+
+    template <typename... Cells>
+    void row(Cells&&... cells) {
+        std::vector<std::string> r;
+        (r.push_back(to_cell(std::forward<Cells>(cells))), ...);
+        rows_.push_back(std::move(r));
+    }
+
+    void print(std::ostream& os = std::cout) const {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t i = 0; i < headers_.size(); ++i) {
+            widths[i] = headers_[i].size();
+        }
+        for (const auto& r : rows_) {
+            for (std::size_t i = 0; i < r.size() && i < widths.size(); ++i) {
+                widths[i] = std::max(widths[i], r[i].size());
+            }
+        }
+        auto print_row = [&](const std::vector<std::string>& r) {
+            os << "| ";
+            for (std::size_t i = 0; i < widths.size(); ++i) {
+                os << std::left << std::setw(static_cast<int>(widths[i]))
+                   << (i < r.size() ? r[i] : "") << " | ";
+            }
+            os << "\n";
+        };
+        print_row(headers_);
+        os << "|";
+        for (const auto w : widths) {
+            os << std::string(w + 2, '-') << "-|";
+        }
+        os << "\n";
+        for (const auto& r : rows_) print_row(r);
+    }
+
+private:
+    template <typename T>
+    static std::string to_cell(T&& value) {
+        if constexpr (std::is_convertible_v<T, std::string>) {
+            return std::string(std::forward<T>(value));
+        } else {
+            std::ostringstream os;
+            os << value;
+            return os.str();
+        }
+    }
+
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline void section(const std::string& title) {
+    std::cout << "\n=== " << title << " ===\n\n";
+}
+
+inline std::string fmt_double(double v, int precision = 2) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << v;
+    return os.str();
+}
+
+inline std::string yesno(bool v) { return v ? "yes" : "no"; }
+
+}  // namespace cres::bench

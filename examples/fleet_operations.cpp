@@ -1,0 +1,110 @@
+// Fleet operations: the operator's view of a deployed device
+// population — enrolment, routine attestation sweeps, an incident, and
+// targeted field response based on localisation.
+//
+//   ./build/examples/fleet_operations
+#include <iostream>
+
+#include "attack/attacks.h"
+#include "platform/fleet.h"
+
+using namespace cres;
+
+namespace {
+
+void print_sweep(const platform::SweepResult& sweep,
+                 const platform::HealthSummary& health) {
+    std::cout << "  device   attestation          health       evidence\n";
+    for (std::size_t i = 0; i < sweep.verdicts.size(); ++i) {
+        std::cout << "  #" << i << "       "
+                  << net::attest_result_name(sweep.verdicts[i]);
+        for (std::size_t pad =
+                 net::attest_result_name(sweep.verdicts[i]).size();
+             pad < 21; ++pad) {
+            std::cout << ' ';
+        }
+        std::cout << core::health_state_name(health.states[i]);
+        for (std::size_t pad =
+                 core::health_state_name(health.states[i]).size();
+             pad < 13; ++pad) {
+            std::cout << ' ';
+        }
+        std::cout << (health.report_valid[i] ? "verified" : "-") << "\n";
+    }
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "== Fleet operations: 6 resilient devices ==\n\n";
+
+    platform::FleetConfig config;
+    config.device_count = 6;
+    config.resilient = true;
+    config.seed = 2025;
+    platform::Fleet fleet(config);
+
+    std::cout << "[t=0] fleet enrolled: " << fleet.size()
+              << " devices, golden measurements captured\n";
+    fleet.run(20000);
+    fleet.checkpoint_all();  // Known-good snapshots for recovery.
+
+    std::cout << "\n[t=20k] routine sweep — all quiet:\n";
+    {
+        const auto sweep = fleet.attestation_sweep();
+        const auto health = fleet.collect_health();
+        print_sweep(sweep, health);
+    }
+
+    // Trouble: device 1 gets a firmware implant (will measure wrong on
+    // attestation), device 4 suffers a runtime breach (firmware intact,
+    // evidence log tells the story).
+    std::cout << "\n[t=25k] incidents: implant on #1, runtime breach on #4\n";
+    crypto::Hash256 implant;
+    implant.fill(0x66);
+    fleet.device(1).pcrs.extend(boot::PcrBank::kPcrFirmware, implant,
+                                "unsigned-implant");
+    attack::StackSmashAttack smash;
+    smash.launch(fleet.device(4), fleet.device(4).sim.now() + 5000);
+    fleet.run(40000);
+
+    std::cout << "\n[t=60k] incident sweep:\n";
+    const auto sweep = fleet.attestation_sweep();
+    const auto health = fleet.collect_health();
+    print_sweep(sweep, health);
+
+    std::cout << "\noperator triage:\n";
+    for (const auto i : sweep.flagged_devices()) {
+        std::cout << "  -> device #" << i
+                  << ": failed attestation — schedule re-flash from "
+                     "known-good image (roll-forward)\n";
+    }
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        const auto& log = fleet.device(i).ssm->evidence();
+        if (log.size() > 2) {
+            std::cout << "  -> device #" << i << ": " << log.size()
+                      << " evidence records (chain "
+                      << (log.verify_chain() ? "verifies" : "BROKEN")
+                      << ") — export for forensics:\n";
+            std::size_t shown = 0;
+            for (const auto& record : log.records()) {
+                if (record.kind == "action" && shown++ < 3) {
+                    std::cout << "       [" << record.at << "] "
+                              << record.detail << "\n";
+                }
+            }
+            // Off-device forensic handover.
+            const Bytes wire = log.serialize();
+            std::cout << "       exported " << wire.size()
+                      << " bytes of sealed evidence\n";
+        }
+    }
+
+    std::cout << "\nfleet service total: " << fleet.fleet_iterations()
+              << " control iterations across the incident window\n";
+    std::cout << "\nTakeaway: attestation localises *provisioning/firmware* "
+                 "compromise; the SSM evidence stream localises *runtime* "
+                 "compromise — the fleet needs both, and the paper's "
+                 "architecture provides the second.\n";
+    return 0;
+}

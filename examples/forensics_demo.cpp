@@ -1,0 +1,121 @@
+// Forensics demo: the paper's evidence story end to end. A breach hits
+// two devices — one passive, one resilient. Afterwards an investigator
+// tries to reconstruct what happened and to prove the record's
+// integrity to a third party (regulator / insurer).
+//
+//   ./build/examples/forensics_demo
+#include <iostream>
+
+#include "attack/attacks.h"
+#include "core/ssm/report.h"
+#include "platform/scenario.h"
+
+using namespace cres;
+
+namespace {
+
+platform::ScenarioConfig make_config(bool resilient) {
+    platform::ScenarioConfig config;
+    config.node.name = resilient ? "device-B-resilient" : "device-A-passive";
+    config.node.resilient = resilient;
+    config.warmup = 20000;
+    config.horizon = 140000;
+    config.seed = 123;
+    return config;
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "== Post-incident forensics: passive vs resilient ==\n";
+    std::cout << "incident: stack-smash breach at t=30k, device crash "
+                 "(watchdog reboot) at t=80k\n\n";
+
+    // ---- Device A: passive ------------------------------------------------
+    {
+        platform::Scenario scenario(make_config(false));
+        attack::StackSmashAttack smash;
+        attack::TaskHangAttack hang;
+        hang.launch(scenario.node(), 80000);
+        const auto r = scenario.run(&smash, 30000);
+
+        std::cout << "--- device A (passive trust-based architecture) ---\n";
+        std::cout << "secret leaked: " << r.leaked_bytes
+                  << " bytes; reboots: " << r.reboots << "\n";
+        const auto& trace = scenario.node().trace;
+        std::cout << "investigator finds " << trace.size()
+                  << " volatile trace records\n";
+        std::size_t attack_era = 0;
+        for (const auto& record : trace.records()) {
+            if (record.at >= 30000 && record.at < 80000) ++attack_era;
+        }
+        std::cout << "records covering the breach window (30k-80k): "
+                  << attack_era << " (the reboot wiped them)\n";
+        std::cout << "integrity provable to a third party: no — plain "
+                     "records, writable by the same malware that caused "
+                     "the breach\n\n";
+    }
+
+    // ---- Device B: resilient ----------------------------------------------
+    {
+        platform::Scenario scenario(make_config(true));
+        attack::StackSmashAttack smash;
+        attack::TaskHangAttack hang;
+        hang.launch(scenario.node(), 80000);
+        const auto r = scenario.run(&smash, 30000);
+
+        std::cout << "--- device B (cyber-resilient architecture) ---\n";
+        std::cout << "secret leaked: " << r.leaked_bytes
+                  << " bytes; reboots: " << r.reboots << "\n";
+
+        auto& log = scenario.node().ssm->evidence();
+        std::cout << "investigator finds " << log.size()
+                  << " evidence records in SSM-private storage\n";
+
+        std::cout << "\nreconstructed timeline (breach window):\n";
+        for (const auto& record : log.records()) {
+            if (record.at >= 29000 && record.at <= 90000 &&
+                record.kind != "event") {
+                std::cout << "  [" << record.at << "] " << record.kind
+                          << ": " << record.detail << "\n";
+            }
+        }
+
+        // Integrity: the chain verifies, and the signed health report
+        // binds the head to the device identity.
+        std::cout << "\nhash chain verifies: "
+                  << (log.verify_chain() ? "yes" : "no") << "\n";
+        const auto report = scenario.node().ssm->health_report();
+        std::cout << "signed health report: state="
+                  << core::health_state_name(report.state)
+                  << ", evidence head sealed over " << report.evidence_seal.count
+                  << " records\n";
+
+        // What if the malware had scrubbed a record?
+        core::EvidenceLog tampered = log;
+        tampered.tamper_detail(tampered.size() / 2, "nothing to see here");
+        std::cout << "after simulated log scrubbing, chain verifies: "
+                  << (tampered.verify_chain() ? "yes" : "no")
+                  << "  <- tampering is self-evident\n";
+
+        // The communicable artefact: a rendered incident report.
+        std::cout << "\n"
+                  << core::generate_incident_report(log, "device-B").render();
+
+        // And truncation?
+        const auto seal = log.seal();
+        core::EvidenceLog truncated = log;
+        truncated.wipe();
+        std::cout << "after simulated wipe, seal verifies: "
+                  << (core::EvidenceLog::verify_seal(
+                          truncated, seal, to_bytes("wrong-key"))
+                          ? "yes"
+                          : "no")
+                  << "  <- loss is self-evident\n";
+    }
+
+    std::cout << "\nThis is the paper's core claim made concrete: without "
+                 "an independent monitoring/evidence plane, a breach ends "
+                 "the story; with one, the story survives the breach.\n";
+    return 0;
+}

@@ -1,0 +1,97 @@
+// Industrial M2M gateway scenario: a field device reports telemetry to
+// an operator backend over an authenticated channel, and the backend
+// periodically challenges the device to attest its firmware state.
+// A man-in-the-middle tampers with traffic and replays captured
+// frames; later the device's firmware is modified. The channel and the
+// attestation protocol catch each step.
+//
+//   ./build/examples/industrial_gateway
+#include <iostream>
+
+#include "attack/attacks.h"
+#include "boot/image.h"
+#include "net/attestation.h"
+#include "platform/scenario.h"
+
+using namespace cres;
+
+int main() {
+    std::cout << "== Industrial gateway: authenticated M2M + remote "
+                 "attestation ==\n\n";
+
+    platform::ScenarioConfig config;
+    config.node.name = "field-device";
+    config.node.resilient = true;
+    config.warmup = 20000;
+    config.horizon = 160000;
+    config.seed = 64;
+
+    platform::Scenario scenario(config);
+    auto& node = scenario.node();
+
+    // --- Remote attestation, pre-attack -------------------------------
+    // The backend knows the golden PCR composite (from the signed build)
+    // and shares the device's attestation key.
+    crypto::Hash256 firmware_digest;
+    firmware_digest.fill(0x42);
+    node.pcrs.extend(boot::PcrBank::kPcrFirmware, firmware_digest,
+                     "field-fw v7");
+
+    const Bytes attest_key = *node.keystore.read(
+        "attestation", crypto::KeyRequester::kSecure);
+    net::AttestationVerifier verifier(node.pcrs.composite(), attest_key,
+                                      99);
+
+    auto attest_once = [&](const char* when) {
+        const Bytes challenge = verifier.challenge();
+        const auto nonce = net::decode_challenge(challenge);
+        const auto quote = node.tee.quote(node.pcrs, *nonce, "attest");
+        const auto verdict = verifier.verify(net::encode_quote(*quote));
+        std::cout << "attestation (" << when
+                  << "): " << net::attest_result_name(verdict) << "\n";
+    };
+    attest_once("factory state");
+
+    // --- Live traffic under an active MITM ----------------------------
+    attack::MitmTamperAttack mitm(scenario.link());
+    attack::ReplayAttack replay(scenario.link(), /*victim_is_a=*/true);
+    replay.launch(node, 70000);  // Replay wave after the tamper wave.
+
+    const auto result = scenario.run(&mitm, 30000);
+
+    std::cout << "\nchannel statistics after the MITM campaign:\n"
+              << "  frames accepted      : " << node.channel->accepted()
+              << "\n"
+              << "  tampered (bad tag)   : " << node.channel->rejected_tag()
+              << "\n"
+              << "  replays rejected     : "
+              << node.channel->rejected_replay() << "\n"
+              << "  incidents detected   : "
+              << (result.detected ? "yes" : "no") << "\n"
+              << "  operator alerts      : " << result.operator_alerts
+              << "\n";
+
+    // --- Attestation after a firmware implant --------------------------
+    // The attacker modifies the firmware; measured boot would extend a
+    // different digest on the next boot.
+    crypto::Hash256 implant;
+    implant.fill(0x66);
+    node.pcrs.extend(boot::PcrBank::kPcrFirmware, implant, "implant");
+    attest_once("after firmware implant");
+
+    // And a forged quote without the key fails outright.
+    const Bytes challenge = verifier.challenge();
+    const auto nonce = net::decode_challenge(challenge);
+    tee::Quote forged;
+    forged.composite = node.pcrs.composite();
+    forged.nonce = *nonce;
+    forged.tag.fill(0xab);  // Attacker has no attestation key.
+    std::cout << "attestation (forged quote): "
+              << net::attest_result_name(
+                     verifier.verify(net::encode_quote(forged)))
+              << "\n";
+
+    std::cout << "\nbackend tally: passed=" << verifier.attestations_passed()
+              << " failed=" << verifier.attestations_failed() << "\n";
+    return 0;
+}

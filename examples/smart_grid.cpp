@@ -1,0 +1,85 @@
+// Smart-grid feeder scenario: a substation controller holds a feeder
+// voltage steady by commanding a tap-changer. An adversary first
+// spoofs the voltage sensor, then escalates to a control-flow hijack.
+// Run side-by-side on the passive baseline and the resilient platform
+// to see the difference in physical impact and situational awareness.
+//
+//   ./build/examples/smart_grid
+#include <iostream>
+
+#include "attack/attacks.h"
+#include "platform/scenario.h"
+
+using namespace cres;
+
+namespace {
+
+struct GridOutcome {
+    std::uint64_t control_iterations;
+    std::uint64_t unsafe_commands;
+    double actuator_travel;
+    std::uint64_t leaked_bytes;
+    bool detected;
+    std::uint64_t operator_alerts;
+    std::uint64_t reboots;
+};
+
+GridOutcome run_grid(bool resilient) {
+    platform::ScenarioConfig config;
+    config.node.name = resilient ? "substation-resilient"
+                                 : "substation-passive";
+    config.node.resilient = resilient;
+    config.node.sensor_nominal = 50.0;  // "Feeder voltage" (arbitrary units).
+    config.warmup = 20000;
+    config.horizon = 200000;
+    config.seed = 31;
+
+    platform::Scenario scenario(config);
+
+    // Wave 1 (t=30k): sensor spoof — fabricated under-voltage drives
+    // the controller to slam the tap-changer.
+    attack::SensorSpoofAttack spoof(/*spoof_value=*/500.0);
+    // Wave 2 (t=100k): stack smash into exfil/abuse shellcode.
+    attack::StackSmashAttack smash;
+    smash.launch(scenario.node(), 100000);
+
+    const auto r = scenario.run(&spoof, 30000);
+    return GridOutcome{r.control_iterations, r.unsafe_commands,
+                       r.actuator_travel,   r.leaked_bytes,
+                       r.detected,          r.operator_alerts,
+                       r.reboots};
+}
+
+void report(const char* title, const GridOutcome& o) {
+    std::cout << title << "\n"
+              << "  control iterations      : " << o.control_iterations << "\n"
+              << "  unsafe tap commands     : " << o.unsafe_commands << "\n"
+              << "  tap-changer travel      : " << o.actuator_travel
+              << " (mechanical wear proxy)\n"
+              << "  credential bytes leaked : " << o.leaked_bytes << "\n"
+              << "  incidents detected      : " << (o.detected ? "yes" : "no")
+              << "\n"
+              << "  operator notifications  : " << o.operator_alerts << "\n"
+              << "  hard reboots            : " << o.reboots << "\n\n";
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "== Smart-grid feeder under a two-wave attack ==\n\n"
+              << "wave 1 @30k : voltage-sensor spoof (fabricated physics)\n"
+              << "wave 2 @100k: stack smash -> credential exfil + tap abuse\n\n";
+
+    report("--- passive substation controller ---", run_grid(false));
+    report("--- cyber-resilient substation controller ---", run_grid(true));
+
+    std::cout
+        << "Reading the result: the passive controller acts on fabricated\n"
+        << "physics (abusive tap commands, mechanical wear), leaks its\n"
+        << "credentials in wave 2, and the operator never hears a thing.\n"
+        << "The resilient controller flags the implausible sensor feed,\n"
+        << "degrades gracefully (telemetry shed, control continues),\n"
+        << "contains the wave-2 exfiltration before the frame leaves, and\n"
+        << "pages the operator with a verifiable evidence trail.\n";
+    return 0;
+}

@@ -1,0 +1,42 @@
+// Attack-injection framework. Each attack reproduces, at the
+// architectural level, the mechanism of an attack class the paper
+// cites (Section IV) or motivates (Sections I, III). Attacks schedule
+// their own steps on the node's simulator and keep ground-truth impact
+// counters so experiments can measure containment independently of the
+// defence's own telemetry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "platform/node.h"
+
+namespace cres::attack {
+
+class Attack {
+public:
+    virtual ~Attack() = default;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+    /// What real-world mechanism this models (with paper citation).
+    [[nodiscard]] virtual std::string mechanism() const = 0;
+
+    /// Schedules the attack against `node` starting at cycle `at`.
+    virtual void launch(platform::Node& node, sim::Cycle at) = 0;
+
+    /// Ground truth: did the attack achieve its objective at any point?
+    [[nodiscard]] bool succeeded() const noexcept { return succeeded_; }
+    [[nodiscard]] sim::Cycle launched_at() const noexcept {
+        return launched_at_;
+    }
+
+protected:
+    void mark_success() noexcept { succeeded_ = true; }
+    void note_launch(sim::Cycle at) noexcept { launched_at_ = at; }
+
+private:
+    bool succeeded_ = false;
+    sim::Cycle launched_at_ = 0;
+};
+
+}  // namespace cres::attack

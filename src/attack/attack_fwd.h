@@ -1,0 +1,7 @@
+// Forward declaration so the platform scenario can reference attacks
+// without a dependency cycle (attack depends on platform).
+#pragma once
+
+namespace cres::attack {
+class Attack;
+}  // namespace cres::attack

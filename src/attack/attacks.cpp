@@ -1,0 +1,247 @@
+#include "attack/attacks.h"
+
+#include "boot/update.h"
+
+namespace cres::attack {
+
+namespace {
+
+const mem::BusAttr kDebugAttr{mem::Master::kDebug, false, true};
+const mem::BusAttr kAttackerAttr{mem::Master::kAttacker, false, false};
+
+}  // namespace
+
+void StackSmashAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "plant-gadget", [this, &node] {
+        // The vulnerability writes through the task's own pointers:
+        // model as a direct (off-bus) memory corruption.
+        const isa::Program gadget =
+            platform::exfil_gadget_program(platform::gadget_origin());
+        node.app_ram.load(gadget.origin - platform::kAppRamBase, gadget.code);
+
+        // Race the loop: repeatedly overwrite the saved return address.
+        const mem::Addr slot_offset =
+            platform::saved_lr_slot() - platform::kAppRamBase;
+        for (int i = 0; i < kAttempts; ++i) {
+            node.sim.schedule_in(
+                static_cast<sim::Cycle>(i) * kAttemptSpacing, "smash",
+                [this, &node, slot_offset] {
+                    const mem::Addr target = platform::gadget_origin();
+                    Bytes addr_bytes(4);
+                    for (int b = 0; b < 4; ++b) {
+                        addr_bytes[static_cast<std::size_t>(b)] =
+                            static_cast<std::uint8_t>(target >> (8 * b));
+                    }
+                    node.app_ram.load(slot_offset, addr_bytes);
+                    // Objective reached once the pc lands in the gadget.
+                    if (node.cpu.pc() >= platform::gadget_origin() &&
+                        node.cpu.pc() < platform::gadget_origin() + 0x200) {
+                        mark_success();
+                    }
+                });
+        }
+        // Late success check (pivot may land after the last smash).
+        node.sim.schedule_in(
+            static_cast<sim::Cycle>(kAttempts) * kAttemptSpacing + 2000,
+            "smash-check", [this, &node] {
+                if (node.cpu.pc() >= platform::gadget_origin() &&
+                    node.cpu.pc() < platform::gadget_origin() + 0x200) {
+                    mark_success();
+                }
+            });
+    });
+}
+
+void CodeInjectionAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "code-injection", [this, &node] {
+        // Overwrite the loop's first instructions with a jump into a
+        // planted gadget, over the bus, as the debug master.
+        const isa::Program gadget =
+            platform::exfil_gadget_program(platform::gadget_origin());
+        if (!node.bus.write_block(platform::gadget_origin(), gadget.code,
+                                  kDebugAttr)) {
+            return;
+        }
+        // j gadget, encoded relative to the loop head.
+        const mem::Addr loop_head = platform::kCodeBase + 0x20;
+        isa::Instruction jmp;
+        jmp.opcode = isa::Opcode::kJal;
+        jmp.rd = 0;
+        jmp.imm = static_cast<std::uint16_t>(
+            (platform::gadget_origin() - loop_head) & 0xffff);
+        const std::uint32_t word = isa::encode(jmp);
+        if (node.bus.write(loop_head, 4, word, kDebugAttr) ==
+            mem::BusResponse::kOk) {
+            mark_success();
+        }
+    });
+}
+
+void DmaExfilAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "dma-exfil", [this, &node] {
+        node.dma.start_transfer(platform::kSecretBase,
+                                platform::kNicBase + dev::Nic::kRegTxByte,
+                                platform::kSecretSize, /*secure=*/false,
+                                /*dst_fixed=*/true);
+        node.sim.schedule_in(platform::kSecretSize / 2, "dma-send",
+                             [this, &node] {
+                                 // Flush the staged bytes as a frame.
+                                 std::uint32_t io = 1;
+                                 if (node.bus.access(
+                                         mem::BusOp::kWrite,
+                                         platform::kNicBase +
+                                             dev::Nic::kRegTxSend,
+                                         4, io, kDebugAttr) ==
+                                     mem::BusResponse::kOk) {
+                                     if (node.nic.frames_sent() > 0) {
+                                         mark_success();
+                                     }
+                                 }
+                             });
+    });
+}
+
+void BusTamperAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "bus-tamper", [this, &node] {
+        // Step 1: clear the secure attribute ([34]).
+        if (!node.bus.set_secure_only("tee_ram", false)) return;
+
+        // Step 2: read the attestation key with non-secure accesses and
+        // push it out through the NIC, spread over time.
+        const auto placement = node.tee.placement("attest");
+        if (!placement) return;
+        for (std::uint32_t i = 0; i < placement->size; ++i) {
+            node.sim.schedule_in(
+                10 + static_cast<sim::Cycle>(i) * 20, "tamper-read",
+                [this, &node, addr = placement->addr + i] {
+                    const auto byte = node.bus.read(addr, 1, kAttackerAttr);
+                    if (!byte) return;
+                    ++key_bytes_read_;
+                    std::uint32_t io = *byte;
+                    (void)node.bus.access(
+                        mem::BusOp::kWrite,
+                        platform::kNicBase + dev::Nic::kRegTxByte, 4, io,
+                        kAttackerAttr);
+                });
+        }
+        node.sim.schedule_in(10 + placement->size * 20 + 10, "tamper-send",
+                             [this, &node] {
+                                 std::uint32_t io = 1;
+                                 (void)node.bus.access(
+                                     mem::BusOp::kWrite,
+                                     platform::kNicBase +
+                                         dev::Nic::kRegTxSend,
+                                     4, io, kAttackerAttr);
+                                 if (key_bytes_read_ > 0) mark_success();
+                             });
+    });
+}
+
+void SensorSpoofAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "sensor-spoof", [this, &node] {
+        node.sensor.set_spoof(
+            [v = spoof_value_](sim::Cycle) { return v; });
+        mark_success();  // The feed is compromised from this point.
+    });
+}
+
+void ReplayAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "replay-capture", [this, &node] {
+        link_.set_tap([this](const Bytes& frame,
+                             bool from_a) -> std::optional<Bytes> {
+            // Capture traffic *toward* the victim so the replay is a
+            // frame the victim already accepted once.
+            if (from_a != victim_is_a_ && captured_.empty()) {
+                captured_ = frame;
+            }
+            return frame;
+        });
+        node.sim.schedule_in(5000, "replay-inject", [this, &node] {
+            link_.clear_tap();
+            if (!captured_.empty()) {
+                link_.inject(captured_, victim_is_a_);
+                mark_success();  // The forged frame reached the victim.
+            }
+        });
+    });
+}
+
+void MitmTamperAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "mitm-tamper", [this, &node] {
+        (void)node;
+        link_.set_tap([this](const Bytes& frame,
+                             bool) -> std::optional<Bytes> {
+            if (frame.size() < 16) return frame;
+            Bytes modified = frame;
+            modified[12] ^= 0xff;  // Flip payload bits.
+            mark_success();        // Tampered traffic is on the wire.
+            return modified;
+        });
+    });
+}
+
+void MitmTamperAttack::stop() {
+    link_.clear_tap();
+}
+
+void FirmwareDowngradeAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "fw-downgrade", [this, &node] {
+        if (!node.update_agent) return;
+        const auto status = node.update_agent->install(old_image_);
+        if (status == boot::UpdateStatus::kOk &&
+            node.update_agent->activate()) {
+            mark_success();  // The old image is now the active slot.
+        }
+    });
+}
+
+void TaskHangAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "task-hang", [this, &node] {
+        node.cpu.halt();
+        mark_success();
+    });
+}
+
+void GlitchAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "glitch", [this, &node] {
+        node.power.inject_glitch(voltage_, duration_);
+        mark_success();
+    });
+}
+
+void SsmKillAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "ssm-kill", [this, &node] {
+        if (node.ssm && node.ssm->attempt_compromise("kernel-exploit")) {
+            mark_success();
+        }
+    });
+}
+
+void BusProbeAttack::launch(platform::Node& node, sim::Cycle at) {
+    note_launch(at);
+    node.sim.schedule_at(at, "bus-probe", [this, &node] {
+        for (int i = 0; i < 32; ++i) {
+            node.sim.schedule_in(
+                static_cast<sim::Cycle>(i) * 5, "probe",
+                [&node, i] {
+                    (void)node.bus.read(
+                        0x9000'0000u + static_cast<mem::Addr>(i) * 0x1000, 4,
+                        kAttackerAttr);
+                });
+        }
+        mark_success();  // Recon always "works"; detection is the test.
+    });
+}
+
+}  // namespace cres::attack

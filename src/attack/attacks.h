@@ -1,0 +1,197 @@
+// The attack library: one class per modelled attack mechanism.
+#pragma once
+
+#include <optional>
+
+#include "attack/attack.h"
+#include "boot/image.h"
+#include "dev/nic.h"
+#include "platform/workload.h"
+
+namespace cres::attack {
+
+/// Software-vulnerability memory corruption: plants an exfiltration
+/// gadget in the data region and repeatedly overwrites the control
+/// loop's saved return address so execution pivots into the gadget
+/// (stack smashing / ROP pivot — the class behind [15], [16]).
+/// Corruption happens through the task's own (buggy) writes, so it is
+/// invisible at the bus-master level; only behaviour betrays it.
+class StackSmashAttack : public Attack {
+public:
+    std::string name() const override { return "stack-smash-hijack"; }
+    std::string mechanism() const override {
+        return "software memory-corruption pivot to planted shellcode "
+               "(secure-boot-time integrity cannot see runtime smashes)";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+
+    /// Repeated overwrite attempts (the smash races the victim's loop).
+    static constexpr int kAttempts = 40;
+    static constexpr sim::Cycle kAttemptSpacing = 100;
+};
+
+/// Debug-port code injection: rewrites live program text over the bus
+/// (JTAG-class physical access).
+class CodeInjectionAttack : public Attack {
+public:
+    std::string name() const override { return "debug-code-injection"; }
+    std::string mechanism() const override {
+        return "external debug master rewrites executable text in place";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+};
+
+/// Malicious DMA programming: streams the application secret into the
+/// NIC transmit port without the CPU ever touching it.
+class DmaExfilAttack : public Attack {
+public:
+    std::string name() const override { return "dma-exfiltration"; }
+    std::string mechanism() const override {
+        return "compromised driver programs the DMA engine to copy "
+               "secrets to a network FIFO (peripheral-master abuse)";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+};
+
+/// Bus-attribute tampering [34]: clears the TEE region's secure
+/// attribute via the reconfiguration surface, then reads the
+/// attestation key with plain non-secure transactions and exfiltrates.
+class BusTamperAttack : public Attack {
+public:
+    std::string name() const override { return "bus-attribute-tamper"; }
+    std::string mechanism() const override {
+        return "FPGA-assisted clearing of TrustZone security attributes "
+               "(Benhani et al. [34]) followed by key extraction";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+
+    [[nodiscard]] std::size_t key_bytes_read() const noexcept {
+        return key_bytes_read_;
+    }
+
+private:
+    std::size_t key_bytes_read_ = 0;
+};
+
+/// Sensor spoofing: feeds the control loop implausible physics.
+class SensorSpoofAttack : public Attack {
+public:
+    explicit SensorSpoofAttack(double spoof_value = 500.0)
+        : spoof_value_(spoof_value) {}
+    std::string name() const override { return "sensor-spoof"; }
+    std::string mechanism() const override {
+        return "compromised transducer feed drives the control loop "
+               "with fabricated physics";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+
+private:
+    double spoof_value_;
+};
+
+/// M2M replay: captures an authenticated frame off the link and
+/// re-injects it later.
+class ReplayAttack : public Attack {
+public:
+    explicit ReplayAttack(dev::Link& link, bool victim_is_a)
+        : link_(link), victim_is_a_(victim_is_a) {}
+    std::string name() const override { return "m2m-replay"; }
+    std::string mechanism() const override {
+        return "man-in-the-middle captures and replays authenticated "
+               "M2M frames";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+
+private:
+    dev::Link& link_;
+    bool victim_is_a_;
+    Bytes captured_;
+};
+
+/// M2M tampering: flips payload bits in transit (active MITM).
+class MitmTamperAttack : public Attack {
+public:
+    explicit MitmTamperAttack(dev::Link& link) : link_(link) {}
+    std::string name() const override { return "m2m-tamper"; }
+    std::string mechanism() const override {
+        return "active man-in-the-middle modifies frames in flight";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+    void stop();
+
+private:
+    dev::Link& link_;
+};
+
+/// Firmware downgrade [16]: offers a validly-signed but older image to
+/// the update agent.
+class FirmwareDowngradeAttack : public Attack {
+public:
+    explicit FirmwareDowngradeAttack(Bytes old_image_bytes)
+        : old_image_(std::move(old_image_bytes)) {}
+    std::string name() const override { return "firmware-downgrade"; }
+    std::string mechanism() const override {
+        return "replay of a validly-signed older image (TrustZone "
+               "downgrade attack, Yue et al. [16])";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+
+private:
+    Bytes old_image_;
+};
+
+/// Task-hang / watchdog starvation: the application stops making
+/// progress (crash loop or deliberate stall).
+class TaskHangAttack : public Attack {
+public:
+    std::string name() const override { return "task-hang"; }
+    std::string mechanism() const override {
+        return "fault or attack halts the control task; liveness is "
+               "only recoverable via watchdog reboot on the baseline";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+};
+
+/// Voltage glitch (fault injection).
+class GlitchAttack : public Attack {
+public:
+    GlitchAttack(double voltage = 1.0, sim::Cycle duration = 500)
+        : voltage_(voltage), duration_(duration) {}
+    std::string name() const override { return "voltage-glitch"; }
+    std::string mechanism() const override {
+        return "supply-voltage fault injection attempting to corrupt "
+               "execution";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+
+private:
+    double voltage_;
+    sim::Cycle duration_;
+};
+
+/// Kernel-level attempt to kill the security function itself — the
+/// §V-1 isolation ablation: succeeds only against a shared-resource
+/// (TEE-style) security manager.
+class SsmKillAttack : public Attack {
+public:
+    std::string name() const override { return "ssm-kill"; }
+    std::string mechanism() const override {
+        return "kernel compromise attacks the security manager's own "
+               "resources (possible only when they are shared, as in a "
+               "TEE [32])";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+};
+
+/// Address-space reconnaissance: sweeps unmapped addresses looking for
+/// hidden devices (precursor activity).
+class BusProbeAttack : public Attack {
+public:
+    std::string name() const override { return "bus-probe"; }
+    std::string mechanism() const override {
+        return "address-space scanning for undocumented peripherals";
+    }
+    void launch(platform::Node& node, sim::Cycle at) override;
+};
+
+}  // namespace cres::attack

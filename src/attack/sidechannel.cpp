@@ -1,0 +1,113 @@
+#include "attack/sidechannel.h"
+
+namespace cres::attack {
+
+namespace {
+
+const mem::BusAttr kVictimAttr{mem::Master::kCpu, /*secure=*/true,
+                               /*privileged=*/true};
+const mem::BusAttr kAttackerAttr{mem::Master::kAttacker, /*secure=*/false,
+                                 /*privileged=*/false};
+
+}  // namespace
+
+SideChannelLab::SideChannelLab(const Config& config)
+    : cache_("shared-cache", 0x4000, config.line_size, config.line_count),
+      line_size_(config.line_size),
+      line_count_(config.line_count),
+      rng_(config.seed) {
+    bus_.map(mem::RegionConfig{"shared-cache", 0x0, 0x4000, false, false},
+             cache_);
+}
+
+void SideChannelLab::victim_access(std::uint8_t secret_nibble) {
+    // One lookup in the secret-indexed table: entry n occupies cache
+    // set n (entries are one line apart, table starts at set 0).
+    (void)bus_.read(kTableBase + (secret_nibble & 0x0f) * line_size_, 4,
+                    kVictimAttr);
+}
+
+void SideChannelLab::prime() {
+    // kAttackerBase is line_count/... chosen so attacker addresses land
+    // in the same 16 sets with different tags: offset 0x400 = 64 lines
+    // of 16 bytes = exactly one full wrap for the default geometry.
+    for (std::uint32_t n = 0; n < 16; ++n) {
+        (void)bus_.read(kAttackerBase + n * line_size_, 4, kAttackerAttr);
+    }
+}
+
+std::optional<std::uint8_t> SideChannelLab::probe() {
+    std::optional<std::uint8_t> evicted;
+    for (std::uint32_t n = 0; n < 16; ++n) {
+        (void)bus_.read(kAttackerBase + n * line_size_, 4, kAttackerAttr);
+        if (bus_.last_latency() >= mem::CachedRam::kMissLatency) {
+            if (evicted.has_value()) return std::nullopt;  // Noise.
+            evicted = static_cast<std::uint8_t>(n);
+        }
+    }
+    return evicted;
+}
+
+std::optional<std::uint8_t> SideChannelLab::steal_nibble(
+    std::uint8_t true_nibble) {
+    prime();
+    victim_access(true_nibble);
+    return probe();
+}
+
+void SideChannelLab::plant_spectre_secret(BytesView secret) {
+    cache_.backing().load(kSpectreSecret, secret);
+}
+
+void SideChannelLab::spectre_victim(std::uint32_t index, bool mistrained) {
+    const bool in_bounds = index < kArrayLen;
+    if (!in_bounds && !mistrained) {
+        return;  // Correctly-predicted bounds check: nothing happens.
+    }
+    // The (possibly speculative) array read. Cache and timing effects
+    // are real even when the architectural result will be squashed.
+    const auto value =
+        bus_.read(kVictimArray + index, 1, kVictimAttr);
+    if (!value) return;
+    // The data-dependent table touch — the transmitter.
+    (void)bus_.read(kTableBase + (*value & 0x0f) * line_size_, 4,
+                    kVictimAttr);
+    // When !in_bounds, the architectural result is discarded here: the
+    // squash cannot un-warm the cache line — that is [17]/[18].
+}
+
+std::optional<std::uint8_t> SideChannelLab::spectre_steal_nibble(
+    std::uint32_t secret_index) {
+    // Mistrain the predictor with in-bounds calls.
+    for (std::uint32_t i = 0; i < 4; ++i) {
+        spectre_victim(i % kArrayLen, false);
+    }
+    prime();
+    // Out-of-bounds, speculatively executed.
+    spectre_victim(kArrayLen + secret_index, true);
+    return probe();
+}
+
+double SideChannelLab::spectre_recovery_accuracy(BytesView secret) {
+    plant_spectre_secret(secret);
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < secret.size(); ++i) {
+        const auto guess =
+            spectre_steal_nibble(static_cast<std::uint32_t>(i));
+        if (guess.has_value() && *guess == (secret[i] & 0x0f)) ++correct;
+    }
+    return static_cast<double>(correct) /
+           static_cast<double>(secret.size());
+}
+
+double SideChannelLab::recovery_accuracy(std::size_t trials) {
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < trials; ++i) {
+        const auto secret = static_cast<std::uint8_t>(rng_.uniform(16));
+        const auto guess = steal_nibble(secret);
+        if (guess.has_value() && *guess == secret) ++correct;
+    }
+    return static_cast<double>(correct) / static_cast<double>(trials);
+}
+
+}  // namespace cres::attack

@@ -1,0 +1,105 @@
+// Cache timing side-channel laboratory: a concrete prime+probe covert
+// channel across the secure/non-secure boundary, the attack family the
+// paper's Section IV cites ([17],[18], cache attacks on TEEs [32]).
+//
+// Setup: a secure-world "crypto service" performs one table lookup per
+// invocation, indexed by a secret nibble (the classic T-table leak).
+// Table entries are one cache line apart. A non-secure attacker who
+// shares the cache primes the 16 conflicting lines with its own data,
+// triggers the victim, then probes: the one probe that misses (slow)
+// names the secret nibble. No access check is ever violated — the
+// secret crosses the isolation boundary purely through timing, which
+// is why trust-based protection cannot stop it and a behavioural
+// monitor (CacheMonitor) plus an active countermeasure (cache
+// partitioning) is needed.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "mem/bus.h"
+#include "mem/cache.h"
+#include "util/rng.h"
+
+namespace cres::attack {
+
+class SideChannelLab {
+public:
+    struct Config {
+        std::uint32_t line_size = 16;
+        std::uint32_t line_count = 64;
+        std::uint64_t seed = 1;
+    };
+
+    SideChannelLab() : SideChannelLab(Config{}) {}
+    explicit SideChannelLab(const Config& config);
+
+    /// The secure-world victim: one secret-indexed table lookup.
+    void victim_access(std::uint8_t secret_nibble);
+
+    /// Attacker: fill the 16 victim-conflicting cache sets.
+    void prime();
+
+    /// Attacker: time re-reads of the primed lines; returns the nibble
+    /// whose set was evicted, or nullopt when none (channel closed).
+    [[nodiscard]] std::optional<std::uint8_t> probe();
+
+    /// One full prime -> victim -> probe round.
+    [[nodiscard]] std::optional<std::uint8_t> steal_nibble(
+        std::uint8_t true_nibble);
+
+    /// Runs `trials` rounds with random secrets; returns the fraction
+    /// recovered correctly (~1.0 open channel, ~1/16 or less closed).
+    [[nodiscard]] double recovery_accuracy(std::size_t trials);
+
+    [[nodiscard]] mem::CachedRam& cache() noexcept { return cache_; }
+    [[nodiscard]] mem::Bus& bus() noexcept { return bus_; }
+
+    /// Countermeasure under test.
+    void enable_partitioning() { cache_.set_partitioned(true); }
+
+    // --- Spectre-PHT gadget (paper §IV, [18]) ---------------------------
+    // The victim service performs a bounds-checked array read followed
+    // by a data-dependent table access:
+    //     if (index < kArrayLen) y = table[array[index] & 0xf];
+    // With the branch predictor mistrained, the out-of-bounds read and
+    // the dependent table touch still execute *speculatively*: the
+    // architectural result is squashed but the cache line stays warm.
+    // The attacker chooses `index` to reach a secret byte beyond the
+    // array and reads it out through the cache, one nibble at a time —
+    // without a single architecturally-permitted access to the secret.
+
+    static constexpr std::uint32_t kArrayLen = 16;
+
+    /// Plants secret bytes directly beyond the victim array.
+    void plant_spectre_secret(BytesView secret);
+
+    /// The victim's bounds-checked service. `mistrained` selects
+    /// whether the predictor speculates past the bounds check.
+    void spectre_victim(std::uint32_t index, bool mistrained);
+
+    /// One Spectre round against the secret byte at `secret_index`
+    /// (recovers its low nibble via prime -> mistrain+gadget -> probe).
+    [[nodiscard]] std::optional<std::uint8_t> spectre_steal_nibble(
+        std::uint32_t secret_index);
+
+    /// Fraction of planted secret nibbles recovered.
+    [[nodiscard]] double spectre_recovery_accuracy(BytesView secret);
+
+private:
+    static constexpr mem::Addr kTableBase = 0x0;      // Victim table.
+    static constexpr mem::Addr kAttackerBase = 0x400; // Same sets, new tags.
+    // The array lives in cache sets 16-17 so its own accesses never
+    // alias the 16 probed sets (0-15).
+    static constexpr mem::Addr kVictimArray = 0x500;  // Bounds-checked array.
+    static constexpr mem::Addr kSpectreSecret =
+        kVictimArray + kArrayLen;                     // Behind the array.
+
+    mem::Bus bus_;
+    mem::CachedRam cache_;
+    std::uint32_t line_size_;
+    std::uint32_t line_count_;
+    Rng rng_;
+};
+
+}  // namespace cres::attack

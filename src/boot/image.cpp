@@ -1,0 +1,69 @@
+#include "boot/image.h"
+
+#include "util/error.h"
+#include "util/serial.h"
+
+namespace cres::boot {
+
+crypto::Hash256 FirmwareImage::digest() const {
+    BinaryWriter w;
+    w.u32(kMagic);
+    w.str(name);
+    w.u32(security_version);
+    w.u32(load_addr);
+    w.u32(entry_point);
+    w.blob(payload);
+    return crypto::sha256(w.data());
+}
+
+Bytes FirmwareImage::serialize() const {
+    BinaryWriter w;
+    w.u32(kMagic);
+    w.str(name);
+    w.u32(security_version);
+    w.u32(load_addr);
+    w.u32(entry_point);
+    w.blob(payload);
+    w.blob(signature);
+    return w.take();
+}
+
+FirmwareImage FirmwareImage::parse(BytesView data) {
+    try {
+        BinaryReader r(data);
+        if (r.u32() != kMagic) {
+            throw BootError("FirmwareImage: bad magic");
+        }
+        FirmwareImage image;
+        image.name = r.str();
+        image.security_version = r.u32();
+        image.load_addr = r.u32();
+        image.entry_point = r.u32();
+        image.payload = r.blob();
+        image.signature = r.blob();
+        return image;
+    } catch (const BootError&) {
+        throw;
+    } catch (const Error& e) {
+        throw BootError(std::string("FirmwareImage: truncated image: ") +
+                        e.what());
+    }
+}
+
+void ImageSigner::sign(FirmwareImage& image) {
+    const crypto::Hash256 d = image.digest();
+    image.signature = signer_.sign(d).serialize();
+}
+
+bool verify_image(const FirmwareImage& image,
+                  const crypto::MerklePublicKey& vendor_pk) {
+    if (image.signature.empty()) return false;
+    try {
+        const auto sig = crypto::MerkleSignature::deserialize(image.signature);
+        return crypto::merkle_verify(sig, image.digest(), vendor_pk);
+    } catch (const Error&) {
+        return false;
+    }
+}
+
+}  // namespace cres::boot

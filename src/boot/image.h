@@ -1,0 +1,58 @@
+// Firmware image format for the secure-boot chain.
+//
+// An image carries a header (name, security version, load address,
+// entry point), a payload (machine code + data) and a Merkle signature
+// by the vendor key over the header+payload digest. The security
+// version feeds anti-rollback (Section IV of the paper attributes the
+// TrustZone downgrade attack [16] to re-using verification material
+// across versions).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "mem/bus.h"
+#include "util/bytes.h"
+
+namespace cres::boot {
+
+struct FirmwareImage {
+    static constexpr std::uint32_t kMagic = 0x43524657;  // "CRFW"
+
+    std::string name;
+    std::uint32_t security_version = 0;
+    mem::Addr load_addr = 0;
+    mem::Addr entry_point = 0;
+    Bytes payload;
+    Bytes signature;  ///< Serialized MerkleSignature; empty when unsigned.
+
+    /// Digest covering everything except the signature itself.
+    [[nodiscard]] crypto::Hash256 digest() const;
+
+    /// Full wire format (header + payload + signature).
+    [[nodiscard]] Bytes serialize() const;
+
+    /// Parses a wire-format image. Throws BootError on malformed input.
+    static FirmwareImage parse(BytesView data);
+};
+
+/// Signs images with the vendor's (stateful) Merkle key.
+class ImageSigner {
+public:
+    explicit ImageSigner(crypto::MerkleSigner& signer) : signer_(signer) {}
+
+    /// Fills in image.signature. Throws CryptoError when the vendor key
+    /// is exhausted.
+    void sign(FirmwareImage& image);
+
+private:
+    crypto::MerkleSigner& signer_;
+};
+
+/// Verifies an image signature against the vendor public key.
+[[nodiscard]] bool verify_image(const FirmwareImage& image,
+                                const crypto::MerklePublicKey& vendor_pk);
+
+}  // namespace cres::boot

@@ -1,0 +1,50 @@
+#include "boot/measured.h"
+
+#include "util/error.h"
+
+namespace cres::boot {
+
+PcrBank::PcrBank() {
+    reset();
+}
+
+void PcrBank::reset() {
+    for (auto& pcr : pcrs_) pcr.fill(0);
+    log_.clear();
+}
+
+void PcrBank::extend(std::size_t index, const crypto::Hash256& measurement) {
+    extend(index, measurement, "");
+}
+
+void PcrBank::extend(std::size_t index, const crypto::Hash256& measurement,
+                     std::string description) {
+    if (index >= kPcrCount) {
+        throw Error("PcrBank::extend: bad index");
+    }
+    pcrs_[index] = crypto::sha256_pair(pcrs_[index], measurement);
+    log_.push_back(LogEntry{index, measurement, std::move(description)});
+}
+
+const crypto::Hash256& PcrBank::value(std::size_t index) const {
+    if (index >= kPcrCount) {
+        throw Error("PcrBank::value: bad index");
+    }
+    return pcrs_[index];
+}
+
+crypto::Hash256 PcrBank::composite() const {
+    crypto::Sha256 h;
+    for (const auto& pcr : pcrs_) h.update(pcr);
+    return h.finish();
+}
+
+crypto::Hash256 replay_composite(const std::vector<PcrBank::LogEntry>& log) {
+    PcrBank bank;
+    for (const auto& entry : log) {
+        bank.extend(entry.index, entry.measurement);
+    }
+    return bank.composite();
+}
+
+}  // namespace cres::boot

@@ -1,0 +1,61 @@
+// Measured boot: TPM-style Platform Configuration Registers. Every
+// boot stage extends a PCR with the digest of what it is about to run;
+// attestation quotes the PCR values so a verifier can detect any
+// deviation from the provisioned software stack.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace cres::boot {
+
+class PcrBank {
+public:
+    static constexpr std::size_t kPcrCount = 8;
+
+    /// Conventional PCR allocation.
+    static constexpr std::size_t kPcrBootRom = 0;
+    static constexpr std::size_t kPcrFirmware = 1;
+    static constexpr std::size_t kPcrConfig = 2;
+    static constexpr std::size_t kPcrApplication = 3;
+
+    PcrBank();
+
+    /// pcr[i] = SHA256(pcr[i] || measurement). Throws Error on bad index.
+    void extend(std::size_t index, const crypto::Hash256& measurement);
+
+    [[nodiscard]] const crypto::Hash256& value(std::size_t index) const;
+
+    /// Log of (index, measurement) pairs in extension order.
+    struct LogEntry {
+        std::size_t index;
+        crypto::Hash256 measurement;
+        std::string description;
+    };
+    void extend(std::size_t index, const crypto::Hash256& measurement,
+                std::string description);
+    [[nodiscard]] const std::vector<LogEntry>& log() const noexcept {
+        return log_;
+    }
+
+    /// Digest binding all PCR values together (what a quote signs).
+    [[nodiscard]] crypto::Hash256 composite() const;
+
+    /// Resets to the power-on state (all zeros).
+    void reset();
+
+private:
+    std::array<crypto::Hash256, kPcrCount> pcrs_;
+    std::vector<LogEntry> log_;
+};
+
+/// Replays an event log against a fresh bank; returns the composite.
+/// Used by verifiers to check a quote against an expected log.
+crypto::Hash256 replay_composite(const std::vector<PcrBank::LogEntry>& log);
+
+}  // namespace cres::boot

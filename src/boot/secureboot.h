@@ -1,0 +1,81 @@
+// Secure boot ROM: the immutable first stage of the chain of trust.
+//
+// Verifies each image's vendor signature, enforces anti-rollback via
+// monotonic counters, measures every stage into the PCR bank, loads the
+// payload into memory and reports the entry point of the final stage.
+// A `strict_rollback` switch exists so experiments can reproduce the
+// vulnerable configuration of [16] (signature checked, version not).
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "boot/image.h"
+#include "boot/measured.h"
+#include "crypto/merkle.h"
+#include "crypto/monotonic.h"
+#include "mem/bus.h"
+#include "mem/ram.h"
+
+namespace cres::boot {
+
+enum class BootStatus : std::uint8_t {
+    kSuccess,
+    kBadSignature,
+    kRollbackRejected,
+    kLoadFault,
+};
+
+std::string boot_status_name(BootStatus status);
+
+/// Per-stage outcome.
+struct StageResult {
+    std::string image_name;
+    BootStatus status = BootStatus::kSuccess;
+    std::uint32_t security_version = 0;
+};
+
+/// Chain outcome.
+struct BootReport {
+    bool success = false;
+    std::vector<StageResult> stages;
+    mem::Addr entry_point = 0;
+    /// Cost model: cycles spent hashing/verifying (drives boot benches).
+    std::uint64_t verification_cost_cycles = 0;
+
+    [[nodiscard]] std::string summary() const;
+};
+
+class BootRom {
+public:
+    /// `counter_name` keys the anti-rollback counter in `counters`.
+    BootRom(crypto::MerklePublicKey vendor_pk,
+            crypto::MonotonicCounterBank& counters,
+            std::string counter_name = "fw_version");
+
+    /// Disables anti-rollback (the vulnerable configuration of [16]).
+    void set_strict_rollback(bool strict) noexcept { strict_rollback_ = strict; }
+    [[nodiscard]] bool strict_rollback() const noexcept {
+        return strict_rollback_;
+    }
+
+    /// Verifies, measures and loads one image. On success, advances the
+    /// anti-rollback counter to the image's version ("roll-forward").
+    StageResult boot_stage(const FirmwareImage& image, mem::Ram& memory,
+                           mem::Addr memory_base, PcrBank& pcrs,
+                           std::uint64_t& cost_cycles);
+
+    /// Boots a multi-stage chain in order; stops at the first failure.
+    BootReport boot_chain(const std::vector<FirmwareImage>& chain,
+                          mem::Ram& memory, mem::Addr memory_base,
+                          PcrBank& pcrs);
+
+private:
+    crypto::MerklePublicKey vendor_pk_;
+    crypto::MonotonicCounterBank& counters_;
+    std::string counter_name_;
+    bool strict_rollback_ = true;
+};
+
+}  // namespace cres::boot

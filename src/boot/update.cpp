@@ -1,0 +1,76 @@
+#include "boot/update.h"
+
+#include "util/error.h"
+
+namespace cres::boot {
+
+std::string update_status_name(UpdateStatus status) {
+    switch (status) {
+        case UpdateStatus::kOk: return "ok";
+        case UpdateStatus::kBadImage: return "bad-image";
+        case UpdateStatus::kBadSignature: return "bad-signature";
+        case UpdateStatus::kVersionRegression: return "version-regression";
+    }
+    return "?";
+}
+
+UpdateAgent::UpdateAgent(crypto::MerklePublicKey vendor_pk,
+                         crypto::MonotonicCounterBank& counters,
+                         std::string counter_name)
+    : vendor_pk_(std::move(vendor_pk)),
+      counters_(counters),
+      counter_name_(std::move(counter_name)) {}
+
+UpdateStatus UpdateAgent::install(BytesView image_bytes) {
+    FirmwareImage image;
+    try {
+        image = FirmwareImage::parse(image_bytes);
+    } catch (const BootError&) {
+        ++rejected_;
+        return UpdateStatus::kBadImage;
+    }
+    if (!verify_image(image, vendor_pk_)) {
+        ++rejected_;
+        return UpdateStatus::kBadSignature;
+    }
+    if (image.security_version < counters_.value(counter_name_)) {
+        ++rejected_;
+        return UpdateStatus::kVersionRegression;
+    }
+    slots_[1 - active_].image = std::move(image);
+    return UpdateStatus::kOk;
+}
+
+bool UpdateAgent::activate() {
+    if (!slots_[1 - active_].image.has_value()) return false;
+    active_ = 1 - active_;
+    provisional_ = true;
+    return true;
+}
+
+void UpdateAgent::commit() {
+    provisional_ = false;
+    if (slots_[active_].image.has_value()) {
+        (void)counters_.advance(counter_name_,
+                                slots_[active_].image->security_version);
+    }
+}
+
+bool UpdateAgent::reboot_failed() {
+    if (!provisional_) return false;
+    if (!slots_[1 - active_].image.has_value()) return false;
+    active_ = 1 - active_;
+    provisional_ = false;
+    ++rollbacks_;
+    return true;
+}
+
+std::optional<FirmwareImage> UpdateAgent::active_image() const {
+    return slots_[active_].image;
+}
+
+std::optional<FirmwareImage> UpdateAgent::inactive_image() const {
+    return slots_[1 - active_].image;
+}
+
+}  // namespace cres::boot

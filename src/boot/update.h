@@ -1,0 +1,75 @@
+// A/B firmware update agent: staged install into the inactive slot,
+// activation, roll-forward commit and roll-back to the last-known-good
+// slot — the "Recovery Method: roll-back and roll-forward" requirement
+// in Table I.
+#pragma once
+
+#include <array>
+#include <optional>
+#include <string>
+
+#include "boot/image.h"
+#include "crypto/merkle.h"
+#include "crypto/monotonic.h"
+
+namespace cres::boot {
+
+enum class UpdateStatus : std::uint8_t {
+    kOk,
+    kBadImage,
+    kBadSignature,
+    kVersionRegression,
+};
+
+std::string update_status_name(UpdateStatus status);
+
+class UpdateAgent {
+public:
+    UpdateAgent(crypto::MerklePublicKey vendor_pk,
+                crypto::MonotonicCounterBank& counters,
+                std::string counter_name = "fw_version");
+
+    /// Installs wire-format image bytes into the inactive slot after
+    /// verifying signature and anti-rollback.
+    UpdateStatus install(BytesView image_bytes);
+
+    /// Swaps active/inactive. The new image runs provisionally until
+    /// commit() — reboot_failed() rolls back instead.
+    /// Returns false when the inactive slot is empty.
+    bool activate();
+
+    /// Marks the active image good and advances the rollback floor.
+    void commit();
+
+    /// Models a failed boot of the provisional image: reverts to the
+    /// previous slot. Returns false when no fallback exists.
+    bool reboot_failed();
+
+    [[nodiscard]] std::optional<FirmwareImage> active_image() const;
+    [[nodiscard]] std::optional<FirmwareImage> inactive_image() const;
+    [[nodiscard]] bool provisional() const noexcept { return provisional_; }
+
+    /// Telemetry for the monitors / evidence log.
+    [[nodiscard]] std::uint32_t rejected_installs() const noexcept {
+        return rejected_;
+    }
+    [[nodiscard]] std::uint32_t rollbacks() const noexcept {
+        return rollbacks_;
+    }
+
+private:
+    struct Slot {
+        std::optional<FirmwareImage> image;
+    };
+
+    crypto::MerklePublicKey vendor_pk_;
+    crypto::MonotonicCounterBank& counters_;
+    std::string counter_name_;
+    std::array<Slot, 2> slots_;
+    std::size_t active_ = 0;
+    bool provisional_ = false;
+    std::uint32_t rejected_ = 0;
+    std::uint32_t rollbacks_ = 0;
+};
+
+}  // namespace cres::boot

@@ -1,0 +1,41 @@
+#include "core/action.h"
+
+#include <array>
+#include <utility>
+
+namespace cres::core {
+
+namespace {
+
+constexpr std::array<std::pair<ResponseAction, const char*>, 12> kNames = {{
+    {ResponseAction::kLogOnly, "log-only"},
+    {ResponseAction::kAlertOperator, "alert-operator"},
+    {ResponseAction::kIsolateResource, "isolate-resource"},
+    {ResponseAction::kKillTask, "kill-task"},
+    {ResponseAction::kRestartTask, "restart-task"},
+    {ResponseAction::kZeroiseKeys, "zeroise-keys"},
+    {ResponseAction::kRollbackFirmware, "rollback-firmware"},
+    {ResponseAction::kRestoreCheckpoint, "restore-checkpoint"},
+    {ResponseAction::kDegrade, "degrade"},
+    {ResponseAction::kRateLimitPeripheral, "rate-limit"},
+    {ResponseAction::kPartitionCache, "partition-cache"},
+    {ResponseAction::kResetSystem, "reset-system"},
+}};
+
+}  // namespace
+
+std::string action_name(ResponseAction action) {
+    for (const auto& [a, name] : kNames) {
+        if (a == action) return name;
+    }
+    return "?";
+}
+
+std::optional<ResponseAction> action_from_name(const std::string& name) {
+    for (const auto& [a, n] : kNames) {
+        if (name == n) return a;
+    }
+    return std::nullopt;
+}
+
+}  // namespace cres::core

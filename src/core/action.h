@@ -1,0 +1,31 @@
+// Response-action vocabulary shared by the policy engine (which selects
+// actions) and the Active Response Manager (which executes them).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cres::core {
+
+enum class ResponseAction : std::uint8_t {
+    kLogOnly,           ///< Record evidence, take no countermeasure.
+    kAlertOperator,     ///< Push an out-of-band operator notification.
+    kIsolateResource,   ///< Fence the resource off the interconnect.
+    kKillTask,          ///< Halt the offending compute context.
+    kRestartTask,       ///< Restart the context from its entry point.
+    kZeroiseKeys,       ///< Wipe key material before it can leak.
+    kRollbackFirmware,  ///< Revert to the last-known-good image.
+    kRestoreCheckpoint, ///< Roll state back to a known-good snapshot.
+    kDegrade,           ///< Shed non-critical services, keep critical.
+    kRateLimitPeripheral, ///< Clamp actuation to a safe envelope.
+    kPartitionCache,    ///< Close cache timing channels by partitioning.
+    kResetSystem,       ///< Full reboot (the passive baseline's only move).
+};
+
+std::string action_name(ResponseAction action);
+
+/// Parses "isolate-resource" etc.; nullopt for unknown names.
+std::optional<ResponseAction> action_from_name(const std::string& name);
+
+}  // namespace cres::core

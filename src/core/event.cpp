@@ -1,0 +1,31 @@
+#include "core/event.h"
+
+namespace cres::core {
+
+std::string severity_name(EventSeverity severity) {
+    switch (severity) {
+        case EventSeverity::kInfo: return "info";
+        case EventSeverity::kAdvisory: return "advisory";
+        case EventSeverity::kAlert: return "alert";
+        case EventSeverity::kCritical: return "critical";
+    }
+    return "?";
+}
+
+std::string category_name(EventCategory category) {
+    switch (category) {
+        case EventCategory::kBusViolation: return "bus-violation";
+        case EventCategory::kControlFlow: return "control-flow";
+        case EventCategory::kMemory: return "memory";
+        case EventCategory::kDataFlow: return "data-flow";
+        case EventCategory::kPeripheral: return "peripheral";
+        case EventCategory::kTiming: return "timing";
+        case EventCategory::kNetwork: return "network";
+        case EventCategory::kEnvironment: return "environment";
+        case EventCategory::kBoot: return "boot";
+        case EventCategory::kSystem: return "system";
+    }
+    return "?";
+}
+
+}  // namespace cres::core

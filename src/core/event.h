@@ -1,0 +1,55 @@
+// Security-event vocabulary shared by the Active Runtime Resource
+// Monitors (producers) and the System Security Manager (consumer).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "sim/simulator.h"
+
+namespace cres::core {
+
+enum class EventSeverity : std::uint8_t {
+    kInfo = 0,      ///< Telemetry, no action implied.
+    kAdvisory = 1,  ///< Unusual but possibly benign.
+    kAlert = 2,     ///< Malicious activity suspected.
+    kCritical = 3,  ///< Confirmed compromise / safety impact.
+};
+
+std::string severity_name(EventSeverity severity);
+
+enum class EventCategory : std::uint8_t {
+    kBusViolation,  ///< Illegal/secure-violating interconnect traffic.
+    kControlFlow,   ///< CFI break: bad return or call target.
+    kMemory,        ///< W^X, canary, MPU faults, code tampering.
+    kDataFlow,      ///< Tainted data reaching a public sink (DIFT).
+    kPeripheral,    ///< Actuator/sensor behaviour out of envelope.
+    kTiming,        ///< Missed heartbeats/deadlines, starvation.
+    kNetwork,       ///< Authentication failures, replay, floods.
+    kEnvironment,   ///< Voltage/temperature excursions (glitching).
+    kBoot,          ///< Boot/update anomalies (rollback attempts...).
+    kSystem,        ///< SSM-internal findings (correlation results).
+};
+
+std::string category_name(EventCategory category);
+
+/// One observation from a resource monitor.
+struct MonitorEvent {
+    sim::Cycle at = 0;
+    std::string monitor;    ///< Emitting monitor name.
+    EventCategory category = EventCategory::kSystem;
+    EventSeverity severity = EventSeverity::kInfo;
+    std::string resource;   ///< Affected resource (region/device/task).
+    std::string detail;     ///< Human-readable context.
+    std::uint64_t a = 0;    ///< Category-specific scalar (e.g. address).
+    std::uint64_t b = 0;    ///< Category-specific scalar (e.g. value).
+};
+
+/// Where monitors deliver events (implemented by the SSM).
+class EventSink {
+public:
+    virtual ~EventSink() = default;
+    virtual void submit(const MonitorEvent& event) = 0;
+};
+
+}  // namespace cres::core

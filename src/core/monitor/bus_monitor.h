@@ -1,0 +1,57 @@
+// Bus monitor: watches every interconnect transaction. Detects
+//  - security-violation / isolated / read-only responses (attack or
+//    misbehaving master),
+//  - address-space probing (bursts of decode errors),
+//  - masters touching regions outside their provisioned allowlist
+//    (e.g. the DMA engine reading key storage),
+// and keeps a forensic ring buffer of recent transactions.
+#pragma once
+
+#include <deque>
+#include <map>
+#include <set>
+
+#include "core/monitor/monitor.h"
+#include "mem/bus.h"
+#include "sim/simulator.h"
+
+namespace cres::core {
+
+class BusMonitor : public Monitor, public mem::BusObserver {
+public:
+    BusMonitor(EventSink& sink, const sim::Simulator& sim, mem::Bus& bus);
+    ~BusMonitor() override;
+
+    std::string description() const override {
+        return "interconnect transaction screening, master/region access "
+               "policy, probe detection, forensic transaction ring";
+    }
+
+    /// Restricts a master to the named regions. Unlisted masters are
+    /// unrestricted.
+    void allow_master(mem::Master master, std::set<std::string> regions);
+
+    /// Probe detection: `threshold` decode errors within `window`
+    /// cycles escalate to an alert.
+    void set_probe_threshold(std::uint32_t threshold, sim::Cycle window);
+
+    void on_transaction(const mem::BusTransaction& txn) override;
+
+    /// Forensic ring buffer (most recent last).
+    [[nodiscard]] const std::deque<mem::BusTransaction>& recent()
+        const noexcept {
+        return ring_;
+    }
+
+private:
+    const sim::Simulator& sim_;
+    mem::Bus& bus_;
+    std::map<mem::Master, std::set<std::string>> allowlist_;
+    std::deque<mem::BusTransaction> ring_;
+    std::deque<sim::Cycle> decode_errors_;
+    std::uint32_t probe_threshold_ = 8;
+    sim::Cycle probe_window_ = 1000;
+    static constexpr std::size_t kRingSize = 64;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,34 @@
+#include "core/monitor/cache_monitor.h"
+
+namespace cres::core {
+
+CacheMonitor::CacheMonitor(EventSink& sink, const sim::Simulator& sim,
+                           mem::CachedRam& cache, std::uint64_t threshold,
+                           sim::Cycle period)
+    : Monitor("cache-monitor", sink),
+      sim_(sim),
+      cache_(cache),
+      threshold_(threshold),
+      period_(period == 0 ? 1 : period),
+      next_poll_(period_) {}
+
+void CacheMonitor::tick(sim::Cycle now) {
+    if (!enabled()) return;
+    if (now < next_poll_) return;
+    next_poll_ = now + period_;
+
+    const std::uint64_t count = cache_.cross_domain_evictions();
+    const std::uint64_t delta = count - last_count_;
+    last_count_ = count;
+
+    if (delta >= threshold_) {
+        ++storms_;
+        emit(now, EventCategory::kDataFlow, EventSeverity::kAlert,
+             std::string(cache_.name()),
+             "cross-domain cache-conflict storm (" + std::to_string(delta) +
+                 " evictions/window) — prime+probe suspected",
+             delta, count);
+    }
+}
+
+}  // namespace cres::core

@@ -1,0 +1,66 @@
+#include "core/monitor/cfi_monitor.h"
+
+namespace cres::core {
+
+CfiMonitor::CfiMonitor(EventSink& sink, const sim::Simulator& sim,
+                       isa::Cpu& cpu)
+    : Monitor("cfi-monitor", sink), sim_(sim), cpu_(cpu) {
+    cpu_.add_observer(this);
+}
+
+CfiMonitor::~CfiMonitor() {
+    cpu_.remove_observer(this);
+}
+
+void CfiMonitor::set_valid_targets(std::set<mem::Addr> targets) {
+    valid_targets_ = std::move(targets);
+}
+
+void CfiMonitor::reset() noexcept {
+    shadow_stack_.clear();
+    resyncing_ = true;
+}
+
+void CfiMonitor::on_call(mem::Addr from, mem::Addr target) {
+    if (!enabled()) return;
+    resyncing_ = false;
+    shadow_stack_.push_back(from + 4);
+    if (!valid_targets_.empty() && valid_targets_.count(target) == 0) {
+        emit(sim_.now(), EventCategory::kControlFlow, EventSeverity::kAlert,
+             cpu_.name().data(),
+             "call to non-function target", target, from);
+    }
+}
+
+void CfiMonitor::on_return(mem::Addr from, mem::Addr target) {
+    if (!enabled()) return;
+    if (shadow_stack_.empty()) {
+        if (resyncing_) {
+            emit(sim_.now(), EventCategory::kControlFlow,
+                 EventSeverity::kInfo, cpu_.name().data(),
+                 "shadow-stack resync after restore", target, from);
+            return;
+        }
+        emit(sim_.now(), EventCategory::kControlFlow, EventSeverity::kAlert,
+             cpu_.name().data(), "return with empty shadow stack", target,
+             from);
+        return;
+    }
+    const mem::Addr expected = shadow_stack_.back();
+    shadow_stack_.pop_back();
+    if (target != expected) {
+        emit(sim_.now(), EventCategory::kControlFlow,
+             EventSeverity::kCritical, cpu_.name().data(),
+             "return-address mismatch (shadow stack)", target, expected);
+    }
+}
+
+void CfiMonitor::on_trap(std::uint32_t cause, mem::Addr pc) {
+    // Traps transfer control out of the nested call context; the
+    // handler will rebuild its own frames. Record the discontinuity.
+    emit(sim_.now(), EventCategory::kControlFlow, EventSeverity::kInfo,
+         cpu_.name().data(), "trap: " + isa::trap_cause_name(cause), pc,
+         cause);
+}
+
+}  // namespace cres::core

@@ -1,0 +1,52 @@
+// Control-flow-integrity monitor: a hardware shadow stack plus a valid
+// call-target set (static CFG knowledge from the firmware symbol
+// table). Detects return-address corruption (stack smashing / ROP) and
+// calls into non-function addresses (code-injection pivots).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/monitor/monitor.h"
+#include "isa/cpu.h"
+
+namespace cres::core {
+
+class CfiMonitor : public Monitor, public isa::CpuObserver {
+public:
+    CfiMonitor(EventSink& sink, const sim::Simulator& sim, isa::Cpu& cpu);
+    ~CfiMonitor() override;
+
+    std::string description() const override {
+        return "shadow call stack and static call-target set enforcing "
+               "control-flow integrity";
+    }
+
+    /// Declares the valid function entry points (from the firmware
+    /// symbol table). An empty set disables target checking.
+    void set_valid_targets(std::set<mem::Addr> targets);
+
+    /// Clears the shadow stack (task restart / checkpoint restore).
+    /// Until the next call instruction, returns that underflow the
+    /// empty shadow stack are treated as resynchronisation, not
+    /// attacks: the restored task may legitimately pop frames the
+    /// monitor never saw pushed.
+    void reset() noexcept;
+
+    void on_call(mem::Addr from, mem::Addr target) override;
+    void on_return(mem::Addr from, mem::Addr target) override;
+    void on_trap(std::uint32_t cause, mem::Addr pc) override;
+
+    [[nodiscard]] std::size_t shadow_depth() const noexcept {
+        return shadow_stack_.size();
+    }
+
+private:
+    const sim::Simulator& sim_;
+    isa::Cpu& cpu_;
+    std::vector<mem::Addr> shadow_stack_;
+    std::set<mem::Addr> valid_targets_;
+    bool resyncing_ = false;
+};
+
+}  // namespace cres::core

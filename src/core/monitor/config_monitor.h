@@ -1,0 +1,45 @@
+// Configuration-audit monitor: snapshots the interconnect's security
+// configuration (region attributes) as a golden reference at arm time,
+// then periodically re-audits it. Detects the bus-attribute tampering
+// attack of [34], which no transaction-level monitor can see (the
+// tampered accesses are "legal" once the attribute has been cleared).
+#pragma once
+
+#include <set>
+#include <vector>
+
+#include "core/monitor/monitor.h"
+#include "mem/bus.h"
+
+namespace cres::core {
+
+class ConfigMonitor : public Monitor, public sim::Tickable {
+public:
+    ConfigMonitor(EventSink& sink, const sim::Simulator& sim, mem::Bus& bus,
+                  sim::Cycle period = 200);
+
+    std::string description() const override {
+        return "periodic audit of interconnect security attributes "
+               "against the boot-time golden configuration";
+    }
+
+    /// Captures the current bus configuration as the golden reference.
+    void snapshot_golden();
+
+    void tick(sim::Cycle now) override;
+
+    [[nodiscard]] std::uint64_t drifts_detected() const noexcept {
+        return drifts_;
+    }
+
+private:
+    const sim::Simulator& sim_;
+    mem::Bus& bus_;
+    sim::Cycle period_;
+    sim::Cycle next_audit_;
+    std::vector<mem::RegionConfig> golden_;
+    std::set<std::string> drifted_;  ///< Latched per-region (one event each).
+    std::uint64_t drifts_ = 0;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,78 @@
+#include "core/monitor/dift_monitor.h"
+
+namespace cres::core {
+
+DiftMonitor::DiftMonitor(EventSink& sink, const sim::Simulator& sim,
+                         mem::Bus& bus)
+    : Monitor("dift-monitor", sink), sim_(sim), bus_(bus) {
+    bus_.add_observer(this);
+}
+
+DiftMonitor::~DiftMonitor() {
+    bus_.remove_observer(this);
+}
+
+void DiftMonitor::add_source(mem::Addr base, std::uint32_t size) {
+    sources_.push_back(Range{base, size});
+}
+
+void DiftMonitor::add_sink_region(const std::string& region) {
+    sinks_.insert(region);
+}
+
+bool DiftMonitor::in_source(mem::Addr addr) const noexcept {
+    for (const auto& r : sources_) {
+        if (addr >= r.base && addr < r.base + r.size) return true;
+    }
+    return false;
+}
+
+bool DiftMonitor::is_tainted(mem::Addr addr) const noexcept {
+    return in_source(addr) || tainted_addrs_.count(addr) != 0;
+}
+
+void DiftMonitor::on_transaction(const mem::BusTransaction& txn) {
+    if (!enabled()) return;
+    if (txn.response != mem::BusResponse::kOk) return;
+    const sim::Cycle now = sim_.now();
+
+    if (txn.op != mem::BusOp::kWrite) {
+        // A read of tainted bytes taints the reading master. This is a
+        // coarse (master-granular) over-approximation of register-level
+        // DIFT: it never misses a leak but can over-taint.
+        for (std::uint32_t i = 0; i < txn.size; ++i) {
+            if (is_tainted(txn.addr + i)) {
+                if (!master_taint_[txn.attr.master]) {
+                    master_taint_[txn.attr.master] = true;
+                    emit(now, EventCategory::kDataFlow,
+                         EventSeverity::kAdvisory,
+                         mem::master_name(txn.attr.master),
+                         "master tainted by secret read", txn.addr, 0);
+                }
+                break;
+            }
+        }
+        return;
+    }
+
+    // Write path.
+    const bool tainted_master = master_taint_[txn.attr.master];
+    if (sinks_.count(txn.region) != 0) {
+        if (tainted_master) {
+            leaked_bytes_ += txn.size;
+            emit(now, EventCategory::kDataFlow, EventSeverity::kCritical,
+                 txn.region, "tainted data written to public sink", txn.addr,
+                 txn.data);
+        }
+        return;
+    }
+    for (std::uint32_t i = 0; i < txn.size; ++i) {
+        if (tainted_master) {
+            tainted_addrs_.insert(txn.addr + i);
+        } else {
+            tainted_addrs_.erase(txn.addr + i);
+        }
+    }
+}
+
+}  // namespace cres::core

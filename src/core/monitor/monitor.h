@@ -1,0 +1,57 @@
+// Base class for Active Runtime Resource Monitors (paper §V, second
+// characteristic). A monitor watches one resource, generates
+// fine-grained events, and delivers them to the System Security
+// Manager's event sink. Monitors can be disabled (for overhead
+// ablations) and count their own emissions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+
+#include "core/event.h"
+
+namespace cres::core {
+
+class Monitor {
+public:
+    Monitor(std::string name, EventSink& sink)
+        : name_(std::move(name)), sink_(sink) {}
+    virtual ~Monitor() = default;
+
+    Monitor(const Monitor&) = delete;
+    Monitor& operator=(const Monitor&) = delete;
+
+    [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+    [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+    [[nodiscard]] std::uint64_t events_emitted() const noexcept {
+        return emitted_;
+    }
+
+    /// One-line description of what this monitor watches (used by the
+    /// capability registry that regenerates Table I).
+    [[nodiscard]] virtual std::string description() const = 0;
+
+protected:
+    /// Delivers an event to the SSM (no-op while disabled).
+    void emit(sim::Cycle at, EventCategory category, EventSeverity severity,
+              std::string resource, std::string detail, std::uint64_t a = 0,
+              std::uint64_t b = 0) {
+        if (!enabled_) return;
+        ++emitted_;
+        sink_.submit(MonitorEvent{at, name_, category, severity,
+                                  std::move(resource), std::move(detail), a,
+                                  b});
+    }
+
+private:
+    std::string name_;
+    EventSink& sink_;
+    bool enabled_ = true;
+    std::uint64_t emitted_ = 0;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,60 @@
+#include "core/monitor/network_monitor.h"
+
+namespace cres::core {
+
+NetworkMonitor::NetworkMonitor(EventSink& sink, const sim::Simulator& sim)
+    : Monitor("network-monitor", sink), sim_(sim) {}
+
+void NetworkMonitor::set_flood_threshold(std::uint32_t frames,
+                                         sim::Cycle window) {
+    flood_frames_ = frames;
+    flood_window_ = window;
+}
+
+void NetworkMonitor::note_rx(net::RecvStatus status,
+                             std::size_t frame_bytes) {
+    const sim::Cycle now = sim_.now();
+
+    arrivals_.push_back(now);
+    while (!arrivals_.empty() && arrivals_.front() + flood_window_ < now) {
+        arrivals_.pop_front();
+    }
+    if (arrivals_.size() >= flood_frames_) {
+        emit(now, EventCategory::kNetwork, EventSeverity::kAlert, "link",
+             "frame flood: " + std::to_string(arrivals_.size()) +
+                 " frames in window",
+             arrivals_.size(), frame_bytes);
+        arrivals_.clear();
+    }
+
+    switch (status) {
+        case net::RecvStatus::kOk:
+            streak_ = 0;
+            break;
+        case net::RecvStatus::kReplay:
+            ++auth_failures_;
+            emit(now, EventCategory::kNetwork, EventSeverity::kAlert, "link",
+                 "replayed frame detected", 0, frame_bytes);
+            break;
+        case net::RecvStatus::kBadTag:
+        case net::RecvStatus::kMalformed: {
+            ++auth_failures_;
+            ++streak_;
+            if (streak_ >= streak_threshold_) {
+                emit(now, EventCategory::kNetwork, EventSeverity::kCritical,
+                     "link",
+                     "authentication-failure streak (" +
+                         std::to_string(streak_) + ") — active MITM suspected",
+                     streak_, frame_bytes);
+                streak_ = 0;
+            } else {
+                emit(now, EventCategory::kNetwork, EventSeverity::kAdvisory,
+                     "link", "frame failed authentication", streak_,
+                     frame_bytes);
+            }
+            break;
+        }
+    }
+}
+
+}  // namespace cres::core

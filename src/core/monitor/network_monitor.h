@@ -1,0 +1,46 @@
+// Network monitor: watches a SecureChannel's authentication outcomes
+// and traffic volume. Detects forgery/tamper streaks (MITM), replay
+// bursts and frame floods.
+#pragma once
+
+#include <deque>
+
+#include "core/monitor/monitor.h"
+#include "net/channel.h"
+
+namespace cres::core {
+
+class NetworkMonitor : public Monitor {
+public:
+    NetworkMonitor(EventSink& sink, const sim::Simulator& sim);
+
+    std::string description() const override {
+        return "M2M channel screening: authentication-failure streaks, "
+               "replay detection, flood detection";
+    }
+
+    /// Feed: the platform reports every received-frame outcome here.
+    void note_rx(net::RecvStatus status, std::size_t frame_bytes);
+
+    /// Consecutive failures before an alert (default 3).
+    void set_failure_streak_threshold(std::uint32_t threshold) noexcept {
+        streak_threshold_ = threshold;
+    }
+    /// Frames within `window` cycles before a flood alert.
+    void set_flood_threshold(std::uint32_t frames, sim::Cycle window);
+
+    [[nodiscard]] std::uint64_t auth_failures() const noexcept {
+        return auth_failures_;
+    }
+
+private:
+    const sim::Simulator& sim_;
+    std::uint32_t streak_ = 0;
+    std::uint32_t streak_threshold_ = 3;
+    std::uint64_t auth_failures_ = 0;
+    std::deque<sim::Cycle> arrivals_;
+    std::uint32_t flood_frames_ = 100;
+    sim::Cycle flood_window_ = 10000;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,104 @@
+#include "core/monitor/peripheral_monitor.h"
+
+#include <cmath>
+
+namespace cres::core {
+
+PeripheralMonitor::PeripheralMonitor(EventSink& sink,
+                                     const sim::Simulator& sim,
+                                     mem::Bus& bus)
+    : Monitor("peripheral-monitor", sink), sim_(sim), bus_(bus) {
+    bus_.add_observer(this);
+}
+
+PeripheralMonitor::~PeripheralMonitor() {
+    bus_.remove_observer(this);
+}
+
+void PeripheralMonitor::watch_actuator(const std::string& region,
+                                       mem::Addr command_addr,
+                                       const ActuatorEnvelope& envelope) {
+    actuators_.push_back(
+        ActuatorWatch{region, command_addr, envelope, std::nullopt, {}});
+}
+
+void PeripheralMonitor::watch_sensor(dev::Sensor& sensor,
+                                     const SensorEnvelope& envelope,
+                                     std::uint32_t period) {
+    sensors_.push_back(
+        SensorWatch{&sensor, envelope, period, period, std::nullopt});
+}
+
+void PeripheralMonitor::on_transaction(const mem::BusTransaction& txn) {
+    if (!enabled()) return;
+    if (txn.response != mem::BusResponse::kOk ||
+        txn.op != mem::BusOp::kWrite) {
+        return;
+    }
+    const sim::Cycle now = sim_.now();
+
+    for (auto& watch : actuators_) {
+        if (txn.addr != watch.command_addr) continue;
+        const double command =
+            dev::from_fixed(static_cast<std::int32_t>(txn.data));
+
+        if (command < watch.envelope.min_command ||
+            command > watch.envelope.max_command) {
+            emit(now, EventCategory::kPeripheral, EventSeverity::kCritical,
+                 watch.region, "actuator command outside safe range",
+                 txn.addr, txn.data);
+        } else if (watch.last_command.has_value() &&
+                   std::abs(command - *watch.last_command) >
+                       watch.envelope.max_slew) {
+            emit(now, EventCategory::kPeripheral, EventSeverity::kAlert,
+                 watch.region, "actuator slew-rate exceeded", txn.addr,
+                 txn.data);
+        }
+        watch.last_command = command;
+
+        watch.recent_commands.push_back(now);
+        while (!watch.recent_commands.empty() &&
+               watch.recent_commands.front() + watch.envelope.rate_window <
+                   now) {
+            watch.recent_commands.pop_front();
+        }
+        if (watch.envelope.max_rate > 0 &&
+            watch.recent_commands.size() > watch.envelope.max_rate) {
+            emit(now, EventCategory::kPeripheral, EventSeverity::kAlert,
+                 watch.region,
+                 "actuator command rate exceeded (" +
+                     std::to_string(watch.recent_commands.size()) +
+                     " in window)",
+                 txn.addr, watch.recent_commands.size());
+            watch.recent_commands.clear();
+        }
+    }
+}
+
+void PeripheralMonitor::tick(sim::Cycle now) {
+    if (!enabled()) return;
+    for (auto& watch : sensors_) {
+        if (--watch.countdown > 0) continue;
+        watch.countdown = watch.period;
+        const double value = watch.sensor->value();
+
+        if (value < watch.envelope.min_value ||
+            value > watch.envelope.max_value) {
+            emit(now, EventCategory::kPeripheral, EventSeverity::kAlert,
+                 std::string(watch.sensor->name()),
+                 "sensor value outside physical envelope",
+                 static_cast<std::uint64_t>(
+                     static_cast<std::uint32_t>(dev::to_fixed(value))),
+                 0);
+        } else if (watch.last_value.has_value() &&
+                   std::abs(value - *watch.last_value) >
+                       watch.envelope.max_step) {
+            emit(now, EventCategory::kPeripheral, EventSeverity::kAlert,
+                 std::string(watch.sensor->name()),
+                 "sensor value step implausible", 0, 0);
+        }
+        watch.last_value = value;
+    }
+}
+
+}  // namespace cres::core

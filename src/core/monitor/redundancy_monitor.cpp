@@ -1,0 +1,50 @@
+#include "core/monitor/redundancy_monitor.h"
+
+namespace cres::core {
+
+RedundancyMonitor::RedundancyMonitor(EventSink& sink,
+                                     const sim::Simulator& sim,
+                                     isa::Cpu& primary, isa::Cpu& shadow,
+                                     sim::Cycle compare_interval)
+    : Monitor("redundancy-monitor", sink),
+      sim_(sim),
+      primary_(primary),
+      shadow_(shadow),
+      interval_(compare_interval == 0 ? 1 : compare_interval),
+      next_compare_(interval_) {}
+
+std::uint64_t RedundancyMonitor::state_fingerprint(const isa::Cpu& cpu) {
+    // FNV-1a over pc + registers; cheap and order-sensitive.
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint32_t v) {
+        for (int b = 0; b < 4; ++b) {
+            h ^= (v >> (8 * b)) & 0xff;
+            h *= 0x100000001b3ull;
+        }
+    };
+    mix(cpu.pc());
+    for (unsigned i = 0; i < 16; ++i) mix(cpu.reg(i));
+    return h;
+}
+
+void RedundancyMonitor::tick(sim::Cycle now) {
+    if (now < next_compare_) return;
+    next_compare_ = now + interval_;
+    ++comparisons_;
+
+    const std::uint64_t a = state_fingerprint(primary_);
+    const std::uint64_t b = state_fingerprint(shadow_);
+    if (a != b && !diverged_) {
+        diverged_ = true;
+        ++divergences_;
+        emit(now, EventCategory::kMemory, EventSeverity::kCritical,
+             std::string(primary_.name()),
+             "process-pair divergence: primary/shadow state mismatch", a, b);
+    } else if (a == b && diverged_) {
+        diverged_ = false;
+        emit(now, EventCategory::kMemory, EventSeverity::kInfo,
+             std::string(primary_.name()), "process pair re-converged", 0, 0);
+    }
+}
+
+}  // namespace cres::core

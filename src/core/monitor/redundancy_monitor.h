@@ -1,0 +1,45 @@
+// Process-pair redundancy monitor: a shadow core executes the same
+// program; the monitor compares architectural state every interval and
+// flags divergence (fault, single-event upset, or an attack that only
+// landed on one replica) — Table I "Static and Dynamic Redundancy".
+#pragma once
+
+#include "core/monitor/monitor.h"
+#include "isa/cpu.h"
+
+namespace cres::core {
+
+class RedundancyMonitor : public Monitor, public sim::Tickable {
+public:
+    RedundancyMonitor(EventSink& sink, const sim::Simulator& sim,
+                      isa::Cpu& primary, isa::Cpu& shadow,
+                      sim::Cycle compare_interval = 64);
+
+    std::string description() const override {
+        return "lockstep process-pair state comparison (divergence = "
+               "fault or asymmetric attack)";
+    }
+
+    void tick(sim::Cycle now) override;
+
+    [[nodiscard]] std::uint64_t comparisons() const noexcept {
+        return comparisons_;
+    }
+    [[nodiscard]] std::uint64_t divergences() const noexcept {
+        return divergences_;
+    }
+
+private:
+    [[nodiscard]] static std::uint64_t state_fingerprint(const isa::Cpu& cpu);
+
+    const sim::Simulator& sim_;
+    isa::Cpu& primary_;
+    isa::Cpu& shadow_;
+    sim::Cycle interval_;
+    sim::Cycle next_compare_;
+    bool diverged_ = false;
+    std::uint64_t comparisons_ = 0;
+    std::uint64_t divergences_ = 0;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,25 @@
+// Capability registry: maps the NIST CSF core security functions and
+// the paper's derived embedded security requirements (Table I) onto the
+// modules of this implementation. bench_table1 prints this table; tests
+// assert every CSF function is covered.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cres::core {
+
+struct Capability {
+    std::string csf_function;  ///< identify/protect/detect/respond/recover.
+    std::string requirement;   ///< Derived embedded security requirement.
+    std::string mechanism;     ///< What this codebase implements.
+    std::string module;        ///< Library/class implementing it.
+};
+
+/// The full Table-I mapping for this implementation.
+const std::vector<Capability>& capability_registry();
+
+/// Distinct CSF functions present in the registry (should be all five).
+std::vector<std::string> covered_functions();
+
+}  // namespace cres::core

@@ -1,0 +1,54 @@
+#include "core/response/degradation.h"
+
+#include "util/error.h"
+
+namespace cres::core {
+
+void DegradationManager::register_service(
+    const std::string& name, bool critical,
+    std::function<void(bool)> set_enabled) {
+    if (!set_enabled) {
+        throw Error("DegradationManager: null service control for " + name);
+    }
+    services_.push_back(Service{name, critical, true, std::move(set_enabled)});
+}
+
+std::size_t DegradationManager::degrade() {
+    std::size_t shed = 0;
+    for (auto& s : services_) {
+        if (!s.critical && s.enabled) {
+            s.enabled = false;
+            s.set_enabled(false);
+            ++shed;
+        }
+    }
+    degraded_ = true;
+    return shed;
+}
+
+void DegradationManager::restore() {
+    for (auto& s : services_) {
+        if (!s.enabled) {
+            s.enabled = true;
+            s.set_enabled(true);
+        }
+    }
+    degraded_ = false;
+}
+
+bool DegradationManager::service_enabled(const std::string& name) const {
+    for (const auto& s : services_) {
+        if (s.name == name) return s.enabled;
+    }
+    return false;
+}
+
+std::size_t DegradationManager::critical_count() const {
+    std::size_t n = 0;
+    for (const auto& s : services_) {
+        if (s.critical) ++n;
+    }
+    return n;
+}
+
+}  // namespace cres::core

@@ -1,0 +1,45 @@
+// Graceful-degradation manager (paper §V-3): when a resource is
+// isolated or a task killed, shed non-critical services so the
+// critical function keeps running — "maintain critical services in
+// next-generation critical infrastructure".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace cres::core {
+
+class DegradationManager {
+public:
+    /// `set_enabled(bool)` turns the service on/off (e.g. gates its
+    /// task scheduling or fences its peripheral).
+    void register_service(const std::string& name, bool critical,
+                          std::function<void(bool)> set_enabled);
+
+    /// Sheds all non-critical services; returns how many were shed.
+    std::size_t degrade();
+
+    /// Restores every service.
+    void restore();
+
+    [[nodiscard]] bool degraded() const noexcept { return degraded_; }
+    [[nodiscard]] bool service_enabled(const std::string& name) const;
+    [[nodiscard]] std::size_t service_count() const noexcept {
+        return services_.size();
+    }
+    [[nodiscard]] std::size_t critical_count() const;
+
+private:
+    struct Service {
+        std::string name;
+        bool critical = false;
+        bool enabled = true;
+        std::function<void(bool)> set_enabled;
+    };
+    std::vector<Service> services_;
+    bool degraded_ = false;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,74 @@
+// The Active Response Manager — the paper's third microarchitectural
+// characteristic (§V-3). Executes the response and recovery strategies
+// the SSM's policy engine selects: resource isolation on the bus fabric,
+// task kill/restart, key zeroisation, firmware rollback, checkpoint
+// restore, graceful degradation and (last resort) system reset.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "boot/update.h"
+#include "core/response/degradation.h"
+#include "core/response/recovery.h"
+#include "core/ssm/ssm.h"
+#include "crypto/keystore.h"
+#include "isa/cpu.h"
+#include "mem/bus.h"
+
+namespace cres::core {
+
+/// Handles to the platform facilities the response manager drives.
+/// Null members simply make the corresponding action report
+/// "unavailable" (a platform without an update agent cannot roll back).
+struct ResponseContext {
+    mem::Bus* bus = nullptr;
+    isa::Cpu* cpu = nullptr;
+    crypto::KeyStore* keystore = nullptr;
+    boot::UpdateAgent* update_agent = nullptr;
+    RecoveryManager* recovery = nullptr;
+    DegradationManager* degradation = nullptr;
+    SystemSecurityManager* ssm = nullptr;
+    const sim::Simulator* sim = nullptr;
+    std::function<void(const std::string&)> operator_alert;
+    std::function<void()> system_reset;
+    /// Clamps the named peripheral to a safe envelope; returns outcome.
+    std::function<std::string(const std::string& resource)> rate_limiter;
+    /// Partitions/flushes the named cache to close timing channels.
+    std::function<std::string(const std::string& resource)> cache_partitioner;
+};
+
+/// One executed countermeasure, for metrics and forensics.
+struct ResponseRecord {
+    sim::Cycle at = 0;
+    ResponseAction action = ResponseAction::kLogOnly;
+    std::string resource;
+    std::string outcome;
+};
+
+class ActiveResponseManager : public ResponseExecutor {
+public:
+    explicit ActiveResponseManager(ResponseContext context);
+
+    std::string execute(ResponseAction action,
+                        const MonitorEvent& trigger) override;
+
+    [[nodiscard]] const std::vector<ResponseRecord>& records() const noexcept {
+        return records_;
+    }
+    [[nodiscard]] std::uint64_t count(ResponseAction action) const;
+    [[nodiscard]] std::uint64_t total() const noexcept {
+        return records_.size();
+    }
+
+private:
+    std::string run(ResponseAction action, const MonitorEvent& trigger);
+
+    ResponseContext ctx_;
+    std::vector<ResponseRecord> records_;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,130 @@
+#include "core/ssm/evidence.h"
+
+#include "util/error.h"
+#include "util/serial.h"
+
+namespace cres::core {
+
+EvidenceLog::EvidenceLog(Bytes seal_key) : seal_key_(std::move(seal_key)) {
+    if (seal_key_.empty()) {
+        throw Error("EvidenceLog: empty seal key");
+    }
+}
+
+crypto::Hash256 EvidenceLog::record_hash(const EvidenceRecord& record) {
+    BinaryWriter w;
+    w.u64(record.index);
+    w.u64(record.at);
+    w.str(record.kind);
+    w.str(record.detail);
+    w.blob(record.payload);
+    return crypto::sha256_pair(record.prev_hash, w.data());
+}
+
+const EvidenceRecord& EvidenceLog::append(sim::Cycle at, std::string kind,
+                                          std::string detail, Bytes payload) {
+    EvidenceRecord record;
+    record.index = records_.size();
+    record.at = at;
+    record.kind = std::move(kind);
+    record.detail = std::move(detail);
+    record.payload = std::move(payload);
+    record.prev_hash =
+        records_.empty() ? crypto::Hash256{} : records_.back().hash;
+    record.hash = record_hash(record);
+    records_.push_back(std::move(record));
+    return records_.back();
+}
+
+crypto::Hash256 EvidenceLog::head() const noexcept {
+    return records_.empty() ? crypto::Hash256{} : records_.back().hash;
+}
+
+bool EvidenceLog::verify_chain() const {
+    crypto::Hash256 prev{};
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+        const EvidenceRecord& r = records_[i];
+        if (r.index != i) return false;
+        if (!ct_equal(r.prev_hash, prev)) return false;
+        if (!ct_equal(r.hash, record_hash(r))) return false;
+        prev = r.hash;
+    }
+    return true;
+}
+
+EvidenceSeal EvidenceLog::seal() const {
+    EvidenceSeal s;
+    s.count = records_.size();
+    s.head = head();
+    BinaryWriter w;
+    w.u64(s.count);
+    w.raw(s.head);
+    s.tag = crypto::hmac_sha256(seal_key_, w.data());
+    return s;
+}
+
+bool EvidenceLog::verify_seal(const EvidenceLog& log, const EvidenceSeal& seal,
+                              BytesView seal_key) {
+    BinaryWriter w;
+    w.u64(seal.count);
+    w.raw(seal.head);
+    if (!crypto::hmac_verify(seal_key, w.data(), seal.tag)) return false;
+    if (log.size() < seal.count) return false;  // Truncated.
+    if (seal.count == 0) return true;
+    // The sealed head must appear at the sealed position.
+    if (!ct_equal(log.records()[seal.count - 1].hash, seal.head)) {
+        return false;
+    }
+    return log.verify_chain();
+}
+
+Bytes EvidenceLog::serialize() const {
+    BinaryWriter w;
+    w.u32(0x43455644);  // "CEVD"
+    w.u64(records_.size());
+    for (const EvidenceRecord& r : records_) {
+        w.u64(r.index);
+        w.u64(r.at);
+        w.str(r.kind);
+        w.str(r.detail);
+        w.blob(r.payload);
+        w.raw(r.prev_hash);
+        w.raw(r.hash);
+    }
+    return w.take();
+}
+
+EvidenceLog EvidenceLog::deserialize(BytesView data, Bytes seal_key) {
+    BinaryReader r(data);
+    if (r.u32() != 0x43455644) {
+        throw Error("EvidenceLog::deserialize: bad magic");
+    }
+    EvidenceLog log(std::move(seal_key));
+    const std::uint64_t count = r.u64();
+    log.records_.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i) {
+        EvidenceRecord record;
+        record.index = r.u64();
+        record.at = r.u64();
+        record.kind = r.str();
+        record.detail = r.str();
+        record.payload = r.blob();
+        record.prev_hash = crypto::hash_from_bytes(r.raw(32));
+        record.hash = crypto::hash_from_bytes(r.raw(32));
+        log.records_.push_back(std::move(record));
+    }
+    return log;
+}
+
+void EvidenceLog::tamper_detail(std::size_t index, std::string new_detail) {
+    if (index >= records_.size()) {
+        throw Error("EvidenceLog::tamper_detail: bad index");
+    }
+    records_[index].detail = std::move(new_detail);
+}
+
+void EvidenceLog::wipe() noexcept {
+    records_.clear();
+}
+
+}  // namespace cres::core

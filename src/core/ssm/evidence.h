@@ -1,0 +1,94 @@
+// Tamper-evident evidence log — the paper's "continuity of data stream
+// ... to gain and establish evidence of the security breach for Cyber
+// Forensics".
+//
+// Records are hash-chained (each record's hash covers the previous
+// record's hash), and the head can be sealed with an HMAC under the
+// SSM's private key, so any post-hoc modification, deletion or
+// truncation by a compromised main CPU is detectable by a verifier.
+// The log lives in the SSM's private memory: on the resilient platform
+// it survives main-CPU compromise and reboot.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "sim/simulator.h"
+#include "util/bytes.h"
+
+namespace cres::core {
+
+struct EvidenceRecord {
+    std::uint64_t index = 0;
+    sim::Cycle at = 0;
+    std::string kind;    ///< "event", "action", "state", "boot", ...
+    std::string detail;
+    Bytes payload;
+    crypto::Hash256 prev_hash{};
+    crypto::Hash256 hash{};
+};
+
+/// A signed checkpoint of the chain head.
+struct EvidenceSeal {
+    std::uint64_t count = 0;
+    crypto::Hash256 head{};
+    crypto::Hash256 tag{};
+};
+
+class EvidenceLog {
+public:
+    /// `seal_key` is the SSM's evidence-sealing key (HKDF-derived from
+    /// the device root in the platform).
+    explicit EvidenceLog(Bytes seal_key);
+
+    /// Appends a record and returns it.
+    const EvidenceRecord& append(sim::Cycle at, std::string kind,
+                                 std::string detail, Bytes payload = {});
+
+    [[nodiscard]] const std::vector<EvidenceRecord>& records() const noexcept {
+        return records_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+    [[nodiscard]] crypto::Hash256 head() const noexcept;
+
+    /// Recomputes every hash; false when any record was modified,
+    /// reordered or removed from the middle.
+    [[nodiscard]] bool verify_chain() const;
+
+    /// Signs the current head.
+    [[nodiscard]] EvidenceSeal seal() const;
+
+    /// Verifier-side: does this log match the seal?
+    [[nodiscard]] static bool verify_seal(const EvidenceLog& log,
+                                          const EvidenceSeal& seal,
+                                          BytesView seal_key);
+
+    /// Exports the full log in a wire format for off-device forensic
+    /// exchange (regulator / incident-response handover).
+    [[nodiscard]] Bytes serialize() const;
+
+    /// Imports an exported log for verification. The importing side
+    /// supplies its own copy of the seal key (or a dummy if it only
+    /// intends to check the hash chain). Throws Error on malformed
+    /// input; chain validity is checked via verify_chain().
+    static EvidenceLog deserialize(BytesView data, Bytes seal_key);
+
+    // --- Attack surface (used by experiments; real attackers reach
+    // --- these only when the log is NOT in isolated SSM memory).
+    /// Mutates a record in place, as malware scrubbing logs would.
+    void tamper_detail(std::size_t index, std::string new_detail);
+    /// Deletes everything (reboot of a passive system / log wipe).
+    void wipe() noexcept;
+
+private:
+    [[nodiscard]] static crypto::Hash256 record_hash(
+        const EvidenceRecord& record);
+
+    Bytes seal_key_;
+    std::vector<EvidenceRecord> records_;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,82 @@
+#include "core/ssm/report.h"
+
+#include <sstream>
+
+namespace cres::core {
+
+IncidentReport generate_incident_report(const EvidenceLog& log,
+                                        const std::string& device_name) {
+    IncidentReport report;
+    report.device = device_name;
+    report.integrity_ok = log.verify_chain();
+    report.total_records = log.size();
+
+    for (const EvidenceRecord& record : log.records()) {
+        report.last_activity = std::max(report.last_activity, record.at);
+        if (record.kind == "event") {
+            ++report.detection_events;
+            // Severity is embedded in the formatted detail
+            // ("monitor/category/severity resource: ...").
+            const bool severe =
+                record.detail.find("/critical ") != std::string::npos ||
+                record.detail.find("/alert ") != std::string::npos;
+            if (severe) {
+                if (report.first_alert == 0) report.first_alert = record.at;
+                report.indicators.push_back(
+                    "[" + std::to_string(record.at) + "] " + record.detail);
+            }
+        } else if (record.kind == "decision") {
+            ++report.decisions;
+        } else if (record.kind == "action") {
+            ++report.actions;
+            report.responses.push_back(
+                "[" + std::to_string(record.at) + "] " + record.detail);
+        } else if (record.kind == "state") {
+            ++report.state_changes;
+        }
+    }
+    return report;
+}
+
+std::string IncidentReport::render() const {
+    std::ostringstream os;
+    os << "==== INCIDENT REPORT: " << device << " ====\n";
+    os << "evidence integrity : "
+       << (integrity_ok ? "VERIFIED (hash chain intact)"
+                        : "FAILED — records are NOT trustworthy")
+       << "\n";
+    os << "records            : " << total_records << " ("
+       << detection_events << " events, " << decisions << " decisions, "
+       << actions << " actions, " << state_changes << " state changes)\n";
+    if (first_alert > 0) {
+        os << "first alert        : cycle " << first_alert << "\n";
+    } else {
+        os << "first alert        : none (no incident indicators)\n";
+    }
+    os << "last activity      : cycle " << last_activity << "\n";
+
+    if (!indicators.empty()) {
+        os << "\n-- attack indicators (" << indicators.size() << ") --\n";
+        const std::size_t shown = std::min<std::size_t>(indicators.size(), 10);
+        for (std::size_t i = 0; i < shown; ++i) {
+            os << "  " << indicators[i] << "\n";
+        }
+        if (indicators.size() > shown) {
+            os << "  ... and " << indicators.size() - shown << " more\n";
+        }
+    }
+    if (!responses.empty()) {
+        os << "\n-- countermeasures executed (" << responses.size()
+           << ") --\n";
+        const std::size_t shown = std::min<std::size_t>(responses.size(), 10);
+        for (std::size_t i = 0; i < shown; ++i) {
+            os << "  " << responses[i] << "\n";
+        }
+        if (responses.size() > shown) {
+            os << "  ... and " << responses.size() - shown << " more\n";
+        }
+    }
+    return os.str();
+}
+
+}  // namespace cres::core

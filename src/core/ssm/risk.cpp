@@ -1,0 +1,68 @@
+#include "core/ssm/risk.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cres::core {
+
+std::string asset_kind_name(AssetKind kind) {
+    switch (kind) {
+        case AssetKind::kMemoryRegion: return "memory-region";
+        case AssetKind::kPeripheral: return "peripheral";
+        case AssetKind::kTask: return "task";
+        case AssetKind::kKey: return "key";
+        case AssetKind::kChannel: return "channel";
+    }
+    return "?";
+}
+
+namespace {
+std::uint32_t clamp_score(std::uint32_t v) {
+    return std::clamp<std::uint32_t>(v, 1, 5);
+}
+}  // namespace
+
+void RiskRegister::add_asset(const std::string& name, AssetKind kind,
+                             std::uint32_t criticality,
+                             std::uint32_t exposure) {
+    auto& asset = assets_[name];
+    asset.name = name;
+    asset.kind = kind;
+    asset.criticality = clamp_score(criticality);
+    asset.exposure = clamp_score(exposure);
+}
+
+void RiskRegister::record_incident(const std::string& resource) {
+    auto it = assets_.find(resource);
+    if (it == assets_.end()) {
+        add_asset(resource, AssetKind::kMemoryRegion, 3, 3);
+        it = assets_.find(resource);
+    }
+    ++it->second.incidents;
+}
+
+double RiskRegister::risk_score(const std::string& name) const {
+    const auto it = assets_.find(name);
+    if (it == assets_.end()) return 0.0;
+    const Asset& a = it->second;
+    return static_cast<double>(a.criticality) *
+           static_cast<double>(a.exposure) *
+           (1.0 + std::log2(1.0 + static_cast<double>(a.incidents)));
+}
+
+std::vector<Asset> RiskRegister::ranked() const {
+    std::vector<Asset> out;
+    out.reserve(assets_.size());
+    for (const auto& [name, asset] : assets_) out.push_back(asset);
+    std::sort(out.begin(), out.end(), [this](const Asset& a, const Asset& b) {
+        return risk_score(a.name) > risk_score(b.name);
+    });
+    return out;
+}
+
+std::uint32_t RiskRegister::criticality(const std::string& name) const {
+    const auto it = assets_.find(name);
+    return it == assets_.end() ? 0 : it->second.criticality;
+}
+
+}  // namespace cres::core

@@ -1,0 +1,63 @@
+// Risk register — the Identify function (NIST CSF) of the SSM: an
+// asset inventory with static criticality/exposure scoring plus a
+// dynamic component driven by observed incidents. The response policy
+// uses it to prioritise (critical assets respond harder, faster).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace cres::core {
+
+enum class AssetKind : std::uint8_t {
+    kMemoryRegion,
+    kPeripheral,
+    kTask,
+    kKey,
+    kChannel,
+};
+
+std::string asset_kind_name(AssetKind kind);
+
+struct Asset {
+    std::string name;
+    AssetKind kind = AssetKind::kMemoryRegion;
+    std::uint32_t criticality = 1;  ///< 1 (low) .. 5 (safety-critical).
+    std::uint32_t exposure = 1;     ///< 1 (internal) .. 5 (network-facing).
+    std::uint64_t incidents = 0;    ///< Observed events against it.
+};
+
+class RiskRegister {
+public:
+    /// Registers (or updates) an asset. Scores are clamped to [1, 5].
+    void add_asset(const std::string& name, AssetKind kind,
+                   std::uint32_t criticality, std::uint32_t exposure);
+
+    /// Notes an incident against a resource (unknown resources are
+    /// auto-registered with middling scores — unknown means unassessed,
+    /// not safe).
+    void record_incident(const std::string& resource);
+
+    /// risk = criticality × exposure × (1 + log2(1 + incidents)).
+    [[nodiscard]] double risk_score(const std::string& name) const;
+
+    /// Highest-risk assets first.
+    [[nodiscard]] std::vector<Asset> ranked() const;
+
+    [[nodiscard]] const std::map<std::string, Asset>& assets() const noexcept {
+        return assets_;
+    }
+    [[nodiscard]] bool contains(const std::string& name) const noexcept {
+        return assets_.count(name) != 0;
+    }
+
+    /// Criticality lookup used by response prioritisation (0 = unknown).
+    [[nodiscard]] std::uint32_t criticality(const std::string& name) const;
+
+private:
+    std::map<std::string, Asset> assets_;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,179 @@
+#include "core/ssm/ssm.h"
+
+#include "util/error.h"
+#include "util/serial.h"
+
+namespace cres::core {
+
+std::string health_state_name(HealthState state) {
+    switch (state) {
+        case HealthState::kHealthy: return "healthy";
+        case HealthState::kSuspicious: return "suspicious";
+        case HealthState::kCompromised: return "compromised";
+        case HealthState::kResponding: return "responding";
+        case HealthState::kRecovering: return "recovering";
+        case HealthState::kDegraded: return "degraded";
+    }
+    return "?";
+}
+
+SystemSecurityManager::SystemSecurityManager(const sim::Simulator& sim,
+                                             SsmConfig config)
+    : sim_(sim),
+      config_(std::move(config)),
+      evidence_(config_.seal_key) {
+    if (config_.poll_interval == 0) {
+        throw Error("SystemSecurityManager: zero poll interval");
+    }
+    evidence_.append(sim_.now(), "state",
+                     "ssm online, isolation=" +
+                         std::string(config_.physically_isolated ? "physical"
+                                                                 : "shared"));
+}
+
+void SystemSecurityManager::submit(const MonitorEvent& event) {
+    if (disabled_) return;  // A dead SSM hears nothing.
+    queue_.push_back(event);
+}
+
+void SystemSecurityManager::transition(HealthState next, sim::Cycle at,
+                                       const std::string& why) {
+    if (health_ == next) return;
+    evidence_.append(at, "state",
+                     health_state_name(health_) + " -> " +
+                         health_state_name(next) + ": " + why);
+    health_ = next;
+}
+
+void SystemSecurityManager::process_event(const MonitorEvent& event,
+                                          sim::Cycle now) {
+    ++events_processed_;
+
+    // Evidence first — even events we take no action on form the
+    // continuous data stream.
+    BinaryWriter payload;
+    payload.u64(event.a);
+    payload.u64(event.b);
+    evidence_.append(event.at, "event",
+                     event.monitor + "/" + category_name(event.category) +
+                         "/" + severity_name(event.severity) + " " +
+                         event.resource + ": " + event.detail,
+                     payload.take());
+
+    if (event.severity >= EventSeverity::kAdvisory) {
+        risks_.record_incident(event.resource);
+    }
+
+    // Detection: health degrades with severity.
+    if (event.severity == EventSeverity::kAlert &&
+        health_ == HealthState::kHealthy) {
+        transition(HealthState::kSuspicious, now, event.detail);
+    } else if (event.severity == EventSeverity::kCritical &&
+               health_ != HealthState::kResponding &&
+               health_ != HealthState::kRecovering) {
+        transition(HealthState::kCompromised, now, event.detail);
+    }
+
+    // Policy evaluation and response dispatch.
+    const auto fired = policy_.evaluate(event);
+    for (const PolicyRule* rule : fired) {
+        Dispatch dispatch;
+        dispatch.event = event;
+        dispatch.dispatched_at = now;
+        dispatch.rule = rule->name;
+        dispatch.actions = rule->actions;
+        dispatches_.push_back(dispatch);
+
+        evidence_.append(now, "decision",
+                         "rule '" + rule->name + "' fired for " +
+                             event.resource);
+
+        if (executor_ != nullptr && !rule->actions.empty()) {
+            transition(HealthState::kResponding, now, "rule " + rule->name);
+            for (ResponseAction action : rule->actions) {
+                const std::string outcome = executor_->execute(action, event);
+                evidence_.append(now, "action",
+                                 action_name(action) + ": " + outcome);
+            }
+        }
+    }
+}
+
+void SystemSecurityManager::tick(sim::Cycle now) {
+    if (disabled_) return;
+    if (now < next_poll_) return;
+    next_poll_ = now + config_.poll_interval;
+
+    // Drain everything that arrived up to now.
+    while (!queue_.empty()) {
+        const MonitorEvent event = queue_.front();
+        queue_.pop_front();
+        process_event(event, now);
+    }
+}
+
+void SystemSecurityManager::notify_recovery_started(sim::Cycle at) {
+    transition(HealthState::kRecovering, at, "recovery initiated");
+}
+
+void SystemSecurityManager::notify_recovery_complete(sim::Cycle at,
+                                                     bool degraded) {
+    transition(degraded ? HealthState::kDegraded : HealthState::kHealthy, at,
+               degraded ? "recovered with degraded service"
+                        : "recovered to full service");
+}
+
+void SystemSecurityManager::notify_full_service(sim::Cycle at) {
+    transition(HealthState::kHealthy, at, "full service restored");
+}
+
+std::optional<Dispatch> SystemSecurityManager::first_dispatch_of(
+    EventCategory category, sim::Cycle since) const {
+    for (const Dispatch& d : dispatches_) {
+        if (d.event.category == category && d.event.at >= since) return d;
+    }
+    return std::nullopt;
+}
+
+bool SystemSecurityManager::attempt_compromise(const std::string& method) {
+    if (config_.physically_isolated) {
+        // The attempt itself is observable: the SSM's private port saw a
+        // touch that no legitimate master can generate.
+        evidence_.append(sim_.now(), "event",
+                         "blocked compromise attempt against ssm: " + method);
+        return false;
+    }
+    // Shared-resource SSM (TEE-style ablation): the attacker wins —
+    // security function dead, evidence gone.
+    disabled_ = true;
+    evidence_.wipe();
+    return true;
+}
+
+SystemSecurityManager::HealthReport SystemSecurityManager::health_report()
+    const {
+    HealthReport report;
+    report.state = health_;
+    report.events_processed = events_processed_;
+    report.evidence_seal = evidence_.seal();
+
+    BinaryWriter w;
+    w.u8(static_cast<std::uint8_t>(report.state));
+    w.u64(report.events_processed);
+    w.u64(report.evidence_seal.count);
+    w.raw(report.evidence_seal.head);
+    report.tag = crypto::hmac_sha256(config_.seal_key, w.data());
+    return report;
+}
+
+bool SystemSecurityManager::verify_health_report(const HealthReport& report,
+                                                 BytesView seal_key) {
+    BinaryWriter w;
+    w.u8(static_cast<std::uint8_t>(report.state));
+    w.u64(report.events_processed);
+    w.u64(report.evidence_seal.count);
+    w.raw(report.evidence_seal.head);
+    return crypto::hmac_verify(seal_key, w.data(), report.tag);
+}
+
+}  // namespace cres::core

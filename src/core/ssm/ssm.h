@@ -1,0 +1,155 @@
+// The Independent Active Runtime System Security Manager — the paper's
+// first microarchitectural characteristic (§V-1).
+//
+// It is modelled as an independent agent with private state: its event
+// queue, policy engine, risk register and evidence log are NOT mapped
+// on the application bus. `physically_isolated` controls the ablation
+// of §V-1: when false, the SSM shares the main CPU's resources
+// (TEE-style) and a kernel-level compromise can disable it and destroy
+// its evidence; when true (the paper's design), attempt_compromise()
+// from the application side always fails.
+//
+// Event flow: monitors submit() events synchronously; the SSM drains
+// its queue every poll_interval cycles (modelling the independent
+// processor's scan rate), appends evidence, updates health state,
+// evaluates policy and dispatches response actions to the executor.
+#pragma once
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/event.h"
+#include "core/policy/policy.h"
+#include "core/ssm/evidence.h"
+#include "core/ssm/risk.h"
+#include "sim/simulator.h"
+
+namespace cres::core {
+
+/// Health states map onto the CSF functions: Detect moves Healthy ->
+/// Suspicious/Compromised, Respond moves into Responding, Recover
+/// moves through Recovering back to Healthy or Degraded.
+enum class HealthState : std::uint8_t {
+    kHealthy,
+    kSuspicious,
+    kCompromised,
+    kResponding,
+    kRecovering,
+    kDegraded,
+};
+
+std::string health_state_name(HealthState state);
+
+/// Implemented by the Active Response Manager.
+class ResponseExecutor {
+public:
+    virtual ~ResponseExecutor() = default;
+    /// Executes one action for the triggering event; returns a
+    /// human-readable outcome for the evidence log.
+    virtual std::string execute(ResponseAction action,
+                                const MonitorEvent& trigger) = 0;
+};
+
+struct SsmConfig {
+    bool physically_isolated = true;
+    sim::Cycle poll_interval = 10;
+    Bytes seal_key;  ///< Evidence-sealing key (required).
+};
+
+/// A dispatched (event -> rule -> actions) decision, kept for metrics.
+struct Dispatch {
+    MonitorEvent event;
+    sim::Cycle dispatched_at = 0;
+    std::string rule;
+    std::vector<ResponseAction> actions;
+
+    [[nodiscard]] sim::Cycle latency() const noexcept {
+        return dispatched_at - event.at;
+    }
+};
+
+class SystemSecurityManager : public EventSink, public sim::Tickable {
+public:
+    SystemSecurityManager(const sim::Simulator& sim, SsmConfig config);
+
+    // --- Wiring ---------------------------------------------------------
+    void set_policy(PolicyEngine policy) { policy_ = std::move(policy); }
+    void set_response_executor(ResponseExecutor* executor) {
+        executor_ = executor;
+    }
+
+    // --- EventSink (called synchronously by monitors) --------------------
+    void submit(const MonitorEvent& event) override;
+
+    // --- Tickable ---------------------------------------------------------
+    void tick(sim::Cycle now) override;
+
+    // --- Recovery signalling (called by the response manager) -----------
+    void notify_recovery_started(sim::Cycle at);
+    void notify_recovery_complete(sim::Cycle at, bool degraded);
+    /// Degraded services restored (operator action / roll-forward).
+    void notify_full_service(sim::Cycle at);
+
+    // --- State ------------------------------------------------------------
+    [[nodiscard]] HealthState health() const noexcept { return health_; }
+    [[nodiscard]] bool disabled() const noexcept { return disabled_; }
+    [[nodiscard]] EvidenceLog& evidence() noexcept { return evidence_; }
+    [[nodiscard]] const EvidenceLog& evidence() const noexcept {
+        return evidence_;
+    }
+    [[nodiscard]] RiskRegister& risks() noexcept { return risks_; }
+    [[nodiscard]] const std::vector<Dispatch>& dispatches() const noexcept {
+        return dispatches_;
+    }
+    [[nodiscard]] std::uint64_t events_processed() const noexcept {
+        return events_processed_;
+    }
+    [[nodiscard]] std::size_t queue_depth() const noexcept {
+        return queue_.size();
+    }
+
+    /// First dispatch at-or-after `since` whose event matches the
+    /// category — detection-latency metric helper.
+    [[nodiscard]] std::optional<Dispatch> first_dispatch_of(
+        EventCategory category, sim::Cycle since = 0) const;
+
+    // --- Attack surface ----------------------------------------------------
+    /// An attacker with kernel privilege on the main CPU attempts to
+    /// kill the security manager and destroy its evidence. Succeeds
+    /// only when the SSM is NOT physically isolated (the §V-1 ablation).
+    bool attempt_compromise(const std::string& method);
+
+    /// A health report a verifier can check (signed with the seal key).
+    struct HealthReport {
+        HealthState state = HealthState::kHealthy;
+        std::uint64_t events_processed = 0;
+        EvidenceSeal evidence_seal;
+        crypto::Hash256 tag{};
+    };
+    [[nodiscard]] HealthReport health_report() const;
+    [[nodiscard]] static bool verify_health_report(const HealthReport& report,
+                                                   BytesView seal_key);
+
+private:
+    void transition(HealthState next, sim::Cycle at, const std::string& why);
+    void process_event(const MonitorEvent& event, sim::Cycle now);
+
+    const sim::Simulator& sim_;
+    SsmConfig config_;
+    PolicyEngine policy_;
+    ResponseExecutor* executor_ = nullptr;
+
+    std::deque<MonitorEvent> queue_;
+    EvidenceLog evidence_;
+    RiskRegister risks_;
+    HealthState health_ = HealthState::kHealthy;
+    bool disabled_ = false;
+    std::uint64_t events_processed_ = 0;
+    std::vector<Dispatch> dispatches_;
+    sim::Cycle next_poll_ = 0;
+};
+
+}  // namespace cres::core

@@ -1,0 +1,46 @@
+// AES-128 (FIPS 197) with ECB block primitives and CBC/CTR modes.
+// Used for firmware image confidentiality and sealed evidence export.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+/// A 128-bit AES key.
+using Aes128Key = std::array<std::uint8_t, 16>;
+/// A 128-bit block / IV / counter block.
+using Aes128Block = std::array<std::uint8_t, 16>;
+
+/// Parses a 16-byte buffer into a key. Throws CryptoError on size.
+Aes128Key aes_key_from_bytes(BytesView data);
+
+/// AES-128 with a precomputed key schedule.
+class Aes128 {
+public:
+    explicit Aes128(const Aes128Key& key) noexcept;
+    ~Aes128();
+
+    Aes128(const Aes128&) = delete;
+    Aes128& operator=(const Aes128&) = delete;
+
+    /// Encrypts one 16-byte block in place.
+    void encrypt_block(Aes128Block& block) const noexcept;
+    /// Decrypts one 16-byte block in place.
+    void decrypt_block(Aes128Block& block) const noexcept;
+
+    /// CBC mode with PKCS#7 padding.
+    Bytes cbc_encrypt(BytesView plaintext, const Aes128Block& iv) const;
+    /// Throws CryptoError on bad padding or non-block-multiple input.
+    Bytes cbc_decrypt(BytesView ciphertext, const Aes128Block& iv) const;
+
+    /// CTR mode keystream xor (encrypt == decrypt).
+    Bytes ctr_crypt(BytesView data, const Aes128Block& nonce) const;
+
+private:
+    std::array<std::uint32_t, 44> round_keys_;
+};
+
+}  // namespace cres::crypto

@@ -1,0 +1,128 @@
+#include "crypto/chacha20.h"
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+namespace {
+
+std::uint32_t rotl(std::uint32_t x, int n) noexcept {
+    return (x << n) | (x >> (32 - n));
+}
+
+void quarter_round(std::uint32_t& a, std::uint32_t& b, std::uint32_t& c,
+                   std::uint32_t& d) noexcept {
+    a += b;
+    d = rotl(d ^ a, 16);
+    c += d;
+    b = rotl(b ^ c, 12);
+    a += b;
+    d = rotl(d ^ a, 8);
+    c += d;
+    b = rotl(b ^ c, 7);
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) noexcept {
+    return static_cast<std::uint32_t>(p[0]) |
+           (static_cast<std::uint32_t>(p[1]) << 8) |
+           (static_cast<std::uint32_t>(p[2]) << 16) |
+           (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) noexcept {
+    p[0] = static_cast<std::uint8_t>(v);
+    p[1] = static_cast<std::uint8_t>(v >> 8);
+    p[2] = static_cast<std::uint8_t>(v >> 16);
+    p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            std::uint32_t counter,
+                                            const ChaChaNonce& nonce) noexcept {
+    std::uint32_t state[16];
+    state[0] = 0x61707865;
+    state[1] = 0x3320646e;
+    state[2] = 0x79622d32;
+    state[3] = 0x6b206574;
+    for (int i = 0; i < 8; ++i) state[4 + i] = load_le32(key.data() + 4 * i);
+    state[12] = counter;
+    for (int i = 0; i < 3; ++i) state[13 + i] = load_le32(nonce.data() + 4 * i);
+
+    std::uint32_t working[16];
+    std::copy(std::begin(state), std::end(state), std::begin(working));
+
+    for (int i = 0; i < 10; ++i) {
+        quarter_round(working[0], working[4], working[8], working[12]);
+        quarter_round(working[1], working[5], working[9], working[13]);
+        quarter_round(working[2], working[6], working[10], working[14]);
+        quarter_round(working[3], working[7], working[11], working[15]);
+        quarter_round(working[0], working[5], working[10], working[15]);
+        quarter_round(working[1], working[6], working[11], working[12]);
+        quarter_round(working[2], working[7], working[8], working[13]);
+        quarter_round(working[3], working[4], working[9], working[14]);
+    }
+
+    std::array<std::uint8_t, 64> out;
+    for (int i = 0; i < 16; ++i) {
+        store_le32(out.data() + 4 * i, working[i] + state[i]);
+    }
+    return out;
+}
+
+Bytes chacha20_crypt(const ChaChaKey& key, const ChaChaNonce& nonce,
+                     std::uint32_t initial_counter, BytesView data) {
+    Bytes out(data.begin(), data.end());
+    std::uint32_t counter = initial_counter;
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const auto block = chacha20_block(key, counter++, nonce);
+        const std::size_t take = std::min<std::size_t>(64, out.size() - off);
+        for (std::size_t i = 0; i < take; ++i) out[off + i] ^= block[i];
+        off += take;
+    }
+    return out;
+}
+
+ChaChaDrbg::ChaChaDrbg(BytesView seed) {
+    const Hash256 h = sha256(seed);
+    std::copy(h.begin(), h.end(), key_.begin());
+}
+
+void ChaChaDrbg::reseed(BytesView entropy) {
+    Bytes material(key_.begin(), key_.end());
+    append(material, entropy);
+    const Hash256 h = sha256(material);
+    std::copy(h.begin(), h.end(), key_.begin());
+    secure_wipe(material);
+}
+
+void ChaChaDrbg::ratchet() {
+    ChaChaNonce nonce{};
+    const auto block = chacha20_block(key_, 0xffffffffu, nonce);
+    std::copy(block.begin(), block.begin() + 32, key_.begin());
+}
+
+Bytes ChaChaDrbg::generate(std::size_t n) {
+    ChaChaNonce nonce{};
+    store_le32(nonce.data(), static_cast<std::uint32_t>(reseed_counter_));
+    store_le32(nonce.data() + 4,
+               static_cast<std::uint32_t>(reseed_counter_ >> 32));
+    ++reseed_counter_;
+    Bytes out(n, 0);
+    std::uint32_t counter = 1;
+    std::size_t off = 0;
+    while (off < out.size()) {
+        const auto block = chacha20_block(key_, counter++, nonce);
+        const std::size_t take = std::min<std::size_t>(64, out.size() - off);
+        std::copy(block.begin(), block.begin() + static_cast<std::ptrdiff_t>(take),
+                  out.begin() + static_cast<std::ptrdiff_t>(off));
+        off += take;
+    }
+    ratchet();
+    return out;
+}
+
+}  // namespace cres::crypto

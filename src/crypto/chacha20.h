@@ -1,0 +1,55 @@
+// ChaCha20 stream cipher (RFC 8439) and a ChaCha20-based deterministic
+// random bit generator used as the platform CSPRNG (TRNG peripheral
+// output is conditioned through it).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+using ChaChaKey = std::array<std::uint8_t, 32>;
+using ChaChaNonce = std::array<std::uint8_t, 12>;
+
+/// Produces the 64-byte ChaCha20 block for (key, counter, nonce).
+std::array<std::uint8_t, 64> chacha20_block(const ChaChaKey& key,
+                                            std::uint32_t counter,
+                                            const ChaChaNonce& nonce) noexcept;
+
+/// XORs data with the ChaCha20 keystream (encrypt == decrypt).
+Bytes chacha20_crypt(const ChaChaKey& key, const ChaChaNonce& nonce,
+                     std::uint32_t initial_counter, BytesView data);
+
+/// Deterministic random bit generator with forward secrecy: after each
+/// request the key is ratcheted so past output cannot be reconstructed
+/// from a captured state (relevant to key-zeroisation countermeasures).
+class ChaChaDrbg {
+public:
+    /// Seeds from arbitrary entropy (hashed to the working key).
+    explicit ChaChaDrbg(BytesView seed);
+
+    /// Mixes additional entropy into the state.
+    void reseed(BytesView entropy);
+
+    /// Generates n random bytes and ratchets the key.
+    Bytes generate(std::size_t n);
+
+    /// Convenience: fills a fixed-size array.
+    template <std::size_t N>
+    std::array<std::uint8_t, N> generate_array() {
+        const Bytes b = generate(N);
+        std::array<std::uint8_t, N> out;
+        std::copy(b.begin(), b.end(), out.begin());
+        return out;
+    }
+
+private:
+    void ratchet();
+
+    ChaChaKey key_;
+    std::uint64_t reseed_counter_ = 0;
+};
+
+}  // namespace cres::crypto

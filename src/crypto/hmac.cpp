@@ -1,0 +1,81 @@
+#include "crypto/hmac.h"
+
+#include "util/error.h"
+
+namespace cres::crypto {
+
+namespace {
+
+constexpr std::size_t kBlockSize = 64;
+
+std::array<std::uint8_t, kBlockSize> normalize_key(BytesView key) noexcept {
+    std::array<std::uint8_t, kBlockSize> block{};
+    if (key.size() > kBlockSize) {
+        const Hash256 digest = sha256(key);
+        std::copy(digest.begin(), digest.end(), block.begin());
+    } else {
+        std::copy(key.begin(), key.end(), block.begin());
+    }
+    return block;
+}
+
+}  // namespace
+
+Hash256 hmac_sha256(BytesView key, BytesView message) noexcept {
+    const auto block = normalize_key(key);
+
+    std::array<std::uint8_t, kBlockSize> ipad;
+    std::array<std::uint8_t, kBlockSize> opad;
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
+        opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+    }
+
+    Sha256 inner;
+    inner.update(ipad).update(message);
+    const Hash256 inner_digest = inner.finish();
+
+    Sha256 outer;
+    outer.update(opad).update(inner_digest);
+    return outer.finish();
+}
+
+bool hmac_verify(BytesView key, BytesView message, BytesView tag) noexcept {
+    const Hash256 expected = hmac_sha256(key, message);
+    return ct_equal(expected, tag);
+}
+
+Hash256 hkdf_extract(BytesView salt, BytesView ikm) noexcept {
+    return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(const Hash256& prk, BytesView info, std::size_t length) {
+    constexpr std::size_t kHashLen = 32;
+    if (length > 255 * kHashLen) {
+        throw CryptoError("hkdf_expand: requested length too large");
+    }
+    Bytes out;
+    out.reserve(length);
+    Bytes previous;
+    std::uint8_t counter = 1;
+    while (out.size() < length) {
+        Bytes block = previous;
+        append(block, info);
+        block.push_back(counter++);
+        const Hash256 t = hmac_sha256(prk, block);
+        previous.assign(t.begin(), t.end());
+        const std::size_t take = std::min(kHashLen, length - out.size());
+        out.insert(out.end(), t.begin(),
+                   t.begin() + static_cast<std::ptrdiff_t>(take));
+    }
+    return out;
+}
+
+Bytes hkdf(BytesView ikm, BytesView salt, std::string_view label,
+           std::size_t length) {
+    const Hash256 prk = hkdf_extract(salt, ikm);
+    const Bytes info = to_bytes(label);
+    return hkdf_expand(prk, info, length);
+}
+
+}  // namespace cres::crypto

@@ -1,0 +1,30 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). HMAC underpins the
+// symmetric attestation protocol, authenticated M2M channels and the
+// evidence-log sealing; HKDF derives per-purpose keys from device roots.
+#pragma once
+
+#include <string_view>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+/// Computes HMAC-SHA256(key, message).
+Hash256 hmac_sha256(BytesView key, BytesView message) noexcept;
+
+/// Verifies a tag in constant time.
+bool hmac_verify(BytesView key, BytesView message, BytesView tag) noexcept;
+
+/// HKDF-Extract: PRK = HMAC(salt, ikm).
+Hash256 hkdf_extract(BytesView salt, BytesView ikm) noexcept;
+
+/// HKDF-Expand: derives `length` bytes from PRK and an info label.
+/// Throws CryptoError when length > 255 * 32.
+Bytes hkdf_expand(const Hash256& prk, BytesView info, std::size_t length);
+
+/// One-call HKDF: extract then expand with a string label.
+Bytes hkdf(BytesView ikm, BytesView salt, std::string_view label,
+           std::size_t length);
+
+}  // namespace cres::crypto

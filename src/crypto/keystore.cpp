@@ -1,0 +1,71 @@
+#include "crypto/keystore.h"
+
+namespace cres::crypto {
+
+bool KeyStore::allowed(KeyAccess access, KeyRequester requester) noexcept {
+    switch (access) {
+        case KeyAccess::kAny:
+            return true;
+        case KeyAccess::kSecureOnly:
+            return requester == KeyRequester::kSecure ||
+                   requester == KeyRequester::kSsm;
+        case KeyAccess::kSsmOnly:
+            return requester == KeyRequester::kSsm;
+    }
+    return false;
+}
+
+void KeyStore::install(const std::string& name, Bytes material,
+                       KeyAccess access) {
+    auto it = keys_.find(name);
+    if (it != keys_.end()) {
+        secure_wipe(it->second.material);
+    }
+    keys_[name] = Entry{std::move(material), access, false};
+}
+
+std::optional<Bytes> KeyStore::read(const std::string& name,
+                                    KeyRequester requester) const {
+    const auto it = keys_.find(name);
+    if (it == keys_.end() || it->second.zeroised) return std::nullopt;
+    if (!allowed(it->second.access, requester)) {
+        ++denied_reads_;
+        return std::nullopt;
+    }
+    return it->second.material;
+}
+
+bool KeyStore::contains(const std::string& name) const noexcept {
+    const auto it = keys_.find(name);
+    return it != keys_.end() && !it->second.zeroised;
+}
+
+bool KeyStore::zeroise(const std::string& name) noexcept {
+    const auto it = keys_.find(name);
+    if (it == keys_.end() || it->second.zeroised) return false;
+    secure_wipe(it->second.material);
+    it->second.zeroised = true;
+    return true;
+}
+
+std::size_t KeyStore::zeroise_all() noexcept {
+    std::size_t wiped = 0;
+    for (auto& [name, entry] : keys_) {
+        if (!entry.zeroised) {
+            secure_wipe(entry.material);
+            entry.zeroised = true;
+            ++wiped;
+        }
+    }
+    return wiped;
+}
+
+std::size_t KeyStore::live_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [name, entry] : keys_) {
+        if (!entry.zeroised) ++n;
+    }
+    return n;
+}
+
+}  // namespace cres::crypto

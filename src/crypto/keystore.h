@@ -1,0 +1,66 @@
+// In-memory key store modelling a device's protected key storage.
+// Supports per-key access classes (who may read it) and zeroisation —
+// the "key zeroisation" countermeasure from the paper's Table I is the
+// Active Response Manager calling zeroise_all().
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+/// Which execution context may read a key.
+enum class KeyAccess : std::uint8_t {
+    kAny,         ///< Readable by normal-world software.
+    kSecureOnly,  ///< Readable only from the secure world / boot ROM.
+    kSsmOnly,     ///< Readable only by the System Security Manager.
+};
+
+/// The requesting context, used to check KeyAccess.
+enum class KeyRequester : std::uint8_t { kNormal, kSecure, kSsm };
+
+/// Named symmetric/seed key material with access control and audit data.
+class KeyStore {
+public:
+    /// Installs or replaces a key. Old material is wiped.
+    void install(const std::string& name, Bytes material, KeyAccess access);
+
+    /// Reads a key; returns nullopt when absent, zeroised or denied.
+    [[nodiscard]] std::optional<Bytes> read(const std::string& name,
+                                            KeyRequester requester) const;
+
+    /// True when the key exists and has not been zeroised.
+    [[nodiscard]] bool contains(const std::string& name) const noexcept;
+
+    /// Wipes one key's material. Returns false when absent.
+    bool zeroise(const std::string& name) noexcept;
+
+    /// Wipes every key (panic response). Returns how many were wiped.
+    std::size_t zeroise_all() noexcept;
+
+    /// Number of live (non-zeroised) keys.
+    [[nodiscard]] std::size_t live_count() const noexcept;
+
+    /// Count of denied read attempts (telemetry for the monitors).
+    [[nodiscard]] std::uint64_t denied_reads() const noexcept {
+        return denied_reads_;
+    }
+
+private:
+    struct Entry {
+        Bytes material;
+        KeyAccess access = KeyAccess::kAny;
+        bool zeroised = false;
+    };
+
+    static bool allowed(KeyAccess access, KeyRequester requester) noexcept;
+
+    std::map<std::string, Entry> keys_;
+    mutable std::uint64_t denied_reads_ = 0;
+};
+
+}  // namespace cres::crypto

@@ -1,0 +1,162 @@
+#include "crypto/merkle.h"
+
+#include "util/error.h"
+#include "util/serial.h"
+
+namespace cres::crypto {
+
+namespace {
+
+/// Domain-separated leaf hash.
+Hash256 leaf_hash(const Hash256& wots_pk) noexcept {
+    const std::uint8_t tag = 0x00;
+    Sha256 h;
+    h.update(BytesView(&tag, 1)).update(wots_pk);
+    return h.finish();
+}
+
+/// Domain-separated interior-node hash.
+Hash256 node_hash(const Hash256& left, const Hash256& right) noexcept {
+    const std::uint8_t tag = 0x01;
+    Sha256 h;
+    h.update(BytesView(&tag, 1)).update(left).update(right);
+    return h.finish();
+}
+
+Hash256 leaf_secret_seed(const Hash256& master_seed, std::uint32_t leaf) {
+    std::uint8_t idx[4];
+    for (int i = 0; i < 4; ++i) {
+        idx[i] = static_cast<std::uint8_t>(leaf >> (8 * i));
+    }
+    const std::uint8_t tag = 0x02;
+    Sha256 h;
+    h.update(BytesView(&tag, 1)).update(master_seed).update(BytesView(idx, 4));
+    return h.finish();
+}
+
+Hash256 derive_pub_seed(const Hash256& master_seed) {
+    const std::uint8_t tag = 0x03;
+    Sha256 h;
+    h.update(BytesView(&tag, 1)).update(master_seed);
+    return h.finish();
+}
+
+}  // namespace
+
+Bytes MerkleSignature::serialize() const {
+    BinaryWriter w;
+    w.u32(leaf_index);
+    w.blob(ots.serialize());
+    w.u32(static_cast<std::uint32_t>(auth_path.size()));
+    for (const Hash256& n : auth_path) w.raw(n);
+    return w.take();
+}
+
+MerkleSignature MerkleSignature::deserialize(BytesView data) {
+    BinaryReader r(data);
+    MerkleSignature sig;
+    sig.leaf_index = r.u32();
+    const Bytes ots_bytes = r.blob();
+    sig.ots = WotsSignature::deserialize(ots_bytes);
+    const std::uint32_t n = r.u32();
+    if (n > 64) throw CryptoError("MerkleSignature: auth path too long");
+    sig.auth_path.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        sig.auth_path.push_back(hash_from_bytes(r.raw(32)));
+    }
+    return sig;
+}
+
+Bytes MerklePublicKey::serialize() const {
+    BinaryWriter w;
+    w.raw(root);
+    w.raw(pub_seed);
+    w.u32(height);
+    return w.take();
+}
+
+MerklePublicKey MerklePublicKey::deserialize(BytesView data) {
+    BinaryReader r(data);
+    MerklePublicKey pk;
+    pk.root = hash_from_bytes(r.raw(32));
+    pk.pub_seed = hash_from_bytes(r.raw(32));
+    pk.height = r.u32();
+    return pk;
+}
+
+MerkleSigner::MerkleSigner(const Hash256& master_seed, std::uint32_t height)
+    : master_seed_(master_seed),
+      pub_seed_(derive_pub_seed(master_seed)),
+      height_(height) {
+    if (height_ == 0 || height_ > 20) {
+        throw CryptoError("MerkleSigner: height must be in [1, 20]");
+    }
+    const std::uint32_t leaves = 1u << height_;
+
+    tree_.resize(height_ + 1);
+    tree_[0].reserve(leaves);
+    for (std::uint32_t i = 0; i < leaves; ++i) {
+        const WotsKeyPair kp(leaf_secret_seed(master_seed_, i), pub_seed_);
+        tree_[0].push_back(leaf_hash(kp.public_key()));
+    }
+    for (std::uint32_t level = 1; level <= height_; ++level) {
+        const auto& below = tree_[level - 1];
+        auto& current = tree_[level];
+        current.reserve(below.size() / 2);
+        for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
+            current.push_back(node_hash(below[i], below[i + 1]));
+        }
+    }
+
+    pk_.root = tree_[height_][0];
+    pk_.pub_seed = pub_seed_;
+    pk_.height = height_;
+}
+
+std::uint32_t MerkleSigner::remaining() const noexcept {
+    return (1u << height_) - next_leaf_;
+}
+
+MerkleSignature MerkleSigner::sign(BytesView message) {
+    if (remaining() == 0) {
+        throw CryptoError("MerkleSigner: key exhausted");
+    }
+    const std::uint32_t leaf = next_leaf_++;
+
+    const WotsKeyPair kp(leaf_secret_seed(master_seed_, leaf), pub_seed_);
+
+    MerkleSignature sig;
+    sig.leaf_index = leaf;
+    sig.ots = kp.sign(message);
+    sig.auth_path.reserve(height_);
+    std::uint32_t index = leaf;
+    for (std::uint32_t level = 0; level < height_; ++level) {
+        const std::uint32_t sibling = index ^ 1u;
+        sig.auth_path.push_back(tree_[level][sibling]);
+        index >>= 1;
+    }
+    return sig;
+}
+
+bool merkle_verify(const MerkleSignature& sig, BytesView message,
+                   const MerklePublicKey& pk) {
+    if (sig.auth_path.size() != pk.height) return false;
+    if (sig.leaf_index >= (1u << pk.height)) return false;
+
+    Hash256 node;
+    try {
+        node = leaf_hash(wots_pk_from_signature(sig.ots, message, pk.pub_seed));
+    } catch (const CryptoError&) {
+        return false;
+    }
+
+    std::uint32_t index = sig.leaf_index;
+    for (const Hash256& sibling : sig.auth_path) {
+        node = (index & 1u) ? node_hash(sibling, node)
+                            : node_hash(node, sibling);
+        index >>= 1;
+    }
+    return ct_equal(node, pk.root);
+}
+
+}  // namespace cres::crypto

@@ -1,0 +1,72 @@
+// Merkle many-time signature scheme (MSS) over WOTS+ one-time keys.
+// A tree of height h yields 2^h signatures under one 32-byte root
+// public key. The signer is stateful: each leaf signs at most once.
+//
+// Used as the firmware-signing "vendor key" for the secure-boot chain
+// and as the SSM's evidence-sealing identity key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "crypto/sha256.h"
+#include "crypto/wots.h"
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+/// Merkle signature: leaf index, one-time signature, and authentication
+/// path from the leaf to the root.
+struct MerkleSignature {
+    std::uint32_t leaf_index = 0;
+    WotsSignature ots;
+    std::vector<Hash256> auth_path;
+
+    Bytes serialize() const;
+    static MerkleSignature deserialize(BytesView data);
+};
+
+/// Public verification key: tree root plus the public chain seed.
+struct MerklePublicKey {
+    Hash256 root{};
+    Hash256 pub_seed{};
+    std::uint32_t height = 0;
+
+    Bytes serialize() const;
+    static MerklePublicKey deserialize(BytesView data);
+};
+
+/// Stateful signer holding the full tree. Keygen cost is 2^h WOTS
+/// keygens; heights 4-8 are typical in tests and benches.
+class MerkleSigner {
+public:
+    /// Derives all leaves deterministically from `master_seed`.
+    MerkleSigner(const Hash256& master_seed, std::uint32_t height);
+
+    [[nodiscard]] const MerklePublicKey& public_key() const noexcept {
+        return pk_;
+    }
+
+    /// Number of signatures still available.
+    [[nodiscard]] std::uint32_t remaining() const noexcept;
+
+    /// Signs with the next unused leaf. Throws CryptoError when the
+    /// key is exhausted (one-time property is enforced, not advisory).
+    MerkleSignature sign(BytesView message);
+
+private:
+    Hash256 master_seed_;
+    Hash256 pub_seed_;
+    std::uint32_t height_;
+    std::uint32_t next_leaf_ = 0;
+    // tree_[level][i]: level 0 = leaves (hash of WOTS pk), top = root.
+    std::vector<std::vector<Hash256>> tree_;
+    MerklePublicKey pk_;
+};
+
+/// Verifies a Merkle signature against the root public key.
+bool merkle_verify(const MerkleSignature& sig, BytesView message,
+                   const MerklePublicKey& pk);
+
+}  // namespace cres::crypto

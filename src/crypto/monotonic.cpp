@@ -1,0 +1,51 @@
+#include "crypto/monotonic.h"
+
+#include "util/serial.h"
+
+namespace cres::crypto {
+
+std::uint64_t MonotonicCounterBank::value(
+    const std::string& name) const noexcept {
+    const auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+bool MonotonicCounterBank::advance(const std::string& name,
+                                   std::uint64_t target) noexcept {
+    auto& current = counters_[name];
+    if (target < current) {
+        ++tamper_attempts_;
+        return false;
+    }
+    current = target;
+    return true;
+}
+
+std::uint64_t MonotonicCounterBank::increment(const std::string& name) noexcept {
+    return ++counters_[name];
+}
+
+Bytes MonotonicCounterBank::serialize() const {
+    BinaryWriter w;
+    w.u32(static_cast<std::uint32_t>(counters_.size()));
+    for (const auto& [name, value] : counters_) {
+        w.str(name);
+        w.u64(value);
+    }
+    w.u64(tamper_attempts_);
+    return w.take();
+}
+
+MonotonicCounterBank MonotonicCounterBank::deserialize(BytesView data) {
+    BinaryReader r(data);
+    MonotonicCounterBank bank;
+    const std::uint32_t n = r.u32();
+    for (std::uint32_t i = 0; i < n; ++i) {
+        const std::string name = r.str();
+        bank.counters_[name] = r.u64();
+    }
+    bank.tamper_attempts_ = r.u64();
+    return bank;
+}
+
+}  // namespace cres::crypto

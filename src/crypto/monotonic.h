@@ -1,0 +1,42 @@
+// Non-volatile monotonic counters: the anti-rollback primitive for the
+// secure-boot chain and update agent (the paper's Section IV attributes
+// the TrustZone downgrade attack [16] to missing rollback prevention).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+/// A bank of named monotonic counters. advance() never goes backwards;
+/// attempts to regress are counted as tamper evidence.
+class MonotonicCounterBank {
+public:
+    /// Current value (0 when never written).
+    [[nodiscard]] std::uint64_t value(const std::string& name) const noexcept;
+
+    /// Raises the counter to at least `target`. Returns false (and
+    /// records a tamper attempt) when target is below the current value.
+    bool advance(const std::string& name, std::uint64_t target) noexcept;
+
+    /// Increments by one and returns the new value.
+    std::uint64_t increment(const std::string& name) noexcept;
+
+    /// Number of rejected regression attempts (tamper telemetry).
+    [[nodiscard]] std::uint64_t tamper_attempts() const noexcept {
+        return tamper_attempts_;
+    }
+
+    /// Serializes the bank (for persistence across simulated reboots).
+    [[nodiscard]] Bytes serialize() const;
+    static MonotonicCounterBank deserialize(BytesView data);
+
+private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::uint64_t tamper_attempts_ = 0;
+};
+
+}  // namespace cres::crypto

@@ -1,0 +1,52 @@
+// SHA-256 (FIPS 180-4), implemented from scratch. This is the platform's
+// security-grade hash: firmware measurement, evidence-log chaining,
+// HMAC/HKDF, and the hash-based signature schemes all build on it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+/// A 256-bit digest.
+using Hash256 = std::array<std::uint8_t, 32>;
+
+/// Converts a digest to an owning byte buffer.
+Bytes hash_to_bytes(const Hash256& h);
+
+/// Parses a 32-byte buffer into a digest. Throws CryptoError on size.
+Hash256 hash_from_bytes(BytesView data);
+
+/// Incremental SHA-256.
+class Sha256 {
+public:
+    Sha256() noexcept;
+
+    /// Absorbs more input.
+    Sha256& update(BytesView data) noexcept;
+
+    /// Finalizes and returns the digest. The object must not be reused
+    /// afterwards except via reset().
+    [[nodiscard]] Hash256 finish() noexcept;
+
+    /// Restores the initial state.
+    void reset() noexcept;
+
+private:
+    void compress(const std::uint8_t* block) noexcept;
+
+    std::array<std::uint32_t, 8> state_;
+    std::array<std::uint8_t, 64> buffer_;
+    std::uint64_t total_len_ = 0;
+    std::size_t buffer_len_ = 0;
+};
+
+/// One-shot SHA-256.
+Hash256 sha256(BytesView data) noexcept;
+
+/// SHA-256 over the concatenation of two buffers (no copies).
+Hash256 sha256_pair(BytesView a, BytesView b) noexcept;
+
+}  // namespace cres::crypto

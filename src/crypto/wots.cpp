@@ -1,0 +1,139 @@
+#include "crypto/wots.h"
+
+#include "crypto/hmac.h"
+#include "util/error.h"
+#include "util/serial.h"
+
+namespace cres::crypto {
+
+namespace {
+
+using P = WotsParams;
+
+/// One application of the chaining function at position (chain, step).
+Hash256 chain_step(const Hash256& pub_seed, std::uint32_t chain,
+                   std::uint32_t step, const Hash256& value) noexcept {
+    std::uint8_t addr[8];
+    for (int i = 0; i < 4; ++i) {
+        addr[i] = static_cast<std::uint8_t>(chain >> (8 * i));
+        addr[4 + i] = static_cast<std::uint8_t>(step >> (8 * i));
+    }
+    Sha256 h;
+    h.update(pub_seed).update(BytesView(addr, 8)).update(value);
+    return h.finish();
+}
+
+/// Advances `value` through steps [start, start+count).
+Hash256 chain(const Hash256& pub_seed, std::uint32_t chain_index,
+              unsigned start, unsigned count, Hash256 value) noexcept {
+    for (unsigned s = start; s < start + count; ++s) {
+        value = chain_step(pub_seed, chain_index, s, value);
+    }
+    return value;
+}
+
+/// Secret chain-start value for a given chain index.
+Hash256 chain_secret(const Hash256& secret_seed, std::uint32_t index) {
+    std::uint8_t idx[4];
+    for (int i = 0; i < 4; ++i) {
+        idx[i] = static_cast<std::uint8_t>(index >> (8 * i));
+    }
+    Sha256 h;
+    h.update(secret_seed).update(BytesView(idx, 4));
+    return h.finish();
+}
+
+/// Splits the message digest into kLen1 base-16 digits plus a kLen2-digit
+/// checksum. The checksum makes digit-increase forgeries impossible.
+std::array<unsigned, P::kLen> message_digits(BytesView message) {
+    const Hash256 digest = sha256(message);
+    std::array<unsigned, P::kLen> digits{};
+    for (std::size_t i = 0; i < P::kLen1; ++i) {
+        const std::uint8_t byte = digest[i / 2];
+        digits[i] = (i % 2 == 0) ? (byte >> 4) : (byte & 0x0f);
+    }
+    unsigned checksum = 0;
+    for (std::size_t i = 0; i < P::kLen1; ++i) {
+        checksum += P::kMaxSteps - digits[i];
+    }
+    for (std::size_t i = 0; i < P::kLen2; ++i) {
+        digits[P::kLen1 + i] = checksum & 0x0f;
+        checksum >>= 4;
+    }
+    return digits;
+}
+
+Hash256 compress_endpoints(const std::vector<Hash256>& endpoints) {
+    Sha256 h;
+    for (const Hash256& e : endpoints) h.update(e);
+    return h.finish();
+}
+
+}  // namespace
+
+Bytes WotsSignature::serialize() const {
+    BinaryWriter w;
+    w.u32(static_cast<std::uint32_t>(chains.size()));
+    for (const Hash256& c : chains) w.raw(c);
+    return w.take();
+}
+
+WotsSignature WotsSignature::deserialize(BytesView data) {
+    BinaryReader r(data);
+    const std::uint32_t n = r.u32();
+    if (n != P::kLen) {
+        throw CryptoError("WotsSignature: bad chain count");
+    }
+    WotsSignature sig;
+    sig.chains.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        sig.chains.push_back(hash_from_bytes(r.raw(P::kHashLen)));
+    }
+    return sig;
+}
+
+WotsKeyPair::WotsKeyPair(const Hash256& secret_seed, const Hash256& pub_seed)
+    : secret_seed_(secret_seed), pub_seed_(pub_seed) {
+    std::vector<Hash256> endpoints;
+    endpoints.reserve(P::kLen);
+    for (std::uint32_t i = 0; i < P::kLen; ++i) {
+        endpoints.push_back(
+            chain(pub_seed_, i, 0, P::kMaxSteps, chain_secret(secret_seed_, i)));
+    }
+    pk_ = compress_endpoints(endpoints);
+}
+
+WotsSignature WotsKeyPair::sign(BytesView message) const {
+    const auto digits = message_digits(message);
+    WotsSignature sig;
+    sig.chains.reserve(P::kLen);
+    for (std::uint32_t i = 0; i < P::kLen; ++i) {
+        sig.chains.push_back(
+            chain(pub_seed_, i, 0, digits[i], chain_secret(secret_seed_, i)));
+    }
+    return sig;
+}
+
+Hash256 wots_pk_from_signature(const WotsSignature& sig, BytesView message,
+                               const Hash256& pub_seed) {
+    if (sig.chains.size() != P::kLen) {
+        throw CryptoError("wots_pk_from_signature: bad signature shape");
+    }
+    const auto digits = message_digits(message);
+    std::vector<Hash256> endpoints;
+    endpoints.reserve(P::kLen);
+    for (std::uint32_t i = 0; i < P::kLen; ++i) {
+        endpoints.push_back(chain(pub_seed, i, digits[i],
+                                  P::kMaxSteps - digits[i], sig.chains[i]));
+    }
+    return compress_endpoints(endpoints);
+}
+
+bool wots_verify(const WotsSignature& sig, BytesView message,
+                 const Hash256& public_key, const Hash256& pub_seed) {
+    if (sig.chains.size() != P::kLen) return false;
+    const Hash256 candidate = wots_pk_from_signature(sig, message, pub_seed);
+    return ct_equal(candidate, public_key);
+}
+
+}  // namespace cres::crypto

@@ -1,0 +1,66 @@
+// Winternitz one-time signatures (WOTS+-style, w = 16) over SHA-256.
+// One key pair signs exactly one message; the Merkle scheme in
+// merkle.h aggregates many WOTS key pairs into a many-time public key.
+//
+// This is the platform's digital-signature substitute for the RSA/ECC
+// schemes listed in the paper's Table I: the secure-boot chain and
+// attestation verification only require *some* unforgeable signature,
+// and hash-based signatures are implementable from scratch and
+// constant-time by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "crypto/sha256.h"
+#include "util/bytes.h"
+
+namespace cres::crypto {
+
+/// WOTS parameters: w = 16 (4 bits per digit), 64 message digits +
+/// 3 checksum digits = 67 hash chains of length 15.
+struct WotsParams {
+    static constexpr std::size_t kHashLen = 32;
+    static constexpr unsigned kWinternitz = 16;
+    static constexpr std::size_t kLen1 = 64;
+    static constexpr std::size_t kLen2 = 3;
+    static constexpr std::size_t kLen = kLen1 + kLen2;
+    static constexpr unsigned kMaxSteps = kWinternitz - 1;
+};
+
+/// A WOTS signature: kLen intermediate chain values.
+struct WotsSignature {
+    std::vector<Hash256> chains;
+
+    Bytes serialize() const;
+    static WotsSignature deserialize(BytesView data);
+};
+
+/// One-time key pair. The secret seed must never sign twice.
+class WotsKeyPair {
+public:
+    /// Derives the key pair deterministically from (seed, pub_seed).
+    /// `pub_seed` is public randomization (domain separation).
+    WotsKeyPair(const Hash256& secret_seed, const Hash256& pub_seed);
+
+    /// Compressed public key: hash of all chain endpoints.
+    [[nodiscard]] const Hash256& public_key() const noexcept { return pk_; }
+
+    /// Signs a message (its SHA-256 is signed).
+    [[nodiscard]] WotsSignature sign(BytesView message) const;
+
+private:
+    Hash256 secret_seed_;
+    Hash256 pub_seed_;
+    Hash256 pk_;
+};
+
+/// Recomputes the candidate public key from a signature; verification
+/// succeeds when it equals the expected public key.
+Hash256 wots_pk_from_signature(const WotsSignature& sig, BytesView message,
+                               const Hash256& pub_seed);
+
+/// Convenience: full verify.
+bool wots_verify(const WotsSignature& sig, BytesView message,
+                 const Hash256& public_key, const Hash256& pub_seed);
+
+}  // namespace cres::crypto

@@ -1,0 +1,84 @@
+#include "dev/dma.h"
+
+namespace cres::dev {
+
+void DmaEngine::start_transfer(mem::Addr src, mem::Addr dst, std::uint32_t len,
+                               bool secure, bool dst_fixed) {
+    src_ = src;
+    dst_ = dst;
+    len_ = len;
+    secure_ = secure;
+    dst_fixed_ = dst_fixed;
+    progress_ = 0;
+    busy_ = len > 0;
+    done_ = len == 0;
+    error_ = false;
+}
+
+std::uint32_t DmaEngine::status() const noexcept {
+    return (busy_ ? kStatusBusy : 0u) | (done_ ? kStatusDone : 0u) |
+           (error_ ? kStatusError : 0u);
+}
+
+void DmaEngine::tick(sim::Cycle /*now*/) {
+    if (!busy_) return;
+    const mem::BusAttr attr{mem::Master::kDma, secure_, false};
+    for (std::uint32_t i = 0; i < kBytesPerCycle && progress_ < len_; ++i) {
+        std::uint32_t byte = 0;
+        if (bus_.access(mem::BusOp::kRead, src_ + progress_, 1, byte, attr) !=
+            mem::BusResponse::kOk) {
+            busy_ = false;
+            error_ = true;
+            raise_irq();
+            return;
+        }
+        const mem::Addr dst = dst_fixed_ ? dst_ : dst_ + progress_;
+        if (bus_.access(mem::BusOp::kWrite, dst, 1, byte, attr) !=
+            mem::BusResponse::kOk) {
+            busy_ = false;
+            error_ = true;
+            raise_irq();
+            return;
+        }
+        ++progress_;
+        ++bytes_transferred_;
+    }
+    if (progress_ >= len_) {
+        busy_ = false;
+        done_ = true;
+        ++completed_;
+        raise_irq();
+    }
+}
+
+mem::BusResponse DmaEngine::read_reg(mem::Addr offset, std::uint32_t& out,
+                                     const mem::BusAttr& /*attr*/) {
+    switch (offset) {
+        case kRegSrc: out = src_; return mem::BusResponse::kOk;
+        case kRegDst: out = dst_; return mem::BusResponse::kOk;
+        case kRegLen: out = len_; return mem::BusResponse::kOk;
+        case kRegStatus: out = status(); return mem::BusResponse::kOk;
+        default: return mem::BusResponse::kDeviceError;
+    }
+}
+
+mem::BusResponse DmaEngine::write_reg(mem::Addr offset, std::uint32_t value,
+                                      const mem::BusAttr& attr) {
+    switch (offset) {
+        case kRegSrc: src_ = value; return mem::BusResponse::kOk;
+        case kRegDst: dst_ = value; return mem::BusResponse::kOk;
+        case kRegLen: len_ = value; return mem::BusResponse::kOk;
+        case kRegCtrl:
+            if (value & kCtrlStart) {
+                // Claiming secure requires a privileged programmer.
+                const bool secure =
+                    (value & kCtrlClaimSecure) != 0 && attr.privileged;
+                start_transfer(src_, dst_, len_, secure);
+            }
+            return mem::BusResponse::kOk;
+        default:
+            return mem::BusResponse::kDeviceError;
+    }
+}
+
+}  // namespace cres::dev

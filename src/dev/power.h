@@ -1,0 +1,53 @@
+// Voltage / temperature environment sensor — the substrate for the
+// paper's "voltage, clock and temperature monitors" (Table I, recover
+// row). Glitch attacks perturb the readings; the environment monitor
+// flags excursions outside the provisioned envelope.
+//   0x00 VOLTAGE (R) signed 16.16 fixed point, volts
+//   0x04 TEMP    (R) signed 16.16 fixed point, degrees C
+#pragma once
+
+#include "dev/device.h"
+#include "dev/sensor.h"  // fixed-point helpers
+
+namespace cres::dev {
+
+class PowerSensor : public Device {
+public:
+    PowerSensor(std::string name, double nominal_voltage,
+                double nominal_temp)
+        : Device(std::move(name)),
+          voltage_(nominal_voltage),
+          temp_(nominal_temp) {}
+
+    static constexpr mem::Addr kRegVoltage = 0x00;
+    static constexpr mem::Addr kRegTemp = 0x04;
+
+    void tick(sim::Cycle now) override;
+
+    [[nodiscard]] double voltage() const noexcept;
+    [[nodiscard]] double temperature() const noexcept { return temp_; }
+
+    /// Injects a voltage glitch lasting `duration` cycles.
+    void inject_glitch(double glitch_voltage, sim::Cycle duration);
+
+    /// Slowly drifts the temperature (thermal attack / fault).
+    void set_temperature(double celsius) noexcept { temp_ = celsius; }
+
+    [[nodiscard]] bool glitch_active() const noexcept {
+        return glitch_remaining_ > 0;
+    }
+
+protected:
+    mem::BusResponse read_reg(mem::Addr offset, std::uint32_t& out,
+                              const mem::BusAttr& attr) override;
+    mem::BusResponse write_reg(mem::Addr offset, std::uint32_t value,
+                               const mem::BusAttr& attr) override;
+
+private:
+    double voltage_;
+    double temp_;
+    double glitch_voltage_ = 0.0;
+    sim::Cycle glitch_remaining_ = 0;
+};
+
+}  // namespace cres::dev

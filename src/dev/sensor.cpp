@@ -1,0 +1,55 @@
+#include "dev/sensor.h"
+
+#include "util/error.h"
+
+namespace cres::dev {
+
+std::int32_t to_fixed(double value) noexcept {
+    return static_cast<std::int32_t>(value * 65536.0);
+}
+
+double from_fixed(std::int32_t raw) noexcept {
+    return static_cast<double>(raw) / 65536.0;
+}
+
+Sensor::Sensor(std::string name, std::function<double(sim::Cycle)> signal,
+               std::uint32_t period)
+    : Device(std::move(name)),
+      signal_(std::move(signal)),
+      period_(period),
+      countdown_(period) {
+    if (!signal_) throw Error("Sensor: null signal function");
+    if (period_ == 0) throw Error("Sensor: zero period");
+}
+
+void Sensor::tick(sim::Cycle now) {
+    if (--countdown_ > 0) return;
+    countdown_ = period_;
+    const double value = spoof_ ? spoof_(now) : signal_(now);
+    data_ = to_fixed(value);
+    ++samples_;
+}
+
+mem::BusResponse Sensor::read_reg(mem::Addr offset, std::uint32_t& out,
+                                  const mem::BusAttr& /*attr*/) {
+    switch (offset) {
+        case kRegData:
+            out = static_cast<std::uint32_t>(data_);
+            return mem::BusResponse::kOk;
+        case kRegSamples: out = samples_; return mem::BusResponse::kOk;
+        case kRegPeriod: out = period_; return mem::BusResponse::kOk;
+        default: return mem::BusResponse::kDeviceError;
+    }
+}
+
+mem::BusResponse Sensor::write_reg(mem::Addr offset, std::uint32_t value,
+                                   const mem::BusAttr& /*attr*/) {
+    if (offset == kRegPeriod && value > 0) {
+        period_ = value;
+        if (countdown_ > period_) countdown_ = period_;
+        return mem::BusResponse::kOk;
+    }
+    return mem::BusResponse::kDeviceError;
+}
+
+}  // namespace cres::dev

@@ -1,0 +1,63 @@
+// Physical-world sensor (e.g. grid voltage, temperature, flow rate).
+// Samples a host-provided signal function every `period` cycles into a
+// fixed-point register. Spoofing attacks override the signal. Register
+// map:
+//   0x00 DATA    (R) latest sample, signed 16.16 fixed point
+//   0x04 SAMPLES (R) sample count
+//   0x08 PERIOD  (RW) sampling period in cycles
+#pragma once
+
+#include <functional>
+
+#include "dev/device.h"
+
+namespace cres::dev {
+
+/// Converts between double and the sensor's signed 16.16 fixed point.
+std::int32_t to_fixed(double value) noexcept;
+double from_fixed(std::int32_t raw) noexcept;
+
+class Sensor : public Device {
+public:
+    /// `signal(cycle)` gives the physical truth at a cycle.
+    Sensor(std::string name, std::function<double(sim::Cycle)> signal,
+           std::uint32_t period = 100);
+
+    static constexpr mem::Addr kRegData = 0x00;
+    static constexpr mem::Addr kRegSamples = 0x04;
+    static constexpr mem::Addr kRegPeriod = 0x08;
+
+    void tick(sim::Cycle now) override;
+
+    /// Spoof hook: when set, readings come from the spoof function
+    /// instead of the physical signal (models sensor-injection attacks).
+    void set_spoof(std::function<double(sim::Cycle)> spoof) {
+        spoof_ = std::move(spoof);
+    }
+    void clear_spoof() noexcept { spoof_ = nullptr; }
+    [[nodiscard]] bool spoofed() const noexcept {
+        return static_cast<bool>(spoof_);
+    }
+
+    /// Latest sampled value (host-side view).
+    [[nodiscard]] double value() const noexcept { return from_fixed(data_); }
+    /// The un-spoofed physical truth at a cycle.
+    [[nodiscard]] double truth(sim::Cycle at) const { return signal_(at); }
+    [[nodiscard]] std::uint32_t samples() const noexcept { return samples_; }
+
+protected:
+    mem::BusResponse read_reg(mem::Addr offset, std::uint32_t& out,
+                              const mem::BusAttr& attr) override;
+    mem::BusResponse write_reg(mem::Addr offset, std::uint32_t value,
+                               const mem::BusAttr& attr) override;
+
+private:
+    std::function<double(sim::Cycle)> signal_;
+    std::function<double(sim::Cycle)> spoof_;
+    std::uint32_t period_;
+    std::uint32_t countdown_;
+    std::int32_t data_ = 0;
+    std::uint32_t samples_ = 0;
+};
+
+}  // namespace cres::dev

@@ -1,0 +1,42 @@
+#include "dev/timer.h"
+
+namespace cres::dev {
+
+void Timer::configure(std::uint32_t compare, bool auto_reload) {
+    compare_ = compare;
+    ctrl_ = kCtrlEnable | (auto_reload ? kCtrlAutoReload : 0u);
+    count_ = 0;
+}
+
+void Timer::tick(sim::Cycle /*now*/) {
+    if ((ctrl_ & kCtrlEnable) == 0) return;
+    ++count_;
+    if (count_ == compare_) {
+        ++matches_;
+        raise_irq();
+        if (ctrl_ & kCtrlAutoReload) count_ = 0;
+    }
+}
+
+mem::BusResponse Timer::read_reg(mem::Addr offset, std::uint32_t& out,
+                                 const mem::BusAttr& /*attr*/) {
+    switch (offset) {
+        case kRegCount: out = count_; return mem::BusResponse::kOk;
+        case kRegCompare: out = compare_; return mem::BusResponse::kOk;
+        case kRegCtrl: out = ctrl_; return mem::BusResponse::kOk;
+        case kRegMatches: out = matches_; return mem::BusResponse::kOk;
+        default: return mem::BusResponse::kDeviceError;
+    }
+}
+
+mem::BusResponse Timer::write_reg(mem::Addr offset, std::uint32_t value,
+                                  const mem::BusAttr& /*attr*/) {
+    switch (offset) {
+        case kRegCount: count_ = value; return mem::BusResponse::kOk;
+        case kRegCompare: compare_ = value; return mem::BusResponse::kOk;
+        case kRegCtrl: ctrl_ = value; return mem::BusResponse::kOk;
+        default: return mem::BusResponse::kDeviceError;
+    }
+}
+
+}  // namespace cres::dev

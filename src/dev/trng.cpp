@@ -1,0 +1,25 @@
+#include "dev/trng.h"
+
+namespace cres::dev {
+
+mem::BusResponse Trng::read_reg(mem::Addr offset, std::uint32_t& out,
+                                const mem::BusAttr& /*attr*/) {
+    switch (offset) {
+        case kRegData:
+            out = static_cast<std::uint32_t>(rng_.next());
+            ++reads_;
+            return mem::BusResponse::kOk;
+        case kRegReads:
+            out = reads_;
+            return mem::BusResponse::kOk;
+        default:
+            return mem::BusResponse::kDeviceError;
+    }
+}
+
+mem::BusResponse Trng::write_reg(mem::Addr /*offset*/, std::uint32_t /*value*/,
+                                 const mem::BusAttr& /*attr*/) {
+    return mem::BusResponse::kReadOnly;
+}
+
+}  // namespace cres::dev

@@ -1,0 +1,51 @@
+#include "dev/watchdog.h"
+
+namespace cres::dev {
+
+void Watchdog::arm(std::uint32_t timeout_cycles) {
+    timeout_ = timeout_cycles;
+    remaining_ = timeout_cycles;
+    ctrl_ = 1;
+}
+
+void Watchdog::tick(sim::Cycle /*now*/) {
+    if (!enabled()) return;
+    if (remaining_ == 0) return;
+    if (--remaining_ == 0) {
+        ++expiries_;
+        raise_irq();
+        if (on_expiry_) on_expiry_();
+        remaining_ = timeout_;  // Re-arm for the next period.
+    }
+}
+
+mem::BusResponse Watchdog::read_reg(mem::Addr offset, std::uint32_t& out,
+                                    const mem::BusAttr& /*attr*/) {
+    switch (offset) {
+        case kRegTimeout: out = timeout_; return mem::BusResponse::kOk;
+        case kRegCtrl: out = ctrl_; return mem::BusResponse::kOk;
+        case kRegExpiries: out = expiries_; return mem::BusResponse::kOk;
+        case kRegKick: out = remaining_; return mem::BusResponse::kOk;
+        default: return mem::BusResponse::kDeviceError;
+    }
+}
+
+mem::BusResponse Watchdog::write_reg(mem::Addr offset, std::uint32_t value,
+                                     const mem::BusAttr& /*attr*/) {
+    switch (offset) {
+        case kRegKick:
+            remaining_ = timeout_;
+            return mem::BusResponse::kOk;
+        case kRegTimeout:
+            timeout_ = value;
+            remaining_ = value;
+            return mem::BusResponse::kOk;
+        case kRegCtrl:
+            ctrl_ = value;
+            return mem::BusResponse::kOk;
+        default:
+            return mem::BusResponse::kDeviceError;
+    }
+}
+
+}  // namespace cres::dev

@@ -1,0 +1,490 @@
+#include "isa/assembler.h"
+
+#include <cctype>
+#include <functional>
+#include <sstream>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "util/error.h"
+
+namespace cres::isa {
+
+namespace {
+
+struct Token {
+    std::string text;
+};
+
+/// One source statement after lexing.
+struct Statement {
+    std::size_t line_no = 0;
+    std::string mnemonic;             // Lower-case, or ".word" etc.
+    std::vector<std::string> operands;
+    std::string ascii_payload;        // For .ascii only.
+};
+
+[[noreturn]] void fail(std::size_t line_no, const std::string& message) {
+    throw IsaError("asm line " + std::to_string(line_no) + ": " + message);
+}
+
+std::string lower(std::string s) {
+    for (char& c : s) c = static_cast<char>(std::tolower(c));
+    return s;
+}
+
+std::optional<std::uint8_t> parse_register(const std::string& name) {
+    const std::string n = lower(name);
+    if (n == "zero") return 0;
+    if (n == "sp") return 13;
+    if (n == "lr") return 14;
+    if (n.size() >= 2 && n[0] == 'r') {
+        int v = 0;
+        for (std::size_t i = 1; i < n.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(n[i]))) {
+                return std::nullopt;
+            }
+            v = v * 10 + (n[i] - '0');
+        }
+        if (v >= 0 && v <= 15) return static_cast<std::uint8_t>(v);
+    }
+    return std::nullopt;
+}
+
+std::optional<std::uint16_t> parse_csr(const std::string& name) {
+    static const std::map<std::string, std::uint16_t> csrs = {
+        {"mstatus", kCsrMstatus}, {"mepc", kCsrMepc},
+        {"mcause", kCsrMcause},   {"mtval", kCsrMtval},
+        {"mtvec", kCsrMtvec},     {"mscratch", kCsrMscratch},
+        {"stvec", kCsrStvec},     {"sepc", kCsrSepc},
+        {"mie", kCsrMie},         {"mip", kCsrMip},
+        {"mcycle", kCsrMcycle},   {"minstret", kCsrMinstret},
+    };
+    const auto it = csrs.find(lower(name));
+    if (it != csrs.end()) return it->second;
+    return std::nullopt;
+}
+
+std::optional<std::int64_t> parse_number(const std::string& text) {
+    if (text.empty()) return std::nullopt;
+    std::size_t i = 0;
+    bool negative = false;
+    if (text[0] == '-') {
+        negative = true;
+        i = 1;
+    }
+    if (i >= text.size()) return std::nullopt;
+    std::int64_t value = 0;
+    if (text.size() > i + 1 && text[i] == '0' &&
+        (text[i + 1] == 'x' || text[i + 1] == 'X')) {
+        i += 2;
+        if (i >= text.size()) return std::nullopt;
+        for (; i < text.size(); ++i) {
+            const char c = static_cast<char>(std::tolower(text[i]));
+            int digit;
+            if (c >= '0' && c <= '9') digit = c - '0';
+            else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+            else return std::nullopt;
+            value = value * 16 + digit;
+        }
+    } else {
+        for (; i < text.size(); ++i) {
+            if (!std::isdigit(static_cast<unsigned char>(text[i]))) {
+                return std::nullopt;
+            }
+            value = value * 10 + (text[i] - '0');
+        }
+    }
+    return negative ? -value : value;
+}
+
+/// Lexes the source into statements; labels are returned via callback.
+std::vector<Statement> lex(const std::string& source,
+                           const std::function<void(std::size_t, std::string,
+                                                    std::size_t)>& on_label) {
+    std::vector<Statement> statements;
+    std::istringstream in(source);
+    std::string raw_line;
+    std::size_t line_no = 0;
+
+    while (std::getline(in, raw_line)) {
+        ++line_no;
+        // Strip comments (respecting none inside .ascii quotes).
+        std::string line;
+        bool in_quote = false;
+        for (char c : raw_line) {
+            if (c == '"') in_quote = !in_quote;
+            if (!in_quote && (c == ';' || c == '#')) break;
+            line.push_back(c);
+        }
+
+        // Peel off leading labels.
+        std::size_t pos = 0;
+        while (true) {
+            while (pos < line.size() &&
+                   std::isspace(static_cast<unsigned char>(line[pos]))) {
+                ++pos;
+            }
+            std::size_t end = pos;
+            while (end < line.size() && line[end] != ':' &&
+                   !std::isspace(static_cast<unsigned char>(line[end]))) {
+                ++end;
+            }
+            if (end < line.size() && line[end] == ':' && end > pos) {
+                on_label(line_no, line.substr(pos, end - pos),
+                         statements.size());
+                pos = end + 1;
+                continue;
+            }
+            break;
+        }
+
+        const std::string rest = line.substr(pos);
+        if (rest.find_first_not_of(" \t\r") == std::string::npos) continue;
+
+        Statement st;
+        st.line_no = line_no;
+
+        std::size_t i = 0;
+        while (i < rest.size() &&
+               std::isspace(static_cast<unsigned char>(rest[i]))) {
+            ++i;
+        }
+        std::size_t m_end = i;
+        while (m_end < rest.size() &&
+               !std::isspace(static_cast<unsigned char>(rest[m_end]))) {
+            ++m_end;
+        }
+        st.mnemonic = lower(rest.substr(i, m_end - i));
+        i = m_end;
+
+        if (st.mnemonic == ".ascii") {
+            const std::size_t open = rest.find('"', i);
+            const std::size_t close = rest.rfind('"');
+            if (open == std::string::npos || close <= open) {
+                fail(line_no, ".ascii expects a quoted string");
+            }
+            st.ascii_payload = rest.substr(open + 1, close - open - 1);
+        } else {
+            // Comma/space separated operands.
+            std::string operand;
+            for (; i <= rest.size(); ++i) {
+                const char c = i < rest.size() ? rest[i] : ',';
+                if (c == ',' || std::isspace(static_cast<unsigned char>(c))) {
+                    if (!operand.empty()) {
+                        st.operands.push_back(operand);
+                        operand.clear();
+                    }
+                } else {
+                    operand.push_back(c);
+                }
+            }
+        }
+        statements.push_back(std::move(st));
+    }
+    return statements;
+}
+
+/// Size in bytes of one statement.
+std::size_t statement_size(const Statement& st) {
+    if (st.mnemonic == ".word") return 4 * st.operands.size();
+    if (st.mnemonic == ".space") {
+        const auto n = parse_number(st.operands.empty() ? "" : st.operands[0]);
+        if (!n || *n < 0) fail(st.line_no, ".space expects a size");
+        return static_cast<std::size_t>(*n);
+    }
+    if (st.mnemonic == ".ascii") return st.ascii_payload.size();
+    if (st.mnemonic == "li" || st.mnemonic == "la") return 8;
+    return 4;
+}
+
+class Encoder {
+public:
+    Encoder(const std::map<std::string, mem::Addr>& symbols, mem::Addr origin)
+        : symbols_(symbols), origin_(origin) {}
+
+    void encode_statement(const Statement& st, mem::Addr addr, Bytes& out) {
+        if (st.mnemonic == ".word") {
+            for (const auto& op : st.operands) {
+                emit_word(out, resolve_value(st, op));
+            }
+            return;
+        }
+        if (st.mnemonic == ".space") {
+            const auto n = parse_number(st.operands[0]);
+            out.insert(out.end(), static_cast<std::size_t>(*n), 0);
+            return;
+        }
+        if (st.mnemonic == ".ascii") {
+            for (char c : st.ascii_payload) {
+                out.push_back(static_cast<std::uint8_t>(c));
+            }
+            return;
+        }
+        // Pseudo-instructions.
+        if (st.mnemonic == "li" || st.mnemonic == "la") {
+            require_operands(st, 2);
+            const std::uint8_t rd = reg(st, 0);
+            const std::uint32_t value = resolve_value(st, st.operands[1]);
+            emit(out, Instruction{Opcode::kLui, rd, 0, 0,
+                                  static_cast<std::uint16_t>(value >> 16)});
+            emit(out, Instruction{Opcode::kOri, rd, rd, 0,
+                                  static_cast<std::uint16_t>(value & 0xffff)});
+            return;
+        }
+        if (st.mnemonic == "mv") {
+            require_operands(st, 2);
+            emit(out, Instruction{Opcode::kAddi, reg(st, 0), reg(st, 1), 0, 0});
+            return;
+        }
+        if (st.mnemonic == "ret") {
+            require_operands(st, 0);
+            emit(out, Instruction{Opcode::kJalr, 0, 14, 0, 0});
+            return;
+        }
+        if (st.mnemonic == "call") {
+            require_operands(st, 1);
+            emit(out, Instruction{Opcode::kJal, 14, 0, 0,
+                                  rel_imm(st, st.operands[0], addr)});
+            return;
+        }
+        if (st.mnemonic == "j") {
+            require_operands(st, 1);
+            emit(out, Instruction{Opcode::kJal, 0, 0, 0,
+                                  rel_imm(st, st.operands[0], addr)});
+            return;
+        }
+
+        const auto opcode = opcode_from_name(st.mnemonic);
+        if (!opcode) fail(st.line_no, "unknown mnemonic '" + st.mnemonic + "'");
+        encode_native(st, *opcode, addr, out);
+    }
+
+private:
+    void encode_native(const Statement& st, Opcode op, mem::Addr addr,
+                       Bytes& out) {
+        Instruction insn;
+        insn.opcode = op;
+        switch (op) {
+            case Opcode::kNop:
+            case Opcode::kHalt:
+            case Opcode::kMret:
+            case Opcode::kSret:
+            case Opcode::kWfi:
+                require_operands(st, 0);
+                break;
+            case Opcode::kAdd:
+            case Opcode::kSub:
+            case Opcode::kAnd:
+            case Opcode::kOr:
+            case Opcode::kXor:
+            case Opcode::kShl:
+            case Opcode::kShr:
+            case Opcode::kSra:
+            case Opcode::kMul:
+            case Opcode::kSlt:
+            case Opcode::kSltu:
+                require_operands(st, 3);
+                insn.rd = reg(st, 0);
+                insn.rs1 = reg(st, 1);
+                insn.rs2 = reg(st, 2);
+                break;
+            case Opcode::kAddi:
+            case Opcode::kAndi:
+            case Opcode::kOri:
+            case Opcode::kXori:
+            case Opcode::kShli:
+            case Opcode::kShri:
+            case Opcode::kLw:
+            case Opcode::kLh:
+            case Opcode::kLb:
+            case Opcode::kSw:
+            case Opcode::kSh:
+            case Opcode::kSb:
+            case Opcode::kJalr:
+                require_operands(st, 3);
+                insn.rd = reg(st, 0);
+                insn.rs1 = reg(st, 1);
+                insn.imm = imm16(st, st.operands[2]);
+                break;
+            case Opcode::kLui:
+                require_operands(st, 2);
+                insn.rd = reg(st, 0);
+                insn.imm = imm16(st, st.operands[1]);
+                break;
+            case Opcode::kBeq:
+            case Opcode::kBne:
+            case Opcode::kBlt:
+            case Opcode::kBge:
+            case Opcode::kBltu:
+            case Opcode::kBgeu:
+                require_operands(st, 3);
+                // Second comparand travels in the rd field.
+                insn.rs1 = reg(st, 0);
+                insn.rd = reg(st, 1);
+                insn.imm = rel_imm(st, st.operands[2], addr);
+                break;
+            case Opcode::kJal:
+                require_operands(st, 2);
+                insn.rd = reg(st, 0);
+                insn.imm = rel_imm(st, st.operands[1], addr);
+                break;
+            case Opcode::kEcall:
+            case Opcode::kSmc:
+                if (st.operands.size() > 1) {
+                    fail(st.line_no, "expected at most one operand");
+                }
+                if (!st.operands.empty()) {
+                    insn.imm = imm16(st, st.operands[0]);
+                }
+                break;
+            case Opcode::kCsrr: {
+                require_operands(st, 2);
+                insn.rd = reg(st, 0);
+                const auto csr = csr_number(st, st.operands[1]);
+                insn.imm = csr;
+                break;
+            }
+            case Opcode::kCsrw: {
+                require_operands(st, 2);
+                const auto csr = csr_number(st, st.operands[0]);
+                insn.imm = csr;
+                insn.rs1 = reg(st, 1);
+                break;
+            }
+        }
+        emit(out, insn);
+    }
+
+    void require_operands(const Statement& st, std::size_t n) {
+        if (st.operands.size() != n) {
+            fail(st.line_no, "expected " + std::to_string(n) + " operands, got " +
+                                 std::to_string(st.operands.size()));
+        }
+    }
+
+    std::uint8_t reg(const Statement& st, std::size_t index) {
+        const auto r = parse_register(st.operands[index]);
+        if (!r) fail(st.line_no, "bad register '" + st.operands[index] + "'");
+        return *r;
+    }
+
+    std::uint16_t csr_number(const Statement& st, const std::string& text) {
+        const auto named = parse_csr(text);
+        if (named) return *named;
+        const auto n = parse_number(text);
+        if (n && *n >= 0 && *n < kCsrCount) {
+            return static_cast<std::uint16_t>(*n);
+        }
+        fail(st.line_no, "bad CSR '" + text + "'");
+    }
+
+    std::uint32_t resolve_value(const Statement& st, const std::string& text) {
+        const auto n = parse_number(text);
+        if (n) return static_cast<std::uint32_t>(*n);
+        const auto it = symbols_.find(text);
+        if (it != symbols_.end()) return it->second;
+        fail(st.line_no, "undefined symbol '" + text + "'");
+    }
+
+    std::uint16_t imm16(const Statement& st, const std::string& text) {
+        const auto n = parse_number(text);
+        std::int64_t value;
+        if (n) {
+            value = *n;
+        } else {
+            const auto it = symbols_.find(text);
+            if (it == symbols_.end()) {
+                fail(st.line_no, "undefined symbol '" + text + "'");
+            }
+            value = it->second;
+        }
+        if (value < -32768 || value > 65535) {
+            fail(st.line_no, "immediate out of 16-bit range: " + text);
+        }
+        return static_cast<std::uint16_t>(value & 0xffff);
+    }
+
+    std::uint16_t rel_imm(const Statement& st, const std::string& text,
+                          mem::Addr addr) {
+        const auto n = parse_number(text);
+        std::int64_t offset;
+        if (n) {
+            offset = *n;
+        } else {
+            const auto it = symbols_.find(text);
+            if (it == symbols_.end()) {
+                fail(st.line_no, "undefined label '" + text + "'");
+            }
+            offset = static_cast<std::int64_t>(it->second) -
+                     static_cast<std::int64_t>(addr);
+        }
+        if (offset < -32768 || offset > 32767) {
+            fail(st.line_no, "branch target out of range: " + text);
+        }
+        return static_cast<std::uint16_t>(offset & 0xffff);
+    }
+
+    void emit(Bytes& out, const Instruction& insn) {
+        emit_word(out, encode(insn));
+    }
+
+    void emit_word(Bytes& out, std::uint32_t word) {
+        out.push_back(static_cast<std::uint8_t>(word));
+        out.push_back(static_cast<std::uint8_t>(word >> 8));
+        out.push_back(static_cast<std::uint8_t>(word >> 16));
+        out.push_back(static_cast<std::uint8_t>(word >> 24));
+    }
+
+    const std::map<std::string, mem::Addr>& symbols_;
+    mem::Addr origin_;
+};
+
+}  // namespace
+
+mem::Addr Program::symbol(const std::string& name) const {
+    const auto it = symbols.find(name);
+    if (it == symbols.end()) {
+        throw IsaError("Program::symbol: undefined symbol '" + name + "'");
+    }
+    return it->second;
+}
+
+Program assemble(const std::string& source, mem::Addr origin) {
+    // Pass 0: lex, collecting label positions by statement index.
+    std::vector<std::pair<std::string, std::size_t>> labels;
+    std::vector<std::size_t> label_lines;
+    auto on_label = [&labels, &label_lines](std::size_t line_no,
+                                            std::string name,
+                                            std::size_t stmt_index) {
+        labels.emplace_back(std::move(name), stmt_index);
+        label_lines.push_back(line_no);
+    };
+    const std::vector<Statement> statements = lex(source, on_label);
+
+    // Pass 1: statement addresses.
+    std::vector<mem::Addr> addresses(statements.size() + 1, origin);
+    for (std::size_t i = 0; i < statements.size(); ++i) {
+        addresses[i + 1] =
+            addresses[i] + static_cast<mem::Addr>(statement_size(statements[i]));
+    }
+
+    Program program;
+    program.origin = origin;
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const auto& [name, stmt_index] = labels[i];
+        if (program.symbols.count(name) != 0) {
+            fail(label_lines[i], "duplicate label '" + name + "'");
+        }
+        program.symbols[name] = addresses[stmt_index];
+    }
+
+    // Pass 2: encode.
+    Encoder encoder(program.symbols, origin);
+    for (std::size_t i = 0; i < statements.size(); ++i) {
+        encoder.encode_statement(statements[i], addresses[i], program.code);
+    }
+    return program;
+}
+
+}  // namespace cres::isa

@@ -1,0 +1,44 @@
+// Two-pass assembler for CRV32 assembly text.
+//
+// Syntax:
+//   label:                     ; labels end with ':'
+//       addi r1, r0, 10        ; comments start with ';' or '#'
+//       beq  r1, r0, done      ; branch targets may be labels
+//       li   r2, 0x12345678    ; pseudo: lui+ori (always 2 words)
+//       la   r3, buffer        ; pseudo: li of a label address
+//       call func              ; pseudo: jal lr, func
+//       ret                    ; pseudo: jalr r0, lr, 0
+//       j    loop              ; pseudo: jal r0, loop
+//       mv   r4, r5            ; pseudo: addi r4, r5, 0
+//   .word 0xdeadbeef           ; literal 32-bit data
+//   .space 64                  ; zero-filled bytes
+//   .ascii "text"              ; raw characters
+//
+// Registers: r0..r15, aliases zero (r0), sp (r13), lr (r14).
+// CSRs by name (mstatus, mepc, ...) or number.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "mem/bus.h"
+#include "util/bytes.h"
+
+namespace cres::isa {
+
+/// Assembled output: machine code plus the symbol table.
+struct Program {
+    Bytes code;
+    std::map<std::string, mem::Addr> symbols;
+    mem::Addr origin = 0;
+
+    /// Address of a label. Throws IsaError when undefined.
+    [[nodiscard]] mem::Addr symbol(const std::string& name) const;
+};
+
+/// Assembles `source` for load address `origin`.
+/// Throws IsaError with a line-numbered message on any syntax error.
+Program assemble(const std::string& source, mem::Addr origin = 0);
+
+}  // namespace cres::isa

@@ -1,0 +1,450 @@
+#include "isa/cpu.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cres::isa {
+
+namespace {
+
+constexpr unsigned kLinkRegister = 14;
+
+std::int32_t as_signed(std::uint32_t v) noexcept {
+    return static_cast<std::int32_t>(v);
+}
+
+}  // namespace
+
+Cpu::Cpu(std::string name, mem::Bus& bus) : name_(std::move(name)), bus_(bus) {}
+
+void Cpu::reset(mem::Addr entry, bool secure) {
+    regs_.fill(0);
+    csrs_.fill(0);
+    pc_ = entry;
+    privileged_ = true;
+    secure_ = secure;
+    halted_ = false;
+    waiting_ = false;
+    stall_ = 0;
+}
+
+std::uint32_t Cpu::reg(unsigned index) const noexcept {
+    return index < 16 ? regs_[index] : 0;
+}
+
+void Cpu::set_reg(unsigned index, std::uint32_t value) noexcept {
+    if (index > 0 && index < 16) regs_[index] = value;
+}
+
+std::uint32_t Cpu::csr(std::uint16_t number) const {
+    if (number >= kCsrCount) {
+        throw IsaError("Cpu::csr: bad CSR " + std::to_string(number));
+    }
+    if (number == kCsrMcycle) return static_cast<std::uint32_t>(cycles_);
+    if (number == kCsrMinstret) return static_cast<std::uint32_t>(instret_);
+    return csrs_[number];
+}
+
+void Cpu::set_csr(std::uint16_t number, std::uint32_t value) {
+    if (number >= kCsrCount) {
+        throw IsaError("Cpu::set_csr: bad CSR " + std::to_string(number));
+    }
+    csrs_[number] = value;
+}
+
+void Cpu::raise_irq(unsigned line) {
+    if (line >= 32) throw IsaError("raise_irq: line out of range");
+    csrs_[kCsrMip] |= (1u << line);
+    waiting_ = false;
+}
+
+void Cpu::clear_irq(unsigned line) noexcept {
+    if (line < 32) csrs_[kCsrMip] &= ~(1u << line);
+}
+
+void Cpu::add_observer(CpuObserver* observer) {
+    if (observer == nullptr) throw IsaError("Cpu::add_observer: null");
+    observers_.push_back(observer);
+}
+
+void Cpu::remove_observer(CpuObserver* observer) noexcept {
+    std::erase(observers_, observer);
+}
+
+void Cpu::notify_world_switch() {
+    for (CpuObserver* o : observers_) o->on_world_switch(secure_);
+}
+
+void Cpu::trap(std::uint32_t cause, std::uint32_t tval, mem::Addr epc) {
+    ++trap_count_;
+    csrs_[kCsrMepc] = epc;
+    csrs_[kCsrMcause] = cause;
+    csrs_[kCsrMtval] = tval;
+
+    std::uint32_t status = csrs_[kCsrMstatus];
+    // Save previous privilege and interrupt-enable, then mask interrupts.
+    if (privileged_) {
+        status |= kMstatusMpp;
+    } else {
+        status &= ~kMstatusMpp;
+    }
+    if (status & kMstatusMie) {
+        status |= kMstatusMpie;
+    } else {
+        status &= ~kMstatusMpie;
+    }
+    status &= ~kMstatusMie;
+    csrs_[kCsrMstatus] = status;
+
+    privileged_ = true;
+    pc_ = csrs_[kCsrMtvec];
+    for (CpuObserver* o : observers_) o->on_trap(cause, epc);
+
+    // An unconfigured trap vector means the platform has no handler:
+    // the core halts rather than executing from address 0 forever.
+    if (csrs_[kCsrMtvec] == 0) {
+        halted_ = true;
+        for (CpuObserver* o : observers_) o->on_halt(epc);
+    }
+}
+
+void Cpu::inject_trap(TrapCause cause, std::uint32_t tval) {
+    trap(static_cast<std::uint32_t>(cause), tval, pc_);
+}
+
+bool Cpu::take_pending_interrupt() {
+    if ((csrs_[kCsrMstatus] & kMstatusMie) == 0) return false;
+    const std::uint32_t pending = csrs_[kCsrMip] & csrs_[kCsrMie];
+    if (pending == 0) return false;
+    unsigned line = 0;
+    while (((pending >> line) & 1u) == 0) ++line;
+    csrs_[kCsrMip] &= ~(1u << line);  // Edge-style acknowledge.
+    trap(static_cast<std::uint32_t>(TrapCause::kInterruptBase) | line, 0, pc_);
+    return true;
+}
+
+bool Cpu::load(mem::Addr addr, std::uint32_t size, std::uint32_t& out,
+               mem::Addr insn_pc) {
+    if (addr % size != 0) {
+        trap(static_cast<std::uint32_t>(TrapCause::kMisalignedAccess), addr,
+             insn_pc);
+        return false;
+    }
+    const auto decision =
+        mpu_.check(addr, size, mem::AccessType::kRead, privileged_);
+    if (!decision.allowed) {
+        trap(static_cast<std::uint32_t>(TrapCause::kMpuFault), addr, insn_pc);
+        return false;
+    }
+    const mem::BusAttr attr{mem::Master::kCpu, secure_, privileged_};
+    std::uint32_t value = 0;
+    if (bus_.access(mem::BusOp::kRead, addr, size, value, attr) !=
+        mem::BusResponse::kOk) {
+        trap(static_cast<std::uint32_t>(TrapCause::kBusFault), addr, insn_pc);
+        return false;
+    }
+    out = value;
+    return true;
+}
+
+bool Cpu::store(mem::Addr addr, std::uint32_t size, std::uint32_t value,
+                mem::Addr insn_pc) {
+    if (addr % size != 0) {
+        trap(static_cast<std::uint32_t>(TrapCause::kMisalignedAccess), addr,
+             insn_pc);
+        return false;
+    }
+    const auto decision =
+        mpu_.check(addr, size, mem::AccessType::kWrite, privileged_);
+    if (!decision.allowed) {
+        trap(static_cast<std::uint32_t>(TrapCause::kMpuFault), addr, insn_pc);
+        return false;
+    }
+    const mem::BusAttr attr{mem::Master::kCpu, secure_, privileged_};
+    std::uint32_t io = value;
+    if (bus_.access(mem::BusOp::kWrite, addr, size, io, attr) !=
+        mem::BusResponse::kOk) {
+        trap(static_cast<std::uint32_t>(TrapCause::kBusFault), addr, insn_pc);
+        return false;
+    }
+    return true;
+}
+
+void Cpu::tick(sim::Cycle /*now*/) {
+    ++cycles_;
+    if (halted_ || waiting_) {
+        // A pending enabled interrupt wakes a waiting core.
+        if (waiting_) (void)take_pending_interrupt();
+        return;
+    }
+    if (stall_ > 0) {
+        --stall_;
+        return;
+    }
+    (void)step();
+}
+
+bool Cpu::step() {
+    if (halted_) return false;
+    if (take_pending_interrupt()) return true;
+    if (waiting_) return true;
+
+    const mem::Addr insn_pc = pc_;
+
+    // Fetch (with MPU execute check).
+    const auto decision =
+        mpu_.check(insn_pc, 4, mem::AccessType::kExecute, privileged_);
+    if (!decision.allowed) {
+        trap(static_cast<std::uint32_t>(TrapCause::kMpuFault), insn_pc,
+             insn_pc);
+        return true;
+    }
+    const mem::BusAttr attr{mem::Master::kCpu, secure_, privileged_};
+    std::uint32_t word = 0;
+    if (bus_.access(mem::BusOp::kFetch, insn_pc, 4, word, attr) !=
+        mem::BusResponse::kOk) {
+        trap(static_cast<std::uint32_t>(TrapCause::kBusFault), insn_pc,
+             insn_pc);
+        return true;
+    }
+
+    if (!is_valid_opcode(word)) {
+        trap(static_cast<std::uint32_t>(TrapCause::kIllegalInstruction), word,
+             insn_pc);
+        return true;
+    }
+
+    const Instruction insn = decode(word);
+    for (CpuObserver* o : observers_) o->on_instruction(insn_pc, insn);
+
+    pc_ = insn_pc + 4;
+    execute(insn, insn_pc);
+    ++instret_;
+    return !halted_;
+}
+
+void Cpu::execute(const Instruction& insn, mem::Addr insn_pc) {
+    const std::uint32_t a = reg(insn.rs1);
+    const std::uint32_t b = reg(insn.rs2);
+    const std::int32_t simm = insn.simm();
+
+    switch (insn.opcode) {
+        case Opcode::kNop:
+            break;
+        case Opcode::kHalt:
+            halted_ = true;
+            for (CpuObserver* o : observers_) o->on_halt(insn_pc);
+            break;
+
+        case Opcode::kAdd: set_reg(insn.rd, a + b); break;
+        case Opcode::kSub: set_reg(insn.rd, a - b); break;
+        case Opcode::kAnd: set_reg(insn.rd, a & b); break;
+        case Opcode::kOr: set_reg(insn.rd, a | b); break;
+        case Opcode::kXor: set_reg(insn.rd, a ^ b); break;
+        case Opcode::kShl: set_reg(insn.rd, a << (b & 31)); break;
+        case Opcode::kShr: set_reg(insn.rd, a >> (b & 31)); break;
+        case Opcode::kSra:
+            set_reg(insn.rd,
+                    static_cast<std::uint32_t>(as_signed(a) >>
+                                               static_cast<int>(b & 31)));
+            break;
+        case Opcode::kMul:
+            set_reg(insn.rd, a * b);
+            stall_ += 2;
+            break;
+        case Opcode::kSlt:
+            set_reg(insn.rd, as_signed(a) < as_signed(b) ? 1 : 0);
+            break;
+        case Opcode::kSltu: set_reg(insn.rd, a < b ? 1 : 0); break;
+
+        case Opcode::kAddi:
+            set_reg(insn.rd, a + static_cast<std::uint32_t>(simm));
+            break;
+        case Opcode::kAndi: set_reg(insn.rd, a & insn.imm); break;
+        case Opcode::kOri: set_reg(insn.rd, a | insn.imm); break;
+        case Opcode::kXori: set_reg(insn.rd, a ^ insn.imm); break;
+        case Opcode::kShli: set_reg(insn.rd, a << (insn.imm & 31)); break;
+        case Opcode::kShri: set_reg(insn.rd, a >> (insn.imm & 31)); break;
+        case Opcode::kLui:
+            set_reg(insn.rd, static_cast<std::uint32_t>(insn.imm) << 16);
+            break;
+
+        case Opcode::kLw:
+        case Opcode::kLh:
+        case Opcode::kLb: {
+            const std::uint32_t size = insn.opcode == Opcode::kLw   ? 4
+                                       : insn.opcode == Opcode::kLh ? 2
+                                                                    : 1;
+            std::uint32_t value = 0;
+            if (load(a + static_cast<std::uint32_t>(simm), size, value,
+                     insn_pc)) {
+                set_reg(insn.rd, value);
+                // Memory latency (cache hit/miss aware) becomes stall
+                // cycles — the architectural timing side channel.
+                stall_ += bus_.last_latency() - 1;
+            }
+            break;
+        }
+        case Opcode::kSw:
+        case Opcode::kSh:
+        case Opcode::kSb: {
+            const std::uint32_t size = insn.opcode == Opcode::kSw   ? 4
+                                       : insn.opcode == Opcode::kSh ? 2
+                                                                    : 1;
+            if (store(a + static_cast<std::uint32_t>(simm), size, reg(insn.rd),
+                      insn_pc)) {
+                stall_ += bus_.last_latency() - 1;
+            }
+            break;
+        }
+
+        case Opcode::kBeq:
+        case Opcode::kBne:
+        case Opcode::kBlt:
+        case Opcode::kBge:
+        case Opcode::kBltu:
+        case Opcode::kBgeu: {
+            // Branches carry the second comparand in the rd field.
+            const std::uint32_t lhs = a;
+            const std::uint32_t rhs = reg(insn.rd);
+            bool taken = false;
+            switch (insn.opcode) {
+                case Opcode::kBeq: taken = lhs == rhs; break;
+                case Opcode::kBne: taken = lhs != rhs; break;
+                case Opcode::kBlt: taken = as_signed(lhs) < as_signed(rhs); break;
+                case Opcode::kBge: taken = as_signed(lhs) >= as_signed(rhs); break;
+                case Opcode::kBltu: taken = lhs < rhs; break;
+                case Opcode::kBgeu: taken = lhs >= rhs; break;
+                default: break;
+            }
+            if (taken) {
+                pc_ = insn_pc + static_cast<std::uint32_t>(simm);
+            }
+            break;
+        }
+
+        case Opcode::kJal: {
+            const mem::Addr target = insn_pc + static_cast<std::uint32_t>(simm);
+            set_reg(insn.rd, insn_pc + 4);
+            pc_ = target;
+            if (insn.rd == kLinkRegister) {
+                for (CpuObserver* o : observers_) o->on_call(insn_pc, target);
+            }
+            break;
+        }
+        case Opcode::kJalr: {
+            const mem::Addr target =
+                (a + static_cast<std::uint32_t>(simm)) & ~3u;
+            const bool is_return =
+                insn.rd == 0 && insn.rs1 == kLinkRegister && simm == 0;
+            set_reg(insn.rd, insn_pc + 4);
+            pc_ = target;
+            if (is_return) {
+                for (CpuObserver* o : observers_) o->on_return(insn_pc, target);
+            } else if (insn.rd == kLinkRegister) {
+                for (CpuObserver* o : observers_) o->on_call(insn_pc, target);
+            }
+            break;
+        }
+
+        case Opcode::kEcall: {
+            if (ecall_handler_ && ecall_handler_(*this, insn.imm)) break;
+            trap(static_cast<std::uint32_t>(TrapCause::kEcall), insn.imm,
+                 insn_pc + 4);
+            break;
+        }
+        case Opcode::kMret: {
+            if (!privileged_) {
+                trap(static_cast<std::uint32_t>(
+                         TrapCause::kIllegalInstruction),
+                     0, insn_pc);
+                break;
+            }
+            std::uint32_t status = csrs_[kCsrMstatus];
+            privileged_ = (status & kMstatusMpp) != 0;
+            if (status & kMstatusMpie) {
+                status |= kMstatusMie;
+            } else {
+                status &= ~kMstatusMie;
+            }
+            csrs_[kCsrMstatus] = status;
+            pc_ = csrs_[kCsrMepc];
+            break;
+        }
+        case Opcode::kSmc: {
+            if (!privileged_) {
+                trap(static_cast<std::uint32_t>(TrapCause::kSecurityFault),
+                     insn.imm, insn_pc);
+                break;
+            }
+            if (csrs_[kCsrStvec] == 0) {
+                // No secure world installed.
+                trap(static_cast<std::uint32_t>(TrapCause::kSecurityFault),
+                     insn.imm, insn_pc);
+                break;
+            }
+            csrs_[kCsrSepc] = insn_pc + 4;
+            secure_ = true;
+            pc_ = csrs_[kCsrStvec];
+            notify_world_switch();
+            break;
+        }
+        case Opcode::kSret: {
+            if (!secure_ || !privileged_) {
+                trap(static_cast<std::uint32_t>(TrapCause::kSecurityFault), 0,
+                     insn_pc);
+                break;
+            }
+            secure_ = false;
+            pc_ = csrs_[kCsrSepc];
+            notify_world_switch();
+            break;
+        }
+        case Opcode::kCsrr: {
+            if (!privileged_) {
+                trap(static_cast<std::uint32_t>(
+                         TrapCause::kIllegalInstruction),
+                     insn.imm, insn_pc);
+                break;
+            }
+            if (insn.imm >= kCsrCount) {
+                trap(static_cast<std::uint32_t>(
+                         TrapCause::kIllegalInstruction),
+                     insn.imm, insn_pc);
+                break;
+            }
+            if ((insn.imm == kCsrStvec || insn.imm == kCsrSepc) && !secure_) {
+                trap(static_cast<std::uint32_t>(TrapCause::kSecurityFault),
+                     insn.imm, insn_pc);
+                break;
+            }
+            set_reg(insn.rd, csr(insn.imm));
+            break;
+        }
+        case Opcode::kCsrw: {
+            if (!privileged_ || insn.imm >= kCsrCount ||
+                insn.imm == kCsrMcycle || insn.imm == kCsrMinstret) {
+                trap(static_cast<std::uint32_t>(
+                         TrapCause::kIllegalInstruction),
+                     insn.imm, insn_pc);
+                break;
+            }
+            if ((insn.imm == kCsrStvec || insn.imm == kCsrSepc) && !secure_) {
+                trap(static_cast<std::uint32_t>(TrapCause::kSecurityFault),
+                     insn.imm, insn_pc);
+                break;
+            }
+            csrs_[insn.imm] = reg(insn.rs1);
+            for (CpuObserver* o : observers_) {
+                o->on_csr_write(insn.imm, reg(insn.rs1));
+            }
+            break;
+        }
+        case Opcode::kWfi:
+            waiting_ = true;
+            break;
+    }
+}
+
+}  // namespace cres::isa

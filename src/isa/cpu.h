@@ -1,0 +1,155 @@
+// CRV32 CPU interpreter.
+//
+// Models the architectural surface the paper's monitors observe:
+// privilege (machine/user), security state (secure/non-secure world),
+// MPU-checked memory accesses, traps, interrupts, CSRs and cycle
+// accounting. Monitors attach as CpuObservers; they see instruction
+// retirement, calls/returns (for control-flow integrity), traps and
+// world switches.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "mem/bus.h"
+#include "mem/mpu.h"
+#include "sim/simulator.h"
+
+namespace cres::isa {
+
+class Cpu;
+
+/// Hook interface for monitors and tracing.
+class CpuObserver {
+public:
+    virtual ~CpuObserver() = default;
+    virtual void on_instruction(mem::Addr pc, const Instruction& insn) {
+        (void)pc;
+        (void)insn;
+    }
+    /// A call: jal/jalr writing the link register.
+    virtual void on_call(mem::Addr from, mem::Addr target) {
+        (void)from;
+        (void)target;
+    }
+    /// A return: jalr r0, lr, 0 style.
+    virtual void on_return(mem::Addr from, mem::Addr target) {
+        (void)from;
+        (void)target;
+    }
+    virtual void on_trap(std::uint32_t cause, mem::Addr pc) {
+        (void)cause;
+        (void)pc;
+    }
+    virtual void on_halt(mem::Addr pc) { (void)pc; }
+    virtual void on_world_switch(bool secure) { (void)secure; }
+    virtual void on_csr_write(std::uint16_t csr, std::uint32_t value) {
+        (void)csr;
+        (void)value;
+    }
+};
+
+/// Optional OS-service hook: when set, an ecall is first offered to the
+/// handler (modelling firmware services); returning true suppresses the
+/// architectural trap.
+using EcallHandler = std::function<bool(Cpu&, std::uint16_t service)>;
+
+class Cpu : public sim::Tickable {
+public:
+    Cpu(std::string name, mem::Bus& bus);
+
+    /// Resets registers and enters machine mode at `entry`.
+    void reset(mem::Addr entry, bool secure = false);
+
+    /// One simulation cycle: either retires an instruction or burns a
+    /// stall cycle (loads/stores and mul are multi-cycle).
+    void tick(sim::Cycle now) override;
+
+    /// Executes exactly one instruction (ignoring stall modelling).
+    /// Returns false when halted.
+    bool step();
+
+    // --- Architectural state -------------------------------------------
+    [[nodiscard]] std::uint32_t reg(unsigned index) const noexcept;
+    void set_reg(unsigned index, std::uint32_t value) noexcept;
+    [[nodiscard]] mem::Addr pc() const noexcept { return pc_; }
+    void set_pc(mem::Addr pc) noexcept { pc_ = pc; }
+    [[nodiscard]] bool privileged() const noexcept { return privileged_; }
+    [[nodiscard]] bool secure() const noexcept { return secure_; }
+    [[nodiscard]] bool halted() const noexcept { return halted_; }
+    [[nodiscard]] bool waiting() const noexcept { return waiting_; }
+    /// Drops privilege to user mode (used by the OS model after boot).
+    void enter_user_mode() noexcept { privileged_ = false; }
+
+    [[nodiscard]] std::uint32_t csr(std::uint16_t number) const;
+    void set_csr(std::uint16_t number, std::uint32_t value);
+
+    [[nodiscard]] mem::Mpu& mpu() noexcept { return mpu_; }
+    [[nodiscard]] const mem::Mpu& mpu() const noexcept { return mpu_; }
+
+    // --- Interrupts -----------------------------------------------------
+    void raise_irq(unsigned line);
+    void clear_irq(unsigned line) noexcept;
+
+    // --- Hooks ----------------------------------------------------------
+    void add_observer(CpuObserver* observer);
+    void remove_observer(CpuObserver* observer) noexcept;
+    void set_ecall_handler(EcallHandler handler) {
+        ecall_handler_ = std::move(handler);
+    }
+
+    // --- Telemetry -------------------------------------------------------
+    [[nodiscard]] std::uint64_t instret() const noexcept { return instret_; }
+    [[nodiscard]] std::uint64_t cycles() const noexcept { return cycles_; }
+    [[nodiscard]] std::uint64_t trap_count() const noexcept {
+        return trap_count_;
+    }
+    [[nodiscard]] std::string_view name() const noexcept { return name_; }
+
+    /// Forces an architectural trap from outside (used by the response
+    /// manager to preempt a task).
+    void inject_trap(TrapCause cause, std::uint32_t tval = 0);
+
+    /// Stops the core (response: task kill). reset() restarts it.
+    void halt() noexcept { halted_ = true; }
+
+private:
+    void execute(const Instruction& insn, mem::Addr insn_pc);
+    void trap(std::uint32_t cause, std::uint32_t tval, mem::Addr epc);
+    bool take_pending_interrupt();
+
+    /// Memory helpers; on fault they trap and return false.
+    bool load(mem::Addr addr, std::uint32_t size, std::uint32_t& out,
+              mem::Addr insn_pc);
+    bool store(mem::Addr addr, std::uint32_t size, std::uint32_t value,
+               mem::Addr insn_pc);
+
+    void notify_world_switch();
+
+    std::string name_;
+    mem::Bus& bus_;
+    mem::Mpu mpu_;
+
+    std::array<std::uint32_t, 16> regs_{};
+    mem::Addr pc_ = 0;
+    bool privileged_ = true;
+    bool secure_ = false;
+    bool halted_ = true;
+    bool waiting_ = false;
+
+    std::array<std::uint32_t, kCsrCount> csrs_{};
+
+    std::uint64_t instret_ = 0;
+    std::uint64_t cycles_ = 0;
+    std::uint64_t trap_count_ = 0;
+    std::uint32_t stall_ = 0;
+
+    std::vector<CpuObserver*> observers_;
+    EcallHandler ecall_handler_;
+};
+
+}  // namespace cres::isa

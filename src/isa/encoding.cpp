@@ -1,0 +1,91 @@
+#include "isa/encoding.h"
+
+#include <map>
+
+namespace cres::isa {
+
+namespace {
+
+const std::map<Opcode, std::string>& mnemonic_table() {
+    static const std::map<Opcode, std::string> table = {
+        {Opcode::kNop, "nop"},     {Opcode::kHalt, "halt"},
+        {Opcode::kAdd, "add"},     {Opcode::kSub, "sub"},
+        {Opcode::kAnd, "and"},     {Opcode::kOr, "or"},
+        {Opcode::kXor, "xor"},     {Opcode::kShl, "shl"},
+        {Opcode::kShr, "shr"},     {Opcode::kSra, "sra"},
+        {Opcode::kMul, "mul"},     {Opcode::kSlt, "slt"},
+        {Opcode::kSltu, "sltu"},   {Opcode::kAddi, "addi"},
+        {Opcode::kAndi, "andi"},   {Opcode::kOri, "ori"},
+        {Opcode::kXori, "xori"},   {Opcode::kShli, "shli"},
+        {Opcode::kShri, "shri"},   {Opcode::kLui, "lui"},
+        {Opcode::kLw, "lw"},       {Opcode::kLh, "lh"},
+        {Opcode::kLb, "lb"},       {Opcode::kSw, "sw"},
+        {Opcode::kSh, "sh"},       {Opcode::kSb, "sb"},
+        {Opcode::kBeq, "beq"},     {Opcode::kBne, "bne"},
+        {Opcode::kBlt, "blt"},     {Opcode::kBge, "bge"},
+        {Opcode::kBltu, "bltu"},   {Opcode::kBgeu, "bgeu"},
+        {Opcode::kJal, "jal"},     {Opcode::kJalr, "jalr"},
+        {Opcode::kEcall, "ecall"}, {Opcode::kMret, "mret"},
+        {Opcode::kSmc, "smc"},     {Opcode::kSret, "sret"},
+        {Opcode::kCsrr, "csrr"},   {Opcode::kCsrw, "csrw"},
+        {Opcode::kWfi, "wfi"},
+    };
+    return table;
+}
+
+}  // namespace
+
+std::string opcode_name(Opcode op) {
+    const auto& table = mnemonic_table();
+    const auto it = table.find(op);
+    return it == table.end() ? "?" : it->second;
+}
+
+std::optional<Opcode> opcode_from_name(const std::string& mnemonic) {
+    for (const auto& [op, name] : mnemonic_table()) {
+        if (name == mnemonic) return op;
+    }
+    return std::nullopt;
+}
+
+std::uint32_t encode(const Instruction& insn) noexcept {
+    // rs2 lives in imm bits [15:12]; an instruction uses one or the
+    // other (see encoding.h), so OR-ing both is safe.
+    return (static_cast<std::uint32_t>(insn.opcode) << 24) |
+           (static_cast<std::uint32_t>(insn.rd & 0x0f) << 20) |
+           (static_cast<std::uint32_t>(insn.rs1 & 0x0f) << 16) |
+           (static_cast<std::uint32_t>(insn.rs2 & 0x0f) << 12) |
+           static_cast<std::uint32_t>(insn.imm);
+}
+
+Instruction decode(std::uint32_t word) noexcept {
+    Instruction insn;
+    insn.opcode = static_cast<Opcode>((word >> 24) & 0xff);
+    insn.rd = static_cast<std::uint8_t>((word >> 20) & 0x0f);
+    insn.rs1 = static_cast<std::uint8_t>((word >> 16) & 0x0f);
+    insn.imm = static_cast<std::uint16_t>(word & 0xffff);
+    insn.rs2 = static_cast<std::uint8_t>((word >> 12) & 0x0f);
+    return insn;
+}
+
+bool is_valid_opcode(std::uint32_t word) noexcept {
+    const auto op = static_cast<Opcode>((word >> 24) & 0xff);
+    return mnemonic_table().count(op) != 0;
+}
+
+std::string trap_cause_name(std::uint32_t cause) {
+    if (cause >= static_cast<std::uint32_t>(TrapCause::kInterruptBase)) {
+        return "interrupt-" + std::to_string(cause & 0x7fffffff);
+    }
+    switch (static_cast<TrapCause>(cause)) {
+        case TrapCause::kIllegalInstruction: return "illegal-instruction";
+        case TrapCause::kBusFault: return "bus-fault";
+        case TrapCause::kMpuFault: return "mpu-fault";
+        case TrapCause::kEcall: return "ecall";
+        case TrapCause::kSecurityFault: return "security-fault";
+        case TrapCause::kMisalignedAccess: return "misaligned-access";
+        default: return "unknown-" + std::to_string(cause);
+    }
+}
+
+}  // namespace cres::isa

@@ -1,0 +1,141 @@
+// CRV32: the platform's 32-bit RISC ISA.
+//
+// Fixed 32-bit instruction words:
+//   [31:24] opcode   [23:20] rd   [19:16] rs1   [15:12] rs2   [15:0] imm16
+// rs2 and imm16 overlap: register-register ALU ops use rs2 (imm must be
+// the rs2 nibble only), immediate/memory/jump ops use imm16. Branches
+// need two comparands *and* an offset, so they carry the second
+// comparand in the rd field (rd is not written by branches).
+//
+// 16 registers: r0 hardwired to zero, r13 = sp, r14 = lr by convention.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace cres::isa {
+
+enum class Opcode : std::uint8_t {
+    kNop = 0x00,
+    kHalt = 0x01,
+
+    // Register-register ALU.
+    kAdd = 0x10,
+    kSub = 0x11,
+    kAnd = 0x12,
+    kOr = 0x13,
+    kXor = 0x14,
+    kShl = 0x15,
+    kShr = 0x16,
+    kSra = 0x17,
+    kMul = 0x18,
+    kSlt = 0x19,   ///< rd = (rs1 < rs2) signed.
+    kSltu = 0x1a,  ///< rd = (rs1 < rs2) unsigned.
+
+    // Immediate ALU.
+    kAddi = 0x20,  ///< rd = rs1 + sext(imm).
+    kAndi = 0x21,  ///< rd = rs1 & zext(imm).
+    kOri = 0x22,
+    kXori = 0x23,
+    kShli = 0x24,  ///< Shift by imm & 31.
+    kShri = 0x25,
+    kLui = 0x26,  ///< rd = imm << 16.
+
+    // Loads: rd = mem[rs1 + sext(imm)].
+    kLw = 0x30,
+    kLh = 0x31,  ///< Zero-extended halfword.
+    kLb = 0x32,  ///< Zero-extended byte.
+    // Stores: mem[rs1 + sext(imm)] = rd.
+    kSw = 0x33,
+    kSh = 0x34,
+    kSb = 0x35,
+
+    // Branches: compare rs1, rs2; target = pc + sext(imm).
+    kBeq = 0x40,
+    kBne = 0x41,
+    kBlt = 0x42,  ///< Signed.
+    kBge = 0x43,  ///< Signed.
+    kBltu = 0x44,
+    kBgeu = 0x45,
+
+    // Jumps.
+    kJal = 0x46,   ///< rd = pc + 4; pc += sext(imm).
+    kJalr = 0x47,  ///< rd = pc + 4; pc = (rs1 + sext(imm)) & ~3.
+
+    // System.
+    kEcall = 0x50,  ///< Trap to machine mode (imm = service number).
+    kMret = 0x51,   ///< Return from machine trap.
+    kSmc = 0x52,    ///< Secure monitor call: enter secure world.
+    kSret = 0x53,   ///< Return from secure world.
+    kCsrr = 0x54,   ///< rd = csr[imm].
+    kCsrw = 0x55,   ///< csr[imm] = rs1.
+    kWfi = 0x56,    ///< Wait for interrupt.
+};
+
+/// Returns the mnemonic ("add"), or "?" for unknown opcodes.
+std::string opcode_name(Opcode op);
+
+/// Returns the opcode for a mnemonic, or nullopt.
+std::optional<Opcode> opcode_from_name(const std::string& mnemonic);
+
+/// Decoded instruction fields.
+struct Instruction {
+    Opcode opcode = Opcode::kNop;
+    std::uint8_t rd = 0;
+    std::uint8_t rs1 = 0;
+    std::uint8_t rs2 = 0;
+    std::uint16_t imm = 0;
+
+    /// Sign-extended immediate.
+    [[nodiscard]] std::int32_t simm() const noexcept {
+        return static_cast<std::int16_t>(imm);
+    }
+};
+
+/// Packs an instruction into a word.
+std::uint32_t encode(const Instruction& insn) noexcept;
+
+/// Unpacks a word. Never fails structurally; the CPU rejects unknown
+/// opcodes at execution time.
+Instruction decode(std::uint32_t word) noexcept;
+
+/// True when the word's opcode field holds a defined opcode.
+bool is_valid_opcode(std::uint32_t word) noexcept;
+
+/// CSR numbers.
+enum Csr : std::uint16_t {
+    kCsrMstatus = 0,   ///< bit0 MPP (prev priv), bit1 MIE, bit2 MPIE.
+    kCsrMepc = 1,
+    kCsrMcause = 2,
+    kCsrMtval = 3,
+    kCsrMtvec = 4,
+    kCsrMscratch = 5,
+    kCsrStvec = 6,   ///< Secure-world entry vector (secure-writable only).
+    kCsrSepc = 7,
+    kCsrMie = 8,
+    kCsrMip = 9,
+    kCsrMcycle = 10,   ///< Read-only low 32 bits of the cycle counter.
+    kCsrMinstret = 11, ///< Read-only instruction count.
+    kCsrCount = 12,
+};
+
+/// mstatus bits.
+constexpr std::uint32_t kMstatusMpp = 1u << 0;   ///< Previous privilege.
+constexpr std::uint32_t kMstatusMie = 1u << 1;   ///< Interrupts enabled.
+constexpr std::uint32_t kMstatusMpie = 1u << 2;  ///< Previous MIE.
+
+/// Trap causes (mcause values).
+enum class TrapCause : std::uint32_t {
+    kIllegalInstruction = 1,
+    kBusFault = 2,
+    kMpuFault = 3,
+    kEcall = 4,
+    kSecurityFault = 5,   ///< SMC/SRET misuse, secure CSR from non-secure.
+    kMisalignedAccess = 6,
+    kInterruptBase = 0x80000000,  ///< kInterruptBase | irq line.
+};
+
+std::string trap_cause_name(std::uint32_t cause);
+
+}  // namespace cres::isa

@@ -1,0 +1,102 @@
+#include "mem/cache.h"
+
+#include "util/error.h"
+
+namespace cres::mem {
+
+namespace {
+
+bool is_power_of_two(std::uint32_t v) noexcept {
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+}  // namespace
+
+CachedRam::CachedRam(std::string name, std::size_t backing_size,
+                     std::uint32_t line_size, std::uint32_t line_count)
+    : name_(std::move(name)),
+      backing_(name_ + ".backing", backing_size),
+      line_size_(line_size),
+      line_count_(line_count),
+      lines_(line_count) {
+    if (!is_power_of_two(line_size_) || !is_power_of_two(line_count_)) {
+        throw MemError("CachedRam: line size/count must be powers of two");
+    }
+}
+
+std::uint32_t CachedRam::line_index(Addr offset, bool secure) const noexcept {
+    std::uint32_t index = (offset / line_size_) & (line_count_ - 1);
+    if (partitioned_) {
+        // Half the sets for each world: top bit selects the partition.
+        index = (index & (line_count_ / 2 - 1)) |
+                (secure ? line_count_ / 2 : 0);
+    }
+    return index;
+}
+
+void CachedRam::touch(Addr offset, const BusAttr& attr) {
+    const Addr tag = offset / line_size_;
+    Line& line = lines_[line_index(offset, attr.secure)];
+    CacheStats& stats = stats_[attr.master];
+
+    if (line.valid && line.tag == tag) {
+        ++stats.hits;
+        last_latency_ = kHitLatency;
+        return;
+    }
+    if (line.valid) {
+        ++stats.evictions;
+        if (line.secure != attr.secure) ++cross_domain_evictions_;
+    }
+    line.valid = true;
+    line.tag = tag;
+    line.secure = attr.secure;
+    ++stats.misses;
+    last_latency_ = kMissLatency;
+}
+
+BusResponse CachedRam::read(Addr offset, std::uint32_t size,
+                            std::uint32_t& out, const BusAttr& attr) {
+    touch(offset, attr);
+    return backing_.read(offset, size, out, attr);
+}
+
+BusResponse CachedRam::write(Addr offset, std::uint32_t size,
+                             std::uint32_t value, const BusAttr& attr) {
+    touch(offset, attr);
+    return backing_.write(offset, size, value, attr);
+}
+
+void CachedRam::flush() noexcept {
+    for (auto& line : lines_) line.valid = false;
+}
+
+void CachedRam::set_partitioned(bool partitioned) noexcept {
+    partitioned_ = partitioned;
+    flush();
+}
+
+const CacheStats& CachedRam::stats(Master master) const {
+    return stats_[master];
+}
+
+CacheStats CachedRam::total_stats() const {
+    CacheStats total;
+    for (const auto& [master, s] : stats_) {
+        total.hits += s.hits;
+        total.misses += s.misses;
+        total.evictions += s.evictions;
+    }
+    return total;
+}
+
+bool CachedRam::line_present(Addr offset) const noexcept {
+    // Presence check is world-agnostic in unpartitioned mode (that is
+    // the leak); in partitioned mode the observer can only see its own
+    // partition, which is handled by line_index at access time. For
+    // this query we report the non-secure view.
+    const Line& line = lines_[line_index(offset, false)];
+    return line.valid && line.tag == offset / line_size_;
+}
+
+}  // namespace cres::mem

@@ -1,0 +1,107 @@
+// Direct-mapped cache in front of a RAM, with architectural timing:
+// hits and misses have different latencies, observable by software via
+// the cycle counter. This is the substrate for the microarchitectural
+// side-channel attacks the paper's Section IV discusses ([17],[18] and
+// the cache-timing leaks against TEEs): secret-dependent access
+// patterns leave secret-dependent timing, which crosses every
+// trust/isolation boundary on the chip.
+//
+// The cache also exports the telemetry a resilience monitor needs:
+// per-master hit/miss counters and an eviction-set heuristic feed
+// (prime+probe attacks show up as periodic conflict-eviction storms).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "mem/bus.h"
+#include "mem/ram.h"
+
+namespace cres::mem {
+
+struct CacheStats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t evictions = 0;
+
+    [[nodiscard]] double miss_rate() const noexcept {
+        const auto total = hits + misses;
+        return total == 0 ? 0.0
+                          : static_cast<double>(misses) /
+                                static_cast<double>(total);
+    }
+};
+
+/// A direct-mapped cache wrapping a backing Ram. Mapped on the bus in
+/// the Ram's place; accesses hit or miss and report latency.
+class CachedRam : public BusTarget {
+public:
+    /// `line_size` and `line_count` must be powers of two.
+    CachedRam(std::string name, std::size_t backing_size,
+              std::uint32_t line_size = 16, std::uint32_t line_count = 64);
+
+    std::string_view name() const override { return name_; }
+
+    BusResponse read(Addr offset, std::uint32_t size, std::uint32_t& out,
+                     const BusAttr& attr) override;
+    BusResponse write(Addr offset, std::uint32_t size, std::uint32_t value,
+                      const BusAttr& attr) override;
+
+    /// Latency (cycles) of the most recent access: kHitLatency or
+    /// kMissLatency. The Bus forwards this to the CPU's stall model —
+    /// that is the whole side channel.
+    [[nodiscard]] std::uint32_t last_latency() const noexcept {
+        return last_latency_;
+    }
+
+    static constexpr std::uint32_t kHitLatency = 1;
+    static constexpr std::uint32_t kMissLatency = 8;
+
+    /// Flush everything (response: close the channel by wiping state).
+    void flush() noexcept;
+
+    /// Partitioned mode: lines are split by security attribute, so a
+    /// non-secure observer can no longer evict or probe secure lines —
+    /// the classic side-channel countermeasure.
+    void set_partitioned(bool partitioned) noexcept;
+    [[nodiscard]] bool partitioned() const noexcept { return partitioned_; }
+
+    /// Direct backing-store access (loader / checkpoint path).
+    [[nodiscard]] Ram& backing() noexcept { return backing_; }
+
+    [[nodiscard]] const CacheStats& stats(Master master) const;
+    [[nodiscard]] CacheStats total_stats() const;
+
+    /// Evictions where the incoming access and the evicted line belong
+    /// to different security domains — the prime+probe signature
+    /// (benign single-domain workloads never produce these).
+    [[nodiscard]] std::uint64_t cross_domain_evictions() const noexcept {
+        return cross_domain_evictions_;
+    }
+
+    /// True when the line holding `offset` is currently resident.
+    [[nodiscard]] bool line_present(Addr offset) const noexcept;
+
+private:
+    struct Line {
+        bool valid = false;
+        bool secure = false;
+        Addr tag = 0;
+    };
+
+    std::uint32_t line_index(Addr offset, bool secure) const noexcept;
+    void touch(Addr offset, const BusAttr& attr);
+
+    std::string name_;
+    Ram backing_;
+    std::uint32_t line_size_;
+    std::uint32_t line_count_;
+    bool partitioned_ = false;
+    std::vector<Line> lines_;
+    std::uint32_t last_latency_ = kHitLatency;
+    std::uint64_t cross_domain_evictions_ = 0;
+    mutable std::map<Master, CacheStats> stats_;
+};
+
+}  // namespace cres::mem

@@ -1,0 +1,55 @@
+#include "mem/ram.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace cres::mem {
+
+Ram::Ram(std::string name, std::size_t size, bool writable)
+    : name_(std::move(name)), data_(size, 0), writable_(writable) {
+    if (size == 0) throw MemError("Ram: zero size");
+}
+
+BusResponse Ram::read(Addr offset, std::uint32_t size, std::uint32_t& out,
+                      const BusAttr& /*attr*/) {
+    if (offset + size > data_.size()) return BusResponse::kDeviceError;
+    std::uint32_t value = 0;
+    for (std::uint32_t i = 0; i < size; ++i) {
+        value |= static_cast<std::uint32_t>(data_[offset + i]) << (8 * i);
+    }
+    out = value;
+    return BusResponse::kOk;
+}
+
+BusResponse Ram::write(Addr offset, std::uint32_t size, std::uint32_t value,
+                       const BusAttr& /*attr*/) {
+    if (!writable_) return BusResponse::kReadOnly;
+    if (offset + size > data_.size()) return BusResponse::kDeviceError;
+    for (std::uint32_t i = 0; i < size; ++i) {
+        data_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    }
+    return BusResponse::kOk;
+}
+
+void Ram::load(Addr offset, BytesView image) {
+    if (offset + image.size() > data_.size()) {
+        throw MemError("Ram::load: image exceeds memory bounds in " + name_);
+    }
+    std::copy(image.begin(), image.end(),
+              data_.begin() + static_cast<std::ptrdiff_t>(offset));
+}
+
+Bytes Ram::dump(Addr offset, std::size_t length) const {
+    if (offset + length > data_.size()) {
+        throw MemError("Ram::dump: range exceeds memory bounds in " + name_);
+    }
+    return Bytes(data_.begin() + static_cast<std::ptrdiff_t>(offset),
+                 data_.begin() + static_cast<std::ptrdiff_t>(offset + length));
+}
+
+void Ram::fill(std::uint8_t value) noexcept {
+    std::fill(data_.begin(), data_.end(), value);
+}
+
+}  // namespace cres::mem

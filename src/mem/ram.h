@@ -1,0 +1,44 @@
+// RAM and ROM bus targets backed by an in-process byte array.
+#pragma once
+
+#include <string>
+
+#include "mem/bus.h"
+#include "util/bytes.h"
+
+namespace cres::mem {
+
+/// Little-endian byte-addressable memory. With `writable == false` the
+/// device rejects bus writes (ROM) but can still be programmed through
+/// the load() back door (the factory provisioning path).
+class Ram : public BusTarget {
+public:
+    Ram(std::string name, std::size_t size, bool writable = true);
+
+    std::string_view name() const override { return name_; }
+
+    BusResponse read(Addr offset, std::uint32_t size, std::uint32_t& out,
+                     const BusAttr& attr) override;
+    BusResponse write(Addr offset, std::uint32_t size, std::uint32_t value,
+                      const BusAttr& attr) override;
+
+    /// Direct (off-bus) image load at `offset`. Throws MemError on
+    /// overflow. Models factory programming / debugger load.
+    void load(Addr offset, BytesView image);
+
+    /// Direct (off-bus) readback, e.g. for test assertions.
+    [[nodiscard]] Bytes dump(Addr offset, std::size_t length) const;
+
+    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+    [[nodiscard]] const Bytes& data() const noexcept { return data_; }
+
+    /// Fills the memory with a byte (models power-on or scrubbing).
+    void fill(std::uint8_t value) noexcept;
+
+private:
+    std::string name_;
+    Bytes data_;
+    bool writable_;
+};
+
+}  // namespace cres::mem

@@ -1,0 +1,107 @@
+#include "net/attestation.h"
+
+#include "util/error.h"
+#include "util/serial.h"
+
+namespace cres::net {
+
+namespace {
+constexpr std::uint32_t kChallengeMagic = 0x43484c47;  // "CHLG"
+constexpr std::uint32_t kQuoteMagic = 0x51554f54;      // "QUOT"
+}  // namespace
+
+Bytes encode_challenge(BytesView nonce) {
+    BinaryWriter w;
+    w.u32(kChallengeMagic);
+    w.blob(nonce);
+    return w.take();
+}
+
+std::optional<Bytes> decode_challenge(BytesView data) {
+    try {
+        BinaryReader r(data);
+        if (r.u32() != kChallengeMagic) return std::nullopt;
+        Bytes nonce = r.blob();
+        if (!r.done()) return std::nullopt;
+        return nonce;
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
+
+Bytes encode_quote(const tee::Quote& quote) {
+    BinaryWriter w;
+    w.u32(kQuoteMagic);
+    w.raw(quote.composite);
+    w.blob(quote.nonce);
+    w.raw(quote.tag);
+    return w.take();
+}
+
+std::optional<tee::Quote> decode_quote(BytesView data) {
+    try {
+        BinaryReader r(data);
+        if (r.u32() != kQuoteMagic) return std::nullopt;
+        tee::Quote q;
+        q.composite = crypto::hash_from_bytes(r.raw(32));
+        q.nonce = r.blob();
+        q.tag = crypto::hash_from_bytes(r.raw(32));
+        if (!r.done()) return std::nullopt;
+        return q;
+    } catch (const Error&) {
+        return std::nullopt;
+    }
+}
+
+std::string attest_result_name(AttestResult result) {
+    switch (result) {
+        case AttestResult::kTrusted: return "trusted";
+        case AttestResult::kStaleNonce: return "stale-nonce";
+        case AttestResult::kBadTag: return "bad-tag";
+        case AttestResult::kWrongMeasurement: return "wrong-measurement";
+        case AttestResult::kMalformed: return "malformed";
+    }
+    return "?";
+}
+
+AttestationVerifier::AttestationVerifier(crypto::Hash256 expected_composite,
+                                         Bytes key, std::uint64_t rng_seed)
+    : expected_composite_(expected_composite),
+      key_(std::move(key)),
+      rng_(rng_seed) {
+    if (key_.empty()) throw NetError("AttestationVerifier: empty key");
+}
+
+Bytes AttestationVerifier::challenge() {
+    outstanding_nonce_ = rng_.bytes(16);
+    return encode_challenge(outstanding_nonce_);
+}
+
+AttestResult AttestationVerifier::verify(BytesView response) {
+    const auto quote = decode_quote(response);
+    if (!quote) {
+        ++failed_;
+        return AttestResult::kMalformed;
+    }
+    if (outstanding_nonce_.empty() || quote->nonce != outstanding_nonce_) {
+        ++failed_;
+        return AttestResult::kStaleNonce;
+    }
+    // One-shot nonce: a second response to the same challenge is stale.
+    outstanding_nonce_.clear();
+
+    Bytes message(quote->composite.begin(), quote->composite.end());
+    append(message, quote->nonce);
+    if (!crypto::hmac_verify(key_, message, quote->tag)) {
+        ++failed_;
+        return AttestResult::kBadTag;
+    }
+    if (!ct_equal(quote->composite, expected_composite_)) {
+        ++failed_;
+        return AttestResult::kWrongMeasurement;
+    }
+    ++passed_;
+    return AttestResult::kTrusted;
+}
+
+}  // namespace cres::net

@@ -1,0 +1,68 @@
+// Remote-attestation protocol: a verifier challenges a device with a
+// nonce; the device answers with a signed quote over its measured-boot
+// PCR composite. Freshness comes from the nonce, integrity from the
+// HMAC under the provisioned attestation key.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+#include "boot/measured.h"
+#include "crypto/hmac.h"
+#include "tee/tee.h"
+#include "util/bytes.h"
+#include "util/rng.h"
+
+namespace cres::net {
+
+/// Wire encoding of a challenge.
+Bytes encode_challenge(BytesView nonce);
+/// Returns the nonce, or nullopt on malformed input.
+std::optional<Bytes> decode_challenge(BytesView data);
+
+/// Wire encoding of a quote response.
+Bytes encode_quote(const tee::Quote& quote);
+std::optional<tee::Quote> decode_quote(BytesView data);
+
+enum class AttestResult : std::uint8_t {
+    kTrusted,
+    kStaleNonce,
+    kBadTag,
+    kWrongMeasurement,
+    kMalformed,
+};
+
+std::string attest_result_name(AttestResult result);
+
+/// Verifier state machine (runs on the operator's backend).
+class AttestationVerifier {
+public:
+    /// `expected_composite` is the golden PCR composite; `key` the
+    /// shared attestation key.
+    AttestationVerifier(crypto::Hash256 expected_composite, Bytes key,
+                        std::uint64_t rng_seed);
+
+    /// Issues a fresh challenge (wire format).
+    Bytes challenge();
+
+    /// Checks a response against the outstanding challenge.
+    AttestResult verify(BytesView response);
+
+    [[nodiscard]] std::uint64_t attestations_passed() const noexcept {
+        return passed_;
+    }
+    [[nodiscard]] std::uint64_t attestations_failed() const noexcept {
+        return failed_;
+    }
+
+private:
+    crypto::Hash256 expected_composite_;
+    Bytes key_;
+    Rng rng_;
+    Bytes outstanding_nonce_;
+    std::uint64_t passed_ = 0;
+    std::uint64_t failed_ = 0;
+};
+
+}  // namespace cres::net

@@ -1,0 +1,85 @@
+#include "net/channel.h"
+
+#include "util/error.h"
+#include "util/serial.h"
+
+namespace cres::net {
+
+std::string recv_status_name(RecvStatus status) {
+    switch (status) {
+        case RecvStatus::kOk: return "ok";
+        case RecvStatus::kMalformed: return "malformed";
+        case RecvStatus::kBadTag: return "bad-tag";
+        case RecvStatus::kReplay: return "replay";
+    }
+    return "?";
+}
+
+SecureChannel::SecureChannel(dev::Nic& nic, Bytes key)
+    : nic_(nic), key_(std::move(key)) {
+    if (key_.empty()) throw NetError("SecureChannel: empty key");
+}
+
+void SecureChannel::send(BytesView payload) {
+    BinaryWriter w;
+    w.u64(next_seq_);
+    w.blob(payload);
+    const crypto::Hash256 tag = crypto::hmac_sha256(key_, w.data());
+    w.raw(tag);
+    ++next_seq_;
+    ++sent_;
+    nic_.send_frame(w.data());
+}
+
+std::optional<Received> SecureChannel::poll() {
+    const auto frame = nic_.receive_frame();
+    if (!frame) return std::nullopt;
+    return process(*frame);
+}
+
+Received SecureChannel::process(BytesView frame) {
+    Received out;
+    if (frame.size() < 8 + 4 + 32) {
+        ++rejected_malformed_;
+        out.status = RecvStatus::kMalformed;
+        return out;
+    }
+    const std::size_t body_len = frame.size() - 32;
+    const BytesView body(frame.data(), body_len);
+    const BytesView tag(frame.data() + body_len, 32);
+
+    try {
+        BinaryReader r(body);
+        out.sequence = r.u64();
+        out.payload = r.blob();
+        if (!r.done()) {
+            ++rejected_malformed_;
+            out.status = RecvStatus::kMalformed;
+            return out;
+        }
+    } catch (const Error&) {
+        ++rejected_malformed_;
+        out.status = RecvStatus::kMalformed;
+        return out;
+    }
+
+    if (!crypto::hmac_verify(key_, body, tag)) {
+        ++rejected_tag_;
+        out.status = RecvStatus::kBadTag;
+        out.payload.clear();
+        return out;
+    }
+    if (out.sequence <= last_accepted_seq_) {
+        ++rejected_replay_;
+        out.status = RecvStatus::kReplay;
+        out.payload.clear();
+        return out;
+    }
+
+    last_accepted_seq_ = out.sequence;
+    ++accepted_;
+    out.status = RecvStatus::kOk;
+    return out;
+}
+
+}  // namespace cres::net

@@ -1,0 +1,185 @@
+#include "platform/fleet.h"
+
+#include "crypto/hmac.h"
+#include "net/attestation.h"
+#include "util/rng.h"
+
+namespace cres::platform {
+
+namespace {
+
+crypto::Hash256 fleet_vendor_seed(std::uint64_t seed) {
+    Bytes s(9, 0xf1);
+    for (int i = 0; i < 8; ++i) {
+        s[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(seed >> (8 * i));
+    }
+    return crypto::sha256(s);
+}
+
+}  // namespace
+
+std::vector<std::size_t> SweepResult::flagged_devices() const {
+    std::vector<std::size_t> out;
+    for (std::size_t i = 0; i < verdicts.size(); ++i) {
+        if (verdicts[i] != net::AttestResult::kTrusted) out.push_back(i);
+    }
+    return out;
+}
+
+Fleet::Fleet(FleetConfig config)
+    : cfg_(std::move(config)),
+      vendor_key_(fleet_vendor_seed(cfg_.seed), 6) {
+    Rng rng(cfg_.seed ^ 0xf1ee7u);
+
+    for (std::size_t i = 0; i < cfg_.device_count; ++i) {
+        Device device;
+
+        NodeConfig node_config;
+        node_config.name = "device-" + std::to_string(i);
+        node_config.resilient = cfg_.resilient;
+        node_config.seed = rng.next();
+        device.node = std::make_unique<Node>(node_config);
+
+        device.operator_nic =
+            std::make_unique<dev::Nic>("op-nic-" + std::to_string(i));
+        device.link = std::make_unique<dev::Link>();
+        device.link->attach(device.node->nic, *device.operator_nic);
+
+        const Bytes device_root = rng.bytes(32);
+        device.node->provision(vendor_key_.public_key(), device_root);
+        device.seal_key = crypto::hkdf(device_root,
+                                       to_bytes(node_config.name),
+                                       "evidence-seal", 32);
+
+        // Enrolment measurement: a per-device firmware digest.
+        crypto::Hash256 fw_digest = crypto::sha256(
+            to_bytes("fw-image-for-" + node_config.name));
+        device.node->pcrs.extend(boot::PcrBank::kPcrFirmware, fw_digest,
+                                 node_config.name);
+
+        const Bytes attest_key = crypto::hkdf(
+            device_root, to_bytes(node_config.name), "attestation", 32);
+        device.verifier = std::make_unique<net::AttestationVerifier>(
+            device.node->pcrs.composite(), attest_key,
+            cfg_.seed ^ (0x1000 + i));
+
+        const isa::Program program = control_loop_program(cfg_.workload);
+        device.node->load_and_start(program);
+        device.node->arm_resilience(program);
+
+        devices_.push_back(std::move(device));
+        // Periodic NIC pump (attestation responder + channel demux).
+        schedule_pump(*devices_.back().node);
+    }
+}
+
+Fleet::~Fleet() = default;
+
+void Fleet::schedule_pump(Node& node) {
+    node.sim.schedule_in(500, "nic-pump", [this, &node] {
+        node.pump_network();
+        schedule_pump(node);
+    });
+}
+
+void Fleet::run(sim::Cycle cycles, sim::Cycle slice) {
+    if (slice == 0) slice = 1;
+    sim::Cycle done = 0;
+    while (done < cycles) {
+        const sim::Cycle step = std::min(slice, cycles - done);
+        for (auto& device : devices_) device.node->run(step);
+        done += step;
+    }
+}
+
+SweepResult Fleet::attestation_sweep() {
+    SweepResult result;
+    for (auto& device : devices_) {
+        const Bytes challenge_wire = device.verifier->challenge();
+        const auto nonce = net::decode_challenge(challenge_wire);
+
+        net::AttestResult verdict = net::AttestResult::kMalformed;
+        if (nonce) {
+            // The device's secure-world attestation service answers.
+            const auto quote =
+                device.node->tee.quote(device.node->pcrs, *nonce, "attest");
+            if (quote) {
+                verdict = device.verifier->verify(net::encode_quote(*quote));
+            } else {
+                // Zeroised / lost key: the device cannot produce a
+                // quote at all. Treat as a failed attestation.
+                verdict = net::AttestResult::kBadTag;
+            }
+        }
+        result.verdicts.push_back(verdict);
+        if (verdict == net::AttestResult::kTrusted) {
+            ++result.trusted;
+        } else {
+            ++result.flagged;
+        }
+    }
+    return result;
+}
+
+SweepResult Fleet::attestation_sweep_wire(sim::Cycle timeout) {
+    SweepResult result;
+    for (auto& device : devices_) {
+        // Challenge goes out over the link...
+        device.link->inject(device.verifier->challenge(), /*to_a=*/true);
+        // ...the device answers during normal operation...
+        device.node->run(timeout);
+        // ...and the quote frame arrives at the operator NIC.
+        net::AttestResult verdict = net::AttestResult::kMalformed;
+        while (auto frame = device.operator_nic->receive_frame()) {
+            if (const auto quote = net::decode_quote(*frame)) {
+                verdict = device.verifier->verify(*frame);
+                break;
+            }
+            // Telemetry frames etc. are skipped, not verdicts.
+        }
+        result.verdicts.push_back(verdict);
+        if (verdict == net::AttestResult::kTrusted) {
+            ++result.trusted;
+        } else {
+            ++result.flagged;
+        }
+    }
+    return result;
+}
+
+HealthSummary Fleet::collect_health() {
+    HealthSummary summary;
+    for (auto& device : devices_) {
+        if (device.node->ssm && !device.node->ssm->disabled()) {
+            const auto report = device.node->ssm->health_report();
+            const bool valid =
+                core::SystemSecurityManager::verify_health_report(
+                    report, device.seal_key);
+            summary.states.push_back(report.state);
+            summary.report_valid.push_back(valid);
+            if (valid && report.state == core::HealthState::kHealthy) {
+                ++summary.healthy;
+            }
+        } else {
+            // Passive device or dead SSM: nothing attestable to say.
+            summary.states.push_back(core::HealthState::kHealthy);
+            summary.report_valid.push_back(false);
+        }
+    }
+    return summary;
+}
+
+void Fleet::checkpoint_all() {
+    for (auto& device : devices_) device.node->take_checkpoint();
+}
+
+std::uint64_t Fleet::fleet_iterations() const {
+    std::uint64_t total = 0;
+    for (const auto& device : devices_) {
+        total += device.node->stats().control_iterations;
+    }
+    return total;
+}
+
+}  // namespace cres::platform

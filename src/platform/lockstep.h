@@ -1,0 +1,65 @@
+// Lockstep support: the shadow core executes the same program as the
+// primary, but must observe identical peripheral inputs to stay in
+// step. The PeripheralMirror records every device read the primary CPU
+// performs (as a bus observer on the primary interconnect) and replays
+// the values, in order, to the shadow core's bus — the standard
+// "replicate the core, replay the I/O" lockstep construction. Shadow
+// writes are accepted and discarded (only the primary drives the
+// plant).
+#pragma once
+
+#include <deque>
+
+#include "mem/bus.h"
+
+namespace cres::platform {
+
+class PeripheralMirror : public mem::BusTarget, public mem::BusObserver {
+public:
+    PeripheralMirror() = default;
+
+    std::string_view name() const override { return "peripheral-mirror"; }
+
+    // Observer side (primary bus): record CPU device reads.
+    void on_transaction(const mem::BusTransaction& txn) override {
+        if (txn.response != mem::BusResponse::kOk) return;
+        if (txn.op == mem::BusOp::kWrite) return;
+        if (txn.attr.master != mem::Master::kCpu) return;
+        if (txn.region == "app_ram") return;  // RAM is replicated, not mirrored.
+        replay_.push_back(txn.data);
+    }
+
+    // Target side (shadow bus): replay in order.
+    mem::BusResponse read(mem::Addr /*offset*/, std::uint32_t /*size*/,
+                          std::uint32_t& out,
+                          const mem::BusAttr& /*attr*/) override {
+        if (replay_.empty()) {
+            ++underflows_;
+            out = 0;
+        } else {
+            out = replay_.front();
+            replay_.pop_front();
+        }
+        return mem::BusResponse::kOk;
+    }
+
+    mem::BusResponse write(mem::Addr /*offset*/, std::uint32_t /*size*/,
+                           std::uint32_t /*value*/,
+                           const mem::BusAttr& /*attr*/) override {
+        return mem::BusResponse::kOk;  // Shadow outputs are discarded.
+    }
+
+    /// Replay starvation count: nonzero means the pair lost sync (the
+    /// redundancy monitor will already have flagged the divergence).
+    [[nodiscard]] std::uint64_t underflows() const noexcept {
+        return underflows_;
+    }
+
+    void clear() noexcept { replay_.clear(); }
+
+private:
+    std::deque<std::uint32_t> replay_;
+    std::uint64_t underflows_ = 0;
+};
+
+}  // namespace cres::platform

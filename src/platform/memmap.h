@@ -1,0 +1,49 @@
+// Canonical SoC memory map shared by platforms, workloads and attacks.
+#pragma once
+
+#include "mem/bus.h"
+
+namespace cres::platform {
+
+// Application memory.
+constexpr mem::Addr kAppRamBase = 0x0001'0000;
+constexpr mem::Addr kAppRamSize = 0x0004'0000;  // 256 KiB.
+
+// Within app RAM (offsets are absolute addresses).
+constexpr mem::Addr kCodeBase = kAppRamBase;              // Program text.
+constexpr mem::Addr kCodeSize = 0x0001'0000;              // 64 KiB.
+constexpr mem::Addr kDataBase = kAppRamBase + kCodeSize;  // Data + heap.
+constexpr mem::Addr kStackTop = kAppRamBase + kAppRamSize - 16;
+constexpr mem::Addr kSecretBase = kDataBase + 0x8000;  // App secrets.
+constexpr mem::Addr kSecretSize = 0x100;
+
+// Peripherals.
+constexpr mem::Addr kUartBase = 0x4000'0000;
+constexpr mem::Addr kTimerBase = 0x4000'1000;
+constexpr mem::Addr kWdogBase = 0x4000'2000;
+constexpr mem::Addr kDmaBase = 0x4000'3000;
+constexpr mem::Addr kSensorBase = 0x4000'4000;
+constexpr mem::Addr kActuatorBase = 0x4000'5000;
+constexpr mem::Addr kNicBase = 0x4000'6000;
+constexpr mem::Addr kTrngBase = 0x4000'7000;
+constexpr mem::Addr kPowerBase = 0x4000'8000;
+constexpr mem::Addr kPeriphSize = 0x100;
+
+// TEE secure memory (bus-mapped, secure-only — the baseline's weakness).
+constexpr mem::Addr kTeeRamBase = 0x5000'0000;
+constexpr mem::Addr kTeeRamSize = 0x1000;
+
+// IRQ lines.
+constexpr unsigned kIrqTimer = 0;
+constexpr unsigned kIrqWatchdog = 1;
+constexpr unsigned kIrqNic = 2;
+constexpr unsigned kIrqDma = 3;
+constexpr unsigned kIrqUart = 4;
+
+// OS services (ecall numbers).
+constexpr std::uint16_t kSvcHeartbeat = 1;  ///< Control-loop iteration.
+constexpr std::uint16_t kSvcPutc = 2;       ///< Console: r1 = char.
+constexpr std::uint16_t kSvcTelemetry = 3;  ///< Send r1 as telemetry.
+constexpr std::uint16_t kSvcYield = 4;      ///< Idle hint.
+
+}  // namespace cres::platform

@@ -1,0 +1,430 @@
+#include "platform/node.h"
+
+#include "crypto/hmac.h"
+#include "net/attestation.h"
+#include "util/error.h"
+
+namespace cres::platform {
+
+Node::Node(NodeConfig config)
+    : cfg(std::move(config)),
+      app_ram("app_ram", kAppRamSize),
+      tee_ram("tee_ram", kTeeRamSize),
+      uart("uart"),
+      timer("timer"),
+      watchdog("wdog"),
+      dma("dma", bus),
+      sensor("sensor",
+             [nominal = cfg.sensor_nominal](sim::Cycle c) {
+                 // Gentle physical drift around the nominal value.
+                 return nominal +
+                        2.0 * static_cast<double>((c / 1000) % 5) / 5.0;
+             },
+             100),
+      actuator("actuator", -100.0, 100.0),
+      nic("nic"),
+      trng("trng", cfg.seed ^ 0x74726e67u),
+      power("power", 3.3, 45.0),
+      cpu("cpu0", bus),
+      tee(bus, kTeeRamBase, kTeeRamSize) {
+    build_memory_map();
+
+    sim.add_tickable(&cpu);
+    sim.add_tickable(&timer);
+    sim.add_tickable(&watchdog);
+    sim.add_tickable(&dma);
+    sim.add_tickable(&sensor);
+    sim.add_tickable(&actuator);
+    sim.add_tickable(&power);
+
+    auto raiser = [this](unsigned line) { cpu.raise_irq(line); };
+    timer.connect_irq(raiser, kIrqTimer);
+    watchdog.connect_irq(raiser, kIrqWatchdog);
+    nic.connect_irq(raiser, kIrqNic);
+    dma.connect_irq(raiser, kIrqDma);
+    uart.connect_irq(raiser, kIrqUart);
+
+    // The passive platform's only countermeasure: reboot on watchdog.
+    watchdog.set_expiry_callback([this] { reboot("watchdog expiry"); });
+
+    install_os_services();
+
+    if (cfg.lockstep) {
+        shadow_bus = std::make_unique<mem::Bus>();
+        shadow_ram = std::make_unique<mem::Ram>("shadow_ram", kAppRamSize);
+        shadow_bus->map(mem::RegionConfig{"app_ram", kAppRamBase,
+                                          kAppRamSize, false, false},
+                        *shadow_ram);
+        mirror = std::make_unique<PeripheralMirror>();
+        shadow_bus->map(mem::RegionConfig{"mirror", kUartBase, 0x10000,
+                                          false, false},
+                        *mirror);
+        bus.add_observer(mirror.get());
+        shadow_cpu = std::make_unique<isa::Cpu>("cpu0-shadow", *shadow_bus);
+        // OS services are side-effect-free on the shadow.
+        shadow_cpu->set_ecall_handler(
+            [](isa::Cpu&, std::uint16_t) { return true; });
+        sim.add_tickable(shadow_cpu.get());
+    }
+
+    if (cfg.resilient) {
+        recovery = std::make_unique<core::RecoveryManager>(cpu, app_ram);
+        degradation = std::make_unique<core::DegradationManager>();
+        degradation->register_service(
+            "telemetry", /*critical=*/false,
+            [this](bool on) { telemetry_enabled_ = on; });
+        degradation->register_service("control-loop", /*critical=*/true,
+                                      [](bool) {});
+        build_security_engine(to_bytes("factory-default-seal-key"));
+    }
+}
+
+Node::~Node() = default;
+
+void Node::build_memory_map() {
+    bus.map(mem::RegionConfig{"app_ram", kAppRamBase, kAppRamSize, false,
+                              false},
+            app_ram);
+    bus.map(mem::RegionConfig{"tee_ram", kTeeRamBase, kTeeRamSize,
+                              /*secure_only=*/true, false},
+            tee_ram);
+    bus.map(mem::RegionConfig{"uart", kUartBase, kPeriphSize, false, false},
+            uart);
+    bus.map(mem::RegionConfig{"timer", kTimerBase, kPeriphSize, false, false},
+            timer);
+    bus.map(mem::RegionConfig{"wdog", kWdogBase, kPeriphSize, false, false},
+            watchdog);
+    bus.map(mem::RegionConfig{"dma", kDmaBase, kPeriphSize, false, false},
+            dma);
+    bus.map(mem::RegionConfig{"sensor", kSensorBase, kPeriphSize, false,
+                              false},
+            sensor);
+    bus.map(mem::RegionConfig{"actuator", kActuatorBase, kPeriphSize, false,
+                              false},
+            actuator);
+    bus.map(mem::RegionConfig{"nic", kNicBase, kPeriphSize, false, false},
+            nic);
+    bus.map(mem::RegionConfig{"trng", kTrngBase, kPeriphSize,
+                              /*secure_only=*/true, false},
+            trng);
+    bus.map(mem::RegionConfig{"power", kPowerBase, kPeriphSize, false, false},
+            power);
+}
+
+void Node::install_os_services() {
+    cpu.set_ecall_handler([this](isa::Cpu& core, std::uint16_t service) {
+        switch (service) {
+            case kSvcHeartbeat:
+                ++stats_.control_iterations;
+                if (timing_monitor) timing_monitor->heartbeat("control-loop");
+                trace.emit(sim.now(), "os", "heartbeat");
+                return true;
+            case kSvcPutc: {
+                std::uint32_t io = core.reg(1) & 0xff;
+                (void)bus.access(mem::BusOp::kWrite, kUartBase, 4, io,
+                                 mem::BusAttr{mem::Master::kCpu, core.secure(),
+                                              core.privileged()});
+                return true;
+            }
+            case kSvcTelemetry: {
+                if (telemetry_enabled_ && channel && nic.linked()) {
+                    const std::uint32_t v = core.reg(1);
+                    Bytes payload(4);
+                    for (int i = 0; i < 4; ++i) {
+                        payload[static_cast<std::size_t>(i)] =
+                            static_cast<std::uint8_t>(v >> (8 * i));
+                    }
+                    channel->send(payload);
+                    ++stats_.telemetry_frames;
+                }
+                return true;
+            }
+            case kSvcYield:
+                return true;
+            default:
+                return false;  // Architectural trap.
+        }
+    });
+}
+
+std::string Node::default_policy() {
+    return R"(
+; Default cyber-resilience policy: category -> response strategy.
+rule cf-hijack:     category=control-flow severity>=critical -> restore-checkpoint, alert-operator
+rule code-tamper:   category=memory severity>=critical -> restore-checkpoint, alert-operator
+rule exfiltration:  category=data-flow severity>=critical -> isolate-resource, zeroise-keys, alert-operator
+rule mem-recon:     category=memory severity>=alert count=2 window=20000 -> alert-operator
+rule config-drift:  category=bus-violation severity>=critical -> isolate-resource, alert-operator
+rule bus-probing:   category=bus-violation severity>=alert count=3 window=5000 -> alert-operator
+rule periph-unsafe: category=peripheral severity>=critical cooldown=5000 -> rate-limit, degrade, alert-operator
+rule periph-odd:    category=peripheral severity>=alert count=3 window=20000 cooldown=10000 -> degrade, alert-operator
+rule net-mitm:      category=network severity>=critical -> alert-operator
+rule net-replay:    category=network severity>=alert cooldown=20000 -> alert-operator
+rule task-stall:    category=timing severity>=alert -> restore-checkpoint, alert-operator
+rule env-glitch:    category=environment severity>=alert -> alert-operator
+)";
+}
+
+void Node::build_security_engine(Bytes seal_key) {
+    // Detach previous tickable monitors (no-ops on first build).
+    if (ssm) sim.remove_tickable(ssm.get());
+    if (peripheral_monitor) sim.remove_tickable(peripheral_monitor.get());
+    if (timing_monitor) sim.remove_tickable(timing_monitor.get());
+    if (environment_monitor) sim.remove_tickable(environment_monitor.get());
+    if (config_monitor) sim.remove_tickable(config_monitor.get());
+
+    core::SsmConfig ssm_config;
+    ssm_config.physically_isolated = cfg.ssm_isolated;
+    ssm_config.poll_interval = cfg.ssm_poll_interval;
+    ssm_config.seal_key = std::move(seal_key);
+    ssm = std::make_unique<core::SystemSecurityManager>(sim, ssm_config);
+
+    bus_monitor = std::make_unique<core::BusMonitor>(*ssm, sim, bus);
+    cfi_monitor = std::make_unique<core::CfiMonitor>(*ssm, sim, cpu);
+    memory_monitor = std::make_unique<core::MemoryMonitor>(*ssm, sim, bus);
+    dift_monitor = std::make_unique<core::DiftMonitor>(*ssm, sim, bus);
+    peripheral_monitor =
+        std::make_unique<core::PeripheralMonitor>(*ssm, sim, bus);
+    timing_monitor = std::make_unique<core::TimingMonitor>(*ssm, sim);
+    network_monitor = std::make_unique<core::NetworkMonitor>(*ssm, sim);
+    environment_monitor = std::make_unique<core::EnvironmentMonitor>(
+        *ssm, sim, power, core::EnvironmentEnvelope{3.0, 3.6, -20.0, 85.0},
+        50);
+    config_monitor =
+        std::make_unique<core::ConfigMonitor>(*ssm, sim, bus, 200);
+    if (cfg.lockstep && shadow_cpu) {
+        if (redundancy_monitor) sim.remove_tickable(redundancy_monitor.get());
+        redundancy_monitor = std::make_unique<core::RedundancyMonitor>(
+            *ssm, sim, cpu, *shadow_cpu, 64);
+        sim.add_tickable(redundancy_monitor.get());
+    }
+
+    recovery->set_post_restore([this] {
+        if (cfi_monitor) cfi_monitor->reset();
+        resync_shadow();
+    });
+
+    core::ResponseContext ctx;
+    ctx.bus = &bus;
+    ctx.cpu = &cpu;
+    ctx.keystore = &keystore;
+    ctx.update_agent = update_agent.get();
+    ctx.recovery = recovery.get();
+    ctx.degradation = degradation.get();
+    ctx.ssm = ssm.get();
+    ctx.sim = &sim;
+    ctx.operator_alert = [this](const std::string& message) {
+        ++stats_.operator_alerts;
+        trace.emit(sim.now(), "response", "operator-alert", message);
+    };
+    ctx.system_reset = [this] { reboot("response-manager reset"); };
+    ctx.rate_limiter = [this](const std::string& resource) {
+        // Temporarily fence the peripheral; lift the clamp shortly after.
+        if (!bus.isolate_region(resource)) {
+            return std::string("no such peripheral '") + resource + "'";
+        }
+        sim.schedule_in(500, "rate-limit-release " + resource,
+                        [this, resource] {
+                            (void)bus.isolate_region(resource, false);
+                        });
+        return std::string("clamped '") + resource + "' for 500 cycles";
+    };
+    response_manager = std::make_unique<core::ActiveResponseManager>(ctx);
+    ssm->set_response_executor(response_manager.get());
+
+    sim.add_tickable(ssm.get());
+    sim.add_tickable(peripheral_monitor.get());
+    sim.add_tickable(timing_monitor.get());
+    sim.add_tickable(environment_monitor.get());
+    sim.add_tickable(config_monitor.get());
+}
+
+void Node::provision(const crypto::MerklePublicKey& vendor_pk,
+                     BytesView device_root) {
+    const Bytes attest_key =
+        crypto::hkdf(device_root, to_bytes(cfg.name), "attestation", 32);
+    const Bytes channel_key =
+        crypto::hkdf(device_root, to_bytes(cfg.name), "m2m-channel", 32);
+    const Bytes seal_key =
+        crypto::hkdf(device_root, to_bytes(cfg.name), "evidence-seal", 32);
+
+    keystore.install("device-root",
+                     Bytes(device_root.begin(), device_root.end()),
+                     crypto::KeyAccess::kSsmOnly);
+    keystore.install("attestation", attest_key,
+                     crypto::KeyAccess::kSecureOnly);
+    keystore.install("m2m-channel", channel_key,
+                     crypto::KeyAccess::kSecureOnly);
+
+    tee.provision_key("attest", attest_key);
+    channel = std::make_unique<net::SecureChannel>(nic, channel_key);
+
+    rom = std::make_unique<boot::BootRom>(vendor_pk, counters);
+    rom->set_strict_rollback(cfg.strict_rollback);
+    update_agent = std::make_unique<boot::UpdateAgent>(vendor_pk, counters);
+
+    // Re-key the security engine with the derived evidence key (the SSM
+    // has no meaningful history at provision time).
+    if (cfg.resilient) build_security_engine(seal_key);
+}
+
+boot::BootReport Node::secure_boot(
+    const std::vector<boot::FirmwareImage>& chain) {
+    if (!rom) throw PlatformError("Node: provision() before secure_boot()");
+    boot_chain_ = chain;
+    const boot::BootReport report =
+        rom->boot_chain(chain, app_ram, kAppRamBase, pcrs);
+    trace.emit(sim.now(), "boot", report.success ? "boot-ok" : "boot-fail",
+               report.summary());
+    if (report.success) {
+        entry_ = report.entry_point;
+        stats_.downtime_cycles += report.verification_cost_cycles;
+        cpu.reset(entry_);
+    }
+    return report;
+}
+
+void Node::load_and_start(const isa::Program& program) {
+    if (program.origin < kAppRamBase) {
+        throw PlatformError("Node: program origin below app RAM");
+    }
+    loaded_program_ = program;
+    app_ram.load(program.origin - kAppRamBase, program.code);
+    entry_ = program.origin;
+    cpu.reset(entry_);
+    if (shadow_cpu) {
+        shadow_ram->load(program.origin - kAppRamBase, program.code);
+        if (mirror) mirror->clear();
+        shadow_cpu->reset(entry_);
+    }
+}
+
+void Node::reboot(const std::string& reason) {
+    if (rebooting_) return;
+    rebooting_ = true;
+    ++stats_.reboots;
+    stats_.downtime_cycles += cfg.reboot_downtime;
+    cpu.halt();
+    trace.emit(sim.now(), "system", "reboot", reason);
+
+    if (!cfg.resilient) {
+        // Volatile telemetry dies with the reset — the passive
+        // platform's evidence-loss failure mode.
+        trace.clear();
+    }
+
+    sim.schedule_in(cfg.reboot_downtime, "reboot: " + reason, [this] {
+        rebooting_ = false;
+        if (!boot_chain_.empty() && rom) {
+            pcrs.reset();
+            const boot::BootReport report =
+                rom->boot_chain(boot_chain_, app_ram, kAppRamBase, pcrs);
+            if (report.success) {
+                entry_ = report.entry_point;
+                cpu.reset(entry_);
+            }
+            return;
+        }
+        if (loaded_program_.has_value()) {
+            app_ram.load(loaded_program_->origin - kAppRamBase,
+                         loaded_program_->code);
+            cpu.reset(loaded_program_->origin);
+        }
+    });
+}
+
+void Node::pump_network() {
+    while (auto frame = nic.receive_frame()) {
+        // Attestation service: answer challenges from the secure world.
+        if (const auto nonce = net::decode_challenge(*frame)) {
+            const auto quote = tee.quote(pcrs, *nonce, "attest");
+            if (quote && nic.linked()) {
+                nic.send_frame(net::encode_quote(*quote));
+            }
+            continue;
+        }
+        // Everything else is authenticated channel traffic.
+        if (channel) {
+            const net::Received received = channel->process(*frame);
+            if (network_monitor) {
+                network_monitor->note_rx(received.status,
+                                         received.payload.size());
+            }
+        }
+    }
+}
+
+void Node::resync_shadow() {
+    if (!shadow_cpu || !shadow_ram) return;
+    shadow_ram->load(0, app_ram.data());
+    if (mirror) mirror->clear();
+    shadow_cpu->reset(cpu.pc());
+    for (unsigned i = 1; i < 16; ++i) shadow_cpu->set_reg(i, cpu.reg(i));
+    for (std::uint16_t i = 0; i < isa::kCsrCount; ++i) {
+        if (i == isa::kCsrMcycle || i == isa::kCsrMinstret) continue;
+        shadow_cpu->set_csr(i, cpu.csr(i));
+    }
+}
+
+void Node::take_checkpoint() {
+    if (recovery) (void)recovery->take_checkpoint(sim.now());
+}
+
+void Node::arm_resilience(const isa::Program& program) {
+    if (!cfg.resilient) return;
+
+    // CFI: every symbol is a legal call target; nothing else is.
+    std::set<mem::Addr> targets;
+    for (const auto& [name, addr] : program.symbols) targets.insert(addr);
+    cfi_monitor->set_valid_targets(std::move(targets));
+
+    // Memory: the text segment is code; secrets are watched.
+    memory_monitor->protect_code_range(
+        program.origin, static_cast<mem::Addr>(program.code.size()));
+    memory_monitor->watch_sensitive("app-secrets", kSecretBase, kSecretSize,
+                                    64, 10000);
+
+    // DIFT: secrets (app + TEE key storage) are sources; NIC and UART
+    // are public sinks.
+    dift_monitor->add_source(kSecretBase, kSecretSize);
+    dift_monitor->add_source(kTeeRamBase, kTeeRamSize);
+    dift_monitor->add_sink_region("nic");
+    dift_monitor->add_sink_region("uart");
+
+    // Bus: DMA may only touch application RAM; debug/attacker masters
+    // have no legitimate regions at runtime.
+    bus_monitor->allow_master(mem::Master::kDma, {"app_ram"});
+    bus_monitor->allow_master(mem::Master::kDebug, {});
+    bus_monitor->allow_master(mem::Master::kAttacker, {});
+
+    // Peripheral envelopes.
+    peripheral_monitor->watch_actuator(
+        "actuator", kActuatorBase + dev::Actuator::kRegCommand,
+        core::ActuatorEnvelope{-50.0, 50.0, 20.0, 20, 2000});
+    peripheral_monitor->watch_sensor(
+        sensor,
+        core::SensorEnvelope{cfg.sensor_nominal - 20.0,
+                             cfg.sensor_nominal + 20.0, 10.0},
+        100);
+
+    // Liveness.
+    timing_monitor->register_task("control-loop", 4000);
+
+    // Golden interconnect configuration.
+    config_monitor->snapshot_golden();
+
+    // Identify: the asset inventory.
+    auto& risks = ssm->risks();
+    risks.add_asset("actuator", core::AssetKind::kPeripheral, 5, 3);
+    risks.add_asset("sensor", core::AssetKind::kPeripheral, 4, 3);
+    risks.add_asset("nic", core::AssetKind::kChannel, 3, 5);
+    risks.add_asset("tee_ram", core::AssetKind::kKey, 5, 2);
+    risks.add_asset("app_ram", core::AssetKind::kMemoryRegion, 4, 4);
+    risks.add_asset("control-loop", core::AssetKind::kTask, 5, 3);
+
+    // Policy.
+    ssm->set_policy(core::PolicyEngine::parse(
+        cfg.policy_dsl.empty() ? default_policy() : cfg.policy_dsl));
+}
+
+}  // namespace cres::platform

@@ -1,0 +1,167 @@
+#include "platform/workload.h"
+
+#include <sstream>
+
+#include "dev/sensor.h"
+
+namespace cres::platform {
+
+isa::Program control_loop_program(const ControlLoopOptions& options) {
+    const std::int32_t setpoint_fixed = dev::to_fixed(options.setpoint);
+    std::ostringstream os;
+    os << "start:\n"
+       << "    li   sp, " << kStackTop << "\n"
+       << "    la   r1, trap_handler\n"
+       << "    csrw mtvec, r1\n"
+       // Arm the watchdog.
+       << "    li   r1, " << kWdogBase << "\n"
+       << "    li   r2, " << options.watchdog_timeout << "\n"
+       << "    sw   r2, r1, 4\n"  // TIMEOUT.
+       << "    li   r2, 1\n"
+       << "    sw   r2, r1, 8\n"  // CTRL enable.
+       << "loop:\n"
+       << "    call process\n"
+       << "    j loop\n"
+       << "process:\n"
+       << "    addi sp, sp, -4\n"
+       << "    sw   lr, sp, 0\n"  // Saved lr: the smash target.
+       // Sense.
+       << "    li   r1, " << kSensorBase << "\n"
+       << "    lw   r2, r1, 0\n"
+       // Compute: command = (setpoint - value) >> 2.
+       << "    call compute\n"
+       // Actuate.
+       << "    li   r5, " << kActuatorBase << "\n"
+       << "    sw   r4, r5, 0\n"
+       // Kick the watchdog.
+       << "    li   r6, " << kWdogBase << "\n"
+       << "    sw   r0, r6, 0\n"
+       // Heartbeat.
+       << "    ecall " << kSvcHeartbeat << "\n";
+    if (options.send_telemetry) {
+        os << "    mv   r1, r2\n"
+           << "    ecall " << kSvcTelemetry << "\n";
+    }
+    os << "    li   r7, " << options.delay_iterations << "\n"
+       << "delay:\n"
+       << "    addi r7, r7, -1\n"
+       << "    bne  r7, r0, delay\n"
+       << "    lw   lr, sp, 0\n"
+       << "    addi sp, sp, 4\n"
+       << "    ret\n"
+       << "compute:\n"
+       << "    li   r3, " << static_cast<std::uint32_t>(setpoint_fixed) << "\n"
+       << "    sub  r4, r3, r2\n"
+       << "    addi r8, r0, 2\n"
+       << "    sra  r4, r4, r8\n"
+       << "    ret\n"
+       << "trap_handler:\n"
+       // Count the fault and resume the main loop.
+       << "    la   r9, fault_count\n"
+       << "    lw   r10, r9, 0\n"
+       << "    addi r10, r10, 1\n"
+       << "    sw   r10, r9, 0\n"
+       << "    la   r9, loop\n"
+       << "    csrw mepc, r9\n"
+       << "    mret\n"
+       << "fault_count:\n"
+       << "    .word 0\n";
+    return isa::assemble(os.str(), kCodeBase);
+}
+
+isa::Program exfil_gadget_program(mem::Addr origin) {
+    std::ostringstream os;
+    const std::int32_t overdrive = dev::to_fixed(90.0);  // Way out of range.
+    os << "gadget:\n"
+       // Exfiltrate the application secret byte-by-byte over the NIC.
+       << "    li   r1, " << kSecretBase << "\n"
+       << "    li   r2, " << kNicBase << "\n"
+       << "    li   r4, " << (kSecretBase + kSecretSize) << "\n"
+       << "exfil:\n"
+       << "    lb   r3, r1, 0\n"
+       << "    sw   r3, r2, 0\n"  // TX_BYTE.
+       << "    addi r1, r1, 1\n"
+       << "    bltu r1, r4, exfil\n"
+       << "    sw   r0, r2, 4\n"  // TX_SEND: the secret leaves the device.
+       // Abuse the actuator while keeping the watchdog fed so the
+       // passive platform never even reboots.
+       << "    li   r5, " << kActuatorBase << "\n"
+       << "    li   r6, " << static_cast<std::uint32_t>(overdrive) << "\n"
+       << "    li   r7, " << kWdogBase << "\n"
+       << "spam:\n"
+       << "    sw   r6, r5, 0\n"
+       << "    sw   r0, r7, 0\n"
+       << "    li   r8, 50\n"
+       << "gdelay:\n"
+       << "    addi r8, r8, -1\n"
+       << "    bne  r8, r0, gdelay\n"
+       << "    j spam\n";
+    return isa::assemble(os.str(), origin);
+}
+
+isa::Program interrupt_control_loop_program(const ControlLoopOptions& options,
+                                            std::uint32_t timer_period) {
+    const std::int32_t setpoint_fixed = dev::to_fixed(options.setpoint);
+    std::ostringstream os;
+    os << "start:\n"
+       << "    li   sp, " << kStackTop << "\n"
+       << "    la   r1, isr\n"
+       << "    csrw mtvec, r1\n"
+       // Watchdog.
+       << "    li   r1, " << kWdogBase << "\n"
+       << "    li   r2, " << options.watchdog_timeout << "\n"
+       << "    sw   r2, r1, 4\n"
+       << "    li   r2, 1\n"
+       << "    sw   r2, r1, 8\n"
+       // Timer: auto-reload at the control period.
+       << "    li   r1, " << kTimerBase << "\n"
+       << "    li   r2, " << timer_period << "\n"
+       << "    sw   r2, r1, 4\n"  // COMPARE.
+       << "    addi r2, r0, 3\n"  // Enable + auto-reload.
+       << "    sw   r2, r1, 8\n"  // CTRL.
+       // Unmask the timer interrupt (line 0) and enable globally.
+       << "    addi r2, r0, " << (1u << kIrqTimer) << "\n"
+       << "    csrw mie, r2\n"
+       << "    addi r2, r0, 2\n"  // mstatus.MIE.
+       << "    csrw mstatus, r2\n"
+       << "idle:\n"
+       << "    wfi\n"
+       << "    j idle\n"
+       // The ISR is the control step.
+       << "isr:\n"
+       << "    li   r1, " << kSensorBase << "\n"
+       << "    lw   r2, r1, 0\n"
+       << "    li   r3, " << static_cast<std::uint32_t>(setpoint_fixed) << "\n"
+       << "    sub  r4, r3, r2\n"
+       << "    addi r8, r0, 2\n"
+       << "    sra  r4, r4, r8\n"
+       << "    li   r5, " << kActuatorBase << "\n"
+       << "    sw   r4, r5, 0\n"
+       << "    li   r6, " << kWdogBase << "\n"
+       << "    sw   r0, r6, 0\n"
+       << "    ecall " << kSvcHeartbeat << "\n";
+    if (options.send_telemetry) {
+        os << "    mv   r1, r2\n"
+           << "    ecall " << kSvcTelemetry << "\n";
+    }
+    os << "    mret\n";
+    return isa::assemble(os.str(), kCodeBase);
+}
+
+isa::Program checksum_program(std::uint32_t buffer_words) {
+    std::ostringstream os;
+    os << "start:\n"
+       << "    li   r1, " << kDataBase << "\n"
+       << "    li   r2, " << buffer_words << "\n"
+       << "    addi r3, r0, 0\n"
+       << "sum:\n"
+       << "    lw   r4, r1, 0\n"
+       << "    add  r3, r3, r4\n"
+       << "    addi r1, r1, 4\n"
+       << "    addi r2, r2, -1\n"
+       << "    bne  r2, r0, sum\n"
+       << "    halt\n";
+    return isa::assemble(os.str(), kCodeBase);
+}
+
+}  // namespace cres::platform

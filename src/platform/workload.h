@@ -1,0 +1,52 @@
+// Workload programs for the emulated SoC, written in CRV32 assembly and
+// generated here so experiments can parameterise them.
+//
+// The flagship workload is a critical-infrastructure control loop
+// (sense -> compute -> actuate -> kick watchdog -> heartbeat ->
+// telemetry -> delay), structured so its saved return address lives on
+// the stack during most of each period — the memory-corruption target
+// for the control-flow-hijack attack class.
+#pragma once
+
+#include <cstdint>
+
+#include "isa/assembler.h"
+#include "platform/memmap.h"
+
+namespace cres::platform {
+
+struct ControlLoopOptions {
+    double setpoint = 50.0;
+    std::uint32_t delay_iterations = 200;  ///< Busy-wait per period.
+    std::uint32_t watchdog_timeout = 8000;
+    bool send_telemetry = true;
+};
+
+/// The control-loop firmware, assembled at kCodeBase.
+isa::Program control_loop_program(const ControlLoopOptions& options = {});
+
+/// A malicious gadget an attacker plants in the data region: it
+/// exfiltrates the application secret over the NIC, then abuses the
+/// actuator while kicking the watchdog to defeat the passive defence.
+isa::Program exfil_gadget_program(mem::Addr origin);
+
+/// Where the control loop keeps its saved return address while the
+/// body of the loop executes (the stack-smash target).
+constexpr mem::Addr saved_lr_slot() { return kStackTop - 4; }
+
+/// Conventional spot for planting the gadget.
+constexpr mem::Addr gadget_origin() { return kDataBase + 0x4000; }
+
+/// A short batch job used by overhead/boot benches: computes a checksum
+/// over a buffer and halts.
+isa::Program checksum_program(std::uint32_t buffer_words);
+
+/// Interrupt-driven variant of the control loop: the core sleeps in
+/// WFI and the timer interrupt paces the control step — the idiomatic
+/// embedded structure (and it exercises the interrupt delivery path
+/// end to end).
+isa::Program interrupt_control_loop_program(
+    const ControlLoopOptions& options = {},
+    std::uint32_t timer_period = 800);
+
+}  // namespace cres::platform

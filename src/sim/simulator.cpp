@@ -1,0 +1,59 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+namespace cres::sim {
+
+void Simulator::add_tickable(Tickable* component) {
+    if (component == nullptr) {
+        throw SimError("add_tickable: null component");
+    }
+    tickables_.push_back(component);
+}
+
+void Simulator::remove_tickable(Tickable* component) noexcept {
+    std::erase(tickables_, component);
+}
+
+void Simulator::schedule_at(Cycle at, std::string label,
+                            std::function<void()> action) {
+    if (at < now_) {
+        throw SimError("schedule_at: cannot schedule in the past (" +
+                       label + ")");
+    }
+    events_.push(Event{at, next_seq_++, std::move(label), std::move(action)});
+}
+
+void Simulator::schedule_in(Cycle delta, std::string label,
+                            std::function<void()> action) {
+    schedule_at(now_ + delta, std::move(label), std::move(action));
+}
+
+void Simulator::fire_due_events() {
+    while (!events_.empty() && events_.top().at <= now_) {
+        // Copy out before pop so the action may schedule more events.
+        auto action = events_.top().action;
+        events_.pop();
+        ++events_fired_;
+        action();
+    }
+}
+
+void Simulator::step() {
+    fire_due_events();
+    // Snapshot: a tick may register/unregister components; those changes
+    // take effect next cycle.
+    const std::vector<Tickable*> snapshot = tickables_;
+    for (Tickable* t : snapshot) t->tick(now_);
+    ++now_;
+}
+
+void Simulator::run_for(Cycle cycles) {
+    for (Cycle i = 0; i < cycles; ++i) step();
+}
+
+void Simulator::run_until(Cycle target) {
+    while (now_ < target) step();
+}
+
+}  // namespace cres::sim

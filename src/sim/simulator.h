@@ -1,0 +1,95 @@
+// Discrete-event / cycle-stepped simulation kernel.
+//
+// The platform uses a hybrid model: components that need per-cycle
+// behaviour (CPU, DMA, watchdog, monitors) register as Tickables and are
+// stepped on every cycle; sporadic behaviour (timer expiry, attack
+// injection, network delivery) is scheduled on the event queue.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <string>
+#include <vector>
+
+#include "util/error.h"
+
+namespace cres::sim {
+
+/// Simulated time, in clock cycles.
+using Cycle = std::uint64_t;
+
+/// A component stepped once per simulated cycle.
+class Tickable {
+public:
+    virtual ~Tickable() = default;
+    virtual void tick(Cycle now) = 0;
+};
+
+/// The simulation kernel: owns the clock, the event queue and the list
+/// of per-cycle components. Not thread-safe; one kernel per scenario.
+class Simulator {
+public:
+    Simulator() = default;
+
+    /// Current simulated time.
+    [[nodiscard]] Cycle now() const noexcept { return now_; }
+
+    /// Registers a per-cycle component. The pointer must outlive the
+    /// simulator run (platform objects own their components).
+    void add_tickable(Tickable* component);
+
+    /// Removes a previously registered component.
+    void remove_tickable(Tickable* component) noexcept;
+
+    /// Schedules `action` to run at absolute cycle `at` (>= now).
+    /// Events at the same cycle run in scheduling order.
+    void schedule_at(Cycle at, std::string label, std::function<void()> action);
+
+    /// Schedules `action` to run `delta` cycles from now.
+    void schedule_in(Cycle delta, std::string label,
+                     std::function<void()> action);
+
+    /// Advances exactly one cycle: fires due events, then ticks all
+    /// components.
+    void step();
+
+    /// Advances `cycles` cycles.
+    void run_for(Cycle cycles);
+
+    /// Advances until now() == target (no-op when already past).
+    void run_until(Cycle target);
+
+    /// True when the event queue is empty.
+    [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
+
+    /// Number of events executed so far (telemetry).
+    [[nodiscard]] std::uint64_t events_fired() const noexcept {
+        return events_fired_;
+    }
+
+private:
+    struct Event {
+        Cycle at;
+        std::uint64_t seq;
+        std::string label;
+        std::function<void()> action;
+    };
+    struct EventLater {
+        bool operator()(const Event& a, const Event& b) const noexcept {
+            if (a.at != b.at) return a.at > b.at;
+            return a.seq > b.seq;
+        }
+    };
+
+    void fire_due_events();
+
+    Cycle now_ = 0;
+    std::uint64_t next_seq_ = 0;
+    std::uint64_t events_fired_ = 0;
+    std::priority_queue<Event, std::vector<Event>, EventLater> events_;
+    std::vector<Tickable*> tickables_;
+};
+
+}  // namespace cres::sim

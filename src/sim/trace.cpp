@@ -1,0 +1,52 @@
+#include "sim/trace.h"
+
+#include "util/serial.h"
+
+namespace cres::sim {
+
+void TraceStream::emit(TraceRecord record) {
+    records_.push_back(std::move(record));
+}
+
+void TraceStream::emit(Cycle at, std::string source, std::string kind,
+                       std::string detail, std::uint64_t a, std::uint64_t b) {
+    records_.push_back(TraceRecord{at, std::move(source), std::move(kind),
+                                   std::move(detail), a, b});
+}
+
+std::vector<TraceRecord> TraceStream::since(Cycle cycle) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+        if (r.at >= cycle) out.push_back(r);
+    }
+    return out;
+}
+
+std::vector<TraceRecord> TraceStream::of_kind(const std::string& kind) const {
+    std::vector<TraceRecord> out;
+    for (const auto& r : records_) {
+        if (r.kind == kind) out.push_back(r);
+    }
+    return out;
+}
+
+std::size_t TraceStream::count_kind(const std::string& kind) const noexcept {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+        if (r.kind == kind) ++n;
+    }
+    return n;
+}
+
+Bytes TraceStream::encode(const TraceRecord& record) {
+    BinaryWriter w;
+    w.u64(record.at);
+    w.str(record.source);
+    w.str(record.kind);
+    w.str(record.detail);
+    w.u64(record.a);
+    w.u64(record.b);
+    return w.take();
+}
+
+}  // namespace cres::sim

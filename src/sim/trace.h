@@ -1,0 +1,61 @@
+// Structured telemetry stream. Every architectural component (CPU, bus,
+// peripherals, monitors) can emit records; the System Security Manager
+// consumes them to build the evidence log — the paper's "continuity of
+// data stream" is measured over these records.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/simulator.h"
+#include "util/bytes.h"
+
+namespace cres::sim {
+
+/// One telemetry record. `a` and `b` carry kind-specific scalars
+/// (e.g. address and value for a bus write).
+struct TraceRecord {
+    Cycle at = 0;
+    std::string source;  ///< Component name, e.g. "bus0", "cpu".
+    std::string kind;    ///< Record type, e.g. "write", "trap", "alert".
+    std::string detail;  ///< Free-form human-readable context.
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+};
+
+/// Append-only record stream with simple query helpers.
+class TraceStream {
+public:
+    void emit(TraceRecord record);
+    void emit(Cycle at, std::string source, std::string kind,
+              std::string detail = {}, std::uint64_t a = 0,
+              std::uint64_t b = 0);
+
+    [[nodiscard]] const std::vector<TraceRecord>& records() const noexcept {
+        return records_;
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
+    [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+    /// Records with at >= cycle.
+    [[nodiscard]] std::vector<TraceRecord> since(Cycle cycle) const;
+
+    /// Records whose kind matches.
+    [[nodiscard]] std::vector<TraceRecord> of_kind(const std::string& kind) const;
+
+    /// Number of records of the given kind.
+    [[nodiscard]] std::size_t count_kind(const std::string& kind) const noexcept;
+
+    /// Drops all records (models a reboot wiping volatile telemetry —
+    /// the failure mode the paper attributes to passive architectures).
+    void clear() noexcept { records_.clear(); }
+
+    /// Serializes one record for hashing into the evidence chain.
+    static Bytes encode(const TraceRecord& record);
+
+private:
+    std::vector<TraceRecord> records_;
+};
+
+}  // namespace cres::sim

@@ -1,0 +1,25 @@
+// CRC-32 (IEEE 802.3 polynomial) used for non-security integrity checks
+// such as UART framing and simulation trace checkpoints. Security-grade
+// integrity uses SHA-256 from the crypto library.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.h"
+
+namespace cres {
+
+/// Computes the CRC-32 of `data` (init 0xFFFFFFFF, reflected, final xor).
+std::uint32_t crc32(BytesView data) noexcept;
+
+/// Incremental CRC-32 for streamed data.
+class Crc32 {
+public:
+    void update(BytesView data) noexcept;
+    [[nodiscard]] std::uint32_t value() const noexcept { return ~state_; }
+
+private:
+    std::uint32_t state_ = 0xffffffffu;
+};
+
+}  // namespace cres

@@ -1,0 +1,65 @@
+// Exception hierarchy used across the platform. Each library throws its
+// own subclass so callers can distinguish failure domains at API
+// boundaries while still catching cres::Error generically.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace cres {
+
+/// Base class of every error thrown by the platform.
+class Error : public std::runtime_error {
+public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Cryptographic failures: bad key sizes, verification failure, etc.
+class CryptoError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Simulation-kernel failures: scheduling in the past, missing agents.
+class SimError : public Error {
+public:
+    using Error::Error;
+};
+
+/// ISA failures: assembler syntax errors, invalid encodings.
+class IsaError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Memory-system failures: overlapping mappings, bad configuration.
+class MemError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Secure-boot / update failures: bad images, verification failure.
+class BootError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Policy compilation / evaluation failures.
+class PolicyError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Network / messaging failures.
+class NetError : public Error {
+public:
+    using Error::Error;
+};
+
+/// Platform assembly / scenario configuration failures.
+class PlatformError : public Error {
+public:
+    using Error::Error;
+};
+
+}  // namespace cres

@@ -1,0 +1,43 @@
+#include "util/log.h"
+
+#include <iostream>
+
+namespace cres {
+
+std::string_view log_level_name(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::kTrace: return "TRACE";
+        case LogLevel::kDebug: return "DEBUG";
+        case LogLevel::kInfo: return "INFO";
+        case LogLevel::kWarn: return "WARN";
+        case LogLevel::kError: return "ERROR";
+        case LogLevel::kOff: return "OFF";
+    }
+    return "?";
+}
+
+Logger::Logger()
+    : sink_([](LogLevel level, std::string_view msg) {
+          std::cerr << "[" << log_level_name(level) << "] " << msg << "\n";
+      }) {}
+
+Logger& Logger::instance() {
+    static Logger logger;
+    return logger;
+}
+
+void Logger::set_sink(Sink sink) {
+    if (sink) {
+        sink_ = std::move(sink);
+    } else {
+        sink_ = [](LogLevel level, std::string_view msg) {
+            std::cerr << "[" << log_level_name(level) << "] " << msg << "\n";
+        };
+    }
+}
+
+void Logger::write(LogLevel level, std::string_view message) {
+    sink_(level, message);
+}
+
+}  // namespace cres

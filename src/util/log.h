@@ -1,0 +1,78 @@
+// Minimal leveled logger. The default sink is stderr; tests install a
+// capturing sink. Logging is routed through one encapsulated global so
+// deeply nested simulation components do not need a logger parameter.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace cres {
+
+enum class LogLevel { kTrace, kDebug, kInfo, kWarn, kError, kOff };
+
+/// Returns a short label such as "INFO".
+std::string_view log_level_name(LogLevel level) noexcept;
+
+class Logger {
+public:
+    using Sink = std::function<void(LogLevel, std::string_view)>;
+
+    /// Global logger instance (encapsulated singleton; see I.30).
+    static Logger& instance();
+
+    void set_level(LogLevel level) noexcept { level_ = level; }
+    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+
+    /// Replaces the output sink; pass nullptr to restore stderr.
+    void set_sink(Sink sink);
+
+    [[nodiscard]] bool enabled(LogLevel level) const noexcept {
+        return level >= level_ && level_ != LogLevel::kOff;
+    }
+
+    void write(LogLevel level, std::string_view message);
+
+private:
+    Logger();
+
+    LogLevel level_ = LogLevel::kWarn;
+    Sink sink_;
+};
+
+namespace detail {
+
+template <typename... Args>
+void log_at(LogLevel level, Args&&... args) {
+    Logger& logger = Logger::instance();
+    if (!logger.enabled(level)) return;
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    logger.write(level, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void log_trace(Args&&... args) {
+    detail::log_at(LogLevel::kTrace, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_debug(Args&&... args) {
+    detail::log_at(LogLevel::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_info(Args&&... args) {
+    detail::log_at(LogLevel::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_warn(Args&&... args) {
+    detail::log_at(LogLevel::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void log_error(Args&&... args) {
+    detail::log_at(LogLevel::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace cres

@@ -1,0 +1,84 @@
+#include "util/rng.h"
+
+namespace cres {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+    std::uint64_t s = seed;
+    for (auto& word : state_) word = splitmix64(s);
+}
+
+std::uint64_t Rng::next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+}
+
+std::uint64_t Rng::uniform(std::uint64_t bound) noexcept {
+    if (bound == 0) return 0;
+    // Rejection sampling to avoid modulo bias.
+    const std::uint64_t limit =
+        std::numeric_limits<std::uint64_t>::max() -
+        std::numeric_limits<std::uint64_t>::max() % bound;
+    std::uint64_t v = next();
+    while (v >= limit) v = next();
+    return v % bound;
+}
+
+std::uint64_t Rng::range(std::uint64_t lo, std::uint64_t hi) noexcept {
+    return lo + uniform(hi - lo + 1);
+}
+
+double Rng::real() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::chance(double p) noexcept {
+    if (p <= 0.0) return false;
+    if (p >= 1.0) return true;
+    return real() < p;
+}
+
+void Rng::fill(std::span<std::uint8_t> out) noexcept {
+    std::size_t i = 0;
+    while (i < out.size()) {
+        std::uint64_t v = next();
+        for (int b = 0; b < 8 && i < out.size(); ++b, ++i) {
+            out[i] = static_cast<std::uint8_t>(v & 0xff);
+            v >>= 8;
+        }
+    }
+}
+
+Bytes Rng::bytes(std::size_t n) {
+    Bytes out(n);
+    fill(out);
+    return out;
+}
+
+Rng Rng::fork() noexcept {
+    return Rng(next());
+}
+
+}  // namespace cres

@@ -1,0 +1,83 @@
+#include "util/serial.h"
+
+#include "util/error.h"
+
+namespace cres {
+
+void BinaryWriter::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void BinaryWriter::u16(std::uint16_t v) {
+    u8(static_cast<std::uint8_t>(v & 0xff));
+    u8(static_cast<std::uint8_t>(v >> 8));
+}
+
+void BinaryWriter::u32(std::uint32_t v) {
+    u16(static_cast<std::uint16_t>(v & 0xffff));
+    u16(static_cast<std::uint16_t>(v >> 16));
+}
+
+void BinaryWriter::u64(std::uint64_t v) {
+    u32(static_cast<std::uint32_t>(v & 0xffffffffull));
+    u32(static_cast<std::uint32_t>(v >> 32));
+}
+
+void BinaryWriter::raw(BytesView data) { append(buf_, data); }
+
+void BinaryWriter::blob(BytesView data) {
+    u32(static_cast<std::uint32_t>(data.size()));
+    raw(data);
+}
+
+void BinaryWriter::str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void BinaryReader::require(std::size_t n) const {
+    if (remaining() < n) {
+        throw Error("BinaryReader: truncated input");
+    }
+}
+
+std::uint8_t BinaryReader::u8() {
+    require(1);
+    return data_[pos_++];
+}
+
+std::uint16_t BinaryReader::u16() {
+    const std::uint16_t lo = u8();
+    const std::uint16_t hi = u8();
+    return static_cast<std::uint16_t>(lo | (hi << 8));
+}
+
+std::uint32_t BinaryReader::u32() {
+    const std::uint32_t lo = u16();
+    const std::uint32_t hi = u16();
+    return lo | (hi << 16);
+}
+
+std::uint64_t BinaryReader::u64() {
+    const std::uint64_t lo = u32();
+    const std::uint64_t hi = u32();
+    return lo | (hi << 32);
+}
+
+Bytes BinaryReader::raw(std::size_t n) {
+    require(n);
+    Bytes out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+              data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += n;
+    return out;
+}
+
+Bytes BinaryReader::blob() {
+    const std::uint32_t n = u32();
+    return raw(n);
+}
+
+std::string BinaryReader::str() {
+    const Bytes b = blob();
+    return std::string(b.begin(), b.end());
+}
+
+}  // namespace cres

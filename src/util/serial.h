@@ -1,0 +1,66 @@
+// Little-endian binary serialization used by the firmware image format,
+// attestation reports, evidence records and network frames.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bytes.h"
+
+namespace cres {
+
+/// Appends little-endian primitives and length-prefixed blobs to a buffer.
+class BinaryWriter {
+public:
+    BinaryWriter() = default;
+
+    void u8(std::uint8_t v);
+    void u16(std::uint16_t v);
+    void u32(std::uint32_t v);
+    void u64(std::uint64_t v);
+    /// Raw bytes, no length prefix.
+    void raw(BytesView data);
+    /// u32 length prefix followed by the bytes.
+    void blob(BytesView data);
+    /// u32 length prefix followed by the characters.
+    void str(std::string_view s);
+
+    [[nodiscard]] const Bytes& data() const noexcept { return buf_; }
+    [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
+    [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+
+private:
+    Bytes buf_;
+};
+
+/// Reads back what BinaryWriter wrote. Throws cres::Error on underflow
+/// or oversized length prefixes, so malformed inputs cannot crash.
+class BinaryReader {
+public:
+    explicit BinaryReader(BytesView data) noexcept : data_(data) {}
+
+    std::uint8_t u8();
+    std::uint16_t u16();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    /// Reads exactly n raw bytes.
+    Bytes raw(std::size_t n);
+    /// Reads a u32-length-prefixed blob.
+    Bytes blob();
+    /// Reads a u32-length-prefixed string.
+    std::string str();
+
+    [[nodiscard]] std::size_t remaining() const noexcept {
+        return data_.size() - pos_;
+    }
+    [[nodiscard]] bool done() const noexcept { return remaining() == 0; }
+
+private:
+    void require(std::size_t n) const;
+
+    BytesView data_;
+    std::size_t pos_ = 0;
+};
+
+}  // namespace cres

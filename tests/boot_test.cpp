@@ -1,0 +1,325 @@
+// Secure-boot chain tests: image format, signing/verification, measured
+// boot, anti-rollback, multi-stage chains and the A/B update agent.
+#include <gtest/gtest.h>
+
+#include "boot/image.h"
+#include "boot/measured.h"
+#include "boot/secureboot.h"
+#include "boot/update.h"
+#include "util/error.h"
+
+namespace cres::boot {
+namespace {
+
+crypto::Hash256 seed(std::uint8_t fill) {
+    crypto::Hash256 s;
+    s.fill(fill);
+    return s;
+}
+
+class BootFixture : public ::testing::Test {
+protected:
+    BootFixture()
+        : vendor_key(seed(1), 5),
+          rom(vendor_key.public_key(), counters),
+          memory("flash", 0x10000) {}
+
+    FirmwareImage make_image(const std::string& name, std::uint32_t version,
+                             mem::Addr load = 0x1000,
+                             std::size_t payload_size = 256) {
+        FirmwareImage image;
+        image.name = name;
+        image.security_version = version;
+        image.load_addr = load;
+        image.entry_point = load;
+        image.payload.resize(payload_size);
+        for (std::size_t i = 0; i < payload_size; ++i) {
+            image.payload[i] = static_cast<std::uint8_t>(i ^ version);
+        }
+        ImageSigner signer(vendor_key);
+        signer.sign(image);
+        return image;
+    }
+
+    crypto::MerkleSigner vendor_key;
+    crypto::MonotonicCounterBank counters;
+    BootRom rom;
+    mem::Ram memory;
+    PcrBank pcrs;
+};
+
+TEST_F(BootFixture, ImageSerializationRoundTrip) {
+    const FirmwareImage image = make_image("fw", 3);
+    const FirmwareImage parsed = FirmwareImage::parse(image.serialize());
+    EXPECT_EQ(parsed.name, "fw");
+    EXPECT_EQ(parsed.security_version, 3u);
+    EXPECT_EQ(parsed.load_addr, 0x1000u);
+    EXPECT_EQ(parsed.payload, image.payload);
+    EXPECT_EQ(parsed.digest(), image.digest());
+    EXPECT_TRUE(verify_image(parsed, vendor_key.public_key()));
+}
+
+TEST_F(BootFixture, ParseRejectsGarbage) {
+    EXPECT_THROW(FirmwareImage::parse(Bytes{1, 2, 3}), BootError);
+    Bytes bad = make_image("fw", 1).serialize();
+    bad[0] ^= 0xff;  // Corrupt magic.
+    EXPECT_THROW(FirmwareImage::parse(bad), BootError);
+}
+
+TEST_F(BootFixture, UnsignedImageFailsVerification) {
+    FirmwareImage image = make_image("fw", 1);
+    image.signature.clear();
+    EXPECT_FALSE(verify_image(image, vendor_key.public_key()));
+}
+
+TEST_F(BootFixture, TamperedPayloadFailsVerification) {
+    FirmwareImage image = make_image("fw", 1);
+    image.payload[10] ^= 1;
+    EXPECT_FALSE(verify_image(image, vendor_key.public_key()));
+}
+
+TEST_F(BootFixture, WrongKeyFailsVerification) {
+    crypto::MerkleSigner other(seed(9), 3);
+    const FirmwareImage image = make_image("fw", 1);
+    EXPECT_FALSE(verify_image(image, other.public_key()));
+}
+
+TEST_F(BootFixture, CorruptSignatureBytesFailSafely) {
+    FirmwareImage image = make_image("fw", 1);
+    image.signature.resize(4);
+    EXPECT_FALSE(verify_image(image, vendor_key.public_key()));
+}
+
+TEST_F(BootFixture, SuccessfulBootLoadsAndMeasures) {
+    const FirmwareImage image = make_image("fw", 1);
+    const BootReport report = rom.boot_chain({image}, memory, 0x0, pcrs);
+
+    EXPECT_TRUE(report.success);
+    EXPECT_EQ(report.entry_point, 0x1000u);
+    EXPECT_EQ(memory.dump(0x1000, image.payload.size()), image.payload);
+    ASSERT_EQ(pcrs.log().size(), 1u);
+    EXPECT_EQ(pcrs.log()[0].measurement, image.digest());
+    EXPECT_GT(report.verification_cost_cycles, 0u);
+    EXPECT_EQ(counters.value("fw_version"), 1u);
+}
+
+TEST_F(BootFixture, BadSignatureAborts) {
+    FirmwareImage image = make_image("fw", 1);
+    image.payload[0] ^= 1;
+    const BootReport report = rom.boot_chain({image}, memory, 0x0, pcrs);
+    EXPECT_FALSE(report.success);
+    EXPECT_EQ(report.stages[0].status, BootStatus::kBadSignature);
+    // Nothing loaded, nothing measured, counter untouched.
+    EXPECT_TRUE(pcrs.log().empty());
+    EXPECT_EQ(counters.value("fw_version"), 0u);
+}
+
+TEST_F(BootFixture, RollbackAttackRejectedWhenStrict) {
+    (void)rom.boot_chain({make_image("fw", 5)}, memory, 0x0, pcrs);
+    const BootReport report =
+        rom.boot_chain({make_image("fw", 3)}, memory, 0x0, pcrs);
+    EXPECT_FALSE(report.success);
+    EXPECT_EQ(report.stages[0].status, BootStatus::kRollbackRejected);
+}
+
+TEST_F(BootFixture, RollbackAttackSucceedsWhenLax) {
+    // The vulnerable configuration of [16]: valid signature, old version.
+    (void)rom.boot_chain({make_image("fw", 5)}, memory, 0x0, pcrs);
+    rom.set_strict_rollback(false);
+    const BootReport report =
+        rom.boot_chain({make_image("fw", 3)}, memory, 0x0, pcrs);
+    EXPECT_TRUE(report.success);  // The downgrade goes through.
+}
+
+TEST_F(BootFixture, EqualVersionAllowed) {
+    (void)rom.boot_chain({make_image("fw", 5)}, memory, 0x0, pcrs);
+    const BootReport report =
+        rom.boot_chain({make_image("fw", 5)}, memory, 0x0, pcrs);
+    EXPECT_TRUE(report.success);
+}
+
+TEST_F(BootFixture, MultiStageChain) {
+    const FirmwareImage bl = make_image("bootloader", 2, 0x1000);
+    const FirmwareImage os = make_image("os", 7, 0x4000);
+    const BootReport report = rom.boot_chain({bl, os}, memory, 0x0, pcrs);
+    EXPECT_TRUE(report.success);
+    EXPECT_EQ(report.entry_point, 0x4000u);
+    EXPECT_EQ(report.stages.size(), 2u);
+    EXPECT_EQ(pcrs.log().size(), 2u);
+    EXPECT_EQ(counters.value("fw_version"), 7u);
+}
+
+TEST_F(BootFixture, ChainStopsAtFirstBadStage) {
+    const FirmwareImage bl = make_image("bootloader", 2, 0x1000);
+    FirmwareImage os = make_image("os", 7, 0x4000);
+    os.payload[0] ^= 1;
+    const BootReport report = rom.boot_chain({bl, os}, memory, 0x0, pcrs);
+    EXPECT_FALSE(report.success);
+    EXPECT_EQ(report.stages.size(), 2u);
+    EXPECT_EQ(report.stages[1].status, BootStatus::kBadSignature);
+    EXPECT_EQ(pcrs.log().size(), 1u);  // Only the bootloader measured.
+}
+
+TEST_F(BootFixture, LoadFaultOnOutOfRangeImage) {
+    const FirmwareImage image = make_image("fw", 1, 0xfff0, 0x100);
+    const BootReport report = rom.boot_chain({image}, memory, 0x0, pcrs);
+    EXPECT_FALSE(report.success);
+    EXPECT_EQ(report.stages[0].status, BootStatus::kLoadFault);
+}
+
+TEST_F(BootFixture, EmptyChainRejected) {
+    EXPECT_THROW((void)rom.boot_chain({}, memory, 0x0, pcrs), BootError);
+}
+
+TEST_F(BootFixture, ReportSummaryReadable) {
+    const BootReport report =
+        rom.boot_chain({make_image("fw", 1)}, memory, 0x0, pcrs);
+    const std::string s = report.summary();
+    EXPECT_NE(s.find("BOOT OK"), std::string::npos);
+    EXPECT_NE(s.find("fw v1"), std::string::npos);
+}
+
+TEST(Pcr, ExtendChangesValueDeterministically) {
+    PcrBank a, b;
+    crypto::Hash256 m;
+    m.fill(7);
+    a.extend(0, m);
+    b.extend(0, m);
+    EXPECT_EQ(a.value(0), b.value(0));
+    EXPECT_NE(a.value(0), crypto::Hash256{});
+    a.extend(0, m);
+    EXPECT_NE(a.value(0), b.value(0));  // Order/count sensitive.
+}
+
+TEST(Pcr, CompositeCoversAllRegisters) {
+    PcrBank a, b;
+    crypto::Hash256 m;
+    m.fill(3);
+    a.extend(0, m);
+    b.extend(1, m);
+    EXPECT_NE(a.composite(), b.composite());
+}
+
+TEST(Pcr, ReplayMatchesLiveBank) {
+    PcrBank bank;
+    crypto::Hash256 m1, m2;
+    m1.fill(1);
+    m2.fill(2);
+    bank.extend(PcrBank::kPcrFirmware, m1, "fw");
+    bank.extend(PcrBank::kPcrApplication, m2, "app");
+    EXPECT_EQ(replay_composite(bank.log()), bank.composite());
+}
+
+TEST(Pcr, BadIndexThrows) {
+    PcrBank bank;
+    crypto::Hash256 m{};
+    EXPECT_THROW(bank.extend(PcrBank::kPcrCount, m), Error);
+    EXPECT_THROW((void)bank.value(PcrBank::kPcrCount), Error);
+}
+
+TEST(Pcr, ResetRestoresPowerOnState) {
+    PcrBank bank;
+    crypto::Hash256 m;
+    m.fill(5);
+    bank.extend(0, m);
+    bank.reset();
+    EXPECT_EQ(bank.value(0), crypto::Hash256{});
+    EXPECT_TRUE(bank.log().empty());
+}
+
+class UpdateFixture : public ::testing::Test {
+protected:
+    UpdateFixture()
+        : vendor_key(seed(2), 5),
+          agent(vendor_key.public_key(), counters) {}
+
+    Bytes signed_image(std::uint32_t version) {
+        FirmwareImage image;
+        image.name = "fw";
+        image.security_version = version;
+        image.load_addr = 0x1000;
+        image.entry_point = 0x1000;
+        image.payload = Bytes(64, static_cast<std::uint8_t>(version));
+        ImageSigner signer(vendor_key);
+        signer.sign(image);
+        return image.serialize();
+    }
+
+    crypto::MerkleSigner vendor_key;
+    crypto::MonotonicCounterBank counters;
+    UpdateAgent agent;
+};
+
+TEST_F(UpdateFixture, InstallActivateCommit) {
+    EXPECT_EQ(agent.install(signed_image(1)), UpdateStatus::kOk);
+    EXPECT_TRUE(agent.activate());
+    EXPECT_TRUE(agent.provisional());
+    agent.commit();
+    EXPECT_FALSE(agent.provisional());
+    ASSERT_TRUE(agent.active_image().has_value());
+    EXPECT_EQ(agent.active_image()->security_version, 1u);
+    EXPECT_EQ(counters.value("fw_version"), 1u);
+}
+
+TEST_F(UpdateFixture, ActivateWithoutInstallFails) {
+    EXPECT_FALSE(agent.activate());
+}
+
+TEST_F(UpdateFixture, BadSignatureRejected) {
+    Bytes bytes = signed_image(1);
+    bytes[bytes.size() / 2] ^= 1;
+    const auto status = agent.install(bytes);
+    EXPECT_TRUE(status == UpdateStatus::kBadSignature ||
+                status == UpdateStatus::kBadImage);
+    EXPECT_EQ(agent.rejected_installs(), 1u);
+}
+
+TEST_F(UpdateFixture, GarbageRejected) {
+    EXPECT_EQ(agent.install(Bytes{1, 2, 3}), UpdateStatus::kBadImage);
+}
+
+TEST_F(UpdateFixture, DowngradeRejectedAfterCommit) {
+    (void)agent.install(signed_image(5));
+    (void)agent.activate();
+    agent.commit();
+    EXPECT_EQ(agent.install(signed_image(3)),
+              UpdateStatus::kVersionRegression);
+}
+
+TEST_F(UpdateFixture, FailedBootRollsBack) {
+    (void)agent.install(signed_image(1));
+    (void)agent.activate();
+    agent.commit();
+
+    (void)agent.install(signed_image(2));
+    (void)agent.activate();
+    EXPECT_EQ(agent.active_image()->security_version, 2u);
+    EXPECT_TRUE(agent.reboot_failed());  // v2 crashes -> back to v1.
+    EXPECT_EQ(agent.active_image()->security_version, 1u);
+    EXPECT_EQ(agent.rollbacks(), 1u);
+}
+
+TEST_F(UpdateFixture, RollbackImpossibleWhenCommitted) {
+    (void)agent.install(signed_image(1));
+    (void)agent.activate();
+    agent.commit();
+    EXPECT_FALSE(agent.reboot_failed());
+}
+
+TEST_F(UpdateFixture, RollForwardAfterRollback) {
+    (void)agent.install(signed_image(1));
+    (void)agent.activate();
+    agent.commit();
+    (void)agent.install(signed_image(2));
+    (void)agent.activate();
+    (void)agent.reboot_failed();
+    // Vendor ships a fixed v3; device rolls forward.
+    EXPECT_EQ(agent.install(signed_image(3)), UpdateStatus::kOk);
+    EXPECT_TRUE(agent.activate());
+    agent.commit();
+    EXPECT_EQ(agent.active_image()->security_version, 3u);
+    EXPECT_EQ(counters.value("fw_version"), 3u);
+}
+
+}  // namespace
+}  // namespace cres::boot

@@ -1,0 +1,375 @@
+// Crypto primitives tested against published vectors: SHA-256 (FIPS 180-4),
+// HMAC-SHA256 (RFC 4231), HKDF (RFC 5869), AES-128 (FIPS 197 / SP 800-38A),
+// ChaCha20 (RFC 8439), plus key store and monotonic counter behaviour.
+#include <gtest/gtest.h>
+
+#include "crypto/aes.h"
+#include "crypto/chacha20.h"
+#include "crypto/hmac.h"
+#include "crypto/keystore.h"
+#include "crypto/monotonic.h"
+#include "crypto/sha256.h"
+#include "util/error.h"
+
+namespace cres::crypto {
+namespace {
+
+std::string hex(const Hash256& h) { return to_hex(h); }
+
+TEST(Sha256, EmptyString) {
+    EXPECT_EQ(hex(sha256({})),
+              "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+    EXPECT_EQ(hex(sha256(to_bytes("abc"))),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+    EXPECT_EQ(hex(sha256(to_bytes(
+                  "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+              "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionA) {
+    Sha256 h;
+    const Bytes chunk(1000, 'a');
+    for (int i = 0; i < 1000; ++i) h.update(chunk);
+    EXPECT_EQ(hex(h.finish()),
+              "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+    const Bytes data = to_bytes("The quick brown fox jumps over the lazy dog");
+    for (std::size_t split = 0; split <= data.size(); ++split) {
+        Sha256 h;
+        h.update(BytesView(data).subspan(0, split));
+        h.update(BytesView(data).subspan(split));
+        EXPECT_EQ(h.finish(), sha256(data)) << "split=" << split;
+    }
+}
+
+TEST(Sha256, ExactBlockBoundaries) {
+    // 55/56/63/64/65 bytes exercise every padding branch.
+    for (std::size_t n : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+        const Bytes data(n, 0x5a);
+        Sha256 h;
+        h.update(data);
+        EXPECT_EQ(h.finish(), sha256(data)) << "n=" << n;
+    }
+}
+
+TEST(Sha256, ResetRestoresInitialState) {
+    Sha256 h;
+    h.update(to_bytes("garbage"));
+    (void)h.finish();
+    h.reset();
+    h.update(to_bytes("abc"));
+    EXPECT_EQ(hex(h.finish()),
+              "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, PairMatchesConcat) {
+    const Bytes a = to_bytes("hello ");
+    const Bytes b = to_bytes("world");
+    EXPECT_EQ(sha256_pair(a, b), sha256(to_bytes("hello world")));
+}
+
+TEST(HashFromBytes, RejectsWrongSize) {
+    EXPECT_THROW(hash_from_bytes(Bytes(31, 0)), CryptoError);
+    EXPECT_THROW(hash_from_bytes(Bytes(33, 0)), CryptoError);
+    EXPECT_NO_THROW(hash_from_bytes(Bytes(32, 0)));
+}
+
+// RFC 4231 test case 1.
+TEST(Hmac, Rfc4231Case1) {
+    const Bytes key(20, 0x0b);
+    const Bytes msg = to_bytes("Hi There");
+    EXPECT_EQ(hex(hmac_sha256(key, msg)),
+              "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2 ("Jefe").
+TEST(Hmac, Rfc4231Case2) {
+    const Bytes key = to_bytes("Jefe");
+    const Bytes msg = to_bytes("what do ya want for nothing?");
+    EXPECT_EQ(hex(hmac_sha256(key, msg)),
+              "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: 20x 0xaa key, 50x 0xdd data.
+TEST(Hmac, Rfc4231Case3) {
+    const Bytes key(20, 0xaa);
+    const Bytes msg(50, 0xdd);
+    EXPECT_EQ(hex(hmac_sha256(key, msg)),
+              "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than one block.
+TEST(Hmac, Rfc4231Case6LongKey) {
+    const Bytes key(131, 0xaa);
+    const Bytes msg = to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
+    EXPECT_EQ(hex(hmac_sha256(key, msg)),
+              "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(Hmac, VerifyAcceptsAndRejects) {
+    const Bytes key = to_bytes("k");
+    const Bytes msg = to_bytes("m");
+    const Hash256 tag = hmac_sha256(key, msg);
+    EXPECT_TRUE(hmac_verify(key, msg, tag));
+    Hash256 bad = tag;
+    bad[0] ^= 1;
+    EXPECT_FALSE(hmac_verify(key, msg, bad));
+    EXPECT_FALSE(hmac_verify(key, to_bytes("m2"), tag));
+}
+
+// RFC 5869 test case 1.
+TEST(Hkdf, Rfc5869Case1) {
+    const Bytes ikm(22, 0x0b);
+    const Bytes salt = from_hex("000102030405060708090a0b0c");
+    const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+    const Hash256 prk = hkdf_extract(salt, ikm);
+    EXPECT_EQ(hex(prk),
+              "077709362c2e32df0ddc3f0dc47bba6390b6c73bb50f9c3122ec844ad7c2b3e5");
+    const Bytes okm = hkdf_expand(prk, info, 42);
+    EXPECT_EQ(to_hex(okm),
+              "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+              "34007208d5b887185865");
+}
+
+TEST(Hkdf, ExpandRejectsTooLong) {
+    const Hash256 prk{};
+    EXPECT_THROW(hkdf_expand(prk, {}, 255 * 32 + 1), CryptoError);
+}
+
+TEST(Hkdf, LabelsProduceIndependentKeys) {
+    const Bytes ikm = to_bytes("device-root-secret");
+    const Bytes salt = to_bytes("salt");
+    const Bytes k1 = hkdf(ikm, salt, "attestation", 32);
+    const Bytes k2 = hkdf(ikm, salt, "evidence-seal", 32);
+    EXPECT_NE(k1, k2);
+    EXPECT_EQ(k1, hkdf(ikm, salt, "attestation", 32));
+}
+
+// FIPS 197 Appendix B.
+TEST(Aes128, Fips197Block) {
+    const Aes128Key key =
+        aes_key_from_bytes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const Aes128 aes(key);
+    Aes128Block block;
+    const Bytes pt = from_hex("3243f6a8885a308d313198a2e0370734");
+    std::copy(pt.begin(), pt.end(), block.begin());
+    aes.encrypt_block(block);
+    EXPECT_EQ(to_hex(block), "3925841d02dc09fbdc118597196a0b32");
+    aes.decrypt_block(block);
+    EXPECT_EQ(Bytes(block.begin(), block.end()), pt);
+}
+
+// NIST SP 800-38A F.1.1 (ECB-AES128 block 1).
+TEST(Aes128, Sp80038aEcbVector) {
+    const Aes128Key key =
+        aes_key_from_bytes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const Aes128 aes(key);
+    Aes128Block block;
+    const Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+    std::copy(pt.begin(), pt.end(), block.begin());
+    aes.encrypt_block(block);
+    EXPECT_EQ(to_hex(block), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+// NIST SP 800-38A F.2.1 (CBC-AES128, first block).
+TEST(Aes128, Sp80038aCbcFirstBlock) {
+    const Aes128Key key =
+        aes_key_from_bytes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const Aes128 aes(key);
+    Aes128Block iv;
+    const Bytes iv_bytes = from_hex("000102030405060708090a0b0c0d0e0f");
+    std::copy(iv_bytes.begin(), iv_bytes.end(), iv.begin());
+    const Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+    const Bytes ct = aes.cbc_encrypt(pt, iv);
+    // First 16 bytes must match the NIST vector; the rest is padding.
+    ASSERT_GE(ct.size(), 16u);
+    EXPECT_EQ(to_hex(BytesView(ct).subspan(0, 16)),
+              "7649abac8119b246cee98e9b12e9197d");
+    EXPECT_EQ(aes.cbc_decrypt(ct, iv), pt);
+}
+
+// NIST SP 800-38A F.5.1 (CTR-AES128, first block).
+TEST(Aes128, Sp80038aCtrVector) {
+    const Aes128Key key =
+        aes_key_from_bytes(from_hex("2b7e151628aed2a6abf7158809cf4f3c"));
+    const Aes128 aes(key);
+    Aes128Block ctr;
+    const Bytes ctr_bytes = from_hex("f0f1f2f3f4f5f6f7f8f9fafbfcfdfeff");
+    std::copy(ctr_bytes.begin(), ctr_bytes.end(), ctr.begin());
+    const Bytes pt = from_hex("6bc1bee22e409f96e93d7e117393172a");
+    const Bytes ct = aes.ctr_crypt(pt, ctr);
+    EXPECT_EQ(to_hex(ct), "874d6191b620e3261bef6864990db6ce");
+    EXPECT_EQ(aes.ctr_crypt(ct, ctr), pt);
+}
+
+TEST(Aes128, CbcRoundTripVariousLengths) {
+    const Aes128Key key = aes_key_from_bytes(Bytes(16, 0x42));
+    const Aes128 aes(key);
+    const Aes128Block iv{};
+    for (std::size_t n : {0u, 1u, 15u, 16u, 17u, 31u, 32u, 100u}) {
+        Bytes pt(n);
+        for (std::size_t i = 0; i < n; ++i) pt[i] = static_cast<std::uint8_t>(i);
+        const Bytes ct = aes.cbc_encrypt(pt, iv);
+        EXPECT_EQ(ct.size() % 16, 0u);
+        EXPECT_GE(ct.size(), pt.size() + 1);  // Always padded.
+        EXPECT_EQ(aes.cbc_decrypt(ct, iv), pt) << "n=" << n;
+    }
+}
+
+TEST(Aes128, CbcDecryptRejectsCorruption) {
+    const Aes128Key key = aes_key_from_bytes(Bytes(16, 0x42));
+    const Aes128 aes(key);
+    const Aes128Block iv{};
+    Bytes ct = aes.cbc_encrypt(to_bytes("attack at dawn"), iv);
+    ct.back() ^= 0xff;
+    EXPECT_THROW((void)aes.cbc_decrypt(ct, iv), CryptoError);
+    EXPECT_THROW((void)aes.cbc_decrypt(Bytes(15, 0), iv), CryptoError);
+    EXPECT_THROW((void)aes.cbc_decrypt(Bytes{}, iv), CryptoError);
+}
+
+TEST(Aes128, KeyFromBytesRejectsWrongSize) {
+    EXPECT_THROW(aes_key_from_bytes(Bytes(15, 0)), CryptoError);
+    EXPECT_THROW(aes_key_from_bytes(Bytes(17, 0)), CryptoError);
+}
+
+// RFC 8439 section 2.3.2 block function test vector.
+TEST(ChaCha20, Rfc8439BlockVector) {
+    ChaChaKey key;
+    for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(i);
+    ChaChaNonce nonce{};
+    const Bytes nonce_bytes = from_hex("000000090000004a00000000");
+    std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+    const auto block = chacha20_block(key, 1, nonce);
+    EXPECT_EQ(to_hex(BytesView(block.data(), 16)),
+              "10f1e7e4d13b5915500fdd1fa32071c4");
+}
+
+// RFC 8439 section 2.4.2 encryption test vector.
+TEST(ChaCha20, Rfc8439EncryptVector) {
+    ChaChaKey key;
+    for (int i = 0; i < 32; ++i) key[static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(i);
+    ChaChaNonce nonce{};
+    const Bytes nonce_bytes = from_hex("000000000000004a00000000");
+    std::copy(nonce_bytes.begin(), nonce_bytes.end(), nonce.begin());
+    const Bytes pt = to_bytes(
+        "Ladies and Gentlemen of the class of '99: If I could offer you "
+        "only one tip for the future, sunscreen would be it.");
+    const Bytes ct = chacha20_crypt(key, nonce, 1, pt);
+    EXPECT_EQ(to_hex(BytesView(ct).subspan(0, 16)),
+              "6e2e359a2568f98041ba0728dd0d6981");
+    EXPECT_EQ(chacha20_crypt(key, nonce, 1, ct), pt);
+}
+
+TEST(ChaChaDrbg, DeterministicFromSeed) {
+    ChaChaDrbg a(to_bytes("seed"));
+    ChaChaDrbg b(to_bytes("seed"));
+    EXPECT_EQ(a.generate(64), b.generate(64));
+}
+
+TEST(ChaChaDrbg, OutputsDiffer) {
+    ChaChaDrbg drbg(to_bytes("seed"));
+    const Bytes first = drbg.generate(32);
+    const Bytes second = drbg.generate(32);
+    EXPECT_NE(first, second);
+}
+
+TEST(ChaChaDrbg, ReseedChangesStream) {
+    ChaChaDrbg a(to_bytes("seed"));
+    ChaChaDrbg b(to_bytes("seed"));
+    b.reseed(to_bytes("extra entropy"));
+    EXPECT_NE(a.generate(32), b.generate(32));
+}
+
+TEST(KeyStore, InstallAndRead) {
+    KeyStore ks;
+    ks.install("root", to_bytes("secret"), KeyAccess::kAny);
+    const auto got = ks.read("root", KeyRequester::kNormal);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, to_bytes("secret"));
+}
+
+TEST(KeyStore, AccessControl) {
+    KeyStore ks;
+    ks.install("boot", to_bytes("b"), KeyAccess::kSecureOnly);
+    ks.install("ssm", to_bytes("s"), KeyAccess::kSsmOnly);
+
+    EXPECT_FALSE(ks.read("boot", KeyRequester::kNormal).has_value());
+    EXPECT_TRUE(ks.read("boot", KeyRequester::kSecure).has_value());
+    EXPECT_TRUE(ks.read("boot", KeyRequester::kSsm).has_value());
+
+    EXPECT_FALSE(ks.read("ssm", KeyRequester::kNormal).has_value());
+    EXPECT_FALSE(ks.read("ssm", KeyRequester::kSecure).has_value());
+    EXPECT_TRUE(ks.read("ssm", KeyRequester::kSsm).has_value());
+
+    EXPECT_EQ(ks.denied_reads(), 3u);
+}
+
+TEST(KeyStore, ZeroiseRemovesMaterial) {
+    KeyStore ks;
+    ks.install("k", to_bytes("material"), KeyAccess::kAny);
+    EXPECT_TRUE(ks.zeroise("k"));
+    EXPECT_FALSE(ks.read("k", KeyRequester::kSsm).has_value());
+    EXPECT_FALSE(ks.contains("k"));
+    EXPECT_FALSE(ks.zeroise("k"));  // Already gone.
+}
+
+TEST(KeyStore, ZeroiseAll) {
+    KeyStore ks;
+    ks.install("a", to_bytes("1"), KeyAccess::kAny);
+    ks.install("b", to_bytes("2"), KeyAccess::kSsmOnly);
+    EXPECT_EQ(ks.live_count(), 2u);
+    EXPECT_EQ(ks.zeroise_all(), 2u);
+    EXPECT_EQ(ks.live_count(), 0u);
+    EXPECT_EQ(ks.zeroise_all(), 0u);
+}
+
+TEST(KeyStore, MissingKeyReads) {
+    KeyStore ks;
+    EXPECT_FALSE(ks.read("nope", KeyRequester::kSsm).has_value());
+    EXPECT_FALSE(ks.contains("nope"));
+}
+
+TEST(MonotonicCounter, NeverRegresses) {
+    MonotonicCounterBank bank;
+    EXPECT_EQ(bank.value("fw"), 0u);
+    EXPECT_TRUE(bank.advance("fw", 5));
+    EXPECT_EQ(bank.value("fw"), 5u);
+    EXPECT_FALSE(bank.advance("fw", 3));
+    EXPECT_EQ(bank.value("fw"), 5u);
+    EXPECT_EQ(bank.tamper_attempts(), 1u);
+    EXPECT_TRUE(bank.advance("fw", 5));  // Equal is allowed.
+}
+
+TEST(MonotonicCounter, Increment) {
+    MonotonicCounterBank bank;
+    EXPECT_EQ(bank.increment("boot"), 1u);
+    EXPECT_EQ(bank.increment("boot"), 2u);
+    EXPECT_EQ(bank.value("boot"), 2u);
+}
+
+TEST(MonotonicCounter, SerializeRoundTrip) {
+    MonotonicCounterBank bank;
+    bank.advance("fw", 7);
+    bank.increment("boot");
+    (void)bank.advance("fw", 1);  // Tamper attempt recorded.
+
+    const Bytes blob = bank.serialize();
+    const MonotonicCounterBank restored =
+        MonotonicCounterBank::deserialize(blob);
+    EXPECT_EQ(restored.value("fw"), 7u);
+    EXPECT_EQ(restored.value("boot"), 1u);
+    EXPECT_EQ(restored.tamper_attempts(), 1u);
+}
+
+}  // namespace
+}  // namespace cres::crypto

@@ -1,0 +1,132 @@
+// Fleet-management tests: enrolment, attestation sweeps, health
+// collection and compromise localisation across a device population.
+#include <gtest/gtest.h>
+
+#include "attack/attacks.h"
+#include "platform/fleet.h"
+
+namespace cres::platform {
+namespace {
+
+FleetConfig small_fleet(bool resilient) {
+    FleetConfig config;
+    config.device_count = 4;
+    config.resilient = resilient;
+    config.seed = 17;
+    return config;
+}
+
+TEST(Fleet, EnrollsAndRunsDevices) {
+    Fleet fleet(small_fleet(true));
+    ASSERT_EQ(fleet.size(), 4u);
+    fleet.run(20000);
+    EXPECT_GT(fleet.fleet_iterations(), 4 * 10u);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        EXPECT_GT(fleet.device(i).stats().control_iterations, 10u);
+    }
+}
+
+TEST(Fleet, CleanSweepAllTrusted) {
+    Fleet fleet(small_fleet(true));
+    fleet.run(10000);
+    const SweepResult sweep = fleet.attestation_sweep();
+    EXPECT_EQ(sweep.trusted, 4u);
+    EXPECT_EQ(sweep.flagged, 0u);
+    EXPECT_TRUE(sweep.flagged_devices().empty());
+}
+
+TEST(Fleet, SweepLocalisesImplantedDevices) {
+    Fleet fleet(small_fleet(true));
+    fleet.run(10000);
+
+    // Devices 1 and 3 get firmware implants (measured on next boot).
+    crypto::Hash256 implant;
+    implant.fill(0x66);
+    fleet.device(1).pcrs.extend(boot::PcrBank::kPcrFirmware, implant);
+    fleet.device(3).pcrs.extend(boot::PcrBank::kPcrFirmware, implant);
+
+    const SweepResult sweep = fleet.attestation_sweep();
+    EXPECT_EQ(sweep.flagged, 2u);
+    EXPECT_EQ(sweep.flagged_devices(), (std::vector<std::size_t>{1, 3}));
+    EXPECT_EQ(sweep.verdicts[1], net::AttestResult::kWrongMeasurement);
+}
+
+TEST(Fleet, ZeroisedDeviceFailsAttestation) {
+    Fleet fleet(small_fleet(true));
+    fleet.run(10000);
+    // Device 2's response manager zeroised its keys (post-incident);
+    // model by wiping the TEE's secure memory region.
+    fleet.device(2).tee_ram.fill(0);
+    const SweepResult sweep = fleet.attestation_sweep();
+    EXPECT_EQ(sweep.verdicts[2], net::AttestResult::kBadTag);
+    EXPECT_EQ(sweep.flagged, 1u);
+}
+
+TEST(Fleet, HealthCollectionVerifies) {
+    Fleet fleet(small_fleet(true));
+    fleet.run(10000);
+    const HealthSummary health = fleet.collect_health();
+    ASSERT_EQ(health.states.size(), 4u);
+    EXPECT_EQ(health.healthy, 4u);
+    for (const bool valid : health.report_valid) EXPECT_TRUE(valid);
+}
+
+TEST(Fleet, CompromisedDeviceShowsInHealth) {
+    Fleet fleet(small_fleet(true));
+    fleet.run(10000);
+
+    attack::StackSmashAttack attack;
+    attack.launch(fleet.device(0), fleet.device(0).sim.now() + 1000);
+    fleet.run(30000);
+
+    const HealthSummary health = fleet.collect_health();
+    // Device 0 went through an incident; its report is still signed and
+    // verifiable whatever state it ended in.
+    EXPECT_TRUE(health.report_valid[0]);
+    // And its evidence log tells the story.
+    EXPECT_GT(fleet.device(0).ssm->evidence().size(), 1u);
+}
+
+TEST(Fleet, PassiveFleetHasNothingTrustworthyToSay) {
+    Fleet fleet(small_fleet(false));
+    fleet.run(10000);
+    const HealthSummary health = fleet.collect_health();
+    for (const bool valid : health.report_valid) EXPECT_FALSE(valid);
+    // Attestation still works (it needs only the TEE), so implants are
+    // still caught at sweep time even on passive devices...
+    const SweepResult sweep = fleet.attestation_sweep();
+    EXPECT_EQ(sweep.trusted, 4u);
+}
+
+TEST(Fleet, WireAttestationSweepWorks) {
+    Fleet fleet(small_fleet(true));
+    fleet.run(10000);
+    const SweepResult sweep = fleet.attestation_sweep_wire();
+    EXPECT_EQ(sweep.trusted, 4u);
+    EXPECT_EQ(sweep.flagged, 0u);
+}
+
+TEST(Fleet, WireSweepFlagsImplant) {
+    Fleet fleet(small_fleet(true));
+    fleet.run(10000);
+    crypto::Hash256 implant;
+    implant.fill(0x66);
+    fleet.device(0).pcrs.extend(boot::PcrBank::kPcrFirmware, implant);
+    const SweepResult sweep = fleet.attestation_sweep_wire();
+    EXPECT_EQ(sweep.verdicts[0], net::AttestResult::kWrongMeasurement);
+    EXPECT_EQ(sweep.flagged, 1u);
+}
+
+TEST(Fleet, DevicesAreIndependent) {
+    Fleet fleet(small_fleet(true));
+    attack::TaskHangAttack attack;
+    attack.launch(fleet.device(0), 5000);
+    fleet.run(30000);
+    // Device 0 had an incident; the rest ran clean.
+    for (std::size_t i = 1; i < fleet.size(); ++i) {
+        EXPECT_EQ(fleet.device(i).ssm->dispatches().size(), 0u) << i;
+    }
+}
+
+}  // namespace
+}  // namespace cres::platform

@@ -1,0 +1,591 @@
+// ISA tests: encoding, assembler, CPU semantics, privilege, security
+// state, traps, interrupts and observer hooks.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/cpu.h"
+#include "isa/encoding.h"
+#include "mem/ram.h"
+#include "util/error.h"
+
+namespace cres::isa {
+namespace {
+
+constexpr mem::Addr kRamBase = 0x0000'0000;
+constexpr mem::Addr kRamSize = 0x1'0000;
+
+/// Minimal SoC: one RAM region and one CPU.
+class CpuFixture : public ::testing::Test {
+protected:
+    CpuFixture() : ram("ram", kRamSize), cpu("cpu0", bus) {
+        bus.map(mem::RegionConfig{"ram", kRamBase, kRamSize, false, false},
+                ram);
+    }
+
+    /// Assembles, loads at 0, resets the CPU and runs up to `max_steps`.
+    Program run(const std::string& source, std::size_t max_steps = 10000) {
+        Program p = assemble(source, kRamBase);
+        ram.load(0, p.code);
+        cpu.reset(kRamBase);
+        std::size_t steps = 0;
+        while (!cpu.halted() && steps++ < max_steps) cpu.step();
+        return p;
+    }
+
+    mem::Bus bus;
+    mem::Ram ram;
+    Cpu cpu;
+};
+
+TEST(Encoding, RoundTrip) {
+    Instruction insn;
+    insn.opcode = Opcode::kAddi;
+    insn.rd = 3;
+    insn.rs1 = 7;
+    insn.imm = 0xfff0;
+    const Instruction back = decode(encode(insn));
+    EXPECT_EQ(back.opcode, Opcode::kAddi);
+    EXPECT_EQ(back.rd, 3);
+    EXPECT_EQ(back.rs1, 7);
+    EXPECT_EQ(back.imm, 0xfff0);
+    EXPECT_EQ(back.simm(), -16);
+}
+
+TEST(Encoding, Rs2RoundTrip) {
+    Instruction insn;
+    insn.opcode = Opcode::kAdd;
+    insn.rd = 1;
+    insn.rs1 = 2;
+    insn.rs2 = 9;
+    const Instruction back = decode(encode(insn));
+    EXPECT_EQ(back.rs2, 9);
+}
+
+TEST(Encoding, OpcodeNames) {
+    EXPECT_EQ(opcode_name(Opcode::kAdd), "add");
+    EXPECT_EQ(opcode_from_name("beq"), Opcode::kBeq);
+    EXPECT_FALSE(opcode_from_name("bogus").has_value());
+}
+
+TEST(Encoding, ValidOpcodeCheck) {
+    EXPECT_TRUE(is_valid_opcode(encode(Instruction{Opcode::kNop, 0, 0, 0, 0})));
+    EXPECT_FALSE(is_valid_opcode(0xff000000));
+}
+
+TEST(Encoding, TrapCauseNames) {
+    EXPECT_EQ(trap_cause_name(1), "illegal-instruction");
+    EXPECT_EQ(trap_cause_name(0x80000003), "interrupt-3");
+}
+
+TEST(Assembler, SymbolsAndOrigin) {
+    const Program p = assemble("start: nop\nend: halt\n", 0x100);
+    EXPECT_EQ(p.symbol("start"), 0x100u);
+    EXPECT_EQ(p.symbol("end"), 0x104u);
+    EXPECT_EQ(p.code.size(), 8u);
+    EXPECT_THROW((void)p.symbol("missing"), IsaError);
+}
+
+TEST(Assembler, RejectsUnknownMnemonic) {
+    EXPECT_THROW(assemble("frobnicate r1, r2\n"), IsaError);
+}
+
+TEST(Assembler, RejectsBadRegister) {
+    EXPECT_THROW(assemble("addi r99, r0, 1\n"), IsaError);
+    EXPECT_THROW(assemble("addi rx, r0, 1\n"), IsaError);
+}
+
+TEST(Assembler, RejectsUndefinedLabel) {
+    EXPECT_THROW(assemble("beq r0, r0, nowhere\n"), IsaError);
+}
+
+TEST(Assembler, RejectsDuplicateLabel) {
+    EXPECT_THROW(assemble("a: nop\na: nop\n"), IsaError);
+}
+
+TEST(Assembler, RejectsOutOfRangeImmediate) {
+    EXPECT_THROW(assemble("addi r1, r0, 100000\n"), IsaError);
+}
+
+TEST(Assembler, RejectsWrongOperandCount) {
+    EXPECT_THROW(assemble("add r1, r2\n"), IsaError);
+}
+
+TEST(Assembler, ErrorsCarryLineNumbers) {
+    try {
+        assemble("nop\nnop\nbogus\n");
+        FAIL() << "expected IsaError";
+    } catch (const IsaError& e) {
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos);
+    }
+}
+
+TEST(Assembler, DataDirectives) {
+    const Program p = assemble(".word 0x11223344\n.space 4\n.ascii \"AB\"\n");
+    ASSERT_EQ(p.code.size(), 10u);
+    EXPECT_EQ(p.code[0], 0x44);
+    EXPECT_EQ(p.code[3], 0x11);
+    EXPECT_EQ(p.code[4], 0);
+    EXPECT_EQ(p.code[8], 'A');
+    EXPECT_EQ(p.code[9], 'B');
+}
+
+TEST(Assembler, WordCanReferenceSymbol) {
+    const Program p = assemble("target: nop\n.word target\n", 0x200);
+    EXPECT_EQ(p.code[4], 0x00);
+    EXPECT_EQ(p.code[5], 0x02);
+}
+
+TEST_F(CpuFixture, ArithmeticAndLogic) {
+    run(R"(
+        addi r1, r0, 10
+        addi r2, r0, 3
+        add  r3, r1, r2
+        sub  r4, r1, r2
+        mul  r5, r1, r2
+        and  r6, r1, r2
+        or   r7, r1, r2
+        xor  r8, r1, r2
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(3), 13u);
+    EXPECT_EQ(cpu.reg(4), 7u);
+    EXPECT_EQ(cpu.reg(5), 30u);
+    EXPECT_EQ(cpu.reg(6), 2u);
+    EXPECT_EQ(cpu.reg(7), 11u);
+    EXPECT_EQ(cpu.reg(8), 9u);
+}
+
+TEST_F(CpuFixture, ShiftsAndCompares) {
+    run(R"(
+        addi r1, r0, -8
+        shli r2, r1, 1
+        shri r3, r1, 28
+        sra  r4, r1, r5   ; r5 == 0 -> unchanged
+        addi r5, r0, 2
+        sra  r4, r1, r5   ; -8 >> 2 = -2
+        slt  r6, r1, r0   ; -8 < 0 signed -> 1
+        sltu r7, r1, r0   ; 0xfffffff8 < 0 unsigned -> 0
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(2), 0xfffffff0u);
+    EXPECT_EQ(cpu.reg(3), 0xfu);
+    EXPECT_EQ(cpu.reg(4), static_cast<std::uint32_t>(-2));
+    EXPECT_EQ(cpu.reg(6), 1u);
+    EXPECT_EQ(cpu.reg(7), 0u);
+}
+
+TEST_F(CpuFixture, RegisterZeroIsHardwired) {
+    run("addi r0, r0, 5\nadd r1, r0, r0\nhalt\n");
+    EXPECT_EQ(cpu.reg(0), 0u);
+    EXPECT_EQ(cpu.reg(1), 0u);
+}
+
+TEST_F(CpuFixture, LuiOriBuildsConstants) {
+    run("li r1, 0xdeadbeef\nhalt\n");
+    EXPECT_EQ(cpu.reg(1), 0xdeadbeefu);
+}
+
+TEST_F(CpuFixture, LoadsAndStores) {
+    run(R"(
+        li  r1, 0x8000      ; buffer
+        li  r2, 0x11223344
+        sw  r2, r1, 0
+        lw  r3, r1, 0
+        lh  r4, r1, 0
+        lb  r5, r1, 3
+        sb  r2, r1, 8
+        lw  r6, r1, 8
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(3), 0x11223344u);
+    EXPECT_EQ(cpu.reg(4), 0x3344u);
+    EXPECT_EQ(cpu.reg(5), 0x11u);
+    EXPECT_EQ(cpu.reg(6), 0x44u);
+}
+
+TEST_F(CpuFixture, BranchesAndLoops) {
+    run(R"(
+        addi r1, r0, 5      ; counter
+        addi r2, r0, 0      ; accumulator
+    loop:
+        add  r2, r2, r1
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(2), 15u);  // 5+4+3+2+1
+}
+
+TEST_F(CpuFixture, AllBranchConditions) {
+    run(R"(
+        addi r1, r0, -1
+        addi r2, r0, 1
+        addi r10, r0, 0
+        blt  r1, r2, a      ; signed: -1 < 1 taken
+        halt
+    a:  ori  r10, r10, 1
+        bltu r1, r2, b      ; unsigned: 0xffffffff < 1 not taken
+        ori  r10, r10, 2
+    b:  bge  r2, r1, c      ; signed: 1 >= -1 taken
+        halt
+    c:  ori  r10, r10, 4
+        bgeu r1, r2, d      ; unsigned: taken
+        halt
+    d:  ori  r10, r10, 8
+        beq  r1, r1, e
+        halt
+    e:  ori  r10, r10, 16
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(10), 1u | 2u | 4u | 8u | 16u);
+}
+
+TEST_F(CpuFixture, CallAndReturn) {
+    run(R"(
+        li   sp, 0xf000
+        addi r1, r0, 1
+        call double_it
+        call double_it
+        halt
+    double_it:
+        add r1, r1, r1
+        ret
+    )");
+    EXPECT_EQ(cpu.reg(1), 4u);
+}
+
+TEST_F(CpuFixture, ObserverSeesCallsAndReturns) {
+    struct Recorder : CpuObserver {
+        std::vector<std::pair<mem::Addr, mem::Addr>> calls, returns;
+        void on_call(mem::Addr from, mem::Addr target) override {
+            calls.emplace_back(from, target);
+        }
+        void on_return(mem::Addr from, mem::Addr target) override {
+            returns.emplace_back(from, target);
+        }
+    } rec;
+    cpu.add_observer(&rec);
+    const Program p = run(R"(
+        call fn
+        halt
+    fn: ret
+    )");
+    cpu.remove_observer(&rec);
+    ASSERT_EQ(rec.calls.size(), 1u);
+    EXPECT_EQ(rec.calls[0].second, p.symbol("fn"));
+    ASSERT_EQ(rec.returns.size(), 1u);
+    EXPECT_EQ(rec.returns[0].second, 4u);  // After the call instruction.
+}
+
+TEST_F(CpuFixture, HaltNotifiesObservers) {
+    struct Recorder : CpuObserver {
+        int halts = 0;
+        void on_halt(mem::Addr) override { ++halts; }
+    } rec;
+    cpu.add_observer(&rec);
+    run("halt\n");
+    cpu.remove_observer(&rec);
+    EXPECT_EQ(rec.halts, 1);
+}
+
+TEST_F(CpuFixture, IllegalInstructionTrapsAndHaltsWithoutHandler) {
+    // mtvec == 0 -> halt on trap.
+    ram.load(0, Bytes{0x00, 0x00, 0x00, 0xff});  // Opcode 0xff.
+    cpu.reset(0);
+    cpu.step();
+    EXPECT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.csr(kCsrMcause),
+              static_cast<std::uint32_t>(TrapCause::kIllegalInstruction));
+}
+
+TEST_F(CpuFixture, TrapVectorsToHandler) {
+    run(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        ecall 7
+        halt
+    handler:
+        csrr r2, mcause
+        csrr r3, mtval
+        addi r4, r0, 99
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(2), static_cast<std::uint32_t>(TrapCause::kEcall));
+    EXPECT_EQ(cpu.reg(3), 7u);
+    EXPECT_EQ(cpu.reg(4), 99u);
+    EXPECT_EQ(cpu.trap_count(), 1u);
+}
+
+TEST_F(CpuFixture, MretResumesAfterEcall) {
+    run(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        addi r5, r0, 0
+        ecall
+        addi r5, r5, 100   ; must run after mret
+        halt
+    handler:
+        addi r5, r5, 1
+        mret
+    )");
+    EXPECT_EQ(cpu.reg(5), 101u);
+}
+
+TEST_F(CpuFixture, BusFaultTraps) {
+    run(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        li   r2, 0x90000000   ; unmapped
+        lw   r3, r2, 0
+        halt
+    handler:
+        csrr r4, mcause
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(4), static_cast<std::uint32_t>(TrapCause::kBusFault));
+}
+
+TEST_F(CpuFixture, MisalignedAccessTraps) {
+    run(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        addi r2, r0, 2
+        lw   r3, r2, 0
+        halt
+    handler:
+        csrr r4, mcause
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(4),
+              static_cast<std::uint32_t>(TrapCause::kMisalignedAccess));
+}
+
+TEST_F(CpuFixture, MpuFaultOnDeniedAccess) {
+    Program p = assemble(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        li   r2, 0x8000
+        sw   r2, r2, 0
+        halt
+    handler:
+        csrr r4, mcause
+        halt
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0);
+    cpu.mpu().add_region(
+        mem::MpuRegion{"code", 0, 0x1000, true, false, true, true});
+    // 0x8000 not covered -> write denied once MPU is on.
+    cpu.mpu().set_enabled(true);
+    while (!cpu.halted()) cpu.step();
+    EXPECT_EQ(cpu.reg(4), static_cast<std::uint32_t>(TrapCause::kMpuFault));
+}
+
+TEST_F(CpuFixture, EcallHandlerHookSuppressesTrap) {
+    std::uint16_t seen_service = 0;
+    cpu.set_ecall_handler([&](Cpu& c, std::uint16_t service) {
+        seen_service = service;
+        c.set_reg(1, 0x55);
+        return true;
+    });
+    run("ecall 3\nhalt\n");
+    EXPECT_EQ(seen_service, 3u);
+    EXPECT_EQ(cpu.reg(1), 0x55u);
+    EXPECT_EQ(cpu.trap_count(), 0u);
+}
+
+TEST_F(CpuFixture, UserModeEntryAndCsrDenial) {
+    const Program p = assemble(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        nop
+    user_code:
+        csrw mscratch, r0
+        halt
+    handler:
+        csrr r2, mcause
+        halt
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0);
+    // Execute the two setup instructions (la = 2 insns, csrw, nop).
+    for (int i = 0; i < 4; ++i) cpu.step();
+    cpu.set_pc(p.symbol("user_code"));
+    cpu.enter_user_mode();
+    while (!cpu.halted()) cpu.step();
+    EXPECT_EQ(cpu.reg(2),
+              static_cast<std::uint32_t>(TrapCause::kIllegalInstruction));
+}
+
+TEST_F(CpuFixture, SmcWithoutSecureWorldFaults) {
+    run(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        smc
+        halt
+    handler:
+        csrr r2, mcause
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(2),
+              static_cast<std::uint32_t>(TrapCause::kSecurityFault));
+}
+
+TEST_F(CpuFixture, SecureWorldRoundTrip) {
+    struct Recorder : CpuObserver {
+        std::vector<bool> switches;
+        void on_world_switch(bool secure) override {
+            switches.push_back(secure);
+        }
+    } rec;
+    cpu.add_observer(&rec);
+    // Boot runs secure, installs stvec, drops to non-secure, smc's back.
+    const Program p = assemble(R"(
+        la   r1, secure_entry
+        csrw stvec, r1
+        la   r1, nonsecure
+        csrw sepc, r1
+        sret                 ; leave secure world
+    nonsecure:
+        smc  1               ; request secure service
+        halt
+    secure_entry:
+        addi r9, r9, 1
+        sret
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0, /*secure=*/true);
+    while (!cpu.halted()) cpu.step();
+    cpu.remove_observer(&rec);
+
+    EXPECT_EQ(cpu.reg(9), 1u);
+    EXPECT_FALSE(cpu.secure());
+    // secure->nonsecure, nonsecure->secure, secure->nonsecure.
+    EXPECT_EQ(rec.switches, (std::vector<bool>{false, true, false}));
+}
+
+TEST_F(CpuFixture, NonSecureCannotWriteSecureCsrs) {
+    run(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        la   r2, handler
+        csrw stvec, r2      ; non-secure write to secure CSR
+        halt
+    handler:
+        csrr r3, mcause
+        halt
+    )");
+    EXPECT_EQ(cpu.reg(3),
+              static_cast<std::uint32_t>(TrapCause::kSecurityFault));
+}
+
+TEST_F(CpuFixture, InterruptDeliveredWhenEnabled) {
+    const Program p = assemble(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        addi r2, r0, 4       ; enable irq line 2
+        csrw mie, r2
+        addi r3, r0, 2       ; mstatus.MIE
+        csrw mstatus, r3
+    spin:
+        j spin
+    handler:
+        csrr r4, mcause
+        halt
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0);
+    for (int i = 0; i < 10; ++i) cpu.step();
+    cpu.raise_irq(2);
+    for (int i = 0; i < 5 && !cpu.halted(); ++i) cpu.step();
+    EXPECT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.reg(4),
+              static_cast<std::uint32_t>(TrapCause::kInterruptBase) | 2u);
+}
+
+TEST_F(CpuFixture, InterruptMaskedWhenDisabled) {
+    const Program p = assemble(R"(
+    spin:
+        addi r1, r1, 1
+        j spin
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0);
+    cpu.raise_irq(2);  // mie/mstatus.MIE both clear.
+    for (int i = 0; i < 10; ++i) cpu.step();
+    EXPECT_FALSE(cpu.halted());
+    EXPECT_EQ(cpu.trap_count(), 0u);
+}
+
+TEST_F(CpuFixture, WfiWaitsForInterrupt) {
+    const Program p = assemble(R"(
+        la   r1, handler
+        csrw mtvec, r1
+        addi r2, r0, 2
+        csrw mie, r2
+        addi r3, r0, 2
+        csrw mstatus, r3
+        wfi
+        halt
+    handler:
+        addi r9, r0, 1
+        halt
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0);
+    sim::Simulator sim;
+    sim.add_tickable(&cpu);
+    sim.run_for(20);
+    EXPECT_TRUE(cpu.waiting());
+    cpu.raise_irq(1);
+    sim.run_for(10);
+    EXPECT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.reg(9), 1u);
+}
+
+TEST_F(CpuFixture, CycleAccountingChargesStalls) {
+    const Program p = assemble(R"(
+        li  r1, 0x8000
+        lw  r2, r1, 0
+        halt
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0);
+    sim::Simulator sim;
+    sim.add_tickable(&cpu);
+    sim.run_for(10);
+    EXPECT_TRUE(cpu.halted());
+    // 2 insns (li) + 1 lw + 1 stall + 1 halt = 5 active cycles minimum.
+    EXPECT_GE(cpu.cycles(), 5u);
+    EXPECT_EQ(cpu.instret(), 4u);
+}
+
+TEST_F(CpuFixture, InjectTrapForcesHandlerEntry) {
+    const Program p = assemble(R"(
+        la   r1, handler
+        csrw mtvec, r1
+    spin:
+        j spin
+    handler:
+        csrr r2, mcause
+        halt
+    )");
+    ram.load(0, p.code);
+    cpu.reset(0);
+    for (int i = 0; i < 5; ++i) cpu.step();
+    cpu.inject_trap(TrapCause::kSecurityFault, 0xabc);
+    while (!cpu.halted()) cpu.step();
+    EXPECT_EQ(cpu.reg(2),
+              static_cast<std::uint32_t>(TrapCause::kSecurityFault));
+    EXPECT_EQ(cpu.csr(kCsrMtval), 0xabcu);
+}
+
+TEST_F(CpuFixture, HaltedCpuDoesNotStep) {
+    run("halt\n");
+    const auto before = cpu.instret();
+    EXPECT_FALSE(cpu.step());
+    EXPECT_EQ(cpu.instret(), before);
+}
+
+}  // namespace
+}  // namespace cres::isa

@@ -1,0 +1,285 @@
+// Memory-subsystem tests: bus decode, security attributes, isolation,
+// observers, RAM/ROM semantics, MPU permissions and W^X invariant.
+#include <gtest/gtest.h>
+
+#include "mem/bus.h"
+#include "mem/mpu.h"
+#include "mem/ram.h"
+#include "util/error.h"
+
+namespace cres::mem {
+namespace {
+
+BusAttr normal() { return BusAttr{Master::kCpu, false, false}; }
+BusAttr secure_priv() { return BusAttr{Master::kCpu, true, true}; }
+
+class Fixture : public ::testing::Test {
+protected:
+    Fixture()
+        : ram("ram0", 0x1000),
+          rom("rom0", 0x400, /*writable=*/false),
+          secret("secret", 0x100) {
+        bus.map(RegionConfig{"ram0", 0x2000'0000, 0x1000, false, false}, ram);
+        bus.map(RegionConfig{"rom0", 0x0000'0000, 0x400, false, true}, rom);
+        bus.map(RegionConfig{"secret", 0x3000'0000, 0x100, true, false},
+                secret);
+    }
+
+    Bus bus;
+    Ram ram;
+    Ram rom;
+    Ram secret;
+};
+
+TEST_F(Fixture, ReadWriteRoundTrip) {
+    EXPECT_EQ(bus.write(0x2000'0010, 4, 0xdeadbeef, normal()),
+              BusResponse::kOk);
+    const auto got = bus.read(0x2000'0010, 4, normal());
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(*got, 0xdeadbeefu);
+}
+
+TEST_F(Fixture, LittleEndianSubwordAccess) {
+    ASSERT_EQ(bus.write(0x2000'0000, 4, 0x04030201, normal()),
+              BusResponse::kOk);
+    EXPECT_EQ(*bus.read(0x2000'0000, 1, normal()), 0x01u);
+    EXPECT_EQ(*bus.read(0x2000'0001, 1, normal()), 0x02u);
+    EXPECT_EQ(*bus.read(0x2000'0002, 2, normal()), 0x0403u);
+}
+
+TEST_F(Fixture, DecodeErrorOnUnmappedAddress) {
+    std::uint32_t io = 0;
+    EXPECT_EQ(bus.access(BusOp::kRead, 0x9000'0000, 4, io, normal()),
+              BusResponse::kDecodeError);
+}
+
+TEST_F(Fixture, DecodeErrorOnAddressWrap) {
+    std::uint32_t io = 0;
+    EXPECT_EQ(bus.access(BusOp::kRead, 0xffff'fffe, 4, io, normal()),
+              BusResponse::kDecodeError);
+}
+
+TEST_F(Fixture, DecodeErrorOnRegionStraddle) {
+    std::uint32_t io = 0;
+    // Last byte of ram0 region +3 spills outside.
+    EXPECT_EQ(bus.access(BusOp::kRead, 0x2000'0ffe, 4, io, normal()),
+              BusResponse::kDecodeError);
+}
+
+TEST_F(Fixture, SecureRegionRejectsNonSecure) {
+    std::uint32_t io = 0;
+    EXPECT_EQ(bus.access(BusOp::kRead, 0x3000'0000, 4, io, normal()),
+              BusResponse::kSecurityViolation);
+    EXPECT_EQ(bus.access(BusOp::kRead, 0x3000'0000, 4, io, secure_priv()),
+              BusResponse::kOk);
+}
+
+TEST_F(Fixture, RomRejectsWrites) {
+    EXPECT_EQ(bus.write(0x0000'0000, 4, 1, secure_priv()),
+              BusResponse::kReadOnly);
+}
+
+TEST_F(Fixture, IsolationFencesRegion) {
+    EXPECT_TRUE(bus.isolate_region("ram0"));
+    std::uint32_t io = 0;
+    EXPECT_EQ(bus.access(BusOp::kRead, 0x2000'0000, 4, io, secure_priv()),
+              BusResponse::kIsolated);
+    EXPECT_TRUE(bus.is_isolated("ram0"));
+    EXPECT_TRUE(bus.isolate_region("ram0", false));
+    EXPECT_EQ(bus.access(BusOp::kRead, 0x2000'0000, 4, io, secure_priv()),
+              BusResponse::kOk);
+}
+
+TEST_F(Fixture, IsolateUnknownRegionFails) {
+    EXPECT_FALSE(bus.isolate_region("nope"));
+    EXPECT_FALSE(bus.is_isolated("nope"));
+}
+
+TEST_F(Fixture, SecureAttributeTampering) {
+    // Models the [34] attack: clearing the secure attribute at runtime
+    // exposes the region to non-secure masters.
+    EXPECT_TRUE(bus.set_secure_only("secret", false));
+    std::uint32_t io = 0;
+    EXPECT_EQ(bus.access(BusOp::kRead, 0x3000'0000, 4, io, normal()),
+              BusResponse::kOk);
+}
+
+TEST_F(Fixture, ObserverSeesTransactions) {
+    struct Recorder : BusObserver {
+        std::vector<BusTransaction> seen;
+        void on_transaction(const BusTransaction& txn) override {
+            seen.push_back(txn);
+        }
+    } recorder;
+
+    bus.add_observer(&recorder);
+    (void)bus.write(0x2000'0000, 4, 7, normal());
+    std::uint32_t io = 0;
+    (void)bus.access(BusOp::kRead, 0x3000'0000, 4, io, normal());
+    bus.remove_observer(&recorder);
+    (void)bus.write(0x2000'0000, 4, 8, normal());
+
+    ASSERT_EQ(recorder.seen.size(), 2u);
+    EXPECT_EQ(recorder.seen[0].op, BusOp::kWrite);
+    EXPECT_EQ(recorder.seen[0].region, "ram0");
+    EXPECT_EQ(recorder.seen[0].response, BusResponse::kOk);
+    EXPECT_EQ(recorder.seen[1].response, BusResponse::kSecurityViolation);
+    EXPECT_EQ(recorder.seen[1].region, "secret");
+}
+
+TEST_F(Fixture, BlockTransfers) {
+    const Bytes data = {1, 2, 3, 4, 5};
+    EXPECT_TRUE(bus.write_block(0x2000'0100, data, normal()));
+    Bytes out(5);
+    EXPECT_TRUE(bus.read_block(0x2000'0100, out, normal()));
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(Fixture, QuietBlockTransfersSkipObservers) {
+    struct CountObserver : BusObserver {
+        int count = 0;
+        void on_transaction(const BusTransaction&) override { ++count; }
+    } counter;
+    bus.add_observer(&counter);
+
+    const Bytes data = {1, 2, 3};
+    EXPECT_TRUE(bus.write_block(0x2000'0200, data, normal(), /*quiet=*/true));
+    Bytes out(3);
+    EXPECT_TRUE(bus.read_block(0x2000'0200, out, normal(), /*quiet=*/true));
+    EXPECT_EQ(counter.count, 0);
+    EXPECT_EQ(out, data);
+}
+
+TEST_F(Fixture, QuietBlockHonoursProtections) {
+    Bytes out(4);
+    EXPECT_FALSE(bus.read_block(0x3000'0000, out, normal(), true));
+    EXPECT_FALSE(bus.write_block(0x0000'0000, Bytes{1}, secure_priv(), true));
+    bus.isolate_region("ram0");
+    EXPECT_FALSE(bus.read_block(0x2000'0000, out, secure_priv(), true));
+}
+
+TEST_F(Fixture, TransactionCountTicks) {
+    const auto before = bus.transaction_count();
+    (void)bus.read(0x2000'0000, 4, normal());
+    EXPECT_EQ(bus.transaction_count(), before + 1);
+}
+
+TEST(BusMap, RejectsOverlap) {
+    Bus bus;
+    Ram a("a", 0x100);
+    Ram b("b", 0x100);
+    bus.map(RegionConfig{"a", 0x1000, 0x100, false, false}, a);
+    EXPECT_THROW(bus.map(RegionConfig{"b", 0x1080, 0x100, false, false}, b),
+                 MemError);
+}
+
+TEST(BusMap, RejectsDuplicateName) {
+    Bus bus;
+    Ram a("a", 0x100);
+    Ram b("b", 0x100);
+    bus.map(RegionConfig{"a", 0x1000, 0x100, false, false}, a);
+    EXPECT_THROW(bus.map(RegionConfig{"a", 0x2000, 0x100, false, false}, b),
+                 MemError);
+}
+
+TEST(BusMap, RejectsZeroSize) {
+    Bus bus;
+    Ram a("a", 0x100);
+    EXPECT_THROW(bus.map(RegionConfig{"a", 0x1000, 0, false, false}, a),
+                 MemError);
+}
+
+TEST(BusMap, RegionsReportsMetadata) {
+    Bus bus;
+    Ram a("a", 0x100);
+    bus.map(RegionConfig{"a", 0x1000, 0x100, true, false}, a);
+    const auto regions = bus.regions();
+    ASSERT_EQ(regions.size(), 1u);
+    EXPECT_EQ(regions[0].name, "a");
+    EXPECT_TRUE(regions[0].secure_only);
+}
+
+TEST(Ram, LoadAndDump) {
+    Ram ram("r", 64);
+    ram.load(8, Bytes{0xaa, 0xbb});
+    EXPECT_EQ(ram.dump(8, 2), (Bytes{0xaa, 0xbb}));
+    EXPECT_THROW(ram.load(63, Bytes{1, 2}), MemError);
+    EXPECT_THROW((void)ram.dump(63, 2), MemError);
+}
+
+TEST(Ram, OutOfBoundsAccessIsDeviceError) {
+    Ram ram("r", 8);
+    std::uint32_t out = 0;
+    EXPECT_EQ(ram.read(6, 4, out, BusAttr{}), BusResponse::kDeviceError);
+    EXPECT_EQ(ram.write(8, 1, 0, BusAttr{}), BusResponse::kDeviceError);
+}
+
+TEST(Ram, FillScrubs) {
+    Ram ram("r", 4);
+    ram.load(0, Bytes{1, 2, 3, 4});
+    ram.fill(0);
+    EXPECT_EQ(ram.dump(0, 4), (Bytes{0, 0, 0, 0}));
+}
+
+TEST(Ram, ZeroSizeRejected) {
+    EXPECT_THROW(Ram("r", 0), MemError);
+}
+
+TEST(Mpu, DisabledAllowsEverything) {
+    Mpu mpu;
+    EXPECT_TRUE(mpu.check(0x1234, 4, AccessType::kWrite, false).allowed);
+}
+
+TEST(Mpu, EnforcesPermissions) {
+    Mpu mpu;
+    mpu.add_region(MpuRegion{"code", 0x0, 0x1000, true, false, true, true});
+    mpu.add_region(MpuRegion{"data", 0x1000, 0x1000, true, true, false, true});
+    mpu.set_enabled(true);
+
+    EXPECT_TRUE(mpu.check(0x10, 4, AccessType::kExecute, false).allowed);
+    EXPECT_FALSE(mpu.check(0x10, 4, AccessType::kWrite, false).allowed);
+    EXPECT_TRUE(mpu.check(0x1000, 4, AccessType::kWrite, false).allowed);
+    EXPECT_FALSE(mpu.check(0x1000, 4, AccessType::kExecute, false).allowed);
+    EXPECT_FALSE(mpu.check(0x5000, 4, AccessType::kRead, false).allowed);
+    EXPECT_EQ(mpu.fault_count(), 3u);
+}
+
+TEST(Mpu, PrivilegedOnlyRegions) {
+    Mpu mpu;
+    mpu.add_region(
+        MpuRegion{"kernel", 0x0, 0x1000, true, true, false, /*user=*/false});
+    mpu.set_enabled(true);
+    EXPECT_TRUE(mpu.check(0x10, 4, AccessType::kRead, true).allowed);
+    EXPECT_FALSE(mpu.check(0x10, 4, AccessType::kRead, false).allowed);
+}
+
+TEST(Mpu, WxViolationRejected) {
+    Mpu mpu;
+    EXPECT_THROW(mpu.add_region(MpuRegion{"bad", 0, 0x100, true, true, true,
+                                          true}),
+                 MemError);
+}
+
+TEST(Mpu, LockPreventsReconfiguration) {
+    Mpu mpu;
+    mpu.add_region(MpuRegion{"a", 0, 0x100, true, false, false, true});
+    mpu.lock();
+    EXPECT_THROW(
+        mpu.add_region(MpuRegion{"b", 0x100, 0x100, true, false, false, true}),
+        MemError);
+    EXPECT_THROW(mpu.clear(), MemError);
+    mpu.reset();
+    EXPECT_FALSE(mpu.locked());
+    EXPECT_TRUE(mpu.regions().empty());
+}
+
+TEST(Mpu, DecisionNamesRegion) {
+    Mpu mpu;
+    mpu.add_region(MpuRegion{"data", 0x100, 0x100, true, true, false, true});
+    mpu.set_enabled(true);
+    EXPECT_EQ(mpu.check(0x100, 4, AccessType::kRead, false).region, "data");
+    EXPECT_EQ(mpu.check(0x900, 4, AccessType::kRead, false).region, "");
+}
+
+}  // namespace
+}  // namespace cres::mem

@@ -1,0 +1,174 @@
+// Privilege-separation integration: a machine-mode kernel drops to a
+// user-mode task under MPU enforcement; the task's attempts to touch
+// kernel memory or execute kernel code trap cleanly and the kernel
+// resumes it. Exercises the full privilege + MPU + trap path that the
+// TEE baseline and monitors rely on.
+#include <gtest/gtest.h>
+
+#include "isa/assembler.h"
+#include "isa/cpu.h"
+#include "mem/ram.h"
+
+namespace cres::isa {
+namespace {
+
+constexpr mem::Addr kRamBase = 0;
+constexpr mem::Addr kRamSize = 0x20000;
+
+class PrivilegeFixture : public ::testing::Test {
+protected:
+    PrivilegeFixture() : ram("ram", kRamSize), cpu("cpu0", bus) {
+        bus.map(mem::RegionConfig{"ram", kRamBase, kRamSize, false, false},
+                ram);
+    }
+
+    mem::Bus bus;
+    mem::Ram ram;
+    Cpu cpu;
+};
+
+// Kernel: installs a trap handler that skips the faulting instruction
+// and counts faults in r12, then drops to user mode.
+constexpr const char* kProgram = R"(
+kstart:
+    li   sp, 0x1f000
+    la   r1, ktrap
+    csrw mtvec, r1
+    la   r1, user_entry
+    csrw mepc, r1
+    addi r2, r0, 0          ; mstatus: MPP=0 (user), MIE=0
+    csrw mstatus, r2
+    mret                    ; enter user mode
+ktrap:
+    addi r12, r12, 1        ; fault counter
+    csrr r10, mcause
+    addi r9, r0, 4          ; TrapCause::kEcall
+    beq  r10, r9, kret      ; ecall: mepc already points past it
+    csrr r11, mepc          ; fault: skip the faulting instruction
+    addi r11, r11, 4
+    csrw mepc, r11
+kret:
+    mret
+kernel_secret:
+    .word 0x5ec2e7
+    .space 236
+user_entry:
+    ; 1) try to read kernel data (MPU: privileged-only) -> fault
+    la   r1, kernel_secret
+    lw   r2, r1, 0
+    ; 2) legitimate user data access -> fine
+    la   r3, user_data
+    li   r4, 77
+    sw   r4, r3, 0
+    lw   r5, r3, 0
+    ; 3) try to write kernel data -> fault
+    la   r6, kernel_secret
+    sw   r4, r6, 0
+    ; 4) request a kernel service -> ecall traps, kernel resumes us
+    ecall 9
+    halt
+    .space 200              ; pad so user_data sits in the RW region
+user_data:
+    .word 0
+)";
+
+TEST_F(PrivilegeFixture, UserTaskSandboxedByMpu) {
+    const Program p = assemble(kProgram, kRamBase);
+    ram.load(0, p.code);
+
+    const mem::Addr user_base = p.symbol("user_entry");
+    const mem::Addr kdata_base = p.symbol("kernel_secret");
+    // Kernel text RX / kernel data RW: privileged-only (W^X holds).
+    cpu.mpu().add_region(mem::MpuRegion{
+        "kernel-text", 0, kdata_base, true, false, true, /*user=*/false});
+    cpu.mpu().add_region(mem::MpuRegion{
+        "kernel-data", kdata_base, user_base - kdata_base, true, true,
+        false, /*user=*/false});
+    cpu.mpu().add_region(mem::MpuRegion{
+        "user-text", user_base, 0x100, true, false, true, /*user=*/true});
+    cpu.mpu().add_region(mem::MpuRegion{
+        "user-data", user_base + 0x100, 0x1000, true, true, false,
+        /*user=*/true});
+    cpu.mpu().set_enabled(true);
+    cpu.mpu().lock();
+
+    cpu.reset(p.symbol("kstart"));
+    int steps = 0;
+    while (!cpu.halted() && steps++ < 10000) cpu.step();
+    ASSERT_TRUE(cpu.halted());
+
+    // Three traps: kernel-read fault, kernel-write fault, ecall.
+    EXPECT_EQ(cpu.reg(12), 3u);
+    // The legitimate user access worked.
+    EXPECT_EQ(cpu.reg(5), 77u);
+    // The kernel secret was neither read (r2 unchanged) nor modified.
+    EXPECT_EQ(cpu.reg(2), 0u);
+    const mem::Addr secret_off = p.symbol("kernel_secret");
+    EXPECT_EQ(ram.dump(secret_off, 3), (Bytes{0xe7, 0xc2, 0x5e}));
+    EXPECT_GE(cpu.mpu().fault_count(), 2u);
+}
+
+TEST_F(PrivilegeFixture, UserCannotExecuteKernelCode) {
+    const Program p = assemble(R"(
+kstart:
+    li   sp, 0x1f000
+    la   r1, ktrap
+    csrw mtvec, r1
+    la   r1, user_entry
+    csrw mepc, r1
+    addi r2, r0, 0
+    csrw mstatus, r2
+    mret
+ktrap:
+    addi r12, r12, 1
+    halt                    ; stop at the first fault
+kfunc:
+    addi r9, r0, 1
+    ret
+user_entry:
+    la   r1, kfunc          ; jump into kernel text from user mode
+    jalr lr, r1, 0
+    halt
+)",
+                               kRamBase);
+    ram.load(0, p.code);
+
+    const mem::Addr user_base = p.symbol("user_entry");
+    cpu.mpu().add_region(mem::MpuRegion{"kernel", 0, user_base, true, false,
+                                        true, /*user=*/false});
+    cpu.mpu().add_region(mem::MpuRegion{"user-text", user_base, 0x100, true,
+                                        false, true, /*user=*/true});
+    cpu.mpu().set_enabled(true);
+
+    cpu.reset(p.symbol("kstart"));
+    int steps = 0;
+    while (!cpu.halted() && steps++ < 1000) cpu.step();
+    ASSERT_TRUE(cpu.halted());
+    EXPECT_EQ(cpu.reg(12), 1u);  // Fetch fault, kernel stopped it.
+    EXPECT_EQ(cpu.reg(9), 0u);   // kfunc never ran.
+}
+
+TEST_F(PrivilegeFixture, MachineModeUnaffectedByUserRegions) {
+    const Program p = assemble(R"(
+    li  r1, 0x14000
+    li  r2, 42
+    sw  r2, r1, 0      ; machine mode writes user data freely
+    lw  r3, r1, 0
+    halt
+)",
+                               kRamBase);
+    ram.load(0, p.code);
+    cpu.mpu().add_region(mem::MpuRegion{"text", 0, 0x100, true, false, true,
+                                        /*user=*/false});
+    cpu.mpu().add_region(mem::MpuRegion{"data", 0x100, kRamSize - 0x100,
+                                        true, true, false, /*user=*/false});
+    cpu.mpu().set_enabled(true);
+    cpu.reset(0);
+    int steps = 0;
+    while (!cpu.halted() && steps++ < 100) cpu.step();
+    EXPECT_EQ(cpu.reg(3), 42u);
+    EXPECT_EQ(cpu.trap_count(), 0u);
+}
+
+}  // namespace
+}  // namespace cres::isa

@@ -1,0 +1,213 @@
+// Hash-based signature tests: WOTS+ one-time signatures and the Merkle
+// many-time scheme, including forgery-resistance properties.
+#include <gtest/gtest.h>
+
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+#include "crypto/wots.h"
+#include "util/error.h"
+#include "util/rng.h"
+
+namespace cres::crypto {
+namespace {
+
+Hash256 seed(std::uint8_t fill) {
+    Hash256 s;
+    s.fill(fill);
+    return s;
+}
+
+TEST(Wots, SignVerifyRoundTrip) {
+    const WotsKeyPair kp(seed(1), seed(2));
+    const Bytes msg = to_bytes("firmware v1.0");
+    const WotsSignature sig = kp.sign(msg);
+    EXPECT_TRUE(wots_verify(sig, msg, kp.public_key(), seed(2)));
+}
+
+TEST(Wots, RejectsWrongMessage) {
+    const WotsKeyPair kp(seed(1), seed(2));
+    const WotsSignature sig = kp.sign(to_bytes("firmware v1.0"));
+    EXPECT_FALSE(wots_verify(sig, to_bytes("firmware v1.1"), kp.public_key(),
+                             seed(2)));
+}
+
+TEST(Wots, RejectsWrongPublicKey) {
+    const WotsKeyPair kp(seed(1), seed(2));
+    const WotsKeyPair other(seed(3), seed(2));
+    const Bytes msg = to_bytes("m");
+    const WotsSignature sig = kp.sign(msg);
+    EXPECT_FALSE(wots_verify(sig, msg, other.public_key(), seed(2)));
+}
+
+TEST(Wots, RejectsWrongPubSeed) {
+    const WotsKeyPair kp(seed(1), seed(2));
+    const Bytes msg = to_bytes("m");
+    const WotsSignature sig = kp.sign(msg);
+    EXPECT_FALSE(wots_verify(sig, msg, kp.public_key(), seed(9)));
+}
+
+TEST(Wots, RejectsTamperedSignature) {
+    const WotsKeyPair kp(seed(1), seed(2));
+    const Bytes msg = to_bytes("m");
+    WotsSignature sig = kp.sign(msg);
+    sig.chains[10][0] ^= 1;
+    EXPECT_FALSE(wots_verify(sig, msg, kp.public_key(), seed(2)));
+}
+
+TEST(Wots, RejectsMalformedSignature) {
+    const WotsKeyPair kp(seed(1), seed(2));
+    WotsSignature sig = kp.sign(to_bytes("m"));
+    sig.chains.pop_back();
+    EXPECT_FALSE(wots_verify(sig, to_bytes("m"), kp.public_key(), seed(2)));
+}
+
+TEST(Wots, SerializationRoundTrip) {
+    const WotsKeyPair kp(seed(1), seed(2));
+    const Bytes msg = to_bytes("serialize me");
+    const WotsSignature sig = kp.sign(msg);
+    const WotsSignature restored = WotsSignature::deserialize(sig.serialize());
+    EXPECT_TRUE(wots_verify(restored, msg, kp.public_key(), seed(2)));
+}
+
+TEST(Wots, DeserializeRejectsBadShape) {
+    Bytes garbage = {0x05, 0x00, 0x00, 0x00};  // Claims 5 chains.
+    EXPECT_THROW(WotsSignature::deserialize(garbage), CryptoError);
+}
+
+TEST(Wots, DeterministicKeygen) {
+    const WotsKeyPair a(seed(7), seed(8));
+    const WotsKeyPair b(seed(7), seed(8));
+    EXPECT_EQ(a.public_key(), b.public_key());
+}
+
+// Property sweep: many random messages all verify; mutated ones do not.
+class WotsProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WotsProperty, RandomMessagesVerifyAndMutationsFail) {
+    Rng rng(GetParam());
+    Hash256 sseed, pseed;
+    rng.fill(sseed);
+    rng.fill(pseed);
+    const WotsKeyPair kp(sseed, pseed);
+
+    Bytes msg = rng.bytes(1 + rng.uniform(200));
+    const WotsSignature sig = kp.sign(msg);
+    EXPECT_TRUE(wots_verify(sig, msg, kp.public_key(), pseed));
+
+    Bytes mutated = msg;
+    mutated[rng.uniform(mutated.size())] ^=
+        static_cast<std::uint8_t>(1 + rng.uniform(255));
+    EXPECT_FALSE(wots_verify(sig, mutated, kp.public_key(), pseed));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WotsProperty,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(Merkle, SignVerifyRoundTrip) {
+    MerkleSigner signer(seed(1), 3);
+    const Bytes msg = to_bytes("firmware image digest");
+    const MerkleSignature sig = signer.sign(msg);
+    EXPECT_TRUE(merkle_verify(sig, msg, signer.public_key()));
+}
+
+TEST(Merkle, AllLeavesUsable) {
+    MerkleSigner signer(seed(2), 3);
+    EXPECT_EQ(signer.remaining(), 8u);
+    for (int i = 0; i < 8; ++i) {
+        const Bytes msg = to_bytes("msg " + std::to_string(i));
+        const MerkleSignature sig = signer.sign(msg);
+        EXPECT_EQ(sig.leaf_index, static_cast<std::uint32_t>(i));
+        EXPECT_TRUE(merkle_verify(sig, msg, signer.public_key()));
+    }
+    EXPECT_EQ(signer.remaining(), 0u);
+}
+
+TEST(Merkle, ExhaustionThrows) {
+    MerkleSigner signer(seed(3), 1);
+    (void)signer.sign(to_bytes("a"));
+    (void)signer.sign(to_bytes("b"));
+    EXPECT_THROW((void)signer.sign(to_bytes("c")), CryptoError);
+}
+
+TEST(Merkle, RejectsWrongMessage) {
+    MerkleSigner signer(seed(4), 2);
+    const MerkleSignature sig = signer.sign(to_bytes("v2"));
+    EXPECT_FALSE(merkle_verify(sig, to_bytes("v3"), signer.public_key()));
+}
+
+TEST(Merkle, RejectsTamperedAuthPath) {
+    MerkleSigner signer(seed(5), 3);
+    const Bytes msg = to_bytes("m");
+    MerkleSignature sig = signer.sign(msg);
+    sig.auth_path[1][5] ^= 1;
+    EXPECT_FALSE(merkle_verify(sig, msg, signer.public_key()));
+}
+
+TEST(Merkle, RejectsWrongLeafIndex) {
+    MerkleSigner signer(seed(6), 3);
+    const Bytes msg = to_bytes("m");
+    MerkleSignature sig = signer.sign(msg);
+    sig.leaf_index = 5;
+    EXPECT_FALSE(merkle_verify(sig, msg, signer.public_key()));
+}
+
+TEST(Merkle, RejectsOutOfRangeLeafIndex) {
+    MerkleSigner signer(seed(6), 3);
+    const Bytes msg = to_bytes("m");
+    MerkleSignature sig = signer.sign(msg);
+    sig.leaf_index = 800;
+    EXPECT_FALSE(merkle_verify(sig, msg, signer.public_key()));
+}
+
+TEST(Merkle, RejectsCrossKeySignature) {
+    MerkleSigner a(seed(7), 2);
+    MerkleSigner b(seed(8), 2);
+    const Bytes msg = to_bytes("m");
+    const MerkleSignature sig = a.sign(msg);
+    EXPECT_FALSE(merkle_verify(sig, msg, b.public_key()));
+}
+
+TEST(Merkle, SerializationRoundTrip) {
+    MerkleSigner signer(seed(9), 4);
+    const Bytes msg = to_bytes("serialize");
+    const MerkleSignature sig = signer.sign(msg);
+
+    const MerkleSignature restored =
+        MerkleSignature::deserialize(sig.serialize());
+    const MerklePublicKey pk =
+        MerklePublicKey::deserialize(signer.public_key().serialize());
+    EXPECT_TRUE(merkle_verify(restored, msg, pk));
+}
+
+TEST(Merkle, InvalidHeightRejected) {
+    EXPECT_THROW(MerkleSigner(seed(1), 0), CryptoError);
+    EXPECT_THROW(MerkleSigner(seed(1), 21), CryptoError);
+}
+
+TEST(Merkle, DeterministicPublicKey) {
+    MerkleSigner a(seed(10), 3);
+    MerkleSigner b(seed(10), 3);
+    EXPECT_EQ(a.public_key().root, b.public_key().root);
+}
+
+// Property sweep over tree heights.
+class MerkleHeightProperty : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(MerkleHeightProperty, EveryLeafVerifiesAtThisHeight) {
+    const std::uint32_t height = GetParam();
+    MerkleSigner signer(seed(static_cast<std::uint8_t>(height)), height);
+    Rng rng(height);
+    const std::uint32_t leaves = 1u << height;
+    for (std::uint32_t i = 0; i < leaves; ++i) {
+        const Bytes msg = rng.bytes(32);
+        const MerkleSignature sig = signer.sign(msg);
+        ASSERT_TRUE(merkle_verify(sig, msg, signer.public_key()))
+            << "height=" << height << " leaf=" << i;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Heights, MerkleHeightProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace cres::crypto

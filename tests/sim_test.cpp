@@ -1,0 +1,141 @@
+// Simulation-kernel tests: event ordering, tickables, trace streams.
+#include <gtest/gtest.h>
+
+#include "sim/simulator.h"
+#include "sim/trace.h"
+#include "util/error.h"
+
+namespace cres::sim {
+namespace {
+
+class Counter : public Tickable {
+public:
+    void tick(Cycle) override { ++ticks; }
+    int ticks = 0;
+};
+
+TEST(Simulator, StartsAtCycleZero) {
+    Simulator sim;
+    EXPECT_EQ(sim.now(), 0u);
+}
+
+TEST(Simulator, RunForAdvancesClock) {
+    Simulator sim;
+    sim.run_for(10);
+    EXPECT_EQ(sim.now(), 10u);
+}
+
+TEST(Simulator, TickablesTickedEveryCycle) {
+    Simulator sim;
+    Counter c;
+    sim.add_tickable(&c);
+    sim.run_for(5);
+    EXPECT_EQ(c.ticks, 5);
+}
+
+TEST(Simulator, RemoveTickableStopsTicks) {
+    Simulator sim;
+    Counter c;
+    sim.add_tickable(&c);
+    sim.run_for(3);
+    sim.remove_tickable(&c);
+    sim.run_for(3);
+    EXPECT_EQ(c.ticks, 3);
+}
+
+TEST(Simulator, NullTickableRejected) {
+    Simulator sim;
+    EXPECT_THROW(sim.add_tickable(nullptr), SimError);
+}
+
+TEST(Simulator, EventFiresAtScheduledCycle) {
+    Simulator sim;
+    Cycle fired_at = 0;
+    sim.schedule_at(7, "e", [&] { fired_at = sim.now(); });
+    sim.run_for(10);
+    EXPECT_EQ(fired_at, 7u);
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+    Simulator sim;
+    sim.run_for(5);
+    Cycle fired_at = 0;
+    sim.schedule_in(3, "e", [&] { fired_at = sim.now(); });
+    sim.run_for(10);
+    EXPECT_EQ(fired_at, 8u);
+}
+
+TEST(Simulator, SameCycleEventsRunInOrder) {
+    Simulator sim;
+    std::vector<int> order;
+    sim.schedule_at(2, "a", [&] { order.push_back(1); });
+    sim.schedule_at(2, "b", [&] { order.push_back(2); });
+    sim.schedule_at(1, "c", [&] { order.push_back(0); });
+    sim.run_for(5);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+    Simulator sim;
+    sim.run_for(10);
+    EXPECT_THROW(sim.schedule_at(5, "late", [] {}), SimError);
+}
+
+TEST(Simulator, EventMayScheduleMoreEvents) {
+    Simulator sim;
+    int fired = 0;
+    sim.schedule_at(1, "outer", [&] {
+        ++fired;
+        sim.schedule_in(2, "inner", [&] { ++fired; });
+    });
+    sim.run_for(10);
+    EXPECT_EQ(fired, 2);
+    EXPECT_EQ(sim.events_fired(), 2u);
+}
+
+TEST(Simulator, RunUntilStopsAtTarget) {
+    Simulator sim;
+    sim.run_until(42);
+    EXPECT_EQ(sim.now(), 42u);
+    sim.run_until(10);  // No-op when already past.
+    EXPECT_EQ(sim.now(), 42u);
+}
+
+TEST(Simulator, IdleReflectsQueue) {
+    Simulator sim;
+    EXPECT_TRUE(sim.idle());
+    sim.schedule_at(100, "later", [] {});
+    EXPECT_FALSE(sim.idle());
+    sim.run_for(101);
+    EXPECT_TRUE(sim.idle());
+}
+
+TEST(Trace, EmitAndQuery) {
+    TraceStream trace;
+    trace.emit(1, "cpu", "trap", "bus-fault", 0x100, 0);
+    trace.emit(2, "bus0", "write", "", 0x200, 42);
+    trace.emit(3, "cpu", "trap", "mpu-fault", 0x104, 0);
+
+    EXPECT_EQ(trace.size(), 3u);
+    EXPECT_EQ(trace.count_kind("trap"), 2u);
+    EXPECT_EQ(trace.of_kind("write").size(), 1u);
+    EXPECT_EQ(trace.since(2).size(), 2u);
+}
+
+TEST(Trace, ClearModelsVolatileLoss) {
+    TraceStream trace;
+    trace.emit(1, "cpu", "x");
+    trace.clear();
+    EXPECT_TRUE(trace.empty());
+}
+
+TEST(Trace, EncodeIsDeterministic) {
+    TraceRecord r{5, "src", "kind", "detail", 1, 2};
+    EXPECT_EQ(TraceStream::encode(r), TraceStream::encode(r));
+    TraceRecord r2 = r;
+    r2.a = 9;
+    EXPECT_NE(TraceStream::encode(r), TraceStream::encode(r2));
+}
+
+}  // namespace
+}  // namespace cres::sim

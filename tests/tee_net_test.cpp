@@ -1,0 +1,301 @@
+// TEE baseline and network-layer tests: secure storage behind the bus
+// attribute, quote generation/verification, authenticated channels,
+// replay/MITM resistance, and the attestation protocol.
+#include <gtest/gtest.h>
+
+#include "dev/nic.h"
+#include "mem/ram.h"
+#include "net/attestation.h"
+#include "net/channel.h"
+#include "tee/tee.h"
+#include "util/error.h"
+
+namespace cres {
+namespace {
+
+const mem::BusAttr kNormal{mem::Master::kCpu, false, false};
+const mem::BusAttr kSecure{mem::Master::kCpu, true, true};
+
+class TeeFixture : public ::testing::Test {
+protected:
+    TeeFixture() : secure_ram("tee_ram", 0x1000) {
+        bus.map(mem::RegionConfig{"tee_ram", 0x5000'0000, 0x1000,
+                                  /*secure_only=*/true, false},
+                secure_ram);
+        tee = std::make_unique<tee::Tee>(bus, 0x5000'0000, 0x1000);
+    }
+
+    mem::Bus bus;
+    mem::Ram secure_ram;
+    std::unique_ptr<tee::Tee> tee;
+};
+
+TEST_F(TeeFixture, SecureWorldReadsProvisionedKey) {
+    tee->provision_key("attest", to_bytes("super-secret"));
+    const auto key = tee->get_key("attest", kSecure);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, to_bytes("super-secret"));
+}
+
+TEST_F(TeeFixture, NormalWorldDeniedByBusAttribute) {
+    tee->provision_key("attest", to_bytes("super-secret"));
+    EXPECT_FALSE(tee->get_key("attest", kNormal).has_value());
+}
+
+TEST_F(TeeFixture, AttributeTamperingExposesKey) {
+    // The [34] attack: flip the region's secure attribute, read the key
+    // with plain non-secure transactions. The TEE cannot tell.
+    tee->provision_key("attest", to_bytes("super-secret"));
+    ASSERT_TRUE(bus.set_secure_only("tee_ram", false));
+    const auto key = tee->get_key("attest", kNormal);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, to_bytes("super-secret"));
+}
+
+TEST_F(TeeFixture, SecureStorageRoundTrip) {
+    tee->store("config", to_bytes("mode=critical"));
+    const auto blob = tee->load("config", kSecure);
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(*blob, to_bytes("mode=critical"));
+    EXPECT_FALSE(tee->load("config", kNormal).has_value());
+    EXPECT_FALSE(tee->load("missing", kSecure).has_value());
+}
+
+TEST_F(TeeFixture, OverwriteInPlace) {
+    tee->store("x", to_bytes("aaaa"));
+    tee->store("x", to_bytes("bb"));
+    const auto blob = tee->load("x", kSecure);
+    ASSERT_TRUE(blob.has_value());
+    EXPECT_EQ(*blob, to_bytes("bb"));
+}
+
+TEST_F(TeeFixture, ExhaustionThrows) {
+    EXPECT_THROW(tee->store("big", Bytes(0x2000, 1)), PlatformError);
+}
+
+TEST_F(TeeFixture, PlacementRevealsPhysicalAddress) {
+    tee->provision_key("attest", to_bytes("k"));
+    const auto p = tee->placement("attest");
+    ASSERT_TRUE(p.has_value());
+    EXPECT_GE(p->addr, 0x5000'0000u);
+    EXPECT_EQ(p->size, 1u);
+    EXPECT_FALSE(tee->placement("nope").has_value());
+}
+
+TEST_F(TeeFixture, QuoteVerifies) {
+    tee->provision_key("attest", to_bytes("shared-key"));
+    boot::PcrBank pcrs;
+    crypto::Hash256 m;
+    m.fill(4);
+    pcrs.extend(boot::PcrBank::kPcrFirmware, m);
+
+    const auto quote = tee->quote(pcrs, to_bytes("nonce123"), "attest");
+    ASSERT_TRUE(quote.has_value());
+    EXPECT_TRUE(tee::verify_quote(*quote, to_bytes("shared-key"),
+                                  pcrs.composite()));
+    // Wrong key or wrong expected composite fail.
+    EXPECT_FALSE(tee::verify_quote(*quote, to_bytes("other-key"),
+                                   pcrs.composite()));
+    boot::PcrBank other;
+    EXPECT_FALSE(tee::verify_quote(*quote, to_bytes("shared-key"),
+                                   other.composite()));
+}
+
+TEST_F(TeeFixture, QuoteWithoutKeyFails) {
+    boot::PcrBank pcrs;
+    EXPECT_FALSE(tee->quote(pcrs, to_bytes("n"), "missing").has_value());
+}
+
+class ChannelFixture : public ::testing::Test {
+protected:
+    ChannelFixture() : nic_a("nicA"), nic_b("nicB") {
+        link.attach(nic_a, nic_b);
+        alice = std::make_unique<net::SecureChannel>(nic_a,
+                                                     to_bytes("channel-key"));
+        bob = std::make_unique<net::SecureChannel>(nic_b,
+                                                   to_bytes("channel-key"));
+    }
+
+    dev::Nic nic_a, nic_b;
+    dev::Link link;
+    std::unique_ptr<net::SecureChannel> alice, bob;
+};
+
+TEST_F(ChannelFixture, AuthenticatedRoundTrip) {
+    alice->send(to_bytes("hello"));
+    const auto got = bob->poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->status, net::RecvStatus::kOk);
+    EXPECT_EQ(got->payload, to_bytes("hello"));
+    EXPECT_EQ(got->sequence, 1u);
+    EXPECT_EQ(bob->accepted(), 1u);
+}
+
+TEST_F(ChannelFixture, EmptyQueuePollsNothing) {
+    EXPECT_FALSE(bob->poll().has_value());
+}
+
+TEST_F(ChannelFixture, TamperedFrameRejected) {
+    link.set_tap([](const Bytes& frame, bool) -> std::optional<Bytes> {
+        Bytes f = frame;
+        f[12] ^= 0x01;  // Flip a payload bit.
+        return f;
+    });
+    alice->send(to_bytes("hello"));
+    const auto got = bob->poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->status, net::RecvStatus::kBadTag);
+    EXPECT_TRUE(got->payload.empty());
+    EXPECT_EQ(bob->rejected_tag(), 1u);
+}
+
+TEST_F(ChannelFixture, ReplayRejected) {
+    Bytes captured;
+    link.set_tap([&](const Bytes& frame, bool) -> std::optional<Bytes> {
+        captured = frame;
+        return frame;
+    });
+    alice->send(to_bytes("cmd"));
+    ASSERT_EQ(bob->poll()->status, net::RecvStatus::kOk);
+
+    // Attacker replays the captured frame.
+    link.inject(captured, /*to_a=*/false);
+    const auto got = bob->poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->status, net::RecvStatus::kReplay);
+    EXPECT_EQ(bob->rejected_replay(), 1u);
+}
+
+TEST_F(ChannelFixture, ForgedFrameRejected) {
+    link.inject(to_bytes("garbage-frame-without-valid-structure-or-tag....."),
+                false);
+    const auto got = bob->poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_NE(got->status, net::RecvStatus::kOk);
+}
+
+TEST_F(ChannelFixture, ShortFrameMalformed) {
+    link.inject(Bytes{1, 2, 3}, false);
+    const auto got = bob->poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->status, net::RecvStatus::kMalformed);
+    EXPECT_EQ(bob->rejected_malformed(), 1u);
+}
+
+TEST_F(ChannelFixture, SequencesIncrease) {
+    alice->send(to_bytes("a"));
+    alice->send(to_bytes("b"));
+    EXPECT_EQ(bob->poll()->sequence, 1u);
+    EXPECT_EQ(bob->poll()->sequence, 2u);
+}
+
+TEST_F(ChannelFixture, WrongKeyPeerRejectsEverything) {
+    net::SecureChannel mallory(nic_b, to_bytes("wrong-key"));
+    alice->send(to_bytes("secret"));
+    const auto got = mallory.poll();
+    ASSERT_TRUE(got.has_value());
+    EXPECT_EQ(got->status, net::RecvStatus::kBadTag);
+}
+
+TEST(Channel, EmptyKeyRejected) {
+    dev::Nic nic("n");
+    EXPECT_THROW(net::SecureChannel(nic, Bytes{}), NetError);
+}
+
+TEST(AttestationWire, ChallengeRoundTrip) {
+    const Bytes wire = net::encode_challenge(to_bytes("nonce"));
+    const auto nonce = net::decode_challenge(wire);
+    ASSERT_TRUE(nonce.has_value());
+    EXPECT_EQ(*nonce, to_bytes("nonce"));
+    EXPECT_FALSE(net::decode_challenge(to_bytes("junk")).has_value());
+}
+
+TEST(AttestationWire, QuoteRoundTrip) {
+    tee::Quote q;
+    q.composite.fill(7);
+    q.nonce = to_bytes("n");
+    q.tag.fill(9);
+    const auto back = net::decode_quote(net::encode_quote(q));
+    ASSERT_TRUE(back.has_value());
+    EXPECT_EQ(back->composite, q.composite);
+    EXPECT_EQ(back->nonce, q.nonce);
+    EXPECT_EQ(back->tag, q.tag);
+    EXPECT_FALSE(net::decode_quote(Bytes{1, 2}).has_value());
+}
+
+class AttestationFixture : public ::testing::Test {
+protected:
+    AttestationFixture() : secure_ram("tee_ram", 0x1000) {
+        bus.map(mem::RegionConfig{"tee_ram", 0x5000'0000, 0x1000, true, false},
+                secure_ram);
+        device_tee = std::make_unique<tee::Tee>(bus, 0x5000'0000, 0x1000);
+        device_tee->provision_key("attest", to_bytes("attest-key"));
+
+        crypto::Hash256 fw;
+        fw.fill(0x42);
+        pcrs.extend(boot::PcrBank::kPcrFirmware, fw);
+
+        verifier = std::make_unique<net::AttestationVerifier>(
+            pcrs.composite(), to_bytes("attest-key"), 123);
+    }
+
+    /// Device-side handling of a challenge.
+    Bytes respond(BytesView challenge_wire) {
+        const auto nonce = net::decode_challenge(challenge_wire);
+        const auto quote = device_tee->quote(pcrs, *nonce, "attest");
+        return net::encode_quote(*quote);
+    }
+
+    mem::Bus bus;
+    mem::Ram secure_ram;
+    std::unique_ptr<tee::Tee> device_tee;
+    boot::PcrBank pcrs;
+    std::unique_ptr<net::AttestationVerifier> verifier;
+};
+
+TEST_F(AttestationFixture, HealthyDeviceTrusted) {
+    const Bytes challenge = verifier->challenge();
+    EXPECT_EQ(verifier->verify(respond(challenge)),
+              net::AttestResult::kTrusted);
+    EXPECT_EQ(verifier->attestations_passed(), 1u);
+}
+
+TEST_F(AttestationFixture, ModifiedFirmwareDetected) {
+    const Bytes challenge = verifier->challenge();
+    crypto::Hash256 evil;
+    evil.fill(0x66);
+    pcrs.extend(boot::PcrBank::kPcrFirmware, evil);  // Implant measured.
+    EXPECT_EQ(verifier->verify(respond(challenge)),
+              net::AttestResult::kWrongMeasurement);
+}
+
+TEST_F(AttestationFixture, ReplayedQuoteStale) {
+    const Bytes challenge = verifier->challenge();
+    const Bytes response = respond(challenge);
+    EXPECT_EQ(verifier->verify(response), net::AttestResult::kTrusted);
+    EXPECT_EQ(verifier->verify(response), net::AttestResult::kStaleNonce);
+}
+
+TEST_F(AttestationFixture, QuoteForOldChallengeStale) {
+    const Bytes c1 = verifier->challenge();
+    const Bytes r1 = respond(c1);
+    (void)verifier->challenge();  // New challenge supersedes.
+    EXPECT_EQ(verifier->verify(r1), net::AttestResult::kStaleNonce);
+}
+
+TEST_F(AttestationFixture, ForgedTagRejected) {
+    const Bytes challenge = verifier->challenge();
+    Bytes response = respond(challenge);
+    response[response.size() - 1] ^= 1;  // Corrupt tag.
+    EXPECT_EQ(verifier->verify(response), net::AttestResult::kBadTag);
+    EXPECT_EQ(verifier->attestations_failed(), 1u);
+}
+
+TEST_F(AttestationFixture, GarbageMalformed) {
+    (void)verifier->challenge();
+    EXPECT_EQ(verifier->verify(to_bytes("junk")),
+              net::AttestResult::kMalformed);
+}
+
+}  // namespace
+}  // namespace cres
