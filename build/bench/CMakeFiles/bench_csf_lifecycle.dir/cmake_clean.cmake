@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_csf_lifecycle.dir/bench_csf_lifecycle.cpp.o"
+  "CMakeFiles/bench_csf_lifecycle.dir/bench_csf_lifecycle.cpp.o.d"
+  "bench_csf_lifecycle"
+  "bench_csf_lifecycle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_csf_lifecycle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_evidence.dir/bench_evidence.cpp.o"
+  "CMakeFiles/bench_evidence.dir/bench_evidence.cpp.o.d"
+  "bench_evidence"
+  "bench_evidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_evidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sidechannel.dir/bench_sidechannel.cpp.o"
+  "CMakeFiles/bench_sidechannel.dir/bench_sidechannel.cpp.o.d"
+  "bench_sidechannel"
+  "bench_sidechannel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sidechannel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

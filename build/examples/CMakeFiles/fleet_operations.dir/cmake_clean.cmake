@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fleet_operations.dir/fleet_operations.cpp.o"
+  "CMakeFiles/fleet_operations.dir/fleet_operations.cpp.o.d"
+  "fleet_operations"
+  "fleet_operations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fleet_operations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/industrial_gateway.dir/industrial_gateway.cpp.o"
+  "CMakeFiles/industrial_gateway.dir/industrial_gateway.cpp.o.d"
+  "industrial_gateway"
+  "industrial_gateway.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/industrial_gateway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_grid.dir/smart_grid.cpp.o"
+  "CMakeFiles/smart_grid.dir/smart_grid.cpp.o.d"
+  "smart_grid"
+  "smart_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

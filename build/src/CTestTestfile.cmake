@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("crypto")
+subdirs("sim")
+subdirs("mem")
+subdirs("isa")
+subdirs("dev")
+subdirs("boot")
+subdirs("tee")
+subdirs("net")
+subdirs("core")
+subdirs("platform")
+subdirs("attack")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/attack/attacks.cpp" "src/attack/CMakeFiles/cres_attack.dir/attacks.cpp.o" "gcc" "src/attack/CMakeFiles/cres_attack.dir/attacks.cpp.o.d"
+  "/root/repo/src/attack/sidechannel.cpp" "src/attack/CMakeFiles/cres_attack.dir/sidechannel.cpp.o" "gcc" "src/attack/CMakeFiles/cres_attack.dir/sidechannel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/platform/CMakeFiles/cres_platform.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/cres_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cres_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cres_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/cres_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cres_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/boot/CMakeFiles/cres_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cres_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cres_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/cres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

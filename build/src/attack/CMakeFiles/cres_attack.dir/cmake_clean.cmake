@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_attack.dir/attacks.cpp.o"
+  "CMakeFiles/cres_attack.dir/attacks.cpp.o.d"
+  "CMakeFiles/cres_attack.dir/sidechannel.cpp.o"
+  "CMakeFiles/cres_attack.dir/sidechannel.cpp.o.d"
+  "libcres_attack.a"
+  "libcres_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

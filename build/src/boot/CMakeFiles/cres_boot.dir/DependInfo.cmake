@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/boot/image.cpp" "src/boot/CMakeFiles/cres_boot.dir/image.cpp.o" "gcc" "src/boot/CMakeFiles/cres_boot.dir/image.cpp.o.d"
+  "/root/repo/src/boot/measured.cpp" "src/boot/CMakeFiles/cres_boot.dir/measured.cpp.o" "gcc" "src/boot/CMakeFiles/cres_boot.dir/measured.cpp.o.d"
+  "/root/repo/src/boot/secureboot.cpp" "src/boot/CMakeFiles/cres_boot.dir/secureboot.cpp.o" "gcc" "src/boot/CMakeFiles/cres_boot.dir/secureboot.cpp.o.d"
+  "/root/repo/src/boot/update.cpp" "src/boot/CMakeFiles/cres_boot.dir/update.cpp.o" "gcc" "src/boot/CMakeFiles/cres_boot.dir/update.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cres_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cres_mem.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_boot.dir/image.cpp.o"
+  "CMakeFiles/cres_boot.dir/image.cpp.o.d"
+  "CMakeFiles/cres_boot.dir/measured.cpp.o"
+  "CMakeFiles/cres_boot.dir/measured.cpp.o.d"
+  "CMakeFiles/cres_boot.dir/secureboot.cpp.o"
+  "CMakeFiles/cres_boot.dir/secureboot.cpp.o.d"
+  "CMakeFiles/cres_boot.dir/update.cpp.o"
+  "CMakeFiles/cres_boot.dir/update.cpp.o.d"
+  "libcres_boot.a"
+  "libcres_boot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_boot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/action.cpp" "src/core/CMakeFiles/cres_core.dir/action.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/action.cpp.o.d"
+  "/root/repo/src/core/event.cpp" "src/core/CMakeFiles/cres_core.dir/event.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/event.cpp.o.d"
+  "/root/repo/src/core/monitor/bus_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/bus_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/bus_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/cache_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/cache_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/cache_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/cfi_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/cfi_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/cfi_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/config_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/config_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/config_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/dift_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/dift_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/dift_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/environment_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/environment_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/environment_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/memory_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/memory_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/memory_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/network_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/network_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/network_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/peripheral_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/peripheral_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/peripheral_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/redundancy_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/redundancy_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/redundancy_monitor.cpp.o.d"
+  "/root/repo/src/core/monitor/timing_monitor.cpp" "src/core/CMakeFiles/cres_core.dir/monitor/timing_monitor.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/monitor/timing_monitor.cpp.o.d"
+  "/root/repo/src/core/policy/policy.cpp" "src/core/CMakeFiles/cres_core.dir/policy/policy.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/policy/policy.cpp.o.d"
+  "/root/repo/src/core/registry.cpp" "src/core/CMakeFiles/cres_core.dir/registry.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/registry.cpp.o.d"
+  "/root/repo/src/core/response/degradation.cpp" "src/core/CMakeFiles/cres_core.dir/response/degradation.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/response/degradation.cpp.o.d"
+  "/root/repo/src/core/response/recovery.cpp" "src/core/CMakeFiles/cres_core.dir/response/recovery.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/response/recovery.cpp.o.d"
+  "/root/repo/src/core/response/response.cpp" "src/core/CMakeFiles/cres_core.dir/response/response.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/response/response.cpp.o.d"
+  "/root/repo/src/core/ssm/evidence.cpp" "src/core/CMakeFiles/cres_core.dir/ssm/evidence.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/ssm/evidence.cpp.o.d"
+  "/root/repo/src/core/ssm/report.cpp" "src/core/CMakeFiles/cres_core.dir/ssm/report.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/ssm/report.cpp.o.d"
+  "/root/repo/src/core/ssm/risk.cpp" "src/core/CMakeFiles/cres_core.dir/ssm/risk.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/ssm/risk.cpp.o.d"
+  "/root/repo/src/core/ssm/ssm.cpp" "src/core/CMakeFiles/cres_core.dir/ssm/ssm.cpp.o" "gcc" "src/core/CMakeFiles/cres_core.dir/ssm/ssm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/cres_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cres_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cres_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/isa/CMakeFiles/cres_isa.dir/DependInfo.cmake"
+  "/root/repo/build/src/dev/CMakeFiles/cres_dev.dir/DependInfo.cmake"
+  "/root/repo/build/src/boot/CMakeFiles/cres_boot.dir/DependInfo.cmake"
+  "/root/repo/build/src/tee/CMakeFiles/cres_tee.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/cres_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

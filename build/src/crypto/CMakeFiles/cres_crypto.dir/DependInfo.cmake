@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/crypto/aes.cpp" "src/crypto/CMakeFiles/cres_crypto.dir/aes.cpp.o" "gcc" "src/crypto/CMakeFiles/cres_crypto.dir/aes.cpp.o.d"
+  "/root/repo/src/crypto/chacha20.cpp" "src/crypto/CMakeFiles/cres_crypto.dir/chacha20.cpp.o" "gcc" "src/crypto/CMakeFiles/cres_crypto.dir/chacha20.cpp.o.d"
+  "/root/repo/src/crypto/hmac.cpp" "src/crypto/CMakeFiles/cres_crypto.dir/hmac.cpp.o" "gcc" "src/crypto/CMakeFiles/cres_crypto.dir/hmac.cpp.o.d"
+  "/root/repo/src/crypto/keystore.cpp" "src/crypto/CMakeFiles/cres_crypto.dir/keystore.cpp.o" "gcc" "src/crypto/CMakeFiles/cres_crypto.dir/keystore.cpp.o.d"
+  "/root/repo/src/crypto/merkle.cpp" "src/crypto/CMakeFiles/cres_crypto.dir/merkle.cpp.o" "gcc" "src/crypto/CMakeFiles/cres_crypto.dir/merkle.cpp.o.d"
+  "/root/repo/src/crypto/monotonic.cpp" "src/crypto/CMakeFiles/cres_crypto.dir/monotonic.cpp.o" "gcc" "src/crypto/CMakeFiles/cres_crypto.dir/monotonic.cpp.o.d"
+  "/root/repo/src/crypto/sha256.cpp" "src/crypto/CMakeFiles/cres_crypto.dir/sha256.cpp.o" "gcc" "src/crypto/CMakeFiles/cres_crypto.dir/sha256.cpp.o.d"
+  "/root/repo/src/crypto/wots.cpp" "src/crypto/CMakeFiles/cres_crypto.dir/wots.cpp.o" "gcc" "src/crypto/CMakeFiles/cres_crypto.dir/wots.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_crypto.dir/aes.cpp.o"
+  "CMakeFiles/cres_crypto.dir/aes.cpp.o.d"
+  "CMakeFiles/cres_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/cres_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/cres_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/cres_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/cres_crypto.dir/keystore.cpp.o"
+  "CMakeFiles/cres_crypto.dir/keystore.cpp.o.d"
+  "CMakeFiles/cres_crypto.dir/merkle.cpp.o"
+  "CMakeFiles/cres_crypto.dir/merkle.cpp.o.d"
+  "CMakeFiles/cres_crypto.dir/monotonic.cpp.o"
+  "CMakeFiles/cres_crypto.dir/monotonic.cpp.o.d"
+  "CMakeFiles/cres_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/cres_crypto.dir/sha256.cpp.o.d"
+  "CMakeFiles/cres_crypto.dir/wots.cpp.o"
+  "CMakeFiles/cres_crypto.dir/wots.cpp.o.d"
+  "libcres_crypto.a"
+  "libcres_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libcres_crypto.a"
+)

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dev/actuator.cpp" "src/dev/CMakeFiles/cres_dev.dir/actuator.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/actuator.cpp.o.d"
+  "/root/repo/src/dev/dma.cpp" "src/dev/CMakeFiles/cres_dev.dir/dma.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/dma.cpp.o.d"
+  "/root/repo/src/dev/nic.cpp" "src/dev/CMakeFiles/cres_dev.dir/nic.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/nic.cpp.o.d"
+  "/root/repo/src/dev/power.cpp" "src/dev/CMakeFiles/cres_dev.dir/power.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/power.cpp.o.d"
+  "/root/repo/src/dev/sensor.cpp" "src/dev/CMakeFiles/cres_dev.dir/sensor.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/sensor.cpp.o.d"
+  "/root/repo/src/dev/timer.cpp" "src/dev/CMakeFiles/cres_dev.dir/timer.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/timer.cpp.o.d"
+  "/root/repo/src/dev/trng.cpp" "src/dev/CMakeFiles/cres_dev.dir/trng.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/trng.cpp.o.d"
+  "/root/repo/src/dev/uart.cpp" "src/dev/CMakeFiles/cres_dev.dir/uart.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/uart.cpp.o.d"
+  "/root/repo/src/dev/watchdog.cpp" "src/dev/CMakeFiles/cres_dev.dir/watchdog.cpp.o" "gcc" "src/dev/CMakeFiles/cres_dev.dir/watchdog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cres_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cres_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

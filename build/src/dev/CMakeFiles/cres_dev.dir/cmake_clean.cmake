@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_dev.dir/actuator.cpp.o"
+  "CMakeFiles/cres_dev.dir/actuator.cpp.o.d"
+  "CMakeFiles/cres_dev.dir/dma.cpp.o"
+  "CMakeFiles/cres_dev.dir/dma.cpp.o.d"
+  "CMakeFiles/cres_dev.dir/nic.cpp.o"
+  "CMakeFiles/cres_dev.dir/nic.cpp.o.d"
+  "CMakeFiles/cres_dev.dir/power.cpp.o"
+  "CMakeFiles/cres_dev.dir/power.cpp.o.d"
+  "CMakeFiles/cres_dev.dir/sensor.cpp.o"
+  "CMakeFiles/cres_dev.dir/sensor.cpp.o.d"
+  "CMakeFiles/cres_dev.dir/timer.cpp.o"
+  "CMakeFiles/cres_dev.dir/timer.cpp.o.d"
+  "CMakeFiles/cres_dev.dir/trng.cpp.o"
+  "CMakeFiles/cres_dev.dir/trng.cpp.o.d"
+  "CMakeFiles/cres_dev.dir/uart.cpp.o"
+  "CMakeFiles/cres_dev.dir/uart.cpp.o.d"
+  "CMakeFiles/cres_dev.dir/watchdog.cpp.o"
+  "CMakeFiles/cres_dev.dir/watchdog.cpp.o.d"
+  "libcres_dev.a"
+  "libcres_dev.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_dev.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

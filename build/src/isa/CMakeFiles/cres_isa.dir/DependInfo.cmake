@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/isa/assembler.cpp" "src/isa/CMakeFiles/cres_isa.dir/assembler.cpp.o" "gcc" "src/isa/CMakeFiles/cres_isa.dir/assembler.cpp.o.d"
+  "/root/repo/src/isa/cpu.cpp" "src/isa/CMakeFiles/cres_isa.dir/cpu.cpp.o" "gcc" "src/isa/CMakeFiles/cres_isa.dir/cpu.cpp.o.d"
+  "/root/repo/src/isa/encoding.cpp" "src/isa/CMakeFiles/cres_isa.dir/encoding.cpp.o" "gcc" "src/isa/CMakeFiles/cres_isa.dir/encoding.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cres_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/cres_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/cres_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

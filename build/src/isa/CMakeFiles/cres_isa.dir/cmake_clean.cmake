@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_isa.dir/assembler.cpp.o"
+  "CMakeFiles/cres_isa.dir/assembler.cpp.o.d"
+  "CMakeFiles/cres_isa.dir/cpu.cpp.o"
+  "CMakeFiles/cres_isa.dir/cpu.cpp.o.d"
+  "CMakeFiles/cres_isa.dir/encoding.cpp.o"
+  "CMakeFiles/cres_isa.dir/encoding.cpp.o.d"
+  "libcres_isa.a"
+  "libcres_isa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_isa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/bus.cpp" "src/mem/CMakeFiles/cres_mem.dir/bus.cpp.o" "gcc" "src/mem/CMakeFiles/cres_mem.dir/bus.cpp.o.d"
+  "/root/repo/src/mem/cache.cpp" "src/mem/CMakeFiles/cres_mem.dir/cache.cpp.o" "gcc" "src/mem/CMakeFiles/cres_mem.dir/cache.cpp.o.d"
+  "/root/repo/src/mem/mpu.cpp" "src/mem/CMakeFiles/cres_mem.dir/mpu.cpp.o" "gcc" "src/mem/CMakeFiles/cres_mem.dir/mpu.cpp.o.d"
+  "/root/repo/src/mem/ram.cpp" "src/mem/CMakeFiles/cres_mem.dir/ram.cpp.o" "gcc" "src/mem/CMakeFiles/cres_mem.dir/ram.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/cres_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_mem.dir/bus.cpp.o"
+  "CMakeFiles/cres_mem.dir/bus.cpp.o.d"
+  "CMakeFiles/cres_mem.dir/cache.cpp.o"
+  "CMakeFiles/cres_mem.dir/cache.cpp.o.d"
+  "CMakeFiles/cres_mem.dir/mpu.cpp.o"
+  "CMakeFiles/cres_mem.dir/mpu.cpp.o.d"
+  "CMakeFiles/cres_mem.dir/ram.cpp.o"
+  "CMakeFiles/cres_mem.dir/ram.cpp.o.d"
+  "libcres_mem.a"
+  "libcres_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_net.dir/attestation.cpp.o"
+  "CMakeFiles/cres_net.dir/attestation.cpp.o.d"
+  "CMakeFiles/cres_net.dir/channel.cpp.o"
+  "CMakeFiles/cres_net.dir/channel.cpp.o.d"
+  "libcres_net.a"
+  "libcres_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

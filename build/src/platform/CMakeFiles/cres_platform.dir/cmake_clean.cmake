@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_platform.dir/fleet.cpp.o"
+  "CMakeFiles/cres_platform.dir/fleet.cpp.o.d"
+  "CMakeFiles/cres_platform.dir/node.cpp.o"
+  "CMakeFiles/cres_platform.dir/node.cpp.o.d"
+  "CMakeFiles/cres_platform.dir/scenario.cpp.o"
+  "CMakeFiles/cres_platform.dir/scenario.cpp.o.d"
+  "CMakeFiles/cres_platform.dir/workload.cpp.o"
+  "CMakeFiles/cres_platform.dir/workload.cpp.o.d"
+  "libcres_platform.a"
+  "libcres_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

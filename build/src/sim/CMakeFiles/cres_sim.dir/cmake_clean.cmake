@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_sim.dir/simulator.cpp.o"
+  "CMakeFiles/cres_sim.dir/simulator.cpp.o.d"
+  "CMakeFiles/cres_sim.dir/trace.cpp.o"
+  "CMakeFiles/cres_sim.dir/trace.cpp.o.d"
+  "libcres_sim.a"
+  "libcres_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

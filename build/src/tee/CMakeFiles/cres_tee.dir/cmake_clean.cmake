@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_tee.dir/tee.cpp.o"
+  "CMakeFiles/cres_tee.dir/tee.cpp.o.d"
+  "libcres_tee.a"
+  "libcres_tee.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_tee.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cres_tee.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cres_util.dir/bytes.cpp.o"
+  "CMakeFiles/cres_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/cres_util.dir/crc32.cpp.o"
+  "CMakeFiles/cres_util.dir/crc32.cpp.o.d"
+  "CMakeFiles/cres_util.dir/log.cpp.o"
+  "CMakeFiles/cres_util.dir/log.cpp.o.d"
+  "CMakeFiles/cres_util.dir/rng.cpp.o"
+  "CMakeFiles/cres_util.dir/rng.cpp.o.d"
+  "CMakeFiles/cres_util.dir/serial.cpp.o"
+  "CMakeFiles/cres_util.dir/serial.cpp.o.d"
+  "libcres_util.a"
+  "libcres_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cres_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

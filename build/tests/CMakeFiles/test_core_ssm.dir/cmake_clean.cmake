@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_ssm.dir/core_ssm_test.cpp.o"
+  "CMakeFiles/test_core_ssm.dir/core_ssm_test.cpp.o.d"
+  "test_core_ssm"
+  "test_core_ssm.pdb"
+  "test_core_ssm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_ssm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_privilege.dir/privilege_test.cpp.o"
+  "CMakeFiles/test_privilege.dir/privilege_test.cpp.o.d"
+  "test_privilege"
+  "test_privilege.pdb"
+  "test_privilege[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_privilege.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

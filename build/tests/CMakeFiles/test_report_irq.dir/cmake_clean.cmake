@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_report_irq.dir/report_irq_test.cpp.o"
+  "CMakeFiles/test_report_irq.dir/report_irq_test.cpp.o.d"
+  "test_report_irq"
+  "test_report_irq.pdb"
+  "test_report_irq[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_report_irq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_signatures.dir/signatures_test.cpp.o"
+  "CMakeFiles/test_signatures.dir/signatures_test.cpp.o.d"
+  "test_signatures"
+  "test_signatures.pdb"
+  "test_signatures[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spectre.dir/spectre_test.cpp.o"
+  "CMakeFiles/test_spectre.dir/spectre_test.cpp.o.d"
+  "test_spectre"
+  "test_spectre.pdb"
+  "test_spectre[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spectre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tee_net.dir/tee_net_test.cpp.o"
+  "CMakeFiles/test_tee_net.dir/tee_net_test.cpp.o.d"
+  "test_tee_net"
+  "test_tee_net.pdb"
+  "test_tee_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tee_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_signatures[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_mem[1]_include.cmake")
+include("/root/repo/build/tests/test_isa[1]_include.cmake")
+include("/root/repo/build/tests/test_privilege[1]_include.cmake")
+include("/root/repo/build/tests/test_dev[1]_include.cmake")
+include("/root/repo/build/tests/test_boot[1]_include.cmake")
+include("/root/repo/build/tests/test_tee_net[1]_include.cmake")
+include("/root/repo/build/tests/test_core_monitor[1]_include.cmake")
+include("/root/repo/build/tests/test_core_ssm[1]_include.cmake")
+include("/root/repo/build/tests/test_platform[1]_include.cmake")
+include("/root/repo/build/tests/test_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_fleet[1]_include.cmake")
+include("/root/repo/build/tests/test_lockstep[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_report_irq[1]_include.cmake")
+include("/root/repo/build/tests/test_spectre[1]_include.cmake")
