@@ -1,10 +1,14 @@
 // E13 — Fleet-scale operation: an operator backend running periodic
 // attestation sweeps and health collection over a device population
 // while a subset is attacked. Measures localisation (which devices get
-// flagged), fleet service, and sweep cost vs fleet size — the
-// operational picture the paper's critical-infrastructure setting
-// implies.
+// flagged), fleet service, sweep cost vs fleet size, and (E13c)
+// parallel scaling: devices/sec and speedup across worker-thread
+// counts, with the determinism contract checked against the serial
+// run — the operational picture the paper's critical-infrastructure
+// setting implies.
+#include <algorithm>
 #include <chrono>
+#include <thread>
 
 #include "attack/attacks.h"
 #include "bench_util.h"
@@ -13,6 +17,22 @@
 namespace {
 
 using namespace cres;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+}
+
+/// One full operator epoch: advance the fleet, sweep it, collect
+/// health. This is the unit the scaling table rates in devices/sec.
+platform::SweepResult fleet_epoch(platform::Fleet& fleet,
+                                  sim::Cycle cycles) {
+    fleet.run(cycles);
+    platform::SweepResult sweep = fleet.attestation_sweep();
+    (void)fleet.collect_health();
+    return sweep;
+}
 
 }  // namespace
 
@@ -94,6 +114,77 @@ int main() {
                      "(per-device HMAC quote + verify); attestation "
                      "scales to fleets without per-device state explosion."
                      "\n";
+    }
+
+    bench::section("E13c — Parallel scaling: devices/sec vs worker threads");
+    {
+        const std::size_t hw = std::max(
+            1u, std::thread::hardware_concurrency());
+        std::cout << "hardware concurrency: " << hw << " (threads=hw row)\n"
+                  << "epoch = enrol once, then run 2000 cycles + "
+                     "attestation sweep + health collection\n\n";
+
+        constexpr sim::Cycle kEpochCycles = 2000;
+        bench::Table table({"devices", "threads", "enrol (ms)",
+                            "epoch (ms)", "devices/sec", "speedup",
+                            "verdicts == serial"});
+        for (const std::size_t devices :
+             {std::size_t{8}, std::size_t{64}, std::size_t{256},
+              std::size_t{1024}}) {
+            platform::SweepResult serial_sweep;
+            double serial_epoch_s = 0.0;
+
+            std::vector<std::size_t> thread_counts{1, 2, 4};
+            if (std::find(thread_counts.begin(), thread_counts.end(), hw) ==
+                thread_counts.end()) {
+                thread_counts.push_back(hw);
+            }
+            for (const std::size_t threads : thread_counts) {
+                platform::FleetConfig config;
+                config.device_count = devices;
+                config.resilient = true;
+                config.seed = 46;
+                config.worker_threads = threads;
+
+                const auto t0 = std::chrono::steady_clock::now();
+                platform::Fleet fleet(config);
+                const double enrol_s = seconds_since(t0);
+
+                const auto t1 = std::chrono::steady_clock::now();
+                const platform::SweepResult sweep =
+                    fleet_epoch(fleet, kEpochCycles);
+                const double epoch_s = seconds_since(t1);
+
+                // Determinism contract: every thread count reproduces
+                // the serial verdict vector bit-for-bit.
+                bool matches_serial = true;
+                if (threads == 1) {
+                    serial_sweep = sweep;
+                    serial_epoch_s = epoch_s;
+                } else {
+                    matches_serial = sweep.verdicts == serial_sweep.verdicts;
+                }
+
+                table.row(devices,
+                          threads == hw && threads != 1 &&
+                                  threads != 2 && threads != 4
+                              ? std::to_string(threads) + " (hw)"
+                              : std::to_string(threads),
+                          bench::fmt_double(enrol_s * 1e3, 1),
+                          bench::fmt_double(epoch_s * 1e3, 1),
+                          bench::fmt_double(
+                              static_cast<double>(devices) / epoch_s, 0),
+                          bench::fmt_double(serial_epoch_s / epoch_s, 2),
+                          bench::yesno(matches_serial));
+            }
+        }
+        table.print();
+        std::cout << "\nExpected shape: near-linear speedup up to the "
+                     "physical core count (device-nodes are fully "
+                     "thread-confined; no locks on the hot path), flat "
+                     "beyond it; the verdict column must read yes "
+                     "everywhere — parallelism never changes results, "
+                     "only wall time.\n";
     }
     return 0;
 }

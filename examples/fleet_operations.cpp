@@ -42,10 +42,15 @@ int main() {
     config.device_count = 6;
     config.resilient = true;
     config.seed = 2025;
+    // 0 = use every hardware thread. Results are identical at any
+    // thread count (same seed => same verdicts, health and evidence);
+    // the knob only changes wall time. See docs/FLEET.md.
+    config.worker_threads = 0;
     platform::Fleet fleet(config);
 
     std::cout << "[t=0] fleet enrolled: " << fleet.size()
-              << " devices, golden measurements captured\n";
+              << " devices, golden measurements captured ("
+              << fleet.worker_threads() << " worker threads)\n";
     fleet.run(20000);
     fleet.checkpoint_all();  // Known-good snapshots for recovery.
 

@@ -29,52 +29,63 @@ std::vector<std::size_t> SweepResult::flagged_devices() const {
 
 Fleet::Fleet(FleetConfig config)
     : cfg_(std::move(config)),
-      vendor_key_(fleet_vendor_seed(cfg_.seed), 6) {
-    Rng rng(cfg_.seed ^ 0xf1ee7u);
-
-    for (std::size_t i = 0; i < cfg_.device_count; ++i) {
-        Device device;
-
-        NodeConfig node_config;
-        node_config.name = "device-" + std::to_string(i);
-        node_config.resilient = cfg_.resilient;
-        node_config.seed = rng.next();
-        device.node = std::make_unique<Node>(node_config);
-
-        device.operator_nic =
-            std::make_unique<dev::Nic>("op-nic-" + std::to_string(i));
-        device.link = std::make_unique<dev::Link>();
-        device.link->attach(device.node->nic, *device.operator_nic);
-
-        const Bytes device_root = rng.bytes(32);
-        device.node->provision(vendor_key_.public_key(), device_root);
-        device.seal_key = crypto::hkdf(device_root,
-                                       to_bytes(node_config.name),
-                                       "evidence-seal", 32);
-
-        // Enrolment measurement: a per-device firmware digest.
-        crypto::Hash256 fw_digest = crypto::sha256(
-            to_bytes("fw-image-for-" + node_config.name));
-        device.node->pcrs.extend(boot::PcrBank::kPcrFirmware, fw_digest,
-                                 node_config.name);
-
-        const Bytes attest_key = crypto::hkdf(
-            device_root, to_bytes(node_config.name), "attestation", 32);
-        device.verifier = std::make_unique<net::AttestationVerifier>(
-            device.node->pcrs.composite(), attest_key,
-            cfg_.seed ^ (0x1000 + i));
-
-        const isa::Program program = control_loop_program(cfg_.workload);
-        device.node->load_and_start(program);
-        device.node->arm_resilience(program);
-
-        devices_.push_back(std::move(device));
-        // Periodic NIC pump (attestation responder + channel demux).
-        schedule_pump(*devices_.back().node);
-    }
+      vendor_key_(fleet_vendor_seed(cfg_.seed), 6),
+      pool_(cfg_.worker_threads),
+      devices_(cfg_.device_count) {
+    // Enrolment is sharded like every other phase: device i's entire
+    // identity derives from cfg_.seed ^ i, so workers never share
+    // mutable state and the fleet is bit-identical at any thread count.
+    pool_.parallel_for(devices_.size(),
+                       [this](std::size_t i) { enrol_device(i); });
 }
 
 Fleet::~Fleet() = default;
+
+void Fleet::enrol_device(std::size_t index) {
+    Device& device = devices_[index];
+
+    // The determinism contract: per-device seed = fleet seed ⊕ index.
+    // Everything below (device root, workload jitter, attestation
+    // nonces) is derived from it, never from a fleet-shared stream.
+    const std::uint64_t device_seed =
+        cfg_.seed ^ static_cast<std::uint64_t>(index);
+    Rng rng(device_seed ^ 0xf1ee7u);
+
+    NodeConfig node_config;
+    node_config.name = "device-" + std::to_string(index);
+    node_config.resilient = cfg_.resilient;
+    node_config.seed = device_seed;
+    device.node = std::make_unique<Node>(node_config);
+
+    device.operator_nic =
+        std::make_unique<dev::Nic>("op-nic-" + std::to_string(index));
+    device.link = std::make_unique<dev::Link>();
+    device.link->attach(device.node->nic, *device.operator_nic);
+
+    const Bytes device_root = rng.bytes(32);
+    device.node->provision(vendor_key_.public_key(), device_root);
+    device.seal_key = crypto::hkdf(device_root, to_bytes(node_config.name),
+                                   "evidence-seal", 32);
+
+    // Enrolment measurement: a per-device firmware digest.
+    crypto::Hash256 fw_digest =
+        crypto::sha256(to_bytes("fw-image-for-" + node_config.name));
+    device.node->pcrs.extend(boot::PcrBank::kPcrFirmware, fw_digest,
+                             node_config.name);
+
+    const Bytes attest_key = crypto::hkdf(
+        device_root, to_bytes(node_config.name), "attestation", 32);
+    device.verifier = std::make_unique<net::AttestationVerifier>(
+        device.node->pcrs.composite(), attest_key,
+        cfg_.seed ^ (0x1000 + index));
+
+    const isa::Program program = control_loop_program(cfg_.workload);
+    device.node->load_and_start(program);
+    device.node->arm_resilience(program);
+
+    // Periodic NIC pump (attestation responder + channel demux).
+    schedule_pump(*device.node);
+}
 
 void Fleet::schedule_pump(Node& node) {
     node.sim.schedule_in(500, "nic-pump", [this, &node] {
@@ -84,47 +95,59 @@ void Fleet::schedule_pump(Node& node) {
 }
 
 void Fleet::run(sim::Cycle cycles, sim::Cycle slice) {
-    if (slice == 0) slice = 1;
-    sim::Cycle done = 0;
-    while (done < cycles) {
-        const sim::Cycle step = std::min(slice, cycles - done);
-        for (auto& device : devices_) device.node->run(step);
-        done += step;
-    }
+    const sim::Cycle quantum = slice == 0 ? 1 : slice;
+    pool_.parallel_for(devices_.size(), [&](std::size_t i) {
+        Node& node = *devices_[i].node;
+        sim::Cycle done = 0;
+        while (done < cycles) {
+            const sim::Cycle step = std::min(quantum, cycles - done);
+            node.run(step);
+            done += step;
+        }
+    });
 }
 
-SweepResult Fleet::attestation_sweep() {
-    SweepResult result;
-    for (auto& device : devices_) {
-        const Bytes challenge_wire = device.verifier->challenge();
-        const auto nonce = net::decode_challenge(challenge_wire);
-
-        net::AttestResult verdict = net::AttestResult::kMalformed;
-        if (nonce) {
-            // The device's secure-world attestation service answers.
-            const auto quote =
-                device.node->tee.quote(device.node->pcrs, *nonce, "attest");
-            if (quote) {
-                verdict = device.verifier->verify(net::encode_quote(*quote));
-            } else {
-                // Zeroised / lost key: the device cannot produce a
-                // quote at all. Treat as a failed attestation.
-                verdict = net::AttestResult::kBadTag;
-            }
-        }
-        result.verdicts.push_back(verdict);
+void Fleet::finalize_sweep(SweepResult& result) {
+    for (const net::AttestResult verdict : result.verdicts) {
         if (verdict == net::AttestResult::kTrusted) {
             ++result.trusted;
         } else {
             ++result.flagged;
         }
     }
+}
+
+net::AttestResult Fleet::attest_device(Device& device) {
+    const Bytes challenge_wire = device.verifier->challenge();
+    const auto nonce = net::decode_challenge(challenge_wire);
+    if (!nonce) return net::AttestResult::kMalformed;
+
+    // The device's secure-world attestation service answers.
+    const auto quote =
+        device.node->tee.quote(device.node->pcrs, *nonce, "attest");
+    if (!quote) {
+        // Zeroised / lost key: the device cannot produce a quote at
+        // all. Treat as a failed attestation.
+        return net::AttestResult::kBadTag;
+    }
+    return device.verifier->verify(net::encode_quote(*quote));
+}
+
+SweepResult Fleet::attestation_sweep() {
+    SweepResult result;
+    result.verdicts.assign(devices_.size(), net::AttestResult::kMalformed);
+    pool_.parallel_for(devices_.size(), [&](std::size_t i) {
+        result.verdicts[i] = attest_device(devices_[i]);
+    });
+    finalize_sweep(result);
     return result;
 }
 
 SweepResult Fleet::attestation_sweep_wire(sim::Cycle timeout) {
     SweepResult result;
-    for (auto& device : devices_) {
+    result.verdicts.assign(devices_.size(), net::AttestResult::kMalformed);
+    pool_.parallel_for(devices_.size(), [&](std::size_t i) {
+        Device& device = devices_[i];
         // Challenge goes out over the link...
         device.link->inject(device.verifier->challenge(), /*to_a=*/true);
         // ...the device answers during normal operation...
@@ -138,40 +161,52 @@ SweepResult Fleet::attestation_sweep_wire(sim::Cycle timeout) {
             }
             // Telemetry frames etc. are skipped, not verdicts.
         }
-        result.verdicts.push_back(verdict);
-        if (verdict == net::AttestResult::kTrusted) {
-            ++result.trusted;
-        } else {
-            ++result.flagged;
-        }
-    }
+        result.verdicts[i] = verdict;
+    });
+    finalize_sweep(result);
     return result;
 }
 
 HealthSummary Fleet::collect_health() {
-    HealthSummary summary;
-    for (auto& device : devices_) {
+    // Workers report into fixed per-device slots; the summary itself
+    // (including its vector<bool>, which packs bits and so cannot take
+    // concurrent writes) is reduced serially in device-index order.
+    struct DeviceHealth {
+        core::HealthState state = core::HealthState::kHealthy;
+        bool valid = false;
+    };
+    std::vector<DeviceHealth> per_device(devices_.size());
+
+    pool_.parallel_for(devices_.size(), [&](std::size_t i) {
+        Device& device = devices_[i];
         if (device.node->ssm && !device.node->ssm->disabled()) {
             const auto report = device.node->ssm->health_report();
-            const bool valid =
+            per_device[i].state = report.state;
+            per_device[i].valid =
                 core::SystemSecurityManager::verify_health_report(
                     report, device.seal_key);
-            summary.states.push_back(report.state);
-            summary.report_valid.push_back(valid);
-            if (valid && report.state == core::HealthState::kHealthy) {
-                ++summary.healthy;
-            }
-        } else {
-            // Passive device or dead SSM: nothing attestable to say.
-            summary.states.push_back(core::HealthState::kHealthy);
-            summary.report_valid.push_back(false);
+        }
+        // else: passive device or dead SSM — nothing attestable to say;
+        // the defaults (kHealthy, invalid report) already say that.
+    });
+
+    HealthSummary summary;
+    summary.states.reserve(per_device.size());
+    summary.report_valid.reserve(per_device.size());
+    for (const DeviceHealth& health : per_device) {
+        summary.states.push_back(health.state);
+        summary.report_valid.push_back(health.valid);
+        if (health.valid && health.state == core::HealthState::kHealthy) {
+            ++summary.healthy;
         }
     }
     return summary;
 }
 
 void Fleet::checkpoint_all() {
-    for (auto& device : devices_) device.node->take_checkpoint();
+    pool_.parallel_for(devices_.size(), [&](std::size_t i) {
+        devices_[i].node->take_checkpoint();
+    });
 }
 
 std::uint64_t Fleet::fleet_iterations() const {

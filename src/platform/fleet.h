@@ -14,6 +14,7 @@
 #include "net/attestation.h"
 #include "platform/node.h"
 #include "platform/workload.h"
+#include "util/thread_pool.h"
 
 namespace cres::platform {
 
@@ -22,6 +23,14 @@ struct FleetConfig {
     bool resilient = true;
     std::uint64_t seed = 1;
     ControlLoopOptions workload;
+
+    /// Worker threads for fleet phases (enrolment, run, sweeps, health
+    /// collection). 0 = hardware concurrency; 1 = serial. Any value
+    /// produces bit-identical verdicts, health summaries and evidence
+    /// logs: each device-node is owned by exactly one worker per phase,
+    /// per-device seeds derive from `seed ^ device_index`, and all
+    /// reductions happen in device-index order.
+    std::size_t worker_threads = 1;
 };
 
 /// One attestation sweep across the fleet.
@@ -55,8 +64,19 @@ public:
         return *devices_.at(index).node;
     }
 
-    /// Advances every device's simulation by `cycles` (interleaved in
-    /// `slice`-cycle quanta so cross-device traffic stays causal).
+    /// Concurrency actually in use (config.worker_threads resolved, so
+    /// 0 has become the hardware thread count).
+    [[nodiscard]] std::size_t worker_threads() const noexcept {
+        return pool_.thread_count();
+    }
+
+    /// Advances every device's simulation by `cycles`, sharded across
+    /// the worker pool (each node's simulator is thread-confined to one
+    /// worker for the whole call). Devices exchange traffic only with
+    /// their own operator endpoint, so per-device state is independent
+    /// of scheduling; `slice` bounds the quantum each device advances
+    /// per inner step (kept for causality if devices ever talk to each
+    /// other directly).
     void run(sim::Cycle cycles, sim::Cycle slice = 1000);
 
     /// Challenges every device and verifies its quote against the
@@ -80,8 +100,6 @@ public:
     [[nodiscard]] std::uint64_t fleet_iterations() const;
 
 private:
-    void schedule_pump(Node& node);
-
     struct Device {
         std::unique_ptr<Node> node;
         std::unique_ptr<dev::Nic> operator_nic;
@@ -90,8 +108,19 @@ private:
         Bytes seal_key;  ///< For verifying health reports.
     };
 
+    void schedule_pump(Node& node);
+    /// Builds devices_[index] (enrolment: keys, golden measurement,
+    /// workload). Thread-confined to one worker; deterministic because
+    /// everything derives from `cfg_.seed ^ index`.
+    void enrol_device(std::size_t index);
+    /// Challenge/verify one device in-process (no wire).
+    [[nodiscard]] net::AttestResult attest_device(Device& device);
+    /// Index-ordered reduction of per-device verdicts into the counts.
+    static void finalize_sweep(SweepResult& result);
+
     FleetConfig cfg_;
     crypto::MerkleSigner vendor_key_;
+    ThreadPool pool_;
     std::vector<Device> devices_;
 };
 

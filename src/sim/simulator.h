@@ -28,7 +28,11 @@ public:
 };
 
 /// The simulation kernel: owns the clock, the event queue and the list
-/// of per-cycle components. Not thread-safe; one kernel per scenario.
+/// of per-cycle components. Not thread-safe and deliberately free of
+/// global state: every mutable field lives on the instance, so a
+/// kernel is thread-confined — the parallel fleet runner gives each
+/// device-node's simulator to exactly one worker per phase and needs
+/// no locks on the hot path. One kernel per scenario/node.
 class Simulator {
 public:
     Simulator() = default;

@@ -37,6 +37,8 @@ void Logger::set_sink(Sink sink) {
 }
 
 void Logger::write(LogLevel level, std::string_view message) {
+    // Fleet phases log from worker threads; keep lines whole.
+    std::lock_guard<std::mutex> lock(write_mutex_);
     sink_(level, message);
 }
 

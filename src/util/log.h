@@ -4,6 +4,7 @@
 #pragma once
 
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 #include <string_view>
@@ -25,7 +26,9 @@ public:
     void set_level(LogLevel level) noexcept { level_ = level; }
     [[nodiscard]] LogLevel level() const noexcept { return level_; }
 
-    /// Replaces the output sink; pass nullptr to restore stderr.
+    /// Replaces the output sink; pass nullptr to restore stderr. Not
+    /// safe to call while other threads are logging (install sinks
+    /// before starting a parallel fleet phase).
     void set_sink(Sink sink);
 
     [[nodiscard]] bool enabled(LogLevel level) const noexcept {
@@ -39,6 +42,7 @@ private:
 
     LogLevel level_ = LogLevel::kWarn;
     Sink sink_;
+    std::mutex write_mutex_;  ///< Serialises sink calls across workers.
 };
 
 namespace detail {

@@ -1,0 +1,103 @@
+#include "util/thread_pool.h"
+
+namespace cres {
+
+std::size_t ThreadPool::resolve_thread_count(std::size_t requested) noexcept {
+    if (requested != 0) return requested;
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+ThreadPool::ThreadPool(std::size_t threads) {
+    const std::size_t total = resolve_thread_count(threads);
+    workers_.reserve(total - 1);
+    for (std::size_t i = 0; i + 1 < total; ++i) {
+        workers_.emplace_back([this] { worker_loop(); });
+    }
+}
+
+ThreadPool::~ThreadPool() {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        shutdown_ = true;
+    }
+    start_cv_.notify_all();
+    for (auto& worker : workers_) worker.join();
+}
+
+void ThreadPool::run_slice(const std::function<void(std::size_t)>& body,
+                           std::size_t count) {
+    for (;;) {
+        const std::size_t i =
+            next_index_.fetch_add(1, std::memory_order_relaxed);
+        if (i >= count) return;
+        try {
+            body(i);
+        } catch (...) {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (!first_error_) first_error_ = std::current_exception();
+            // Poison the counter so everyone drains quickly.
+            next_index_.store(count, std::memory_order_relaxed);
+            return;
+        }
+    }
+}
+
+void ThreadPool::worker_loop() {
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)>* body = nullptr;
+        std::size_t count = 0;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            start_cv_.wait(lock, [&] {
+                return shutdown_ || generation_ != seen;
+            });
+            if (shutdown_) return;
+            seen = generation_;
+            body = job_body_;
+            count = job_count_;
+        }
+        run_slice(*body, count);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            if (--workers_active_ == 0) done_cv_.notify_all();
+        }
+    }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count, const std::function<void(std::size_t)>& body) {
+    if (count == 0) return;
+    if (workers_.empty()) {
+        // Pool of one: plain serial loop on the caller, no atomics, no
+        // signalling — bit-identical to the historical serial path.
+        for (std::size_t i = 0; i < count; ++i) body(i);
+        return;
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        job_count_ = count;
+        job_body_ = &body;
+        first_error_ = nullptr;
+        next_index_.store(0, std::memory_order_relaxed);
+        workers_active_ = workers_.size();
+        ++generation_;
+    }
+    start_cv_.notify_all();
+
+    run_slice(body, count);
+
+    std::unique_lock<std::mutex> lock(mutex_);
+    done_cv_.wait(lock, [&] { return workers_active_ == 0; });
+    job_body_ = nullptr;
+    if (first_error_) {
+        std::exception_ptr error = first_error_;
+        first_error_ = nullptr;
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+}  // namespace cres

@@ -1,0 +1,81 @@
+// A small reusable worker pool for deterministic data-parallel sweeps.
+//
+// The pool exposes exactly one primitive, parallel_for(count, body):
+// body(i) is invoked exactly once for every index in [0, count), with
+// each index claimed by exactly one thread. Callers that need
+// determinism keep per-index state disjoint (the fleet gives every
+// device-node to one worker per phase) and reduce results in index
+// order afterwards — the pool itself imposes no ordering on execution,
+// only exclusive ownership of each index.
+//
+// A pool of size 1 spawns no threads at all: parallel_for runs inline
+// on the caller, byte-identical to a plain serial loop. This is the
+// anchor of the fleet's determinism contract (threads=1 reproduces the
+// historical serial behaviour exactly, and any thread count must match
+// it).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace cres {
+
+class ThreadPool {
+public:
+    /// Spawns resolve_thread_count(threads) - 1 workers; the caller of
+    /// parallel_for always participates as the remaining thread.
+    explicit ThreadPool(std::size_t threads = 0);
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool&) = delete;
+    ThreadPool& operator=(const ThreadPool&) = delete;
+
+    /// Total concurrency of a parallel_for (workers + calling thread).
+    [[nodiscard]] std::size_t thread_count() const noexcept {
+        return workers_.size() + 1;
+    }
+
+    /// Maps the user-facing knob onto a concrete thread count:
+    /// 0 = hardware concurrency (never less than 1).
+    [[nodiscard]] static std::size_t resolve_thread_count(
+        std::size_t requested) noexcept;
+
+    /// Runs body(i) exactly once for every i in [0, count). Blocks
+    /// until all indices are done. If any invocation throws, the first
+    /// exception (in completion order) is rethrown on the caller after
+    /// the sweep drains; remaining unclaimed indices are skipped.
+    /// Not reentrant: one parallel_for at a time per pool.
+    void parallel_for(std::size_t count,
+                      const std::function<void(std::size_t)>& body);
+
+private:
+    void worker_loop();
+    /// Claims indices from next_index_ until exhausted (or poisoned by
+    /// an exception) and runs body on each.
+    void run_slice(const std::function<void(std::size_t)>& body,
+                   std::size_t count);
+
+    std::vector<std::thread> workers_;
+
+    std::mutex mutex_;
+    std::condition_variable start_cv_;
+    std::condition_variable done_cv_;
+    // All fields below are guarded by mutex_ except next_index_.
+    std::uint64_t generation_ = 0;  ///< Bumped per parallel_for.
+    bool shutdown_ = false;
+    std::size_t job_count_ = 0;
+    const std::function<void(std::size_t)>* job_body_ = nullptr;
+    std::size_t workers_active_ = 0;
+    std::exception_ptr first_error_;
+
+    std::atomic<std::size_t> next_index_{0};
+};
+
+}  // namespace cres

@@ -1,0 +1,208 @@
+// Parallel fleet execution: the determinism contract. Same fleet seed
+// => bit-identical sweep verdicts, health summaries and evidence logs
+// at ANY worker-thread count, because each device-node is owned by one
+// worker per phase and all per-device state derives from
+// seed ^ device_index. worker_threads=1 is the historical serial path.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "attack/attacks.h"
+#include "platform/fleet.h"
+#include "util/thread_pool.h"
+
+namespace cres::platform {
+namespace {
+
+FleetConfig fleet_config(std::size_t devices, std::size_t threads,
+                         std::uint64_t seed = 97) {
+    FleetConfig config;
+    config.device_count = devices;
+    config.resilient = true;
+    config.seed = seed;
+    config.worker_threads = threads;
+    return config;
+}
+
+// --- (a) serial vs parallel: bit-identical fleet state ---------------------
+
+TEST(FleetParallel, SerialAndFourThreadsProduceIdenticalResults) {
+    constexpr std::size_t kDevices = 64;
+    constexpr sim::Cycle kCycles = 5000;
+
+    Fleet serial(fleet_config(kDevices, 1));
+    Fleet parallel(fleet_config(kDevices, 4));
+    EXPECT_EQ(serial.worker_threads(), 1u);
+    EXPECT_EQ(parallel.worker_threads(), 4u);
+
+    serial.run(kCycles);
+    parallel.run(kCycles);
+
+    const SweepResult serial_sweep = serial.attestation_sweep();
+    const SweepResult parallel_sweep = parallel.attestation_sweep();
+    ASSERT_EQ(serial_sweep.verdicts.size(), kDevices);
+    EXPECT_EQ(serial_sweep.verdicts, parallel_sweep.verdicts);
+    EXPECT_EQ(serial_sweep.trusted, parallel_sweep.trusted);
+    EXPECT_EQ(serial_sweep.flagged, parallel_sweep.flagged);
+
+    const HealthSummary serial_health = serial.collect_health();
+    const HealthSummary parallel_health = parallel.collect_health();
+    EXPECT_EQ(serial_health.states, parallel_health.states);
+    EXPECT_EQ(serial_health.report_valid, parallel_health.report_valid);
+    EXPECT_EQ(serial_health.healthy, parallel_health.healthy);
+
+    // Evidence logs are sealed per-device streams; byte-compare a
+    // sample across the fleet.
+    for (const std::size_t i : {std::size_t{0}, kDevices / 2,
+                                kDevices - 1}) {
+        ASSERT_NE(serial.device(i).ssm, nullptr);
+        EXPECT_EQ(serial.device(i).ssm->evidence().serialize(),
+                  parallel.device(i).ssm->evidence().serialize())
+            << "device " << i;
+    }
+
+    // Service counters follow the same per-device determinism.
+    EXPECT_EQ(serial.fleet_iterations(), parallel.fleet_iterations());
+}
+
+TEST(FleetParallel, WireSweepIsDeterministicAcrossThreadCounts) {
+    constexpr std::size_t kDevices = 16;
+    Fleet serial(fleet_config(kDevices, 1));
+    Fleet parallel(fleet_config(kDevices, 4));
+    serial.run(4000);
+    parallel.run(4000);
+    const SweepResult a = serial.attestation_sweep_wire();
+    const SweepResult b = parallel.attestation_sweep_wire();
+    EXPECT_EQ(a.verdicts, b.verdicts);
+    EXPECT_EQ(a.trusted, kDevices);
+}
+
+// --- (b) compromise localisation is thread-count invariant -----------------
+
+TEST(FleetParallel, CompromisedDeviceFlagsSameIndexAtEveryThreadCount) {
+    constexpr std::size_t kDevices = 12;
+    constexpr std::size_t kVictim = 7;
+
+    std::vector<std::vector<std::size_t>> flagged_per_run;
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{2},
+                                      std::size_t{4}, std::size_t{0}}) {
+        Fleet fleet(fleet_config(kDevices, threads));
+        fleet.run(3000);
+        crypto::Hash256 implant;
+        implant.fill(0x66);
+        fleet.device(kVictim).pcrs.extend(boot::PcrBank::kPcrFirmware,
+                                          implant);
+        const SweepResult sweep = fleet.attestation_sweep();
+        flagged_per_run.push_back(sweep.flagged_devices());
+    }
+    for (const auto& flagged : flagged_per_run) {
+        EXPECT_EQ(flagged, (std::vector<std::size_t>{kVictim}));
+    }
+}
+
+TEST(FleetParallel, RuntimeBreachEvidenceIsIdenticalSerialVsParallel) {
+    constexpr std::size_t kDevices = 8;
+    constexpr std::size_t kVictim = 3;
+
+    auto breach = [](Fleet& fleet) {
+        fleet.run(3000);
+        fleet.checkpoint_all();
+        attack::StackSmashAttack smash;
+        smash.launch(fleet.device(kVictim),
+                     fleet.device(kVictim).sim.now() + 1000);
+        fleet.run(20000);
+    };
+
+    Fleet serial(fleet_config(kDevices, 1));
+    Fleet parallel(fleet_config(kDevices, 4));
+    breach(serial);
+    breach(parallel);
+
+    ASSERT_GT(serial.device(kVictim).ssm->evidence().size(), 1u);
+    EXPECT_EQ(serial.device(kVictim).ssm->evidence().serialize(),
+              parallel.device(kVictim).ssm->evidence().serialize());
+    const HealthSummary a = serial.collect_health();
+    const HealthSummary b = parallel.collect_health();
+    EXPECT_EQ(a.states, b.states);
+}
+
+// --- (c) worker_threads resolution -----------------------------------------
+
+TEST(FleetParallel, ZeroWorkerThreadsResolvesToHardwareConcurrency) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    const std::size_t expected = hw == 0 ? 1 : hw;
+    EXPECT_EQ(ThreadPool::resolve_thread_count(0), expected);
+
+    Fleet fleet(fleet_config(2, 0));
+    EXPECT_EQ(fleet.worker_threads(), expected);
+}
+
+// --- ThreadPool primitive ---------------------------------------------------
+
+TEST(ThreadPoolTest, EveryIndexRunsExactlyOnce) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.thread_count(), 4u);
+    constexpr std::size_t kCount = 1000;
+    std::vector<std::atomic<int>> hits(kCount);
+    pool.parallel_for(kCount, [&](std::size_t i) {
+        hits[i].fetch_add(1, std::memory_order_relaxed);
+    });
+    for (std::size_t i = 0; i < kCount; ++i) {
+        EXPECT_EQ(hits[i].load(), 1) << i;
+    }
+}
+
+TEST(ThreadPoolTest, PoolIsReusableAcrossPhases) {
+    ThreadPool pool(3);
+    std::vector<std::atomic<std::uint64_t>> slot(64);
+    for (int phase = 0; phase < 10; ++phase) {
+        pool.parallel_for(slot.size(), [&](std::size_t i) {
+            slot[i].fetch_add(i, std::memory_order_relaxed);
+        });
+    }
+    std::uint64_t total = 0;
+    for (const auto& s : slot) total += s.load();
+    EXPECT_EQ(total, 10u * (63u * 64u / 2u));
+}
+
+TEST(ThreadPoolTest, SingleThreadRunsInlineInOrder) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.thread_count(), 1u);
+    std::vector<std::size_t> order;
+    pool.parallel_for(16, [&](std::size_t i) { order.push_back(i); });
+    std::vector<std::size_t> expected(16);
+    std::iota(expected.begin(), expected.end(), 0u);
+    EXPECT_EQ(order, expected);  // Inline serial loop: strict order.
+}
+
+TEST(ThreadPoolTest, ZeroCountIsANoOp) {
+    ThreadPool pool(2);
+    bool ran = false;
+    pool.parallel_for(0, [&](std::size_t) { ran = true; });
+    EXPECT_FALSE(ran);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+    ThreadPool pool(4);
+    EXPECT_THROW(
+        pool.parallel_for(100,
+                          [](std::size_t i) {
+                              if (i == 37) {
+                                  throw std::runtime_error("device 37");
+                              }
+                          }),
+        std::runtime_error);
+    // The pool survives a throwing sweep and stays usable.
+    std::atomic<std::size_t> ok{0};
+    pool.parallel_for(50, [&](std::size_t) {
+        ok.fetch_add(1, std::memory_order_relaxed);
+    });
+    EXPECT_EQ(ok.load(), 50u);
+}
+
+}  // namespace
+}  // namespace cres::platform
