@@ -1,11 +1,16 @@
 // Shared helpers for the experiment benches: fixed-width table output
-// so every bench prints paper-style rows.
+// so every bench prints paper-style rows, plus machine-readable CSV and
+// JSON emitters so CI can diff metrics across runs.
 #pragma once
 
+#include <cstdint>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace cres::bench {
@@ -50,11 +55,55 @@ public:
         for (const auto& r : rows_) print_row(r);
     }
 
+    /// RFC 4180-ish CSV rendering of the same data: cells containing a
+    /// comma, quote or newline are quoted, embedded quotes doubled.
+    /// Escape hatch for reporters that want the table machine-readable.
+    [[nodiscard]] std::string csv() const {
+        std::string out;
+        auto emit_row = [&out](const std::vector<std::string>& r) {
+            for (std::size_t i = 0; i < r.size(); ++i) {
+                if (i > 0) out += ',';
+                const std::string& cell = r[i];
+                if (cell.find_first_of(",\"\n") != std::string::npos) {
+                    out += '"';
+                    for (const char c : cell) {
+                        if (c == '"') out += '"';
+                        out += c;
+                    }
+                    out += '"';
+                } else {
+                    out += cell;
+                }
+            }
+            out += '\n';
+        };
+        emit_row(headers_);
+        for (const auto& r : rows_) emit_row(r);
+        return out;
+    }
+
 private:
+    // Explicit branches per value category keep this -Wconversion-clean:
+    // integers never pass through iostream formatting (which would pick
+    // up locale/width state), and floating-point values are narrowed
+    // only after an explicit cast to double.
     template <typename T>
     static std::string to_cell(T&& value) {
+        using Decayed = std::decay_t<T>;
         if constexpr (std::is_convertible_v<T, std::string>) {
             return std::string(std::forward<T>(value));
+        } else if constexpr (std::is_same_v<Decayed, bool>) {
+            return value ? "true" : "false";
+        } else if constexpr (std::is_integral_v<Decayed>) {
+            if constexpr (std::is_signed_v<Decayed>) {
+                return std::to_string(static_cast<std::int64_t>(value));
+            } else {
+                return std::to_string(static_cast<std::uint64_t>(value));
+            }
+        } else if constexpr (std::is_floating_point_v<Decayed>) {
+            std::ostringstream os;
+            os << static_cast<double>(value);
+            return os.str();
         } else {
             std::ostringstream os;
             os << value;
@@ -64,6 +113,82 @@ private:
 
     std::vector<std::string> headers_;
     std::vector<std::vector<std::string>> rows_;
+};
+
+/// Accumulates named benchmark metrics and writes them as one flat JSON
+/// object, insertion-ordered, so CI can archive and diff runs without a
+/// table parser. Numeric metrics carry their unit in the key suffix
+/// (callers pick keys like "sha256_1KiB_mb_per_s"); string fields hold
+/// environment facts (backend name, build type) or embedded CSV tables.
+class JsonReporter {
+public:
+    void metric(std::string key, double value) {
+        entries_.emplace_back(std::move(key), format_double(value));
+    }
+
+    void field(std::string key, const std::string& value) {
+        entries_.emplace_back(std::move(key), quote(value));
+    }
+
+    [[nodiscard]] std::string json() const {
+        std::string out = "{\n";
+        for (std::size_t i = 0; i < entries_.size(); ++i) {
+            out += "  ";
+            out += quote(entries_[i].first);
+            out += ": ";
+            out += entries_[i].second;
+            if (i + 1 < entries_.size()) out += ',';
+            out += '\n';
+        }
+        out += "}\n";
+        return out;
+    }
+
+    /// Returns false (and prints to stderr) if the file cannot be
+    /// written; benches treat that as non-fatal so a read-only CWD
+    /// does not kill the run.
+    bool write(const std::string& path) const {
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "JsonReporter: cannot write " << path << "\n";
+            return false;
+        }
+        out << json();
+        return static_cast<bool>(out);
+    }
+
+private:
+    static std::string format_double(double value) {
+        std::ostringstream os;
+        os << std::setprecision(6) << value;
+        return os.str();
+    }
+
+    static std::string quote(const std::string& s) {
+        std::string out = "\"";
+        for (const char c : s) {
+            switch (c) {
+                case '"': out += "\\\""; break;
+                case '\\': out += "\\\\"; break;
+                case '\n': out += "\\n"; break;
+                case '\t': out += "\\t"; break;
+                case '\r': out += "\\r"; break;
+                default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        std::ostringstream os;
+                        os << "\\u" << std::hex << std::setw(4)
+                           << std::setfill('0') << static_cast<int>(c);
+                        out += os.str();
+                    } else {
+                        out += c;
+                    }
+            }
+        }
+        out += '"';
+        return out;
+    }
+
+    std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 inline void section(const std::string& title) {

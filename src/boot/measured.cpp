@@ -22,7 +22,9 @@ void PcrBank::extend(std::size_t index, const crypto::Hash256& measurement,
     if (index >= kPcrCount) {
         throw Error("PcrBank::extend: bad index");
     }
-    pcrs_[index] = crypto::sha256_pair(pcrs_[index], measurement);
+    hasher_.reset();
+    hasher_.update(pcrs_[index]).update(measurement);
+    pcrs_[index] = hasher_.finish();
     log_.push_back(LogEntry{index, measurement, std::move(description)});
 }
 

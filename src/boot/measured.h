@@ -52,6 +52,8 @@ public:
 private:
     std::array<crypto::Hash256, kPcrCount> pcrs_;
     std::vector<LogEntry> log_;
+    /// One hasher reused (via reset()) across extends and composites.
+    crypto::Sha256 hasher_;
 };
 
 /// Replays an event log against a fresh bank; returns the composite.

@@ -2,7 +2,7 @@
 
 namespace cres::core {
 
-std::string severity_name(EventSeverity severity) {
+std::string_view severity_name(EventSeverity severity) noexcept {
     switch (severity) {
         case EventSeverity::kInfo: return "info";
         case EventSeverity::kAdvisory: return "advisory";
@@ -12,7 +12,7 @@ std::string severity_name(EventSeverity severity) {
     return "?";
 }
 
-std::string category_name(EventCategory category) {
+std::string_view category_name(EventCategory category) noexcept {
     switch (category) {
         case EventCategory::kBusViolation: return "bus-violation";
         case EventCategory::kControlFlow: return "control-flow";

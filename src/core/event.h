@@ -4,6 +4,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 #include "sim/simulator.h"
 
@@ -16,7 +17,8 @@ enum class EventSeverity : std::uint8_t {
     kCritical = 3,  ///< Confirmed compromise / safety impact.
 };
 
-std::string severity_name(EventSeverity severity);
+/// Static-storage name for a severity; no per-call allocation.
+std::string_view severity_name(EventSeverity severity) noexcept;
 
 enum class EventCategory : std::uint8_t {
     kBusViolation,  ///< Illegal/secure-violating interconnect traffic.
@@ -31,7 +33,8 @@ enum class EventCategory : std::uint8_t {
     kSystem,        ///< SSM-internal findings (correlation results).
 };
 
-std::string category_name(EventCategory category);
+/// Static-storage name for a category; no per-call allocation.
+std::string_view category_name(EventCategory category) noexcept;
 
 /// One observation from a resource monitor.
 struct MonitorEvent {

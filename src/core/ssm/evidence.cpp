@@ -1,28 +1,48 @@
 #include "core/ssm/evidence.h"
 
 #include "util/error.h"
-#include "util/serial.h"
 
 namespace cres::core {
 
-EvidenceLog::EvidenceLog(Bytes seal_key) : seal_key_(std::move(seal_key)) {
+namespace {
+
+/// First allocation sizes the record vector and scratch writer for a
+/// burst of typical monitor events without further growth.
+constexpr std::size_t kInitialRecordCapacity = 64;
+constexpr std::size_t kScratchCapacity = 512;
+
+}  // namespace
+
+EvidenceLog::EvidenceLog(Bytes seal_key)
+    : seal_key_(std::move(seal_key)), sealer_(seal_key_) {
     if (seal_key_.empty()) {
         throw Error("EvidenceLog: empty seal key");
     }
+    scratch_.reserve(kScratchCapacity);
 }
 
-crypto::Hash256 EvidenceLog::record_hash(const EvidenceRecord& record) {
-    BinaryWriter w;
-    w.u64(record.index);
-    w.u64(record.at);
-    w.str(record.kind);
-    w.str(record.detail);
-    w.blob(record.payload);
-    return crypto::sha256_pair(record.prev_hash, w.data());
+crypto::Hash256 EvidenceLog::record_hash(const EvidenceRecord& record) const {
+    scratch_.clear();
+    scratch_.u64(record.index);
+    scratch_.u64(record.at);
+    scratch_.str(record.kind);
+    scratch_.str(record.detail);
+    scratch_.blob(record.payload);
+    return crypto::sha256_pair(record.prev_hash, scratch_.data());
+}
+
+void EvidenceLog::reserve(std::size_t n) {
+    records_.reserve(n);
 }
 
 const EvidenceRecord& EvidenceLog::append(sim::Cycle at, std::string kind,
                                           std::string detail, Bytes payload) {
+    // Geometric growth ahead of push_back keeps the steady state free
+    // of reallocation without changing amortized cost.
+    if (records_.size() == records_.capacity()) {
+        records_.reserve(
+            std::max(kInitialRecordCapacity, records_.capacity() * 2));
+    }
     EvidenceRecord record;
     record.index = records_.size();
     record.at = at;
@@ -40,9 +60,10 @@ crypto::Hash256 EvidenceLog::head() const noexcept {
     return records_.empty() ? crypto::Hash256{} : records_.back().hash;
 }
 
-bool EvidenceLog::verify_chain() const {
-    crypto::Hash256 prev{};
-    for (std::size_t i = 0; i < records_.size(); ++i) {
+bool EvidenceLog::verify_range(std::size_t first, std::size_t count) const {
+    crypto::Hash256 prev =
+        first == 0 ? crypto::Hash256{} : records_[first - 1].hash;
+    for (std::size_t i = first; i < count; ++i) {
         const EvidenceRecord& r = records_[i];
         if (r.index != i) return false;
         if (!ct_equal(r.prev_hash, prev)) return false;
@@ -52,14 +73,32 @@ bool EvidenceLog::verify_chain() const {
     return true;
 }
 
+bool EvidenceLog::verify_chain() const {
+    if (verified_ > records_.size()) return false;  // Truncated since check.
+    if (!verify_range(verified_, records_.size())) return false;
+    verified_ = records_.size();
+    return true;
+}
+
+bool EvidenceLog::verify_chain_full() const {
+    if (!verify_range(0, records_.size())) return false;
+    verified_ = records_.size();
+    return true;
+}
+
+bool EvidenceLog::verify_prefix(std::size_t count) const {
+    if (count > records_.size()) return false;
+    return verify_range(0, count);
+}
+
 EvidenceSeal EvidenceLog::seal() const {
     EvidenceSeal s;
     s.count = records_.size();
     s.head = head();
-    BinaryWriter w;
-    w.u64(s.count);
-    w.raw(s.head);
-    s.tag = crypto::hmac_sha256(seal_key_, w.data());
+    scratch_.clear();
+    scratch_.u64(s.count);
+    scratch_.raw(s.head);
+    s.tag = sealer_.tag(scratch_.data());
     return s;
 }
 
@@ -75,7 +114,9 @@ bool EvidenceLog::verify_seal(const EvidenceLog& log, const EvidenceSeal& seal,
     if (!ct_equal(log.records()[seal.count - 1].hash, seal.head)) {
         return false;
     }
-    return log.verify_chain();
+    // Only the sealed prefix matters: records appended after the seal
+    // was taken (including garbage) must not change the verdict.
+    return log.verify_prefix(seal.count);
 }
 
 Bytes EvidenceLog::serialize() const {
@@ -101,7 +142,10 @@ EvidenceLog EvidenceLog::deserialize(BytesView data, Bytes seal_key) {
     }
     EvidenceLog log(std::move(seal_key));
     const std::uint64_t count = r.u64();
-    log.records_.reserve(count);
+    // Reserve up front, clamped so a forged count cannot force a huge
+    // allocation before the reader hits the underflow check.
+    log.records_.reserve(static_cast<std::size_t>(
+        std::min<std::uint64_t>(count, 1u << 16)));
     for (std::uint64_t i = 0; i < count; ++i) {
         EvidenceRecord record;
         record.index = r.u64();
@@ -121,10 +165,13 @@ void EvidenceLog::tamper_detail(std::size_t index, std::string new_detail) {
         throw Error("EvidenceLog::tamper_detail: bad index");
     }
     records_[index].detail = std::move(new_detail);
+    // The mutated record is no longer trusted by the incremental path.
+    verified_ = std::min(verified_, index);
 }
 
 void EvidenceLog::wipe() noexcept {
     records_.clear();
+    verified_ = 0;
 }
 
 }  // namespace cres::core

@@ -8,6 +8,15 @@
 // truncation by a compromised main CPU is detectable by a verifier.
 // The log lives in the SSM's private memory: on the resilient platform
 // it survives main-CPU compromise and reboot.
+//
+// Hot-path design: append() is allocation-free in steady state (the
+// record serialization reuses one scratch writer and record storage
+// grows geometrically ahead of demand), the seal HMAC runs from cached
+// ipad/opad midstates, and verify_chain() keeps an incrementally
+// verified watermark so routine integrity checks only re-hash records
+// appended since the previous check. Forensic and verifier paths use
+// verify_chain_full() / verify_prefix(), which never trust the
+// watermark.
 #pragma once
 
 #include <cstdint>
@@ -18,6 +27,7 @@
 #include "crypto/sha256.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
+#include "util/serial.h"
 
 namespace cres::core {
 
@@ -44,9 +54,14 @@ public:
     /// the device root in the platform).
     explicit EvidenceLog(Bytes seal_key);
 
-    /// Appends a record and returns it.
+    /// Appends a record and returns it. Allocation-free in steady
+    /// state: pass `kind`/`detail`/`payload` as rvalues to move them in.
     const EvidenceRecord& append(sim::Cycle at, std::string kind,
                                  std::string detail, Bytes payload = {});
+
+    /// Pre-allocates storage for `n` records (devices that know their
+    /// event budget avoid all growth reallocations).
+    void reserve(std::size_t n);
 
     [[nodiscard]] const std::vector<EvidenceRecord>& records() const noexcept {
         return records_;
@@ -54,14 +69,32 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
     [[nodiscard]] crypto::Hash256 head() const noexcept;
 
-    /// Recomputes every hash; false when any record was modified,
+    /// Verifies the chain, re-hashing only records appended since the
+    /// last successful check (incremental watermark). In-API mutations
+    /// (tamper_detail, wipe) rewind the watermark, so tampering through
+    /// this class is always caught. False when any record was modified,
     /// reordered or removed from the middle.
     [[nodiscard]] bool verify_chain() const;
+
+    /// Forensic path: recomputes every hash from the genesis record,
+    /// ignoring the watermark. Use on imported or untrusted logs.
+    [[nodiscard]] bool verify_chain_full() const;
+
+    /// Verifier path: full re-hash of the first `count` records only.
+    /// Records past the prefix are ignored. False when count > size().
+    [[nodiscard]] bool verify_prefix(std::size_t count) const;
+
+    /// Number of records covered by the incremental watermark.
+    [[nodiscard]] std::size_t verified_watermark() const noexcept {
+        return verified_;
+    }
 
     /// Signs the current head.
     [[nodiscard]] EvidenceSeal seal() const;
 
-    /// Verifier-side: does this log match the seal?
+    /// Verifier-side: does this log match the seal? Only the sealed
+    /// prefix is checked — records appended after the seal was taken
+    /// do not affect the result.
     [[nodiscard]] static bool verify_seal(const EvidenceLog& log,
                                           const EvidenceSeal& seal,
                                           BytesView seal_key);
@@ -73,7 +106,7 @@ public:
     /// Imports an exported log for verification. The importing side
     /// supplies its own copy of the seal key (or a dummy if it only
     /// intends to check the hash chain). Throws Error on malformed
-    /// input; chain validity is checked via verify_chain().
+    /// input; chain validity is checked via verify_chain_full().
     static EvidenceLog deserialize(BytesView data, Bytes seal_key);
 
     // --- Attack surface (used by experiments; real attackers reach
@@ -84,11 +117,19 @@ public:
     void wipe() noexcept;
 
 private:
-    [[nodiscard]] static crypto::Hash256 record_hash(
-        const EvidenceRecord& record);
+    [[nodiscard]] crypto::Hash256 record_hash(
+        const EvidenceRecord& record) const;
+    [[nodiscard]] bool verify_range(std::size_t first,
+                                    std::size_t count) const;
 
     Bytes seal_key_;
+    crypto::HmacSha256 sealer_;
     std::vector<EvidenceRecord> records_;
+    /// Reused serialization buffer for record hashing (keeps append()
+    /// and verification allocation-free in steady state).
+    mutable BinaryWriter scratch_;
+    /// Records [0, verified_) passed the last incremental check.
+    mutable std::size_t verified_ = 0;
 };
 
 }  // namespace cres::core

@@ -8,7 +8,8 @@ IncidentReport generate_incident_report(const EvidenceLog& log,
                                         const std::string& device_name) {
     IncidentReport report;
     report.device = device_name;
-    report.integrity_ok = log.verify_chain();
+    // Forensic path: never trust the incremental watermark here.
+    report.integrity_ok = log.verify_chain_full();
     report.total_records = log.size();
 
     for (const EvidenceRecord& record : log.records()) {

@@ -21,7 +21,8 @@ SystemSecurityManager::SystemSecurityManager(const sim::Simulator& sim,
                                              SsmConfig config)
     : sim_(sim),
       config_(std::move(config)),
-      evidence_(config_.seal_key) {
+      evidence_(config_.seal_key),
+      report_hmac_(config_.seal_key) {
     if (config_.poll_interval == 0) {
         throw Error("SystemSecurityManager: zero poll interval");
     }
@@ -54,11 +55,21 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
     BinaryWriter payload;
     payload.u64(event.a);
     payload.u64(event.b);
-    evidence_.append(event.at, "event",
-                     event.monitor + "/" + category_name(event.category) +
-                         "/" + severity_name(event.severity) + " " +
-                         event.resource + ": " + event.detail,
-                     payload.take());
+    const std::string_view category = category_name(event.category);
+    const std::string_view severity = severity_name(event.severity);
+    std::string detail;
+    detail.reserve(event.monitor.size() + category.size() + severity.size() +
+                   event.resource.size() + event.detail.size() + 5);
+    detail.append(event.monitor)
+        .append("/")
+        .append(category)
+        .append("/")
+        .append(severity)
+        .append(" ")
+        .append(event.resource)
+        .append(": ")
+        .append(event.detail);
+    evidence_.append(event.at, "event", std::move(detail), payload.take());
 
     if (event.severity >= EventSeverity::kAdvisory) {
         risks_.record_incident(event.resource);
@@ -162,7 +173,7 @@ SystemSecurityManager::HealthReport SystemSecurityManager::health_report()
     w.u64(report.events_processed);
     w.u64(report.evidence_seal.count);
     w.raw(report.evidence_seal.head);
-    report.tag = crypto::hmac_sha256(config_.seal_key, w.data());
+    report.tag = report_hmac_.tag(w.data());
     return report;
 }
 

@@ -144,6 +144,9 @@ private:
 
     std::deque<MonitorEvent> queue_;
     EvidenceLog evidence_;
+    /// Keyed once on the seal key: health-report tags reuse the cached
+    /// ipad/opad midstates instead of re-deriving them per report.
+    crypto::HmacSha256 report_hmac_;
     RiskRegister risks_;
     HealthState health_ = HealthState::kHealthy;
     bool disabled_ = false;

@@ -21,23 +21,60 @@ std::array<std::uint8_t, kBlockSize> normalize_key(BytesView key) noexcept {
 
 }  // namespace
 
-Hash256 hmac_sha256(BytesView key, BytesView message) noexcept {
+HmacSha256::HmacSha256(BytesView key) noexcept {
+    set_key(key);
+}
+
+void HmacSha256::set_key(BytesView key) noexcept {
     const auto block = normalize_key(key);
 
-    std::array<std::uint8_t, kBlockSize> ipad;
-    std::array<std::uint8_t, kBlockSize> opad;
+    std::array<std::uint8_t, kBlockSize> pad;
     for (std::size_t i = 0; i < kBlockSize; ++i) {
-        ipad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
-        opad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+        pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x36);
     }
+    Sha256 h;
+    h.update(pad);
+    inner_ = h.save_state();
 
-    Sha256 inner;
-    inner.update(ipad).update(message);
-    const Hash256 inner_digest = inner.finish();
+    for (std::size_t i = 0; i < kBlockSize; ++i) {
+        pad[i] = static_cast<std::uint8_t>(block[i] ^ 0x5c);
+    }
+    h.reset();
+    h.update(pad);
+    outer_ = h.save_state();
 
-    Sha256 outer;
-    outer.update(opad).update(inner_digest);
-    return outer.finish();
+    secure_wipe(std::span<std::uint8_t>(pad));
+}
+
+Hash256 HmacSha256::tag(BytesView message) const noexcept {
+    Sha256 h;
+    h.restore_state(inner_);
+    h.update(message);
+    const Hash256 inner_digest = h.finish();
+
+    h.restore_state(outer_);
+    h.update(inner_digest);
+    return h.finish();
+}
+
+Hash256 HmacSha256::tag_pair(BytesView a, BytesView b) const noexcept {
+    Sha256 h;
+    h.restore_state(inner_);
+    h.update(a).update(b);
+    const Hash256 inner_digest = h.finish();
+
+    h.restore_state(outer_);
+    h.update(inner_digest);
+    return h.finish();
+}
+
+bool HmacSha256::verify(BytesView message, BytesView tag_bytes) const noexcept {
+    const Hash256 expected = tag(message);
+    return ct_equal(expected, tag_bytes);
+}
+
+Hash256 hmac_sha256(BytesView key, BytesView message) noexcept {
+    return HmacSha256(key).tag(message);
 }
 
 bool hmac_verify(BytesView key, BytesView message, BytesView tag) noexcept {
@@ -54,16 +91,23 @@ Bytes hkdf_expand(const Hash256& prk, BytesView info, std::size_t length) {
     if (length > 255 * kHashLen) {
         throw CryptoError("hkdf_expand: requested length too large");
     }
+    // One keyed object serves every T(n) block: the PRK pads are
+    // derived once instead of once per 32 output bytes.
+    const HmacSha256 keyed(prk);
     Bytes out;
     out.reserve(length);
-    Bytes previous;
+    Hash256 previous{};
+    bool have_previous = false;
     std::uint8_t counter = 1;
+    Bytes tail;
+    tail.reserve(info.size() + 1);
     while (out.size() < length) {
-        Bytes block = previous;
-        append(block, info);
-        block.push_back(counter++);
-        const Hash256 t = hmac_sha256(prk, block);
-        previous.assign(t.begin(), t.end());
+        tail.assign(info.begin(), info.end());
+        tail.push_back(counter++);
+        const Hash256 t =
+            have_previous ? keyed.tag_pair(previous, tail) : keyed.tag(tail);
+        previous = t;
+        have_previous = true;
         const std::size_t take = std::min(kHashLen, length - out.size());
         out.insert(out.end(), t.begin(),
                    t.begin() + static_cast<std::ptrdiff_t>(take));

@@ -1,6 +1,11 @@
 // HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). HMAC underpins the
 // symmetric attestation protocol, authenticated M2M channels and the
 // evidence-log sealing; HKDF derives per-purpose keys from device roots.
+//
+// Long-lived keys should use the keyed HmacSha256 object: it derives the
+// ipad/opad midstates once per key, so each subsequent tag costs two
+// fewer compressions than the one-shot hmac_sha256 (which re-derives
+// both pads on every call).
 #pragma once
 
 #include <string_view>
@@ -15,6 +20,32 @@ Hash256 hmac_sha256(BytesView key, BytesView message) noexcept;
 
 /// Verifies a tag in constant time.
 bool hmac_verify(BytesView key, BytesView message, BytesView tag) noexcept;
+
+/// Reusable keyed HMAC-SHA256. Precomputes the inner (ipad) and outer
+/// (opad) SHA-256 midstates at construction; tag() then runs from the
+/// cached midstates. Produces tags bit-identical to hmac_sha256().
+class HmacSha256 {
+public:
+    /// Derives midstates for `key` (any length; >64-byte keys are
+    /// hashed first, per RFC 2104).
+    explicit HmacSha256(BytesView key) noexcept;
+
+    /// Re-keys the object in place.
+    void set_key(BytesView key) noexcept;
+
+    /// Computes HMAC(key, message) from the cached midstates.
+    [[nodiscard]] Hash256 tag(BytesView message) const noexcept;
+
+    /// HMAC over the concatenation of two buffers (no copies).
+    [[nodiscard]] Hash256 tag_pair(BytesView a, BytesView b) const noexcept;
+
+    /// Verifies a tag in constant time.
+    [[nodiscard]] bool verify(BytesView message, BytesView tag) const noexcept;
+
+private:
+    Sha256::State inner_;  ///< Midstate after absorbing the ipad block.
+    Sha256::State outer_;  ///< Midstate after absorbing the opad block.
+};
 
 /// HKDF-Extract: PRK = HMAC(salt, ikm).
 Hash256 hkdf_extract(BytesView salt, BytesView ikm) noexcept;

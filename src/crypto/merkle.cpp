@@ -7,29 +7,36 @@ namespace cres::crypto {
 
 namespace {
 
+// The hashing helpers take the caller's Sha256 so tree construction and
+// verification reuse one object via reset() instead of re-constructing
+// per node, and hash leaf pairs straight from the tree storage with no
+// intermediate copies.
+
 /// Domain-separated leaf hash.
-Hash256 leaf_hash(const Hash256& wots_pk) noexcept {
+Hash256 leaf_hash(Sha256& h, const Hash256& wots_pk) noexcept {
     const std::uint8_t tag = 0x00;
-    Sha256 h;
+    h.reset();
     h.update(BytesView(&tag, 1)).update(wots_pk);
     return h.finish();
 }
 
 /// Domain-separated interior-node hash.
-Hash256 node_hash(const Hash256& left, const Hash256& right) noexcept {
+Hash256 node_hash(Sha256& h, const Hash256& left,
+                  const Hash256& right) noexcept {
     const std::uint8_t tag = 0x01;
-    Sha256 h;
+    h.reset();
     h.update(BytesView(&tag, 1)).update(left).update(right);
     return h.finish();
 }
 
-Hash256 leaf_secret_seed(const Hash256& master_seed, std::uint32_t leaf) {
+Hash256 leaf_secret_seed(Sha256& h, const Hash256& master_seed,
+                         std::uint32_t leaf) {
     std::uint8_t idx[4];
     for (int i = 0; i < 4; ++i) {
         idx[i] = static_cast<std::uint8_t>(leaf >> (8 * i));
     }
     const std::uint8_t tag = 0x02;
-    Sha256 h;
+    h.reset();
     h.update(BytesView(&tag, 1)).update(master_seed).update(BytesView(idx, 4));
     return h.finish();
 }
@@ -93,18 +100,19 @@ MerkleSigner::MerkleSigner(const Hash256& master_seed, std::uint32_t height)
     }
     const std::uint32_t leaves = 1u << height_;
 
+    Sha256 h;
     tree_.resize(height_ + 1);
     tree_[0].reserve(leaves);
     for (std::uint32_t i = 0; i < leaves; ++i) {
-        const WotsKeyPair kp(leaf_secret_seed(master_seed_, i), pub_seed_);
-        tree_[0].push_back(leaf_hash(kp.public_key()));
+        const WotsKeyPair kp(leaf_secret_seed(h, master_seed_, i), pub_seed_);
+        tree_[0].push_back(leaf_hash(h, kp.public_key()));
     }
     for (std::uint32_t level = 1; level <= height_; ++level) {
         const auto& below = tree_[level - 1];
         auto& current = tree_[level];
         current.reserve(below.size() / 2);
         for (std::size_t i = 0; i + 1 < below.size(); i += 2) {
-            current.push_back(node_hash(below[i], below[i + 1]));
+            current.push_back(node_hash(h, below[i], below[i + 1]));
         }
     }
 
@@ -123,7 +131,8 @@ MerkleSignature MerkleSigner::sign(BytesView message) {
     }
     const std::uint32_t leaf = next_leaf_++;
 
-    const WotsKeyPair kp(leaf_secret_seed(master_seed_, leaf), pub_seed_);
+    Sha256 h;
+    const WotsKeyPair kp(leaf_secret_seed(h, master_seed_, leaf), pub_seed_);
 
     MerkleSignature sig;
     sig.leaf_index = leaf;
@@ -143,17 +152,19 @@ bool merkle_verify(const MerkleSignature& sig, BytesView message,
     if (sig.auth_path.size() != pk.height) return false;
     if (sig.leaf_index >= (1u << pk.height)) return false;
 
+    Sha256 h;
     Hash256 node;
     try {
-        node = leaf_hash(wots_pk_from_signature(sig.ots, message, pk.pub_seed));
+        node = leaf_hash(h,
+                         wots_pk_from_signature(sig.ots, message, pk.pub_seed));
     } catch (const CryptoError&) {
         return false;
     }
 
     std::uint32_t index = sig.leaf_index;
     for (const Hash256& sibling : sig.auth_path) {
-        node = (index & 1u) ? node_hash(sibling, node)
-                            : node_hash(node, sibling);
+        node = (index & 1u) ? node_hash(h, sibling, node)
+                            : node_hash(h, node, sibling);
         index >>= 1;
     }
     return ct_equal(node, pk.root);

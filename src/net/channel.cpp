@@ -16,7 +16,7 @@ std::string recv_status_name(RecvStatus status) {
 }
 
 SecureChannel::SecureChannel(dev::Nic& nic, Bytes key)
-    : nic_(nic), key_(std::move(key)) {
+    : nic_(nic), key_(std::move(key)), mac_(key_) {
     if (key_.empty()) throw NetError("SecureChannel: empty key");
 }
 
@@ -24,7 +24,7 @@ void SecureChannel::send(BytesView payload) {
     BinaryWriter w;
     w.u64(next_seq_);
     w.blob(payload);
-    const crypto::Hash256 tag = crypto::hmac_sha256(key_, w.data());
+    const crypto::Hash256 tag = mac_.tag(w.data());
     w.raw(tag);
     ++next_seq_;
     ++sent_;
@@ -63,7 +63,7 @@ Received SecureChannel::process(BytesView frame) {
         return out;
     }
 
-    if (!crypto::hmac_verify(key_, body, tag)) {
+    if (!mac_.verify(body, tag)) {
         ++rejected_tag_;
         out.status = RecvStatus::kBadTag;
         out.payload.clear();

@@ -65,6 +65,9 @@ public:
 private:
     dev::Nic& nic_;
     Bytes key_;
+    /// Keyed once per channel: frame MACs reuse the cached ipad/opad
+    /// midstates on both the send and verify paths.
+    crypto::HmacSha256 mac_;
     std::uint64_t next_seq_ = 1;
     std::uint64_t last_accepted_seq_ = 0;
     std::uint64_t sent_ = 0;

@@ -30,6 +30,12 @@ public:
     [[nodiscard]] Bytes take() noexcept { return std::move(buf_); }
     [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
 
+    /// Drops the contents but keeps the capacity, so a writer can be
+    /// reused allocation-free on hot paths.
+    void clear() noexcept { buf_.clear(); }
+    /// Pre-allocates capacity for upcoming writes.
+    void reserve(std::size_t n) { buf_.reserve(n); }
+
 private:
     Bytes buf_;
 };

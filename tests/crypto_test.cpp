@@ -3,6 +3,9 @@
 // ChaCha20 (RFC 8439), plus key store and monotonic counter behaviour.
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+
 #include "crypto/aes.h"
 #include "crypto/chacha20.h"
 #include "crypto/hmac.h"
@@ -60,6 +63,83 @@ TEST(Sha256, ExactBlockBoundaries) {
     }
 }
 
+// Explicit digests (hashlib references) for the padding boundary
+// lengths, so a backend that is merely *self*-consistent still fails.
+TEST(Sha256, BoundaryLengthKats) {
+    const std::pair<std::size_t, const char*> vectors[] = {
+        {55, "5f25f149aa92e3e13093aed8216072fae623f35e26ca605b6cce17e04b7ccf44"},
+        {56, "301c69927f1603720c9f847b7e5e3bef77a7b9f75344490fe9039f13c36b842a"},
+        {63, "939765b120205cbedae2ed31256b1967c38b6bdd9b0220535224cbc0b906d333"},
+        {64, "cc7321cce5e4409bd8077d58422e1214969059bbd40b4eeb0de0a642f40f7282"},
+        {65, "b8de0db62b6c87db61345504a8038bf973d987e8d2111abd8beb407c0bf3d9db"},
+    };
+    for (const auto& [n, digest] : vectors) {
+        EXPECT_EQ(hex(sha256(Bytes(n, 0x5a))), digest) << "n=" << n;
+    }
+}
+
+// Multi-block inputs drive the whole-blocks fast path that compresses
+// straight from the caller's buffer (2, 3 and 15+ block messages).
+TEST(Sha256, MultiBlockKats) {
+    const std::pair<std::size_t, const char*> vectors[] = {
+        {119, "a96851d641310ce032ff832b6f08125878deed2a825fe515dd1ba414afe95f7e"},
+        {120, "60ec7f280e45d0c7bf77b70ff16958b1c1701a9fb7faa12b798207cf120ec6ee"},
+        {128, "349d65e9ba1de7b0a13f9a3eadcc5b0202f15d6008fe9477f2a7b80f6194b20f"},
+        {192, "707e97e6f8645df5d806382e6701c8e2e2166017f60a56e6aac0c2d2dbbb2281"},
+        {1000, "8fe15844cfeedd35f5dc30a9fa5ed38afd849dbe4f8dcae5642d934be0afb13d"},
+    };
+    for (const auto& [n, digest] : vectors) {
+        EXPECT_EQ(hex(sha256(Bytes(n, 0x5a))), digest) << "n=" << n;
+        // Also feed the same message byte-at-a-time through the
+        // buffered slow path; both paths must agree with the vector.
+        Sha256 h;
+        const Bytes data(n, 0x5a);
+        for (std::size_t i = 0; i < n; ++i) {
+            h.update(BytesView(data.data() + i, 1));
+        }
+        EXPECT_EQ(hex(h.finish()), digest) << "bytewise n=" << n;
+    }
+}
+
+TEST(Sha256, SaveRestoreStateRoundTrip) {
+    const Bytes head = to_bytes("The quick brown fox ");
+    const Bytes tail = to_bytes("jumps over the lazy dog");
+    Bytes all = head;
+    all.insert(all.end(), tail.begin(), tail.end());
+
+    Sha256 h;
+    h.update(head);
+    const Sha256::State mid = h.save_state();
+
+    // The saved midstate can be resumed in a different hasher...
+    Sha256 other;
+    other.update(to_bytes("unrelated garbage"));
+    other.restore_state(mid);
+    other.update(tail);
+    EXPECT_EQ(other.finish(), sha256(all));
+
+    // ...and re-restored into the original any number of times.
+    h.restore_state(mid);
+    h.update(tail);
+    EXPECT_EQ(h.finish(), sha256(all));
+}
+
+TEST(Sha256, SaveStateAtBlockBoundary) {
+    const Bytes block(64, 0xab);
+    Sha256 h;
+    h.update(block);
+    const Sha256::State mid = h.save_state();
+    Sha256 resumed;
+    resumed.restore_state(mid);
+    resumed.update(block);
+    EXPECT_EQ(resumed.finish(), sha256(Bytes(128, 0xab)));
+}
+
+TEST(Sha256, BackendNameIsKnown) {
+    const std::string backend = sha256_backend();
+    EXPECT_TRUE(backend == "portable" || backend == "sha-ni") << backend;
+}
+
 TEST(Sha256, ResetRestoresInitialState) {
     Sha256 h;
     h.update(to_bytes("garbage"));
@@ -112,6 +192,84 @@ TEST(Hmac, Rfc4231Case6LongKey) {
     const Bytes msg = to_bytes("Test Using Larger Than Block-Size Key - Hash Key First");
     EXPECT_EQ(hex(hmac_sha256(key, msg)),
               "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// RFC 4231 test case 4: 25-byte incrementing key, 50x 0xcd data.
+TEST(Hmac, Rfc4231Case4) {
+    Bytes key(25);
+    for (std::size_t i = 0; i < key.size(); ++i) {
+        key[i] = static_cast<std::uint8_t>(i + 1);
+    }
+    const Bytes msg(50, 0xcd);
+    EXPECT_EQ(hex(hmac_sha256(key, msg)),
+              "82558a389a443c0ea4cc819899f2083a85f0faa3e578f8077a2e3ff46729665b");
+}
+
+// RFC 4231 test case 7: long key AND long data, through the keyed path.
+TEST(HmacKeyed, Rfc4231Case7LongKeyLongData) {
+    const Bytes key(131, 0xaa);
+    const Bytes msg = to_bytes(
+        "This is a test using a larger than block-size key and a larger "
+        "than block-size data. The key needs to be hashed before being "
+        "used by the HMAC algorithm.");
+    const HmacSha256 keyed(key);
+    EXPECT_EQ(hex(keyed.tag(msg)),
+              "9b09ffa71b942fcb27635fbcd5b0e944bfdc63644f0713938a7f51535c3a35e2");
+}
+
+// A keyed object must be bit-identical to the one-shot function for
+// every key-length class (short, block-sized, hashed-down long key).
+TEST(HmacKeyed, MatchesOneShot) {
+    for (const std::size_t key_len : {1u, 20u, 63u, 64u, 65u, 131u, 200u}) {
+        const Bytes key(key_len, 0x7c);
+        const HmacSha256 keyed(key);
+        for (const std::size_t msg_len : {0u, 1u, 55u, 64u, 100u, 1000u}) {
+            const Bytes msg(msg_len, 0x3d);
+            EXPECT_EQ(keyed.tag(msg), hmac_sha256(key, msg))
+                << "key_len=" << key_len << " msg_len=" << msg_len;
+        }
+    }
+}
+
+TEST(HmacKeyed, TagIsRepeatable) {
+    const Bytes key = to_bytes("seal-key");
+    const Bytes msg = to_bytes("evidence record");
+    const HmacSha256 keyed(key);
+    const Hash256 first = keyed.tag(msg);
+    // The cached midstates are not consumed by use.
+    EXPECT_EQ(keyed.tag(msg), first);
+    EXPECT_EQ(keyed.tag(msg), first);
+}
+
+TEST(HmacKeyed, TagPairMatchesConcat) {
+    const Bytes key = to_bytes("k");
+    const Bytes a = to_bytes("previous block | ");
+    const Bytes b = to_bytes("info tail");
+    Bytes joined = a;
+    joined.insert(joined.end(), b.begin(), b.end());
+    const HmacSha256 keyed(key);
+    EXPECT_EQ(keyed.tag_pair(a, b), hmac_sha256(key, joined));
+}
+
+TEST(HmacKeyed, VerifyAcceptsAndRejects) {
+    const HmacSha256 keyed(to_bytes("k"));
+    const Bytes msg = to_bytes("m");
+    const Hash256 tag = keyed.tag(msg);
+    EXPECT_TRUE(keyed.verify(msg, tag));
+    Hash256 bad = tag;
+    bad[0] ^= 1;
+    EXPECT_FALSE(keyed.verify(msg, bad));
+    EXPECT_FALSE(keyed.verify(to_bytes("m2"), tag));
+    EXPECT_FALSE(keyed.verify(msg, BytesView(tag.data(), 31)));
+}
+
+TEST(HmacKeyed, SetKeyRekeys) {
+    HmacSha256 keyed(to_bytes("old-key"));
+    const Bytes msg = to_bytes("message");
+    const Hash256 old_tag = keyed.tag(msg);
+    keyed.set_key(to_bytes("new-key"));
+    EXPECT_NE(keyed.tag(msg), old_tag);
+    EXPECT_EQ(keyed.tag(msg), hmac_sha256(to_bytes("new-key"), msg));
 }
 
 TEST(Hmac, VerifyAcceptsAndRejects) {

@@ -1,0 +1,214 @@
+// Evidence-log hot-path guarantees: steady-state append() performs no
+// heap allocation, the incremental verify_chain() watermark agrees with
+// the forensic full re-verification under append/tamper/wipe, and
+// verify_seal() checks exactly the sealed prefix.
+//
+// This binary overrides global operator new/delete to count
+// allocations, so it is deliberately separate from the other test
+// executables.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/ssm/evidence.h"
+
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+void* operator new[](std::size_t size) {
+    g_allocations.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size ? size : 1)) return p;
+    throw std::bad_alloc();
+}
+
+// GCC pairs the inlined std::free here with the *library* operator
+// new at some call sites and warns; the replacement new above also
+// allocates with malloc, so the pairing is in fact correct.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
+
+namespace cres::core {
+namespace {
+
+constexpr std::size_t kBatch = 256;
+
+EvidenceLog make_log() { return EvidenceLog(to_bytes("seal-key-material")); }
+
+TEST(EvidencePerf, SteadyStateAppendIsAllocationFree) {
+    EvidenceLog log = make_log();
+    log.reserve(kBatch + 16);
+
+    // Inputs built ahead of time; append() takes them by move. Payloads
+    // stay within the 256-byte class the guarantee covers.
+    std::vector<std::string> kinds(kBatch);
+    std::vector<std::string> details(kBatch);
+    std::vector<Bytes> payloads(kBatch);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        kinds[i] = "event";
+        details[i] = "bus-monitor alert at 0x40005000 (master=dma)";
+        payloads[i] = Bytes(256, static_cast<std::uint8_t>(i));
+    }
+
+    // A few warm-up appends settle the scratch writer.
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        log.append(i, "event", "warm-up record");
+    }
+
+    const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < kBatch; ++i) {
+        log.append(1000 + i, std::move(kinds[i]), std::move(details[i]),
+                   std::move(payloads[i]));
+    }
+    const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+
+    EXPECT_EQ(after, before)
+        << (after - before) << " allocations across " << kBatch
+        << " steady-state appends";
+    EXPECT_EQ(log.size(), kBatch + 8);
+    EXPECT_TRUE(log.verify_chain_full());
+}
+
+TEST(EvidencePerf, AppendGrowsWithoutExplicitReserve) {
+    // Without reserve() the log still amortises: far fewer than one
+    // reallocation per append once the geometric growth kicks in.
+    EvidenceLog log = make_log();
+    for (std::uint64_t i = 0; i < 4; ++i) log.append(i, "event", "warm");
+
+    const std::size_t before = g_allocations.load(std::memory_order_relaxed);
+    for (std::uint64_t i = 0; i < 4096; ++i) {
+        log.append(i, "event", "detail");
+    }
+    const std::size_t after = g_allocations.load(std::memory_order_relaxed);
+    // Geometric growth from capacity 64: a handful of grows (each a
+    // buffer alloc plus moved record internals) — not one per append.
+    EXPECT_LT(after - before, 64u);
+    EXPECT_TRUE(log.verify_chain_full());
+}
+
+TEST(EvidenceChain, IncrementalMatchesFullOnCleanLog) {
+    EvidenceLog log = make_log();
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        log.append(i, "event", "clean record");
+        EXPECT_TRUE(log.verify_chain());
+        EXPECT_EQ(log.verified_watermark(), log.size());
+        EXPECT_TRUE(log.verify_chain_full());
+    }
+}
+
+TEST(EvidenceChain, TamperRewindsWatermarkAndBothPathsAgree) {
+    EvidenceLog log = make_log();
+    for (std::uint64_t i = 0; i < 50; ++i) log.append(i, "event", "r");
+    ASSERT_TRUE(log.verify_chain());
+    ASSERT_EQ(log.verified_watermark(), 50u);
+
+    log.tamper_detail(10, "scrubbed by malware");
+    // The watermark must not shield the tampered record.
+    EXPECT_LE(log.verified_watermark(), 10u);
+    EXPECT_FALSE(log.verify_chain());
+    EXPECT_FALSE(log.verify_chain_full());
+
+    // Failure must not advance the watermark past the damage.
+    EXPECT_LE(log.verified_watermark(), 10u);
+    EXPECT_FALSE(log.verify_chain());
+}
+
+TEST(EvidenceChain, WipeResetsWatermark) {
+    EvidenceLog log = make_log();
+    for (std::uint64_t i = 0; i < 20; ++i) log.append(i, "event", "r");
+    ASSERT_TRUE(log.verify_chain());
+    log.wipe();
+    EXPECT_EQ(log.verified_watermark(), 0u);
+    EXPECT_TRUE(log.verify_chain());
+    EXPECT_TRUE(log.verify_chain_full());
+    // The chain restarts from genesis after a wipe.
+    log.append(0, "boot", "post-wipe record");
+    EXPECT_TRUE(log.verify_chain());
+    EXPECT_TRUE(log.verify_chain_full());
+}
+
+TEST(EvidenceChain, IncrementalCatchesTamperPastOldWatermark) {
+    EvidenceLog log = make_log();
+    for (std::uint64_t i = 0; i < 30; ++i) log.append(i, "event", "r");
+    ASSERT_TRUE(log.verify_chain());
+    for (std::uint64_t i = 30; i < 40; ++i) log.append(i, "event", "r");
+    // Tamper inside the not-yet-rechecked tail.
+    log.tamper_detail(35, "edited");
+    EXPECT_FALSE(log.verify_chain());
+    EXPECT_FALSE(log.verify_chain_full());
+}
+
+TEST(EvidenceSealPrefix, PostSealAppendsDoNotFailVerification) {
+    const Bytes key = to_bytes("seal-key-material");
+    EvidenceLog log(key);
+    for (std::uint64_t i = 0; i < 10; ++i) log.append(i, "event", "sealed");
+    const EvidenceSeal seal = log.seal();
+
+    // Records appended after sealing — including ones an attacker
+    // fabricates — must not invalidate the sealed prefix.
+    for (std::uint64_t i = 10; i < 20; ++i) {
+        log.append(i, "event", "post-seal garbage");
+    }
+    log.tamper_detail(15, "attacker-controlled tail");
+    EXPECT_TRUE(EvidenceLog::verify_seal(log, seal, key));
+
+    // Tampering *inside* the prefix still fails it.
+    log.tamper_detail(3, "scrubbed");
+    EXPECT_FALSE(EvidenceLog::verify_seal(log, seal, key));
+}
+
+TEST(EvidenceSealPrefix, TruncatedBelowSealCountFails) {
+    const Bytes key = to_bytes("seal-key-material");
+    EvidenceLog log(key);
+    for (std::uint64_t i = 0; i < 10; ++i) log.append(i, "event", "r");
+    const EvidenceSeal seal = log.seal();
+
+    EvidenceLog shorter(key);
+    for (std::uint64_t i = 0; i < 9; ++i) shorter.append(i, "event", "r");
+    EXPECT_FALSE(EvidenceLog::verify_seal(shorter, seal, key));
+}
+
+TEST(EvidenceSealPrefix, WrongKeyFails) {
+    const Bytes key = to_bytes("seal-key-material");
+    EvidenceLog log(key);
+    log.append(1, "event", "r");
+    const EvidenceSeal seal = log.seal();
+    EXPECT_TRUE(EvidenceLog::verify_seal(log, seal, key));
+    EXPECT_FALSE(EvidenceLog::verify_seal(log, seal, to_bytes("other-key")));
+}
+
+TEST(EvidenceChain, DeserializedLogVerifiesFull) {
+    const Bytes key = to_bytes("seal-key-material");
+    EvidenceLog log(key);
+    for (std::uint64_t i = 0; i < 25; ++i) {
+        log.append(i, "event", "exported", Bytes(16, 0x11));
+    }
+    const Bytes wire = log.serialize();
+    EvidenceLog imported = EvidenceLog::deserialize(wire, key);
+    EXPECT_EQ(imported.size(), 25u);
+    // An imported log starts with an empty watermark: both the
+    // incremental and forensic paths must re-hash and agree.
+    EXPECT_EQ(imported.verified_watermark(), 0u);
+    EXPECT_TRUE(imported.verify_chain_full());
+    EXPECT_TRUE(imported.verify_chain());
+    EXPECT_EQ(imported.verified_watermark(), 25u);
+    EXPECT_EQ(imported.head(), log.head());
+}
+
+}  // namespace
+}  // namespace cres::core
