@@ -102,6 +102,19 @@ int main() {
         std::cout << "\n"
                   << core::generate_incident_report(log, "device-B").render();
 
+        // The quantitative companion: the device's cycle-accurate
+        // metrics snapshot — how fast the CSF lifecycle actually ran.
+        const auto& metrics = scenario.node().metrics;
+        std::cout << "\nmetrics snapshot (Prometheus exposition):\n"
+                  << metrics.prometheus();
+        if (const auto* detect = metrics.find_histogram(
+                "cres_csf_detect_latency_cycles");
+            detect != nullptr && detect->count() > 0) {
+            std::cout << "incident detect latency: " << detect->min()
+                      << ".." << detect->max() << " cycles over "
+                      << detect->count() << " incident(s)\n";
+        }
+
         // And truncation?
         const auto seal = log.seal();
         core::EvidenceLog truncated = log;

@@ -2,6 +2,7 @@
 // actions) and the Active Response Manager (which executes them).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <optional>
 #include <string>
@@ -22,6 +23,9 @@ enum class ResponseAction : std::uint8_t {
     kPartitionCache,    ///< Close cache timing channels by partitioning.
     kResetSystem,       ///< Full reboot (the passive baseline's only move).
 };
+
+/// Number of ResponseAction values (for per-action metric tables).
+inline constexpr std::size_t kResponseActionCount = 12;
 
 std::string action_name(ResponseAction action);
 

@@ -26,6 +26,7 @@ void BusMonitor::set_probe_threshold(std::uint32_t threshold,
 void BusMonitor::on_transaction(const mem::BusTransaction& txn) {
     if (!enabled()) return;
     const sim::Cycle now = sim_.now();
+    note_poll(now);
 
     ring_.push_back(txn);
     if (ring_.size() > kRingSize) ring_.pop_front();

@@ -16,6 +16,7 @@ void CacheMonitor::tick(sim::Cycle now) {
     if (!enabled()) return;
     if (now < next_poll_) return;
     next_poll_ = now + period_;
+    note_poll(now);
 
     const std::uint64_t count = cache_.cross_domain_evictions();
     const std::uint64_t delta = count - last_count_;

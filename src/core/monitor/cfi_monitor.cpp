@@ -23,6 +23,7 @@ void CfiMonitor::reset() noexcept {
 
 void CfiMonitor::on_call(mem::Addr from, mem::Addr target) {
     if (!enabled()) return;
+    note_poll(sim_.now());
     resyncing_ = false;
     shadow_stack_.push_back(from + 4);
     if (!valid_targets_.empty() && valid_targets_.count(target) == 0) {
@@ -34,6 +35,7 @@ void CfiMonitor::on_call(mem::Addr from, mem::Addr target) {
 
 void CfiMonitor::on_return(mem::Addr from, mem::Addr target) {
     if (!enabled()) return;
+    note_poll(sim_.now());
     if (shadow_stack_.empty()) {
         if (resyncing_) {
             emit(sim_.now(), EventCategory::kControlFlow,

@@ -18,6 +18,7 @@ void ConfigMonitor::tick(sim::Cycle now) {
     if (now < next_audit_) return;
     next_audit_ = now + period_;
     if (golden_.empty()) return;
+    note_poll(now);
 
     const auto current = bus_.regions();
     for (const auto& gold : golden_) {

@@ -35,6 +35,7 @@ void DiftMonitor::on_transaction(const mem::BusTransaction& txn) {
     if (!enabled()) return;
     if (txn.response != mem::BusResponse::kOk) return;
     const sim::Cycle now = sim_.now();
+    note_poll(now);
 
     if (txn.op != mem::BusOp::kWrite) {
         // A read of tainted bytes taints the reading master. This is a

@@ -21,6 +21,7 @@ EnvironmentMonitor::EnvironmentMonitor(EventSink& sink,
 void EnvironmentMonitor::tick(sim::Cycle now) {
     if (--countdown_ > 0) return;
     countdown_ = period_;
+    note_poll(now);
 
     const double v = sensor_.voltage();
     const double t = sensor_.temperature();

@@ -36,6 +36,7 @@ void MemoryMonitor::on_transaction(const mem::BusTransaction& txn) {
     if (!enabled()) return;
     if (txn.response != mem::BusResponse::kOk) return;
     const sim::Cycle now = sim_.now();
+    note_poll(now);
 
     if (txn.op == mem::BusOp::kWrite) {
         bool in_code = code_regions_.count(txn.region) != 0;

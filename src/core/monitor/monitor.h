@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "core/event.h"
+#include "obs/metrics.h"
 
 namespace cres::core {
 
@@ -31,27 +32,64 @@ public:
         return emitted_;
     }
 
+    /// Registers this monitor's per-instance series (poll count, event
+    /// and alert counts, inter-poll gap histogram) under a
+    /// `monitor="<name>"` label. Unbound monitors skip all metric work
+    /// (the compiled-in-but-unqueried zero-cost mode).
+    void bind_metrics(obs::MetricsRegistry& registry) {
+        const std::string label = "{monitor=\"" + name_ + "\"}";
+        polls_ = &registry.counter("cres_monitor_polls_total" + label);
+        events_ = &registry.counter("cres_monitor_events_total" + label);
+        alerts_ = &registry.counter("cres_monitor_alerts_total" + label);
+        poll_gap_ =
+            &registry.histogram("cres_monitor_poll_gap_cycles" + label);
+    }
+
     /// One-line description of what this monitor watches (used by the
     /// capability registry that regenerates Table I).
     [[nodiscard]] virtual std::string description() const = 0;
 
 protected:
+    /// Records one observation pass over the watched resource — a
+    /// periodic scan for Tickable monitors, one watched transaction /
+    /// frame / edge for observer-style monitors. Cycle-accurate: the
+    /// gap histogram is fed from simulated time only.
+    void note_poll(sim::Cycle now) noexcept {
+        if (polls_ == nullptr || !enabled_) return;
+        polls_->inc();
+        if (last_poll_at_ != kNoPoll) {
+            poll_gap_->record(now - last_poll_at_);
+        }
+        last_poll_at_ = now;
+    }
+
     /// Delivers an event to the SSM (no-op while disabled).
     void emit(sim::Cycle at, EventCategory category, EventSeverity severity,
               std::string resource, std::string detail, std::uint64_t a = 0,
               std::uint64_t b = 0) {
         if (!enabled_) return;
         ++emitted_;
+        if (events_ != nullptr) {
+            events_->inc();
+            if (severity >= EventSeverity::kAlert) alerts_->inc();
+        }
         sink_.submit(MonitorEvent{at, name_, category, severity,
                                   std::move(resource), std::move(detail), a,
                                   b});
     }
 
 private:
+    static constexpr sim::Cycle kNoPoll = ~sim::Cycle{0};
+
     std::string name_;
     EventSink& sink_;
     bool enabled_ = true;
     std::uint64_t emitted_ = 0;
+    obs::Counter* polls_ = nullptr;
+    obs::Counter* events_ = nullptr;
+    obs::Counter* alerts_ = nullptr;
+    obs::Histogram* poll_gap_ = nullptr;
+    sim::Cycle last_poll_at_ = kNoPoll;
 };
 
 }  // namespace cres::core

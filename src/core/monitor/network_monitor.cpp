@@ -14,6 +14,7 @@ void NetworkMonitor::set_flood_threshold(std::uint32_t frames,
 void NetworkMonitor::note_rx(net::RecvStatus status,
                              std::size_t frame_bytes) {
     const sim::Cycle now = sim_.now();
+    note_poll(now);
 
     arrivals_.push_back(now);
     while (!arrivals_.empty() && arrivals_.front() + flood_window_ < now) {

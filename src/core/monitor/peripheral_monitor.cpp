@@ -36,6 +36,7 @@ void PeripheralMonitor::on_transaction(const mem::BusTransaction& txn) {
         return;
     }
     const sim::Cycle now = sim_.now();
+    note_poll(now);
 
     for (auto& watch : actuators_) {
         if (txn.addr != watch.command_addr) continue;
@@ -80,6 +81,7 @@ void PeripheralMonitor::tick(sim::Cycle now) {
     for (auto& watch : sensors_) {
         if (--watch.countdown > 0) continue;
         watch.countdown = watch.period;
+        note_poll(now);
         const double value = watch.sensor->value();
 
         if (value < watch.envelope.min_value ||

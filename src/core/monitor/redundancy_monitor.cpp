@@ -31,6 +31,7 @@ void RedundancyMonitor::tick(sim::Cycle now) {
     if (now < next_compare_) return;
     next_compare_ = now + interval_;
     ++comparisons_;
+    note_poll(now);
 
     const std::uint64_t a = state_fingerprint(primary_);
     const std::uint64_t b = state_fingerprint(shadow_);

@@ -26,6 +26,7 @@ void TimingMonitor::unregister_task(const std::string& task) {
 }
 
 void TimingMonitor::tick(sim::Cycle now) {
+    if (!tasks_.empty()) note_poll(now);
     for (auto& [task, watch] : tasks_) {
         if (watch.overdue) continue;
         if (now > watch.last_heartbeat + watch.deadline) {

@@ -13,6 +13,11 @@ void DegradationManager::register_service(
     services_.push_back(Service{name, critical, true, std::move(set_enabled)});
 }
 
+void DegradationManager::bind_metrics(obs::MetricsRegistry& registry) {
+    m_sheds_ = &registry.counter("cres_degradation_services_shed_total");
+    m_degraded_ = &registry.gauge("cres_degradation_degraded");
+}
+
 std::size_t DegradationManager::degrade() {
     std::size_t shed = 0;
     for (auto& s : services_) {
@@ -23,6 +28,10 @@ std::size_t DegradationManager::degrade() {
         }
     }
     degraded_ = true;
+    if (m_sheds_ != nullptr) {
+        m_sheds_->inc(shed);
+        m_degraded_->set(1);
+    }
     return shed;
 }
 
@@ -34,6 +43,7 @@ void DegradationManager::restore() {
         }
     }
     degraded_ = false;
+    if (m_degraded_ != nullptr) m_degraded_->set(0);
 }
 
 bool DegradationManager::service_enabled(const std::string& name) const {

@@ -9,6 +9,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace cres::core {
 
 class DegradationManager {
@@ -20,6 +22,9 @@ public:
 
     /// Sheds all non-critical services; returns how many were shed.
     std::size_t degrade();
+
+    /// Registers the shed counter and the degraded-state gauge.
+    void bind_metrics(obs::MetricsRegistry& registry);
 
     /// Restores every service.
     void restore();
@@ -40,6 +45,10 @@ private:
     };
     std::vector<Service> services_;
     bool degraded_ = false;
+
+    // --- Observability (null until bind_metrics) -------------------------
+    obs::Counter* m_sheds_ = nullptr;
+    obs::Gauge* m_degraded_ = nullptr;
 };
 
 }  // namespace cres::core

@@ -5,6 +5,13 @@ namespace cres::core {
 RecoveryManager::RecoveryManager(isa::Cpu& cpu, mem::Ram& ram)
     : cpu_(cpu), ram_(ram) {}
 
+void RecoveryManager::bind_metrics(obs::MetricsRegistry& registry) {
+    m_checkpoints_ = &registry.counter("cres_recovery_checkpoints_total");
+    m_restores_ = &registry.counter("cres_recovery_restores_total");
+    m_checkpoint_age_ =
+        &registry.histogram("cres_recovery_checkpoint_age_cycles");
+}
+
 const Checkpoint& RecoveryManager::take_checkpoint(sim::Cycle now) {
     Checkpoint cp;
     cp.taken_at = now;
@@ -28,12 +35,17 @@ const Checkpoint& RecoveryManager::take_checkpoint(sim::Cycle now) {
 
     checkpoint_ = std::move(cp);
     ++taken_;
+    if (m_checkpoints_ != nullptr) m_checkpoints_->inc();
     return *checkpoint_;
 }
 
-bool RecoveryManager::restore(sim::Cycle /*now*/) {
+bool RecoveryManager::restore(sim::Cycle now) {
     if (!checkpoint_.has_value()) return false;
     const Checkpoint& cp = *checkpoint_;
+    if (m_restores_ != nullptr) {
+        m_restores_->inc();
+        m_checkpoint_age_->record(now - cp.taken_at);
+    }
 
     ram_.load(0, cp.ram_image);
     cpu_.reset(cp.pc);  // Machine mode, unhalted.

@@ -11,6 +11,7 @@
 #include "crypto/sha256.h"
 #include "isa/cpu.h"
 #include "mem/ram.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace cres::core {
@@ -31,6 +32,10 @@ public:
 
     /// Takes a new known-good checkpoint (replacing the previous one).
     const Checkpoint& take_checkpoint(sim::Cycle now);
+
+    /// Registers checkpoint/restore counters and the checkpoint-age-at-
+    /// restore histogram (how stale the restored state was, in cycles).
+    void bind_metrics(obs::MetricsRegistry& registry);
 
     [[nodiscard]] bool has_checkpoint() const noexcept {
         return checkpoint_.has_value();
@@ -62,6 +67,11 @@ private:
     std::optional<Checkpoint> checkpoint_;
     std::uint32_t taken_ = 0;
     std::uint32_t restores_ = 0;
+
+    // --- Observability (null until bind_metrics) -------------------------
+    obs::Counter* m_checkpoints_ = nullptr;
+    obs::Counter* m_restores_ = nullptr;
+    obs::Histogram* m_checkpoint_age_ = nullptr;
 };
 
 }  // namespace cres::core

@@ -2,8 +2,38 @@
 
 namespace cres::core {
 
+namespace {
+
+/// Actions that neutralise the threat in place (vs. recover/notify) —
+/// these mark the CSF contain phase of the open incident.
+constexpr bool is_containment(ResponseAction action) noexcept {
+    switch (action) {
+        case ResponseAction::kIsolateResource:
+        case ResponseAction::kKillTask:
+        case ResponseAction::kZeroiseKeys:
+        case ResponseAction::kRateLimitPeripheral:
+        case ResponseAction::kPartitionCache:
+            return true;
+        default:
+            return false;
+    }
+}
+
+}  // namespace
+
 ActiveResponseManager::ActiveResponseManager(ResponseContext context)
     : ctx_(std::move(context)) {}
+
+void ActiveResponseManager::bind_metrics(obs::MetricsRegistry& registry) {
+    m_actions_total_ = &registry.counter("cres_response_actions_total");
+    for (std::size_t i = 0; i < kResponseActionCount; ++i) {
+        m_by_action_[i] = &registry.counter(
+            "cres_response_action_total{action=\"" +
+            action_name(static_cast<ResponseAction>(i)) + "\"}");
+    }
+    m_containment_latency_ =
+        &registry.histogram("cres_response_containment_latency_cycles");
+}
 
 std::uint64_t ActiveResponseManager::count(ResponseAction action) const {
     std::uint64_t n = 0;
@@ -19,6 +49,17 @@ std::string ActiveResponseManager::execute(ResponseAction action,
     const sim::Cycle now = ctx_.sim != nullptr ? ctx_.sim->now() : trigger.at;
     records_.push_back(
         ResponseRecord{now, action, trigger.resource, outcome});
+    if (m_actions_total_ != nullptr) {
+        m_actions_total_->inc();
+        const auto idx = static_cast<std::size_t>(action);
+        if (idx < kResponseActionCount) m_by_action_[idx]->inc();
+    }
+    if (is_containment(action)) {
+        if (m_containment_latency_ != nullptr) {
+            m_containment_latency_->record(now - trigger.at);
+        }
+        if (ctx_.ssm != nullptr) ctx_.ssm->notify_contained(now);
+    }
     return outcome;
 }
 

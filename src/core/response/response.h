@@ -5,6 +5,7 @@
 // restore, graceful degradation and (last resort) system reset.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -56,6 +57,10 @@ public:
     std::string execute(ResponseAction action,
                         const MonitorEvent& trigger) override;
 
+    /// Registers per-action execution counters and the containment
+    /// latency histogram (trigger emit -> containment action done).
+    void bind_metrics(obs::MetricsRegistry& registry);
+
     [[nodiscard]] const std::vector<ResponseRecord>& records() const noexcept {
         return records_;
     }
@@ -69,6 +74,11 @@ private:
 
     ResponseContext ctx_;
     std::vector<ResponseRecord> records_;
+
+    // --- Observability (null until bind_metrics) -------------------------
+    obs::Counter* m_actions_total_ = nullptr;
+    std::array<obs::Counter*, kResponseActionCount> m_by_action_{};
+    obs::Histogram* m_containment_latency_ = nullptr;
 };
 
 }  // namespace cres::core

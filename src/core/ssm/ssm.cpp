@@ -35,6 +35,21 @@ SystemSecurityManager::SystemSecurityManager(const sim::Simulator& sim,
 void SystemSecurityManager::submit(const MonitorEvent& event) {
     if (disabled_) return;  // A dead SSM hears nothing.
     queue_.push_back(event);
+    if (m_queue_depth_ != nullptr) {
+        m_queue_depth_->set(static_cast<std::int64_t>(queue_.size()));
+    }
+}
+
+void SystemSecurityManager::bind_metrics(obs::MetricsRegistry& registry) {
+    m_events_ = &registry.counter("cres_ssm_events_processed_total");
+    m_dispatches_ = &registry.counter("cres_ssm_dispatches_total");
+    m_transitions_ = &registry.counter("cres_ssm_health_transitions_total");
+    m_queue_depth_ = &registry.gauge("cres_ssm_queue_depth");
+    m_queue_depth_per_poll_ =
+        &registry.histogram("cres_ssm_queue_depth_per_poll");
+    m_detection_latency_ =
+        &registry.histogram("cres_ssm_detection_latency_cycles");
+    spans_ = std::make_unique<obs::SpanTracer>(registry);
 }
 
 void SystemSecurityManager::transition(HealthState next, sim::Cycle at,
@@ -44,11 +59,17 @@ void SystemSecurityManager::transition(HealthState next, sim::Cycle at,
                      health_state_name(health_) + " -> " +
                          health_state_name(next) + ": " + why);
     health_ = next;
+    if (m_transitions_ != nullptr) m_transitions_->inc();
 }
 
 void SystemSecurityManager::process_event(const MonitorEvent& event,
                                           sim::Cycle now) {
     ++events_processed_;
+    if (m_events_ != nullptr) {
+        m_events_->inc();
+        // Detection latency: emit cycle -> the poll that processed it.
+        m_detection_latency_->record(now - event.at);
+    }
 
     // Evidence first — even events we take no action on form the
     // continuous data stream.
@@ -75,13 +96,22 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
         risks_.record_incident(event.resource);
     }
 
-    // Detection: health degrades with severity.
+    // Detection: health degrades with severity. Leaving kHealthy opens
+    // one CSF incident span, anchored at the triggering event's emit
+    // cycle and marked detected at processing time.
+    const auto open_incident = [this, &event, now] {
+        if (spans_ == nullptr || incident_.has_value()) return;
+        incident_ = spans_->open(event.at);
+        spans_->mark(*incident_, obs::CsfPhase::kDetect, now);
+    };
     if (event.severity == EventSeverity::kAlert &&
         health_ == HealthState::kHealthy) {
+        open_incident();
         transition(HealthState::kSuspicious, now, event.detail);
     } else if (event.severity == EventSeverity::kCritical &&
                health_ != HealthState::kResponding &&
                health_ != HealthState::kRecovering) {
+        open_incident();
         transition(HealthState::kCompromised, now, event.detail);
     }
 
@@ -94,6 +124,7 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
         dispatch.rule = rule->name;
         dispatch.actions = rule->actions;
         dispatches_.push_back(dispatch);
+        if (m_dispatches_ != nullptr) m_dispatches_->inc();
 
         evidence_.append(now, "decision",
                          "rule '" + rule->name + "' fired for " +
@@ -101,6 +132,9 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
 
         if (executor_ != nullptr && !rule->actions.empty()) {
             transition(HealthState::kResponding, now, "rule " + rule->name);
+            if (spans_ != nullptr && incident_.has_value()) {
+                spans_->mark(*incident_, obs::CsfPhase::kRespond, now);
+            }
             for (ResponseAction action : rule->actions) {
                 const std::string outcome = executor_->execute(action, event);
                 evidence_.append(now, "action",
@@ -115,16 +149,27 @@ void SystemSecurityManager::tick(sim::Cycle now) {
     if (now < next_poll_) return;
     next_poll_ = now + config_.poll_interval;
 
+    if (m_queue_depth_per_poll_ != nullptr) {
+        m_queue_depth_per_poll_->record(queue_.size());
+    }
+
     // Drain everything that arrived up to now.
     while (!queue_.empty()) {
         const MonitorEvent event = queue_.front();
         queue_.pop_front();
         process_event(event, now);
     }
+    if (m_queue_depth_ != nullptr) m_queue_depth_->set(0);
 }
 
 void SystemSecurityManager::notify_recovery_started(sim::Cycle at) {
     transition(HealthState::kRecovering, at, "recovery initiated");
+}
+
+void SystemSecurityManager::notify_contained(sim::Cycle at) {
+    if (spans_ != nullptr && incident_.has_value()) {
+        spans_->mark(*incident_, obs::CsfPhase::kContain, at);
+    }
 }
 
 void SystemSecurityManager::notify_recovery_complete(sim::Cycle at,
@@ -132,6 +177,10 @@ void SystemSecurityManager::notify_recovery_complete(sim::Cycle at,
     transition(degraded ? HealthState::kDegraded : HealthState::kHealthy, at,
                degraded ? "recovered with degraded service"
                         : "recovered to full service");
+    if (spans_ != nullptr && incident_.has_value()) {
+        spans_->close(*incident_, at);
+        incident_.reset();
+    }
 }
 
 void SystemSecurityManager::notify_full_service(sim::Cycle at) {

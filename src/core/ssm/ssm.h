@@ -17,6 +17,7 @@
 
 #include <deque>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -25,6 +26,8 @@
 #include "core/policy/policy.h"
 #include "core/ssm/evidence.h"
 #include "core/ssm/risk.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
 #include "sim/simulator.h"
 
 namespace cres::core {
@@ -81,6 +84,12 @@ public:
         executor_ = executor;
     }
 
+    /// Attaches the node's metrics registry: per-poll queue depth,
+    /// per-event detection latency and the CSF incident span tracer
+    /// (detect/respond/contain/recover latency histograms). Unbound
+    /// SSMs skip all metric work.
+    void bind_metrics(obs::MetricsRegistry& registry);
+
     // --- EventSink (called synchronously by monitors) --------------------
     void submit(const MonitorEvent& event) override;
 
@@ -92,6 +101,9 @@ public:
     void notify_recovery_complete(sim::Cycle at, bool degraded);
     /// Degraded services restored (operator action / roll-forward).
     void notify_full_service(sim::Cycle at);
+    /// Containment action finished (isolate/kill/zeroise/rate-limit/
+    /// partition) — marks the contain span of the open incident.
+    void notify_contained(sim::Cycle at);
 
     // --- State ------------------------------------------------------------
     [[nodiscard]] HealthState health() const noexcept { return health_; }
@@ -109,6 +121,10 @@ public:
     }
     [[nodiscard]] std::size_t queue_depth() const noexcept {
         return queue_.size();
+    }
+    /// CSF span tracer (nullptr until bind_metrics).
+    [[nodiscard]] const obs::SpanTracer* spans() const noexcept {
+        return spans_.get();
     }
 
     /// First dispatch at-or-after `since` whose event matches the
@@ -153,6 +169,16 @@ private:
     std::uint64_t events_processed_ = 0;
     std::vector<Dispatch> dispatches_;
     sim::Cycle next_poll_ = 0;
+
+    // --- Observability (null/empty until bind_metrics) -------------------
+    std::unique_ptr<obs::SpanTracer> spans_;
+    std::optional<std::uint64_t> incident_;  ///< Open incident span id.
+    obs::Counter* m_events_ = nullptr;
+    obs::Counter* m_dispatches_ = nullptr;
+    obs::Counter* m_transitions_ = nullptr;
+    obs::Gauge* m_queue_depth_ = nullptr;
+    obs::Histogram* m_queue_depth_per_poll_ = nullptr;
+    obs::Histogram* m_detection_latency_ = nullptr;
 };
 
 }  // namespace cres::core

@@ -1,0 +1,40 @@
+// Minimal JSON string escaping shared by the metrics exporter and the
+// structured log sink, so every JSON artefact escapes identically.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace cres::obs {
+
+inline void json_escape_into(std::string& out, std::string_view s) {
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    static const char* hex = "0123456789abcdef";
+                    out += "\\u00";
+                    out += hex[(c >> 4) & 0xf];
+                    out += hex[c & 0xf];
+                } else {
+                    out += c;
+                }
+        }
+    }
+}
+
+[[nodiscard]] inline std::string json_quote(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 2);
+    out += '"';
+    json_escape_into(out, s);
+    out += '"';
+    return out;
+}
+
+}  // namespace cres::obs

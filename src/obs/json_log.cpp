@@ -1,0 +1,28 @@
+#include "obs/json_log.h"
+
+#include <cctype>
+#include <string>
+
+#include "obs/json.h"
+
+namespace cres::obs {
+
+Logger::Sink json_log_sink(std::ostream& out,
+                           std::function<std::uint64_t()> clock) {
+    return [&out, clock = std::move(clock)](LogLevel level,
+                                            std::string_view message) {
+        std::string line = "{\"at\": ";
+        line += std::to_string(clock ? clock() : 0);
+        line += ", \"source\": \"log\", \"kind\": \"";
+        for (const char c : log_level_name(level)) {
+            line += static_cast<char>(
+                std::tolower(static_cast<unsigned char>(c)));
+        }
+        line += "\", \"detail\": ";
+        line += json_quote(message);
+        line += "}\n";
+        out << line;
+    };
+}
+
+}  // namespace cres::obs

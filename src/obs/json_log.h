@@ -1,0 +1,22 @@
+// Structured JSON sink for util/log.h. Each log line becomes one JSON
+// object per line (JSONL) using the same vocabulary as trace records
+// and the metrics snapshot: {"at": <cycle>, "source": "log",
+// "kind": "<level>", "detail": "<message>"} — so logs, telemetry and
+// metrics correlate on the `at` / `source` / `kind` fields.
+#pragma once
+
+#include <functional>
+#include <ostream>
+
+#include "util/log.h"
+
+namespace cres::obs {
+
+/// Returns a sink that writes JSONL to `out`. `clock` supplies the
+/// simulated cycle for the "at" field; when empty, "at" is 0 (a
+/// process-global logger has no single simulation clock). The stream
+/// must outlive the sink's installation.
+[[nodiscard]] Logger::Sink json_log_sink(
+    std::ostream& out, std::function<std::uint64_t()> clock = {});
+
+}  // namespace cres::obs

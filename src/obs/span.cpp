@@ -1,0 +1,58 @@
+#include "obs/span.h"
+
+namespace cres::obs {
+
+std::string_view csf_phase_name(CsfPhase phase) noexcept {
+    switch (phase) {
+        case CsfPhase::kDetect: return "detect";
+        case CsfPhase::kRespond: return "respond";
+        case CsfPhase::kContain: return "contain";
+        case CsfPhase::kRecover: return "recover";
+    }
+    return "?";
+}
+
+SpanTracer::SpanTracer(MetricsRegistry& registry, const std::string& prefix)
+    : registry_(registry) {
+    for (std::size_t i = 0; i < kCsfPhaseCount; ++i) {
+        phase_latency_[i] = &registry_.histogram(
+            prefix + "_" +
+            std::string(csf_phase_name(static_cast<CsfPhase>(i))) +
+            "_latency_cycles");
+    }
+    total_cycles_ = &registry_.histogram(prefix + "_total_cycles");
+    incidents_total_ = &registry_.counter(prefix + "_incidents_total");
+    incidents_open_ = &registry_.gauge(prefix + "_incidents_open");
+}
+
+std::uint64_t SpanTracer::open(std::uint64_t at) {
+    const std::uint64_t id = next_id_++;
+    open_.emplace(id, Incident{at, 0});
+    incidents_total_->inc();
+    incidents_open_->set(static_cast<std::int64_t>(open_.size()));
+    return id;
+}
+
+bool SpanTracer::mark(std::uint64_t id, CsfPhase phase, std::uint64_t at) {
+    const auto it = open_.find(id);
+    if (it == open_.end()) return false;
+    const std::uint8_t bit =
+        static_cast<std::uint8_t>(1u << static_cast<unsigned>(phase));
+    if ((it->second.marked & bit) != 0) return false;
+    it->second.marked = static_cast<std::uint8_t>(it->second.marked | bit);
+    phase_latency_[static_cast<std::size_t>(phase)]->record(
+        at - it->second.opened_at);
+    return true;
+}
+
+bool SpanTracer::close(std::uint64_t id, std::uint64_t at) {
+    const auto it = open_.find(id);
+    if (it == open_.end()) return false;
+    (void)mark(id, CsfPhase::kRecover, at);
+    total_cycles_->record(at - it->second.opened_at);
+    open_.erase(it);
+    incidents_open_->set(static_cast<std::int64_t>(open_.size()));
+    return true;
+}
+
+}  // namespace cres::obs

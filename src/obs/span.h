@@ -1,0 +1,79 @@
+// CSF-lifecycle span tracing. Each security incident becomes one span
+// that is opened when the triggering event occurred (its emit cycle)
+// and then marked as it moves through the CSF functions:
+//
+//   detect  — the SSM processed the event and degraded health
+//   respond — the first response action was dispatched
+//   contain — a containment action (isolate/kill/zeroise/...) finished
+//   recover — the platform reported recovery complete (span closes)
+//
+// Every mark records `at - opened_at` (simulated cycles, so the values
+// are deterministic) into a per-phase latency histogram in the bound
+// MetricsRegistry; closing also records the total incident duration.
+// Marks are idempotent per phase and unknown ids are ignored, so
+// callers never need to guard against double-notification. Incidents
+// that are never closed remain queryable as orphans.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace cres::obs {
+
+enum class CsfPhase : std::uint8_t { kDetect, kRespond, kContain, kRecover };
+constexpr std::size_t kCsfPhaseCount = 4;
+
+/// Static-storage phase label ("detect", "respond", ...).
+[[nodiscard]] std::string_view csf_phase_name(CsfPhase phase) noexcept;
+
+class SpanTracer {
+public:
+    /// Registers `<prefix>_<phase>_latency_cycles` histograms (plus
+    /// `<prefix>_total_cycles`, `<prefix>_incidents_total` and the
+    /// `<prefix>_incidents_open` gauge) in `registry`.
+    explicit SpanTracer(MetricsRegistry& registry,
+                        const std::string& prefix = "cres_csf");
+
+    /// Opens a new incident span anchored at `at` (the cycle the
+    /// triggering event was emitted); returns its id.
+    std::uint64_t open(std::uint64_t at);
+
+    /// Records the phase latency for `id`; first mark per phase wins.
+    /// Returns false for unknown/closed ids or repeated marks.
+    bool mark(std::uint64_t id, CsfPhase phase, std::uint64_t at);
+
+    /// Marks kRecover (if not yet marked), records the total duration
+    /// and retires the span. Returns false for unknown ids.
+    bool close(std::uint64_t id, std::uint64_t at);
+
+    /// Spans opened but never closed (kept — they are the "incident
+    /// still in progress / never recovered" signal, not an error).
+    [[nodiscard]] std::size_t open_spans() const noexcept {
+        return open_.size();
+    }
+    [[nodiscard]] std::uint64_t incidents_total() const noexcept {
+        return next_id_;
+    }
+    [[nodiscard]] bool is_open(std::uint64_t id) const {
+        return open_.find(id) != open_.end();
+    }
+
+private:
+    struct Incident {
+        std::uint64_t opened_at = 0;
+        std::uint8_t marked = 0;  ///< Bitmask over CsfPhase.
+    };
+
+    MetricsRegistry& registry_;
+    Histogram* phase_latency_[kCsfPhaseCount];
+    Histogram* total_cycles_;
+    Counter* incidents_total_;
+    Gauge* incidents_open_;
+    std::map<std::uint64_t, Incident> open_;  ///< Ordered: deterministic.
+    std::uint64_t next_id_ = 0;
+};
+
+}  // namespace cres::obs

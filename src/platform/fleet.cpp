@@ -209,6 +209,30 @@ void Fleet::checkpoint_all() {
     });
 }
 
+obs::MetricsRegistry Fleet::collect_metrics() const {
+    obs::MetricsRegistry merged;
+    std::size_t healthy = 0;
+    std::uint64_t reboots = 0;
+    std::uint64_t alerts = 0;
+    for (const Device& device : devices_) {  // Index order: deterministic.
+        merged.merge_from(device.node->metrics);
+        reboots += device.node->stats().reboots;
+        alerts += device.node->stats().operator_alerts;
+        if (device.node->ssm && !device.node->ssm->disabled() &&
+            device.node->ssm->health() == core::HealthState::kHealthy) {
+            ++healthy;
+        }
+    }
+    merged.gauge("cres_fleet_devices")
+        .set(static_cast<std::int64_t>(devices_.size()));
+    merged.gauge("cres_fleet_devices_healthy")
+        .set(static_cast<std::int64_t>(healthy));
+    merged.counter("cres_fleet_iterations_total").inc(fleet_iterations());
+    merged.counter("cres_fleet_reboots_total").inc(reboots);
+    merged.counter("cres_fleet_operator_alerts_total").inc(alerts);
+    return merged;
+}
+
 std::uint64_t Fleet::fleet_iterations() const {
     std::uint64_t total = 0;
     for (const auto& device : devices_) {

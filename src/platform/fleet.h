@@ -99,6 +99,13 @@ public:
     /// Total control iterations across the fleet (service metric).
     [[nodiscard]] std::uint64_t fleet_iterations() const;
 
+    /// Merged fleet-wide metrics snapshot: every device registry folded
+    /// in device-index order (so the result is bit-identical at any
+    /// worker_threads), plus fleet-level gauges (device count, healthy
+    /// devices, fleet iterations). Serial by design — it is a reduction,
+    /// not a phase.
+    [[nodiscard]] obs::MetricsRegistry collect_metrics() const;
+
 private:
     struct Device {
         std::unique_ptr<Node> node;

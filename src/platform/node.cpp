@@ -232,6 +232,25 @@ void Node::build_security_engine(Bytes seal_key) {
     response_manager = std::make_unique<core::ActiveResponseManager>(ctx);
     ssm->set_response_executor(response_manager.get());
 
+    if (cfg.metrics) {
+        // Get-or-create registration: a rebuilt engine (re-keyed at
+        // provision time) continues the existing metric series.
+        ssm->bind_metrics(metrics);
+        bus_monitor->bind_metrics(metrics);
+        cfi_monitor->bind_metrics(metrics);
+        memory_monitor->bind_metrics(metrics);
+        dift_monitor->bind_metrics(metrics);
+        peripheral_monitor->bind_metrics(metrics);
+        timing_monitor->bind_metrics(metrics);
+        network_monitor->bind_metrics(metrics);
+        environment_monitor->bind_metrics(metrics);
+        config_monitor->bind_metrics(metrics);
+        if (redundancy_monitor) redundancy_monitor->bind_metrics(metrics);
+        recovery->bind_metrics(metrics);
+        degradation->bind_metrics(metrics);
+        response_manager->bind_metrics(metrics);
+    }
+
     sim.add_tickable(ssm.get());
     sim.add_tickable(peripheral_monitor.get());
     sim.add_tickable(timing_monitor.get());

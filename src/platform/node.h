@@ -51,6 +51,7 @@
 #include "mem/bus.h"
 #include "mem/ram.h"
 #include "net/channel.h"
+#include "obs/metrics.h"
 #include "platform/lockstep.h"
 #include "platform/memmap.h"
 #include "sim/simulator.h"
@@ -68,6 +69,8 @@ struct NodeConfig {
     bool strict_rollback = true;   ///< E7/E10 vulnerable-boot knob.
     sim::Cycle ssm_poll_interval = 10;
     sim::Cycle reboot_downtime = 5000;  ///< Cycles a reboot costs.
+    bool metrics = true;  ///< Bind the observability registry (false =
+                          ///< compiled-in but unqueried: zero overhead).
     std::string policy_dsl;        ///< Empty = default policy.
     double sensor_nominal = 50.0;  ///< Physical signal baseline.
 };
@@ -139,6 +142,9 @@ public:
     NodeConfig cfg;
     sim::Simulator sim;
     sim::TraceStream trace;  ///< Volatile telemetry (passive platforms).
+    /// Cycle-accurate metrics; populated only when cfg.metrics and
+    /// cfg.resilient (components bind at build_security_engine time).
+    obs::MetricsRegistry metrics;
     mem::Bus bus;
     mem::Ram app_ram;
     mem::Ram tee_ram;

@@ -5,11 +5,13 @@
 namespace cres::sim {
 
 void TraceStream::emit(TraceRecord record) {
+    ++kind_counts_[record.kind];
     records_.push_back(std::move(record));
 }
 
 void TraceStream::emit(Cycle at, std::string source, std::string kind,
                        std::string detail, std::uint64_t a, std::uint64_t b) {
+    ++kind_counts_[kind];
     records_.push_back(TraceRecord{at, std::move(source), std::move(kind),
                                    std::move(detail), a, b});
 }
@@ -31,11 +33,8 @@ std::vector<TraceRecord> TraceStream::of_kind(const std::string& kind) const {
 }
 
 std::size_t TraceStream::count_kind(const std::string& kind) const noexcept {
-    std::size_t n = 0;
-    for (const auto& r : records_) {
-        if (r.kind == kind) ++n;
-    }
-    return n;
+    const auto it = kind_counts_.find(kind);
+    return it == kind_counts_.end() ? 0 : it->second;
 }
 
 Bytes TraceStream::encode(const TraceRecord& record) {

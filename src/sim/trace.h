@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -38,24 +39,53 @@ public:
     [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
     [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
 
-    /// Records with at >= cycle.
+    /// Records with at >= cycle. Copies; prefer for_each_since on hot
+    /// or large streams.
     [[nodiscard]] std::vector<TraceRecord> since(Cycle cycle) const;
 
-    /// Records whose kind matches.
+    /// Records whose kind matches. Copies; prefer for_each_of_kind on
+    /// hot or large streams.
     [[nodiscard]] std::vector<TraceRecord> of_kind(const std::string& kind) const;
 
-    /// Number of records of the given kind.
+    /// Non-copying queries: visit matching records in emission order.
+    template <typename Fn>
+    void for_each_since(Cycle cycle, Fn&& fn) const {
+        for (const auto& r : records_) {
+            if (r.at >= cycle) fn(r);
+        }
+    }
+    template <typename Fn>
+    void for_each_of_kind(const std::string& kind, Fn&& fn) const {
+        for (const auto& r : records_) {
+            if (r.kind == kind) fn(r);
+        }
+    }
+
+    /// Number of records of the given kind — O(log #kinds) via the
+    /// per-kind count index maintained on emit, not an O(n) scan.
     [[nodiscard]] std::size_t count_kind(const std::string& kind) const noexcept;
+
+    /// Distinct kinds seen so far with their counts (name-ordered).
+    [[nodiscard]] const std::map<std::string, std::size_t>& kind_counts()
+        const noexcept {
+        return kind_counts_;
+    }
 
     /// Drops all records (models a reboot wiping volatile telemetry —
     /// the failure mode the paper attributes to passive architectures).
-    void clear() noexcept { records_.clear(); }
+    void clear() noexcept {
+        records_.clear();
+        kind_counts_.clear();
+    }
 
     /// Serializes one record for hashing into the evidence chain.
+    /// Byte-identical to the historical encoding: the count index is
+    /// query-side state and never enters the hash.
     static Bytes encode(const TraceRecord& record);
 
 private:
     std::vector<TraceRecord> records_;
+    std::map<std::string, std::size_t> kind_counts_;  ///< emit-maintained.
 };
 
 }  // namespace cres::sim

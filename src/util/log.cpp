@@ -27,13 +27,15 @@ Logger& Logger::instance() {
 }
 
 void Logger::set_sink(Sink sink) {
-    if (sink) {
-        sink_ = std::move(sink);
-    } else {
-        sink_ = [](LogLevel level, std::string_view msg) {
+    if (!sink) {
+        sink = [](LogLevel level, std::string_view msg) {
             std::cerr << "[" << log_level_name(level) << "] " << msg << "\n";
         };
     }
+    // Swap under the write mutex: a concurrent write() either finishes
+    // with the old sink or starts with the new one, never a torn mix.
+    std::lock_guard<std::mutex> lock(write_mutex_);
+    sink_ = std::move(sink);
 }
 
 void Logger::write(LogLevel level, std::string_view message) {

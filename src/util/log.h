@@ -3,6 +3,7 @@
 // deeply nested simulation components do not need a logger parameter.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <sstream>
@@ -23,16 +24,22 @@ public:
     /// Global logger instance (encapsulated singleton; see I.30).
     static Logger& instance();
 
-    void set_level(LogLevel level) noexcept { level_ = level; }
-    [[nodiscard]] LogLevel level() const noexcept { return level_; }
+    void set_level(LogLevel level) noexcept {
+        level_.store(level, std::memory_order_relaxed);
+    }
+    [[nodiscard]] LogLevel level() const noexcept {
+        return level_.load(std::memory_order_relaxed);
+    }
 
-    /// Replaces the output sink; pass nullptr to restore stderr. Not
-    /// safe to call while other threads are logging (install sinks
-    /// before starting a parallel fleet phase).
+    /// Replaces the output sink; pass nullptr to restore stderr. Safe
+    /// to call while other threads are logging: the swap happens under
+    /// the same mutex that serialises write(), so no sink is ever torn
+    /// down mid-call.
     void set_sink(Sink sink);
 
     [[nodiscard]] bool enabled(LogLevel level) const noexcept {
-        return level >= level_ && level_ != LogLevel::kOff;
+        const LogLevel current = this->level();
+        return level >= current && current != LogLevel::kOff;
     }
 
     void write(LogLevel level, std::string_view message);
@@ -40,9 +47,9 @@ public:
 private:
     Logger();
 
-    LogLevel level_ = LogLevel::kWarn;
+    std::atomic<LogLevel> level_{LogLevel::kWarn};
     Sink sink_;
-    std::mutex write_mutex_;  ///< Serialises sink calls across workers.
+    std::mutex write_mutex_;  ///< Guards sink_ (calls and swaps).
 };
 
 namespace detail {

@@ -1,0 +1,386 @@
+// Observability subsystem: log2-bucket histogram KATs, span lifecycle,
+// exposition formats (Prometheus golden file + JSON), deterministic
+// merge, the structured log sink, and the end-to-end check that one
+// attack scenario populates the CSF latency histograms.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "attack/attacks.h"
+#include "obs/json_log.h"
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "platform/scenario.h"
+
+namespace cres::obs {
+namespace {
+
+// --- Histogram bucket boundaries (known-answer tests) -----------------------
+
+TEST(Histogram, BucketIndexKats) {
+    EXPECT_EQ(Histogram::bucket_index(0), 0u);
+    EXPECT_EQ(Histogram::bucket_index(1), 1u);
+    EXPECT_EQ(Histogram::bucket_index(2), 2u);
+    EXPECT_EQ(Histogram::bucket_index(3), 2u);
+    EXPECT_EQ(Histogram::bucket_index(4), 3u);
+    EXPECT_EQ(Histogram::bucket_index(7), 3u);
+    EXPECT_EQ(Histogram::bucket_index(8), 4u);
+    EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+    EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+    EXPECT_EQ(Histogram::bucket_index(std::uint64_t{1} << 63), 64u);
+    EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, BucketUpperKats) {
+    EXPECT_EQ(Histogram::bucket_upper(0), 0u);
+    EXPECT_EQ(Histogram::bucket_upper(1), 1u);
+    EXPECT_EQ(Histogram::bucket_upper(2), 3u);
+    EXPECT_EQ(Histogram::bucket_upper(3), 7u);
+    EXPECT_EQ(Histogram::bucket_upper(10), 1023u);
+    EXPECT_EQ(Histogram::bucket_upper(63),
+              (std::uint64_t{1} << 63) - 1);
+    EXPECT_EQ(Histogram::bucket_upper(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, EveryValueLandsInsideItsBucketBounds) {
+    for (std::uint64_t v : {std::uint64_t{0}, std::uint64_t{1},
+                            std::uint64_t{2}, std::uint64_t{100},
+                            std::uint64_t{65535}, std::uint64_t{65536},
+                            ~std::uint64_t{0}}) {
+        const std::size_t i = Histogram::bucket_index(v);
+        EXPECT_LE(v, Histogram::bucket_upper(i)) << v;
+        if (i > 0) EXPECT_GT(v, Histogram::bucket_upper(i - 1)) << v;
+    }
+}
+
+TEST(Histogram, RecordTracksCountSumMinMax) {
+    Histogram h;
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.min(), 0u);  // Empty histogram reports 0, not UINT64_MAX.
+    h.record(5);
+    h.record(0);
+    h.record(1000);
+    EXPECT_EQ(h.count(), 3u);
+    EXPECT_EQ(h.sum(), 1005u);
+    EXPECT_EQ(h.min(), 0u);
+    EXPECT_EQ(h.max(), 1000u);
+    EXPECT_EQ(h.bucket(0), 1u);
+    EXPECT_EQ(h.bucket(3), 1u);
+    EXPECT_EQ(h.bucket(10), 1u);
+    EXPECT_EQ(h.highest_bucket(), 10u);
+}
+
+// --- Counter / gauge / registry --------------------------------------------
+
+TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
+    MetricsRegistry r;
+    Counter& a = r.counter("a_total");
+    a.inc(2);
+    // Registering more metrics must not invalidate the reference.
+    for (int i = 0; i < 100; ++i) {
+        r.counter("filler_" + std::to_string(i) + "_total");
+    }
+    Counter& again = r.counter("a_total");
+    EXPECT_EQ(&a, &again);
+    EXPECT_EQ(a.value(), 2u);
+}
+
+TEST(MetricsRegistry, GaugeRemembersHighWaterMark) {
+    MetricsRegistry r;
+    Gauge& g = r.gauge("depth");
+    g.set(7);
+    g.set(3);
+    EXPECT_EQ(g.value(), 3);
+    EXPECT_EQ(g.max(), 7);
+    g.add(-3);
+    EXPECT_EQ(g.value(), 0);
+    EXPECT_EQ(g.max(), 7);
+}
+
+TEST(MetricsRegistry, FindReturnsNullForUnregistered) {
+    MetricsRegistry r;
+    EXPECT_EQ(r.find_counter("nope"), nullptr);
+    EXPECT_EQ(r.find_gauge("nope"), nullptr);
+    EXPECT_EQ(r.find_histogram("nope"), nullptr);
+    r.counter("yes_total").inc();
+    ASSERT_NE(r.find_counter("yes_total"), nullptr);
+    EXPECT_EQ(r.find_counter("yes_total")->value(), 1u);
+}
+
+TEST(MetricsRegistry, MergeSumsCountersAndBucketsTakesGaugeMax) {
+    MetricsRegistry a;
+    MetricsRegistry b;
+    a.counter("c_total").inc(3);
+    b.counter("c_total").inc(4);
+    b.counter("only_b_total").inc(1);
+    a.gauge("g").set(2);
+    b.gauge("g").set(9);
+    a.histogram("h").record(1);
+    b.histogram("h").record(1000);
+
+    a.merge_from(b);
+    EXPECT_EQ(a.find_counter("c_total")->value(), 7u);
+    EXPECT_EQ(a.find_counter("only_b_total")->value(), 1u);
+    EXPECT_EQ(a.find_gauge("g")->value(), 11);  // Values sum (fleet load)...
+    EXPECT_EQ(a.find_gauge("g")->max(), 9);     // ...high-water takes max.
+    EXPECT_EQ(a.find_histogram("h")->count(), 2u);
+    EXPECT_EQ(a.find_histogram("h")->sum(), 1001u);
+    EXPECT_EQ(a.find_histogram("h")->min(), 1u);
+    EXPECT_EQ(a.find_histogram("h")->max(), 1000u);
+}
+
+TEST(MetricsRegistry, MergeIsDeterministicForAGivenFoldOrder) {
+    auto make = [](std::uint64_t salt) {
+        MetricsRegistry r;
+        r.counter("events_total").inc(salt);
+        r.histogram("lat_cycles").record(salt * 17);
+        r.gauge("depth").set(static_cast<std::int64_t>(salt));
+        return r;
+    };
+    auto fold = [&make] {
+        MetricsRegistry merged;
+        for (std::uint64_t i = 0; i < 8; ++i) merged.merge_from(make(i));
+        return merged.prometheus();
+    };
+    EXPECT_EQ(fold(), fold());
+}
+
+// --- Exposition formats -----------------------------------------------------
+
+MetricsRegistry golden_registry() {
+    MetricsRegistry r;
+    r.counter("cres_demo_events_total").inc(3);
+    r.counter("cres_monitor_polls_total{monitor=\"bus-monitor\"}").inc(7);
+    r.counter("cres_monitor_polls_total{monitor=\"cfi-monitor\"}").inc(9);
+    Gauge& g = r.gauge("cres_demo_queue_depth");
+    g.set(4);
+    g.set(2);
+    Histogram& h = r.histogram("cres_demo_latency_cycles");
+    h.record(0);
+    h.record(1);
+    h.record(5);
+    h.record(1000);
+    return r;
+}
+
+TEST(Exposition, PrometheusMatchesGoldenFile) {
+    const std::string path =
+        std::string(CRES_OBS_GOLDEN_DIR) + "/obs_exposition.golden";
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path;
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(golden_registry().prometheus(), golden.str());
+}
+
+TEST(Exposition, TypeLinesAreDedupedAcrossLabelSets) {
+    const std::string text = golden_registry().prometheus();
+    std::size_t type_lines = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find("# TYPE cres_monitor_polls_total", pos)) !=
+           std::string::npos) {
+        ++type_lines;
+        ++pos;
+    }
+    EXPECT_EQ(type_lines, 1u);  // One TYPE line despite two label sets.
+}
+
+TEST(Exposition, EmptyHistogramEmitsOnlyInfBucket) {
+    MetricsRegistry r;
+    r.histogram("empty_cycles");
+    const std::string text = r.prometheus();
+    EXPECT_NE(text.find("empty_cycles_bucket{le=\"+Inf\"} 0"),
+              std::string::npos);
+    EXPECT_EQ(text.find("le=\"0\""), std::string::npos);
+}
+
+TEST(Exposition, JsonSnapshotHasAllThreeSections) {
+    const std::string json = golden_registry().json();
+    EXPECT_NE(json.find("\"counters\""), std::string::npos);
+    EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+    EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+    EXPECT_NE(json.find("\"cres_demo_events_total\": 3"), std::string::npos);
+    EXPECT_NE(json.find("\"value\": 2, \"max\": 4"), std::string::npos);
+    EXPECT_NE(json.find("\"count\": 4, \"sum\": 1006"), std::string::npos);
+    // Inline label quotes must be escaped into valid JSON keys.
+    EXPECT_NE(json.find("{monitor=\\\"bus-monitor\\\"}"), std::string::npos);
+}
+
+// --- CSF span tracing -------------------------------------------------------
+
+TEST(SpanTracer, FullLifecyclePopulatesEveryPhaseHistogram) {
+    MetricsRegistry r;
+    SpanTracer spans(r);
+    const std::uint64_t id = spans.open(100);
+    EXPECT_TRUE(spans.is_open(id));
+    EXPECT_TRUE(spans.mark(id, CsfPhase::kDetect, 110));
+    EXPECT_TRUE(spans.mark(id, CsfPhase::kRespond, 130));
+    EXPECT_TRUE(spans.mark(id, CsfPhase::kContain, 150));
+    EXPECT_TRUE(spans.close(id, 200));
+    EXPECT_FALSE(spans.is_open(id));
+    EXPECT_EQ(spans.open_spans(), 0u);
+    EXPECT_EQ(spans.incidents_total(), 1u);
+
+    EXPECT_EQ(r.find_histogram("cres_csf_detect_latency_cycles")->sum(), 10u);
+    EXPECT_EQ(r.find_histogram("cres_csf_respond_latency_cycles")->sum(),
+              30u);
+    EXPECT_EQ(r.find_histogram("cres_csf_contain_latency_cycles")->sum(),
+              50u);
+    EXPECT_EQ(r.find_histogram("cres_csf_recover_latency_cycles")->sum(),
+              100u);
+    EXPECT_EQ(r.find_histogram("cres_csf_total_cycles")->sum(), 100u);
+    EXPECT_EQ(r.find_counter("cres_csf_incidents_total")->value(), 1u);
+    EXPECT_EQ(r.find_gauge("cres_csf_incidents_open")->value(), 0);
+    EXPECT_EQ(r.find_gauge("cres_csf_incidents_open")->max(), 1);
+}
+
+TEST(SpanTracer, MarksAreIdempotentPerPhase) {
+    MetricsRegistry r;
+    SpanTracer spans(r);
+    const std::uint64_t id = spans.open(0);
+    EXPECT_TRUE(spans.mark(id, CsfPhase::kDetect, 10));
+    EXPECT_FALSE(spans.mark(id, CsfPhase::kDetect, 999));  // First wins.
+    EXPECT_EQ(r.find_histogram("cres_csf_detect_latency_cycles")->count(),
+              1u);
+    EXPECT_EQ(r.find_histogram("cres_csf_detect_latency_cycles")->sum(), 10u);
+}
+
+TEST(SpanTracer, UnknownAndClosedIdsAreRejected) {
+    MetricsRegistry r;
+    SpanTracer spans(r);
+    EXPECT_FALSE(spans.mark(42, CsfPhase::kDetect, 1));
+    EXPECT_FALSE(spans.close(42, 1));
+    const std::uint64_t id = spans.open(0);
+    EXPECT_TRUE(spans.close(id, 5));
+    EXPECT_FALSE(spans.close(id, 9));  // Already retired.
+    EXPECT_FALSE(spans.mark(id, CsfPhase::kContain, 9));
+}
+
+TEST(SpanTracer, OrphansStayOpenAndQueryable) {
+    MetricsRegistry r;
+    SpanTracer spans(r);
+    const std::uint64_t a = spans.open(0);
+    const std::uint64_t b = spans.open(10);
+    (void)spans.close(b, 20);
+    EXPECT_EQ(spans.open_spans(), 1u);  // `a` never recovered.
+    EXPECT_TRUE(spans.is_open(a));
+    EXPECT_EQ(r.find_gauge("cres_csf_incidents_open")->value(), 1);
+    // The orphan is the "never recovered" signal: total_cycles saw only
+    // the closed incident.
+    EXPECT_EQ(r.find_histogram("cres_csf_total_cycles")->count(), 1u);
+}
+
+TEST(SpanTracer, CloseRecordsRecoverEvenWithoutExplicitMark) {
+    MetricsRegistry r;
+    SpanTracer spans(r);
+    const std::uint64_t id = spans.open(100);
+    EXPECT_TRUE(spans.close(id, 400));
+    EXPECT_EQ(r.find_histogram("cres_csf_recover_latency_cycles")->sum(),
+              300u);
+}
+
+// --- Structured log sink ----------------------------------------------------
+
+TEST(JsonLogSink, EmitsOneJsonObjectPerLine) {
+    std::ostringstream out;
+    Logger& logger = Logger::instance();
+    const LogLevel saved = logger.level();
+    logger.set_level(LogLevel::kDebug);
+    std::uint64_t cycle = 77;
+    logger.set_sink(json_log_sink(out, [&cycle] { return cycle; }));
+    log_warn("engine \"hot\"\n");
+    cycle = 78;
+    log_info("ok");
+    logger.set_sink(nullptr);  // Restore stderr for other tests.
+    logger.set_level(saved);
+
+    EXPECT_EQ(out.str(),
+              "{\"at\": 77, \"source\": \"log\", \"kind\": \"warn\", "
+              "\"detail\": \"engine \\\"hot\\\"\\n\"}\n"
+              "{\"at\": 78, \"source\": \"log\", \"kind\": \"info\", "
+              "\"detail\": \"ok\"}\n");
+}
+
+// --- End to end: one attack populates the CSF lifecycle ---------------------
+
+TEST(EndToEnd, StackSmashPopulatesCsfLatencyHistograms) {
+    platform::ScenarioConfig config;
+    config.node.name = "obs-e2e";
+    config.node.resilient = true;
+    config.warmup = 15000;
+    config.horizon = 80000;
+    config.seed = 81;
+    platform::Scenario scenario(config);
+    attack::StackSmashAttack attack;
+    (void)scenario.run(&attack, 20000);
+
+    const auto& metrics = scenario.node().metrics;
+
+    // Monitors polled and the SSM processed events.
+    const auto* cfi_polls = metrics.find_counter(
+        "cres_monitor_polls_total{monitor=\"cfi-monitor\"}");
+    ASSERT_NE(cfi_polls, nullptr);
+    EXPECT_GT(cfi_polls->value(), 0u);
+    const auto* events =
+        metrics.find_counter("cres_ssm_events_processed_total");
+    ASSERT_NE(events, nullptr);
+    EXPECT_GT(events->value(), 0u);
+    EXPECT_EQ(events->value(), scenario.node().ssm->events_processed());
+
+    // Detection latency is bounded by the SSM poll interval.
+    const auto* detection =
+        metrics.find_histogram("cres_ssm_detection_latency_cycles");
+    ASSERT_NE(detection, nullptr);
+    EXPECT_GT(detection->count(), 0u);
+    EXPECT_LE(detection->max(), config.node.ssm_poll_interval);
+
+    // The breach ran the full CSF lifecycle: detect -> respond ->
+    // recover (checkpoint restore), so each latency histogram has at
+    // least one incident in it, with sane ordering.
+    const auto* detect =
+        metrics.find_histogram("cres_csf_detect_latency_cycles");
+    const auto* respond =
+        metrics.find_histogram("cres_csf_respond_latency_cycles");
+    const auto* recover =
+        metrics.find_histogram("cres_csf_recover_latency_cycles");
+    ASSERT_NE(detect, nullptr);
+    ASSERT_NE(respond, nullptr);
+    ASSERT_NE(recover, nullptr);
+    EXPECT_GT(detect->count(), 0u);
+    EXPECT_GT(respond->count(), 0u);
+    EXPECT_GT(recover->count(), 0u);
+    EXPECT_LE(detect->min(), respond->min());
+    EXPECT_LE(respond->min(), recover->max());
+
+    // Response actions were counted per action label.
+    const auto* actions =
+        metrics.find_counter("cres_response_actions_total");
+    ASSERT_NE(actions, nullptr);
+    EXPECT_EQ(actions->value(),
+              scenario.node().response_manager->total());
+
+    // And the snapshot formats render it all without blowing up.
+    EXPECT_NE(metrics.prometheus().find("cres_csf_detect_latency_cycles"),
+              std::string::npos);
+    EXPECT_NE(metrics.json().find("cres_ssm_events_processed_total"),
+              std::string::npos);
+}
+
+TEST(EndToEnd, UnboundRegistryStaysEmpty) {
+    platform::ScenarioConfig config;
+    config.node.name = "obs-off";
+    config.node.resilient = true;
+    config.node.metrics = false;  // Compiled in, never queried.
+    config.warmup = 5000;
+    config.horizon = 30000;
+    config.seed = 81;
+    platform::Scenario scenario(config);
+    attack::StackSmashAttack attack;
+    (void)scenario.run(&attack, 8000);
+    EXPECT_EQ(scenario.node().metrics.size(), 0u);
+    EXPECT_EQ(scenario.node().metrics.prometheus(), "");
+}
+
+}  // namespace
+}  // namespace cres::obs

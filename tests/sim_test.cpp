@@ -127,6 +127,39 @@ TEST(Trace, ClearModelsVolatileLoss) {
     trace.emit(1, "cpu", "x");
     trace.clear();
     EXPECT_TRUE(trace.empty());
+    EXPECT_EQ(trace.count_kind("x"), 0u);  // Index dies with the records.
+}
+
+TEST(Trace, KindCountIndexMatchesLinearScan) {
+    TraceStream trace;
+    for (std::uint64_t i = 0; i < 500; ++i) {
+        trace.emit(i, "cpu", i % 3 == 0 ? "trap" : "op");
+    }
+    std::size_t traps = 0;
+    for (const auto& r : trace.records()) {
+        if (r.kind == "trap") ++traps;
+    }
+    EXPECT_EQ(trace.count_kind("trap"), traps);
+    EXPECT_EQ(trace.count_kind("op"), 500u - traps);
+    EXPECT_EQ(trace.count_kind("never"), 0u);
+    EXPECT_EQ(trace.kind_counts().size(), 2u);
+}
+
+TEST(Trace, NonCopyingVisitorsSeeTheSameRecords) {
+    TraceStream trace;
+    trace.emit(1, "cpu", "trap", "bus-fault", 0x100, 0);
+    trace.emit(2, "bus0", "write", "", 0x200, 42);
+    trace.emit(3, "cpu", "trap", "mpu-fault", 0x104, 0);
+
+    std::vector<Cycle> trap_ats;
+    trace.for_each_of_kind("trap", [&](const TraceRecord& r) {
+        trap_ats.push_back(r.at);
+    });
+    EXPECT_EQ(trap_ats, (std::vector<Cycle>{1, 3}));
+
+    std::size_t late = 0;
+    trace.for_each_since(2, [&](const TraceRecord&) { ++late; });
+    EXPECT_EQ(late, trace.since(2).size());
 }
 
 TEST(Trace, EncodeIsDeterministic) {
