@@ -23,11 +23,13 @@ struct Measurement {
 
 Measurement measure(bool resilient,
                     const std::function<void(platform::Node&)>& configure,
-                    bool metrics = true) {
+                    bool metrics = true,
+                    std::size_t recorder_capacity = 2048) {
     platform::ScenarioConfig config;
     config.node.name = "ovh";
     config.node.resilient = resilient;
     config.node.metrics = metrics;
+    config.node.flight_recorder_capacity = recorder_capacity;
     config.warmup = 5000;
     config.horizon = 120000;
     config.seed = 21;
@@ -147,6 +149,35 @@ int main() {
                       bench::fmt_double(metrics_overhead, 2));
     metrics_table.print();
 
+    // --- Flight-recorder hot-path overhead: full stack, black-box ring
+    // bound vs capacity 0 (nothing binds; producers pay one null
+    // check). Same interleaved best-of-7 discipline; the acceptance bar
+    // is <=3% bound, 0 unbound.
+    bench::section("Flight recorder overhead (full stack, bound vs unbound)");
+    Measurement recorder_off;
+    Measurement recorder_on;
+    recorder_off.wall_ms = 1e300;
+    recorder_on.wall_ms = 1e300;
+    for (int i = 0; i < 7; ++i) {
+        const Measurement off = measure(true, nullptr, true, 0);
+        if (off.wall_ms < recorder_off.wall_ms) recorder_off = off;
+        const Measurement on = measure(true, nullptr, true, 2048);
+        if (on.wall_ms < recorder_on.wall_ms) recorder_on = on;
+    }
+    const double recorder_overhead =
+        100.0 * (recorder_on.wall_ms / recorder_off.wall_ms - 1.0);
+
+    bench::Table recorder_table(
+        {"configuration", "ctrl iterations", "host wall (ms)", "overhead %"});
+    recorder_table.row("resilient, recorder unbound (capacity 0)",
+                       recorder_off.iterations,
+                       bench::fmt_double(recorder_off.wall_ms, 2), "-");
+    recorder_table.row("resilient, recorder bound (capacity 2048)",
+                       recorder_on.iterations,
+                       bench::fmt_double(recorder_on.wall_ms, 2),
+                       bench::fmt_double(recorder_overhead, 2));
+    recorder_table.print();
+
     // --- Metrics snapshot artifact for CI (and eyeballing).
     {
         platform::ScenarioConfig config;
@@ -163,7 +194,17 @@ int main() {
             path_env ? path_env : "metrics_snapshot.json";
         std::ofstream out(path);
         if (out) {
-            out << scenario.node().metrics.json();
+            // Registry snapshot plus the recorder bound-vs-unbound
+            // numbers, one artifact (registry json() ends in \n).
+            std::string metrics_json = scenario.node().metrics.json();
+            while (!metrics_json.empty() && metrics_json.back() == '\n') {
+                metrics_json.pop_back();
+            }
+            out << "{\"metrics\": " << metrics_json
+                << ",\n \"recorder_overhead\": {\"unbound_wall_ms\": "
+                << recorder_off.wall_ms
+                << ", \"bound_wall_ms\": " << recorder_on.wall_ms
+                << ", \"overhead_pct\": " << recorder_overhead << "}}\n";
             std::cout << "\nwrote " << path << "\n";
         } else {
             std::cerr << "cannot write " << path << "\n";

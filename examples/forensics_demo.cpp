@@ -3,11 +3,18 @@
 // tries to reconstruct what happened and to prove the record's
 // integrity to a third party (regulator / insurer).
 //
+// Writes two machine-readable artefacts for the resilient device:
+//   trace.json       (env CRES_TRACE_JSON)      Perfetto/chrome://tracing
+//   postmortem.json  (env CRES_POSTMORTEM_JSON) sealed incident bundle
+//
 //   ./build/examples/forensics_demo
+#include <cstdlib>
+#include <fstream>
 #include <iostream>
 
 #include "attack/attacks.h"
 #include "core/ssm/report.h"
+#include "obs/postmortem.h"
 #include "platform/scenario.h"
 
 using namespace cres;
@@ -22,6 +29,16 @@ platform::ScenarioConfig make_config(bool resilient) {
     config.horizon = 140000;
     config.seed = 123;
     return config;
+}
+
+std::string out_path(const char* env, const char* fallback) {
+    const char* value = std::getenv(env);
+    return value != nullptr && *value != '\0' ? value : fallback;
+}
+
+void write_file(const std::string& path, const std::string& content) {
+    std::ofstream out(path, std::ios::binary);
+    out << content;
 }
 
 }  // namespace
@@ -113,6 +130,48 @@ int main() {
             std::cout << "incident detect latency: " << detect->min()
                       << ".." << detect->max() << " cycles over "
                       << detect->count() << " incident(s)\n";
+        }
+
+        // The black box: bounded flight-recorder ring + sealed bundle.
+        auto& node = scenario.node();
+        std::cout << "\nflight recorder: " << node.recorder.size() << "/"
+                  << node.recorder.capacity() << " records live, "
+                  << node.recorder.total_emitted() << " emitted, "
+                  << node.recorder.evicted() << " evicted\n";
+
+        const std::string trace_path =
+            out_path("CRES_TRACE_JSON", "trace.json");
+        write_file(trace_path, node.chrome_trace());
+        std::cout << "wrote timeline " << trace_path
+                  << " (open in Perfetto / chrome://tracing)\n";
+
+        const auto& postmortems = node.ssm->postmortems();
+        std::cout << "sealed postmortem bundles: " << postmortems.size()
+                  << "\n";
+        if (!postmortems.empty()) {
+            const std::string sealed = node.ssm->sealed_postmortem(0);
+            const std::string pm_path =
+                out_path("CRES_POSTMORTEM_JSON", "postmortem.json");
+            write_file(pm_path, sealed);
+            std::cout << "wrote bundle " << pm_path << " (incident #"
+                      << postmortems.front().incident_id << ", "
+                      << postmortems.front().telemetry.size()
+                      << " telemetry records, window "
+                      << postmortems.front().window_begin << ".."
+                      << postmortems.front().closed_at << ")\n";
+
+            // Offline verification: the artefact alone + the seal key.
+            const bool ok =
+                obs::verify_postmortem(sealed, scenario.seal_key());
+            std::cout << "offline HMAC verification: "
+                      << (ok ? "pass" : "FAIL") << "\n";
+            std::string flipped = sealed;
+            flipped[flipped.size() / 2] ^= 0x01;
+            const bool tampered_ok =
+                obs::verify_postmortem(flipped, scenario.seal_key());
+            std::cout << "after 1-byte flip, verification: "
+                      << (tampered_ok ? "PASS (bad!)" : "fail")
+                      << "  <- tampering is self-evident\n";
         }
 
         // And truncation?

@@ -32,6 +32,7 @@ enum class EventCategory : std::uint8_t {
     kBoot,          ///< Boot/update anomalies (rollback attempts...).
     kSystem,        ///< SSM-internal findings (correlation results).
 };
+constexpr std::size_t kEventCategoryCount = 10;
 
 /// Static-storage name for a category; no per-call allocation.
 std::string_view category_name(EventCategory category) noexcept;

@@ -5,11 +5,13 @@
 // ablations) and count their own emissions.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <utility>
 
 #include "core/event.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 
 namespace cres::core {
@@ -45,6 +47,20 @@ public:
             &registry.histogram("cres_monitor_poll_gap_cycles" + label);
     }
 
+    /// Binds the device flight recorder: every emitted event also lands
+    /// in the bounded black-box ring, stamped with this monitor's
+    /// interned source id and its category as the record kind. The
+    /// interning here is the cold path; emit() stays allocation-free.
+    /// Unbound monitors (the default) pay one null check per emit.
+    void bind_recorder(obs::FlightRecorder& recorder) {
+        recorder_ = &recorder;
+        recorder_source_ = recorder.intern(name_);
+        for (std::size_t i = 0; i < kEventCategoryCount; ++i) {
+            recorder_kinds_[i] =
+                recorder.intern(category_name(static_cast<EventCategory>(i)));
+        }
+    }
+
     /// One-line description of what this monitor watches (used by the
     /// capability registry that regenerates Table I).
     [[nodiscard]] virtual std::string description() const = 0;
@@ -54,6 +70,12 @@ protected:
     /// periodic scan for Tickable monitors, one watched transaction /
     /// frame / edge for observer-style monitors. Cycle-accurate: the
     /// gap histogram is fed from simulated time only.
+    ///
+    /// The first poll never contributes a gap sample: last_poll_at_
+    /// starts at the kNoPoll sentinel, not at cycle 0, so a monitor
+    /// whose first pass happens late cannot smear a bogus 0..first-poll
+    /// "gap" into cres_monitor_poll_gap_cycles. Pinned bucket-by-bucket
+    /// by Monitor.FirstPollContributesNoGapSample in tests/obs_test.cpp.
     void note_poll(sim::Cycle now) noexcept {
         if (polls_ == nullptr || !enabled_) return;
         polls_->inc();
@@ -73,6 +95,13 @@ protected:
             events_->inc();
             if (severity >= EventSeverity::kAlert) alerts_->inc();
         }
+        if (recorder_ != nullptr) {
+            recorder_->record(at, recorder_source_,
+                              recorder_kinds_[static_cast<std::size_t>(
+                                  category)],
+                              static_cast<std::uint8_t>(severity),
+                              obs::FlightRecordType::kInstant, a, b, detail);
+        }
         sink_.submit(MonitorEvent{at, name_, category, severity,
                                   std::move(resource), std::move(detail), a,
                                   b});
@@ -90,6 +119,9 @@ private:
     obs::Counter* alerts_ = nullptr;
     obs::Histogram* poll_gap_ = nullptr;
     sim::Cycle last_poll_at_ = kNoPoll;
+    obs::FlightRecorder* recorder_ = nullptr;
+    std::uint16_t recorder_source_ = 0;
+    std::array<std::uint16_t, kEventCategoryCount> recorder_kinds_{};
 };
 
 }  // namespace cres::core

@@ -41,6 +41,7 @@ void SystemSecurityManager::submit(const MonitorEvent& event) {
 }
 
 void SystemSecurityManager::bind_metrics(obs::MetricsRegistry& registry) {
+    registry_ = &registry;
     m_events_ = &registry.counter("cres_ssm_events_processed_total");
     m_dispatches_ = &registry.counter("cres_ssm_dispatches_total");
     m_transitions_ = &registry.counter("cres_ssm_health_transitions_total");
@@ -52,12 +53,28 @@ void SystemSecurityManager::bind_metrics(obs::MetricsRegistry& registry) {
     spans_ = std::make_unique<obs::SpanTracer>(registry);
 }
 
+void SystemSecurityManager::bind_recorder(obs::FlightRecorder& recorder) {
+    recorder_ = &recorder;
+    rec_source_ = recorder.intern("ssm");
+    rec_state_ = recorder.intern("state");
+    rec_decision_ = recorder.intern("decision");
+    rec_action_ = recorder.intern("action");
+    rec_queue_ = recorder.intern("queue_depth");
+}
+
 void SystemSecurityManager::transition(HealthState next, sim::Cycle at,
                                        const std::string& why) {
     if (health_ == next) return;
     evidence_.append(at, "state",
                      health_state_name(health_) + " -> " +
                          health_state_name(next) + ": " + why);
+    if (recorder_ != nullptr) {
+        recorder_->record(at, rec_source_, rec_state_, 0,
+                          obs::FlightRecordType::kInstant,
+                          static_cast<std::uint64_t>(health_),
+                          static_cast<std::uint64_t>(next),
+                          health_state_name(next));
+    }
     health_ = next;
     if (m_transitions_ != nullptr) m_transitions_->inc();
 }
@@ -103,6 +120,7 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
         if (spans_ == nullptr || incident_.has_value()) return;
         incident_ = spans_->open(event.at);
         spans_->mark(*incident_, obs::CsfPhase::kDetect, now);
+        open_postmortem(*incident_, event.at);
     };
     if (event.severity == EventSeverity::kAlert &&
         health_ == HealthState::kHealthy) {
@@ -129,6 +147,12 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
         evidence_.append(now, "decision",
                          "rule '" + rule->name + "' fired for " +
                              event.resource);
+        if (recorder_ != nullptr) {
+            recorder_->record(now, rec_source_, rec_decision_,
+                              static_cast<std::uint8_t>(event.severity),
+                              obs::FlightRecordType::kInstant, event.a,
+                              event.b, rule->name);
+        }
 
         if (executor_ != nullptr && !rule->actions.empty()) {
             transition(HealthState::kResponding, now, "rule " + rule->name);
@@ -139,6 +163,14 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
                 const std::string outcome = executor_->execute(action, event);
                 evidence_.append(now, "action",
                                  action_name(action) + ": " + outcome);
+                if (recorder_ != nullptr) {
+                    recorder_->record(now, rec_source_, rec_action_,
+                                      static_cast<std::uint8_t>(
+                                          event.severity),
+                                      obs::FlightRecordType::kInstant,
+                                      static_cast<std::uint64_t>(action), 0,
+                                      action_name(action));
+                }
             }
         }
     }
@@ -152,6 +184,14 @@ void SystemSecurityManager::tick(sim::Cycle now) {
     if (m_queue_depth_per_poll_ != nullptr) {
         m_queue_depth_per_poll_->record(queue_.size());
     }
+    // Queue-depth counter track, change-guarded so an idle SSM does not
+    // flood the black box with identical samples every poll.
+    if (recorder_ != nullptr && queue_.size() != last_queue_recorded_) {
+        last_queue_recorded_ = queue_.size();
+        recorder_->record(now, rec_source_, rec_queue_, 0,
+                          obs::FlightRecordType::kCounter,
+                          static_cast<std::uint64_t>(queue_.size()), 0, {});
+    }
 
     // Drain everything that arrived up to now.
     while (!queue_.empty()) {
@@ -160,6 +200,11 @@ void SystemSecurityManager::tick(sim::Cycle now) {
         process_event(event, now);
     }
     if (m_queue_depth_ != nullptr) m_queue_depth_->set(0);
+    if (recorder_ != nullptr && last_queue_recorded_ != 0) {
+        last_queue_recorded_ = 0;
+        recorder_->record(now, rec_source_, rec_queue_, 0,
+                          obs::FlightRecordType::kCounter, 0, 0, {});
+    }
 }
 
 void SystemSecurityManager::notify_recovery_started(sim::Cycle at) {
@@ -178,9 +223,68 @@ void SystemSecurityManager::notify_recovery_complete(sim::Cycle at,
                degraded ? "recovered with degraded service"
                         : "recovered to full service");
     if (spans_ != nullptr && incident_.has_value()) {
+        close_postmortem(at);  // Marks are read before close() drops them.
         spans_->close(*incident_, at);
         incident_.reset();
     }
+}
+
+void SystemSecurityManager::open_postmortem(std::uint64_t incident_id,
+                                            sim::Cycle opened_at) {
+    if (recorder_ == nullptr) return;
+    obs::PostmortemBundle bundle;
+    bundle.device = config_.device_name;
+    bundle.incident_id = incident_id;
+    bundle.opened_at = opened_at;
+    bundle.window_begin = opened_at > config_.postmortem_pre_window
+                              ? opened_at - config_.postmortem_pre_window
+                              : 0;
+    // Pre-incident window, captured now before the ring rolls past it.
+    bundle.telemetry = recorder_->snapshot_since(bundle.window_begin);
+    pending_seq_ = recorder_->total_emitted();
+    pending_postmortem_ = std::move(bundle);
+}
+
+void SystemSecurityManager::close_postmortem(sim::Cycle at) {
+    if (!pending_postmortem_.has_value() || recorder_ == nullptr) return;
+    obs::PostmortemBundle bundle = std::move(*pending_postmortem_);
+    pending_postmortem_.reset();
+    bundle.closed_at = at;
+
+    if (spans_ != nullptr && incident_.has_value()) {
+        if (const auto marks = spans_->marks(*incident_)) {
+            bundle.marked = marks->marked;
+            bundle.phase_at = marks->at;
+        }
+    }
+    // close() is about to mark recover at `at`; reflect that here.
+    constexpr std::uint8_t kRecoverBit =
+        1U << static_cast<std::size_t>(obs::CsfPhase::kRecover);
+    if ((bundle.marked & kRecoverBit) == 0U) {
+        bundle.marked |= kRecoverBit;
+        bundle.phase_at[static_cast<std::size_t>(obs::CsfPhase::kRecover)] =
+            at;
+    }
+
+    // Everything emitted after open, deduplicated against the pre-window
+    // snapshot by the recorder's global sequence watermark.
+    auto tail = recorder_->snapshot_emitted_since(pending_seq_);
+    bundle.telemetry.insert(bundle.telemetry.end(), tail.begin(), tail.end());
+    bundle.names = recorder_->names();
+
+    bundle.metrics_json = registry_ != nullptr ? registry_->json() : "";
+    const auto seal = evidence_.seal();
+    bundle.evidence_count = seal.count;
+    bundle.evidence_head_hex = to_hex(BytesView{seal.head.data(),
+                                                seal.head.size()});
+    postmortems_.push_back(std::move(bundle));
+}
+
+std::string SystemSecurityManager::sealed_postmortem(std::size_t index) const {
+    if (index >= postmortems_.size()) {
+        throw Error("SystemSecurityManager: postmortem index out of range");
+    }
+    return obs::seal_postmortem(postmortems_[index], report_hmac_);
 }
 
 void SystemSecurityManager::notify_full_service(sim::Cycle at) {

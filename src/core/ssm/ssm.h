@@ -26,7 +26,9 @@
 #include "core/policy/policy.h"
 #include "core/ssm/evidence.h"
 #include "core/ssm/risk.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/postmortem.h"
 #include "obs/span.h"
 #include "sim/simulator.h"
 
@@ -60,6 +62,10 @@ struct SsmConfig {
     bool physically_isolated = true;
     sim::Cycle poll_interval = 10;
     Bytes seal_key;  ///< Evidence-sealing key (required).
+    std::string device_name = "node";  ///< Identity stamped into bundles.
+    /// Pre-incident flight-recorder cycles captured into a postmortem
+    /// bundle (the window before the triggering event's emit cycle).
+    sim::Cycle postmortem_pre_window = 5000;
 };
 
 /// A dispatched (event -> rule -> actions) decision, kept for metrics.
@@ -89,6 +95,14 @@ public:
     /// (detect/respond/contain/recover latency histograms). Unbound
     /// SSMs skip all metric work.
     void bind_metrics(obs::MetricsRegistry& registry);
+
+    /// Attaches the device flight recorder: health transitions, policy
+    /// decisions and response actions land in the black-box ring, and
+    /// queue depth is recorded as a counter track whenever it changes.
+    /// Also enables postmortem capture — on incident span open the SSM
+    /// snapshots the pre-incident ring window, and on close it seals
+    /// the full bundle (requires bind_metrics for the span tracer).
+    void bind_recorder(obs::FlightRecorder& recorder);
 
     // --- EventSink (called synchronously by monitors) --------------------
     void submit(const MonitorEvent& event) override;
@@ -126,6 +140,18 @@ public:
     [[nodiscard]] const obs::SpanTracer* spans() const noexcept {
         return spans_.get();
     }
+
+    /// Completed incident postmortem bundles, oldest first (empty until
+    /// an incident closes; requires bind_metrics).
+    [[nodiscard]] const std::vector<obs::PostmortemBundle>& postmortems()
+        const noexcept {
+        return postmortems_;
+    }
+
+    /// Renders bundle `index` as the sealed, offline-verifiable JSON
+    /// artefact (sealed under the evidence seal key). Throws Error on
+    /// out-of-range indices.
+    [[nodiscard]] std::string sealed_postmortem(std::size_t index) const;
 
     /// First dispatch at-or-after `since` whose event matches the
     /// category — detection-latency metric helper.
@@ -170,9 +196,25 @@ private:
     std::vector<Dispatch> dispatches_;
     sim::Cycle next_poll_ = 0;
 
+    void open_postmortem(std::uint64_t incident_id, sim::Cycle opened_at);
+    void close_postmortem(sim::Cycle at);
+
     // --- Observability (null/empty until bind_metrics) -------------------
     std::unique_ptr<obs::SpanTracer> spans_;
     std::optional<std::uint64_t> incident_;  ///< Open incident span id.
+    obs::MetricsRegistry* registry_ = nullptr;
+    obs::FlightRecorder* recorder_ = nullptr;
+    std::uint16_t rec_source_ = 0;   ///< Interned "ssm".
+    std::uint16_t rec_state_ = 0;    ///< Interned kinds.
+    std::uint16_t rec_decision_ = 0;
+    std::uint16_t rec_action_ = 0;
+    std::uint16_t rec_queue_ = 0;
+    std::size_t last_queue_recorded_ = 0;
+    /// Bundle under construction for the open incident (pre-window
+    /// snapshot taken at open, completed and sealed at close).
+    std::optional<obs::PostmortemBundle> pending_postmortem_;
+    std::uint64_t pending_seq_ = 0;  ///< Recorder watermark at open.
+    std::vector<obs::PostmortemBundle> postmortems_;
     obs::Counter* m_events_ = nullptr;
     obs::Counter* m_dispatches_ = nullptr;
     obs::Counter* m_transitions_ = nullptr;

@@ -1,0 +1,163 @@
+// Flight recorder: a fixed-capacity, zero-alloc-at-steady-state ring
+// of cycle-stamped telemetry records — the black box every device's
+// monitors and SSM feed continuously. When an incident closes, the SSM
+// snapshots the ring into a sealed postmortem bundle (postmortem.h) so
+// the pre/post-incident telemetry window survives as a verifiable
+// artefact even though the ring itself keeps rolling.
+//
+// Hot-path contract (mirrors MetricsRegistry): intern() is the cold
+// path and may allocate; record() never allocates — producers hold the
+// recorder pointer plus pre-interned ids, and an unbound producer
+// (null pointer) pays one branch. Capacity is fixed at construction;
+// once full, each record evicts the oldest (bounded black-box capture,
+// unlike the unbounded sim::TraceStream).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace cres::obs {
+
+/// How an exporter should render the record: a point event on its
+/// source's track, or a counter sample (value in `a`).
+enum class FlightRecordType : std::uint8_t { kInstant = 0, kCounter = 1 };
+
+/// One POD ring slot. `source` and `kind` are interned-name ids;
+/// `detail` is a NUL-padded truncated context snippet (copying into it
+/// is the price of staying allocation-free).
+struct FlightRecord {
+    static constexpr std::size_t kDetailCapacity = 32;
+
+    std::uint64_t at = 0;
+    std::uint16_t source = 0;
+    std::uint16_t kind = 0;
+    std::uint8_t severity = 0;  ///< Numeric core::EventSeverity (0 = info).
+    FlightRecordType type = FlightRecordType::kInstant;
+    std::uint64_t a = 0;
+    std::uint64_t b = 0;
+    std::array<char, kDetailCapacity> detail{};
+
+    [[nodiscard]] std::string_view detail_view() const noexcept {
+        std::size_t len = 0;
+        while (len < kDetailCapacity && detail[len] != '\0') ++len;
+        return {detail.data(), len};
+    }
+};
+
+class FlightRecorder {
+public:
+    /// `capacity` slots are allocated up front; 0 disables the recorder
+    /// (record() becomes a no-op, nothing should bind to it).
+    explicit FlightRecorder(std::size_t capacity);
+
+    // --- Cold path --------------------------------------------------------
+    /// Get-or-create a stable id for `name`. Ids are assigned in first-
+    /// intern order, so a deterministic binding order yields a
+    /// deterministic name table.
+    std::uint16_t intern(std::string_view name);
+
+    /// Name for an interned id ("?" for ids never handed out).
+    [[nodiscard]] std::string_view name(std::uint16_t id) const noexcept;
+
+    /// Snapshot of the id -> name table (index == id).
+    [[nodiscard]] const std::vector<std::string>& names() const noexcept {
+        return names_;
+    }
+
+    // --- Hot path ---------------------------------------------------------
+    /// Appends one record, evicting the oldest when full. Never
+    /// allocates; `detail` is truncated to FlightRecord::kDetailCapacity.
+    void record(std::uint64_t at, std::uint16_t source, std::uint16_t kind,
+                std::uint8_t severity, FlightRecordType type, std::uint64_t a,
+                std::uint64_t b, std::string_view detail) noexcept {
+        if (ring_.empty()) return;
+        FlightRecord& slot = ring_[head_];
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        if (count_ < ring_.size()) ++count_;
+        ++emitted_;
+        slot.at = at;
+        slot.source = source;
+        slot.kind = kind;
+        slot.severity = severity;
+        slot.type = type;
+        slot.a = a;
+        slot.b = b;
+        const std::size_t n =
+            detail.size() < FlightRecord::kDetailCapacity
+                ? detail.size()
+                : FlightRecord::kDetailCapacity;
+        std::memcpy(slot.detail.data(), detail.data(), n);
+        if (n < FlightRecord::kDetailCapacity) {
+            std::memset(slot.detail.data() + n, 0,
+                        FlightRecord::kDetailCapacity - n);
+        }
+    }
+
+    /// Rare-event convenience (reboot, operator alert): interns the
+    /// names on the fly, so it may allocate — not for per-cycle use.
+    void record_slow(std::uint64_t at, std::string_view source,
+                     std::string_view kind, std::uint8_t severity,
+                     FlightRecordType type, std::uint64_t a, std::uint64_t b,
+                     std::string_view detail);
+
+    // --- Queries (cold) ---------------------------------------------------
+    [[nodiscard]] std::size_t capacity() const noexcept {
+        return ring_.size();
+    }
+    [[nodiscard]] std::size_t size() const noexcept { return count_; }
+    [[nodiscard]] bool empty() const noexcept { return count_ == 0; }
+    /// Records ever emitted (monotonic; also the sequence number the
+    /// next record will get).
+    [[nodiscard]] std::uint64_t total_emitted() const noexcept {
+        return emitted_;
+    }
+    /// Records evicted by the ring wrapping.
+    [[nodiscard]] std::uint64_t evicted() const noexcept {
+        return emitted_ - count_;
+    }
+
+    /// Visits live records oldest -> newest.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        const std::size_t first = oldest_index();
+        for (std::size_t i = 0; i < count_; ++i) {
+            fn(ring_[(first + i) % ring_.size()]);
+        }
+    }
+
+    /// Live records with at >= cycle, oldest -> newest (copies; cold).
+    [[nodiscard]] std::vector<FlightRecord> snapshot_since(
+        std::uint64_t cycle) const;
+
+    /// Live records whose global sequence number is >= seq (i.e. the
+    /// records emitted after a total_emitted() watermark was taken).
+    [[nodiscard]] std::vector<FlightRecord> snapshot_emitted_since(
+        std::uint64_t seq) const;
+
+    void clear() noexcept {
+        head_ = 0;
+        count_ = 0;
+        // emitted_ keeps counting: eviction accounting stays truthful.
+    }
+
+private:
+    [[nodiscard]] std::size_t oldest_index() const noexcept {
+        return count_ < ring_.size()
+                   ? (head_ + ring_.size() - count_) % ring_.size()
+                   : head_;
+    }
+
+    std::vector<FlightRecord> ring_;
+    std::size_t head_ = 0;   ///< Next slot to write.
+    std::size_t count_ = 0;  ///< Live records.
+    std::uint64_t emitted_ = 0;
+    std::vector<std::string> names_;
+    std::map<std::string, std::uint16_t, std::less<>> ids_;
+};
+
+}  // namespace cres::obs

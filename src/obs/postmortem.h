@@ -1,0 +1,67 @@
+// Sealed incident postmortem bundles. When a CSF incident span closes,
+// the SSM snapshots its flight-recorder window, the metrics JSON
+// snapshot, the span's phase marks and the evidence-chain head into
+// one PostmortemBundle, then seals it with the device's keyed
+// HmacSha256 so the artefact is tamper-evident and verifiable offline:
+// a verifier holding the seal key needs only the JSON text.
+//
+// Sealing scheme: the HMAC covers the exact bytes of the rendered
+// "bundle" JSON value (render_postmortem_body). The sealed artefact
+// wraps that body verbatim, so verify_postmortem() can re-extract it
+// by the fixed delimiters without a JSON parser — any 1-byte flip in
+// the body (or the tag) fails verification.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "crypto/hmac.h"
+#include "obs/flight_recorder.h"
+#include "util/bytes.h"
+
+namespace cres::obs {
+
+struct PostmortemBundle {
+    static constexpr std::size_t kCsfPhaseCount = 4;
+
+    std::string device;  ///< Node name (process identity in the trace).
+    std::uint64_t incident_id = 0;
+    std::uint64_t opened_at = 0;  ///< Triggering event's emit cycle.
+    std::uint64_t closed_at = 0;  ///< Recovery-complete cycle.
+    /// Start of the captured pre-incident telemetry window.
+    std::uint64_t window_begin = 0;
+
+    /// CSF phase marks: bit i of `marked` set => phase i was marked at
+    /// absolute cycle phase_at[i] (detect/respond/contain/recover).
+    std::uint8_t marked = 0;
+    std::array<std::uint64_t, kCsfPhaseCount> phase_at{};
+
+    /// Flight-recorder window (pre-window at open + everything until
+    /// close) and the id -> name table resolving its interned ids.
+    std::vector<FlightRecord> telemetry;
+    std::vector<std::string> names;
+
+    /// Metrics registry JSON snapshot at close (empty when unbound).
+    std::string metrics_json;
+
+    /// Evidence-chain anchor: record count and chain head at close.
+    std::uint64_t evidence_count = 0;
+    std::string evidence_head_hex;
+};
+
+/// Canonical JSON body — the exact bytes the seal covers.
+[[nodiscard]] std::string render_postmortem_body(const PostmortemBundle& b);
+
+/// The complete sealed artefact (format "cres-postmortem-v1").
+[[nodiscard]] std::string seal_postmortem(const PostmortemBundle& b,
+                                          const crypto::HmacSha256& sealer);
+
+/// Offline verification of a sealed artefact against the seal key.
+/// False on malformed input, a wrong key, or any body/tag tampering.
+[[nodiscard]] bool verify_postmortem(std::string_view sealed_json,
+                                     BytesView seal_key);
+
+}  // namespace cres::obs

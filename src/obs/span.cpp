@@ -27,7 +27,7 @@ SpanTracer::SpanTracer(MetricsRegistry& registry, const std::string& prefix)
 
 std::uint64_t SpanTracer::open(std::uint64_t at) {
     const std::uint64_t id = next_id_++;
-    open_.emplace(id, Incident{at, 0});
+    open_.emplace(id, Incident{at, 0, {}});
     incidents_total_->inc();
     incidents_open_->set(static_cast<std::int64_t>(open_.size()));
     return id;
@@ -40,9 +40,27 @@ bool SpanTracer::mark(std::uint64_t id, CsfPhase phase, std::uint64_t at) {
         static_cast<std::uint8_t>(1u << static_cast<unsigned>(phase));
     if ((it->second.marked & bit) != 0) return false;
     it->second.marked = static_cast<std::uint8_t>(it->second.marked | bit);
+    it->second.mark_at[static_cast<std::size_t>(phase)] = at;
     phase_latency_[static_cast<std::size_t>(phase)]->record(
         at - it->second.opened_at);
     return true;
+}
+
+std::optional<SpanMarks> SpanTracer::marks(std::uint64_t id) const {
+    const auto it = open_.find(id);
+    if (it == open_.end()) return std::nullopt;
+    return SpanMarks{id, it->second.opened_at, it->second.marked,
+                     it->second.mark_at};
+}
+
+std::vector<SpanMarks> SpanTracer::open_marks() const {
+    std::vector<SpanMarks> out;
+    out.reserve(open_.size());
+    for (const auto& [id, incident] : open_) {  // Ordered map: id order.
+        out.push_back(SpanMarks{id, incident.opened_at, incident.marked,
+                                incident.mark_at});
+    }
+    return out;
 }
 
 bool SpanTracer::close(std::uint64_t id, std::uint64_t at) {

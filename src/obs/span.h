@@ -15,9 +15,12 @@
 // that are never closed remain queryable as orphans.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "obs/metrics.h"
 
@@ -28,6 +31,16 @@ constexpr std::size_t kCsfPhaseCount = 4;
 
 /// Static-storage phase label ("detect", "respond", ...).
 [[nodiscard]] std::string_view csf_phase_name(CsfPhase phase) noexcept;
+
+/// Absolute mark cycles of one (still open) span — the raw data a
+/// postmortem bundle or timeline exporter captures before close()
+/// retires the span. Bit i of `marked` validates at[i].
+struct SpanMarks {
+    std::uint64_t id = 0;
+    std::uint64_t opened_at = 0;
+    std::uint8_t marked = 0;
+    std::array<std::uint64_t, kCsfPhaseCount> at{};
+};
 
 class SpanTracer {
 public:
@@ -61,10 +74,18 @@ public:
         return open_.find(id) != open_.end();
     }
 
+    /// Absolute mark cycles of an open span (nullopt for unknown or
+    /// retired ids). Read before close() — closing discards the marks.
+    [[nodiscard]] std::optional<SpanMarks> marks(std::uint64_t id) const;
+
+    /// Marks of every still-open span, id-ordered (deterministic).
+    [[nodiscard]] std::vector<SpanMarks> open_marks() const;
+
 private:
     struct Incident {
         std::uint64_t opened_at = 0;
         std::uint8_t marked = 0;  ///< Bitmask over CsfPhase.
+        std::array<std::uint64_t, kCsfPhaseCount> mark_at{};
     };
 
     MetricsRegistry& registry_;

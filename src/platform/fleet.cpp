@@ -233,6 +233,26 @@ obs::MetricsRegistry Fleet::collect_metrics() const {
     return merged;
 }
 
+std::string Fleet::chrome_trace() const {
+    obs::ChromeTrace out;
+    for (const Device& device : devices_) {  // Index order: deterministic.
+        device.node->append_chrome_trace(out);
+    }
+    return out.json();
+}
+
+std::vector<std::string> Fleet::sealed_postmortems() const {
+    std::vector<std::string> out;
+    for (const Device& device : devices_) {  // Index order: deterministic.
+        if (!device.node->ssm) continue;
+        const std::size_t count = device.node->ssm->postmortems().size();
+        for (std::size_t i = 0; i < count; ++i) {
+            out.push_back(device.node->ssm->sealed_postmortem(i));
+        }
+    }
+    return out;
+}
+
 std::uint64_t Fleet::fleet_iterations() const {
     std::uint64_t total = 0;
     for (const auto& device : devices_) {

@@ -106,6 +106,16 @@ public:
     /// not a phase.
     [[nodiscard]] obs::MetricsRegistry collect_metrics() const;
 
+    /// Fleet-wide Chrome Trace artefact: every device's timeline
+    /// appended in device-index order (one process track per device),
+    /// so the JSON is bit-identical at any worker_threads. Serial by
+    /// design — it is a reduction, not a phase.
+    [[nodiscard]] std::string chrome_trace() const;
+
+    /// Every sealed postmortem bundle across the fleet, in device-index
+    /// then incident order (bit-identical at any worker_threads).
+    [[nodiscard]] std::vector<std::string> sealed_postmortems() const;
+
 private:
     struct Device {
         std::unique_ptr<Node> node;

@@ -8,6 +8,7 @@ namespace cres::platform {
 
 Node::Node(NodeConfig config)
     : cfg(std::move(config)),
+      recorder(cfg.flight_recorder_capacity),
       app_ram("app_ram", kAppRamSize),
       tee_ram("tee_ram", kTeeRamSize),
       uart("uart"),
@@ -28,6 +29,7 @@ Node::Node(NodeConfig config)
       cpu("cpu0", bus),
       tee(bus, kTeeRamBase, kTeeRamSize) {
     build_memory_map();
+    if (cfg.metrics) trace.bind_metrics(metrics);
 
     sim.add_tickable(&cpu);
     sim.add_tickable(&timer);
@@ -177,6 +179,7 @@ void Node::build_security_engine(Bytes seal_key) {
     ssm_config.physically_isolated = cfg.ssm_isolated;
     ssm_config.poll_interval = cfg.ssm_poll_interval;
     ssm_config.seal_key = std::move(seal_key);
+    ssm_config.device_name = cfg.name;
     ssm = std::make_unique<core::SystemSecurityManager>(sim, ssm_config);
 
     bus_monitor = std::make_unique<core::BusMonitor>(*ssm, sim, bus);
@@ -216,6 +219,9 @@ void Node::build_security_engine(Bytes seal_key) {
     ctx.operator_alert = [this](const std::string& message) {
         ++stats_.operator_alerts;
         trace.emit(sim.now(), "response", "operator-alert", message);
+        recorder.record_slow(sim.now(), "response", "operator-alert",
+                             /*severity=*/2, obs::FlightRecordType::kInstant,
+                             0, 0, message);
     };
     ctx.system_reset = [this] { reboot("response-manager reset"); };
     ctx.rate_limiter = [this](const std::string& resource) {
@@ -249,6 +255,21 @@ void Node::build_security_engine(Bytes seal_key) {
         recovery->bind_metrics(metrics);
         degradation->bind_metrics(metrics);
         response_manager->bind_metrics(metrics);
+    }
+
+    if (recorder.capacity() > 0) {
+        // Deterministic binding order => deterministic name-table ids.
+        ssm->bind_recorder(recorder);
+        bus_monitor->bind_recorder(recorder);
+        cfi_monitor->bind_recorder(recorder);
+        memory_monitor->bind_recorder(recorder);
+        dift_monitor->bind_recorder(recorder);
+        peripheral_monitor->bind_recorder(recorder);
+        timing_monitor->bind_recorder(recorder);
+        network_monitor->bind_recorder(recorder);
+        environment_monitor->bind_recorder(recorder);
+        config_monitor->bind_recorder(recorder);
+        if (redundancy_monitor) redundancy_monitor->bind_recorder(recorder);
     }
 
     sim.add_tickable(ssm.get());
@@ -325,6 +346,8 @@ void Node::reboot(const std::string& reason) {
     stats_.downtime_cycles += cfg.reboot_downtime;
     cpu.halt();
     trace.emit(sim.now(), "system", "reboot", reason);
+    recorder.record_slow(sim.now(), "system", "reboot", /*severity=*/2,
+                         obs::FlightRecordType::kInstant, 0, 0, reason);
 
     if (!cfg.resilient) {
         // Volatile telemetry dies with the reset — the passive
@@ -444,6 +467,62 @@ void Node::arm_resilience(const isa::Program& program) {
     // Policy.
     ssm->set_policy(core::PolicyEngine::parse(
         cfg.policy_dsl.empty() ? default_policy() : cfg.policy_dsl));
+}
+
+void Node::append_chrome_trace(obs::ChromeTrace& out) const {
+    const std::uint32_t pid = out.process(cfg.name);
+
+    if (ssm) {
+        const std::uint32_t tid = out.thread(pid, "incidents");
+        for (const auto& b : ssm->postmortems()) {
+            out.complete(pid, tid,
+                         "incident #" + std::to_string(b.incident_id),
+                         "incident", b.opened_at, b.closed_at - b.opened_at);
+            for (std::size_t p = 0; p < obs::kCsfPhaseCount; ++p) {
+                if ((b.marked & (1U << p)) == 0U) continue;
+                out.instant(
+                    pid, tid,
+                    obs::csf_phase_name(static_cast<obs::CsfPhase>(p)),
+                    "csf", b.phase_at[p]);
+            }
+        }
+        // Incidents still in progress: opened but never recovered.
+        if (const obs::SpanTracer* spans = ssm->spans()) {
+            for (const auto& m : spans->open_marks()) {
+                out.instant(pid, tid,
+                            "incident #" + std::to_string(m.id) + " (open)",
+                            "incident", m.opened_at);
+                for (std::size_t p = 0; p < obs::kCsfPhaseCount; ++p) {
+                    if ((m.marked & (1U << p)) == 0U) continue;
+                    out.instant(
+                        pid, tid,
+                        obs::csf_phase_name(static_cast<obs::CsfPhase>(p)),
+                        "csf", m.at[p]);
+                }
+            }
+        }
+    }
+
+    // Flight-recorder tracks: one thread per source, replayed oldest ->
+    // newest; counter records become per-kind counter series on the
+    // process track.
+    recorder.for_each([&](const obs::FlightRecord& r) {
+        if (r.type == obs::FlightRecordType::kCounter) {
+            out.counter(pid, recorder.name(r.kind), r.at, r.a);
+            return;
+        }
+        const std::uint32_t tid = out.thread(pid, recorder.name(r.source));
+        out.instant(pid, tid, recorder.name(r.kind),
+                    core::severity_name(
+                        static_cast<core::EventSeverity>(r.severity)),
+                    r.at, r.detail_view());
+    });
+}
+
+std::string Node::chrome_trace() const {
+    obs::ChromeTrace out;
+    append_chrome_trace(out);
+    return out.json();
 }
 
 }  // namespace cres::platform

@@ -51,6 +51,8 @@
 #include "mem/bus.h"
 #include "mem/ram.h"
 #include "net/channel.h"
+#include "obs/chrome_trace.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "platform/lockstep.h"
 #include "platform/memmap.h"
@@ -71,6 +73,9 @@ struct NodeConfig {
     sim::Cycle reboot_downtime = 5000;  ///< Cycles a reboot costs.
     bool metrics = true;  ///< Bind the observability registry (false =
                           ///< compiled-in but unqueried: zero overhead).
+    /// Flight-recorder ring slots (black-box capacity). 0 disables the
+    /// recorder entirely: nothing binds, producers pay one null check.
+    std::size_t flight_recorder_capacity = 2048;
     std::string policy_dsl;        ///< Empty = default policy.
     double sensor_nominal = 50.0;  ///< Physical signal baseline.
 };
@@ -132,6 +137,17 @@ public:
     /// periodically (the scenario/fleet runners schedule it).
     void pump_network();
 
+    // --- Forensics export -------------------------------------------------
+    /// Appends this node's timeline to a Chrome Trace builder: one
+    /// process track named after the device, one thread track per
+    /// flight-recorder source (counter records become counter series),
+    /// plus an "incidents" track rendering closed incidents as duration
+    /// spans with CSF phase marks and still-open incidents as instants.
+    void append_chrome_trace(obs::ChromeTrace& out) const;
+
+    /// The single-device trace artefact (Perfetto/chrome://tracing).
+    [[nodiscard]] std::string chrome_trace() const;
+
     // --- Config/state -----------------------------------------------------
     [[nodiscard]] const NodeConfig& config() const noexcept { return cfg; }
     [[nodiscard]] NodeStats& stats() noexcept { return stats_; }
@@ -142,9 +158,14 @@ public:
     NodeConfig cfg;
     sim::Simulator sim;
     sim::TraceStream trace;  ///< Volatile telemetry (passive platforms).
-    /// Cycle-accurate metrics; populated only when cfg.metrics and
-    /// cfg.resilient (components bind at build_security_engine time).
+    /// Cycle-accurate metrics; security components bind when
+    /// cfg.metrics and cfg.resilient (build_security_engine time); the
+    /// trace stream's growth gauges bind whenever cfg.metrics.
     obs::MetricsRegistry metrics;
+    /// Always-on black box (bounded ring; capacity from config, 0 =
+    /// disabled). Monitors and the SSM bind to it on resilient nodes;
+    /// rare platform events (reboot, operator alert) land directly.
+    obs::FlightRecorder recorder;
     mem::Bus bus;
     mem::Ram app_ram;
     mem::Ram tee_ram;

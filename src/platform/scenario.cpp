@@ -46,6 +46,8 @@ Scenario::Scenario(ScenarioConfig config)
     // The attestation key is also leak-relevant (bus-tamper target).
     secrets_.push_back(crypto::hkdf(device_root, to_bytes(cfg_.node.name),
                                     "attestation", 32));
+    seal_key_ = crypto::hkdf(device_root, to_bytes(cfg_.node.name),
+                             "evidence-seal", 32);
 
     // Start the workload and arm the defence.
     const isa::Program program = control_loop_program(cfg_.workload);

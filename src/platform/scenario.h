@@ -74,6 +74,12 @@ public:
         return secrets_;
     }
 
+    /// The device's derived evidence-seal key — what an offline
+    /// verifier holds to check sealed postmortem bundles and reports.
+    [[nodiscard]] const Bytes& seal_key() const noexcept {
+        return seal_key_;
+    }
+
     /// Runs the scenario. `attack` may be null (clean baseline run);
     /// otherwise it is launched at `attack_at` (absolute cycle, should
     /// be >= warmup).
@@ -90,6 +96,7 @@ private:
     dev::Link link_;
     std::unique_ptr<net::SecureChannel> peer_channel_;
     std::vector<Bytes> secrets_;
+    Bytes seal_key_;
     std::uint64_t leaked_bytes_ = 0;
 };
 

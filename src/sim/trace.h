@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 #include "util/bytes.h"
 
@@ -38,6 +39,18 @@ public:
     }
     [[nodiscard]] std::size_t size() const noexcept { return records_.size(); }
     [[nodiscard]] bool empty() const noexcept { return records_.empty(); }
+
+    /// Approximate heap footprint of the stream (record structs plus
+    /// string payload lengths) — the observable cost of the stream
+    /// being unbounded. Maintained on emit, reset by clear().
+    [[nodiscard]] std::uint64_t bytes_approx() const noexcept {
+        return bytes_approx_;
+    }
+
+    /// Registers the `cres_trace_records` / `cres_trace_bytes_approx`
+    /// gauges so the stream's unbounded growth is visible on long runs.
+    /// Unbound streams (the default) pay one null check per emit.
+    void bind_metrics(obs::MetricsRegistry& registry);
 
     /// Records with at >= cycle. Copies; prefer for_each_since on hot
     /// or large streams.
@@ -76,6 +89,8 @@ public:
     void clear() noexcept {
         records_.clear();
         kind_counts_.clear();
+        bytes_approx_ = 0;
+        update_gauges();
     }
 
     /// Serializes one record for hashing into the evidence chain.
@@ -84,8 +99,22 @@ public:
     static Bytes encode(const TraceRecord& record);
 
 private:
+    void note_emit(const TraceRecord& record) noexcept {
+        bytes_approx_ += sizeof(TraceRecord) + record.source.size() +
+                         record.kind.size() + record.detail.size();
+        update_gauges();
+    }
+    void update_gauges() noexcept {
+        if (m_records_ == nullptr) return;
+        m_records_->set(static_cast<std::int64_t>(records_.size()));
+        m_bytes_->set(static_cast<std::int64_t>(bytes_approx_));
+    }
+
     std::vector<TraceRecord> records_;
     std::map<std::string, std::size_t> kind_counts_;  ///< emit-maintained.
+    std::uint64_t bytes_approx_ = 0;
+    obs::Gauge* m_records_ = nullptr;  ///< Null until bind_metrics.
+    obs::Gauge* m_bytes_ = nullptr;
 };
 
 }  // namespace cres::sim

@@ -159,6 +159,45 @@ TEST(FleetParallel, MetricsSnapshotIsBitIdenticalAcrossThreadCounts) {
     EXPECT_GT(incidents->value(), 0u);
 }
 
+TEST(FleetParallel, ChromeTraceAndPostmortemsAreBitIdenticalAcrossThreads) {
+    constexpr std::size_t kDevices = 8;
+    constexpr std::size_t kVictim = 2;
+
+    auto run_fleet = [](std::size_t threads) {
+        auto fleet =
+            std::make_unique<Fleet>(fleet_config(kDevices, threads));
+        fleet->run(3000);
+        fleet->checkpoint_all();
+        attack::StackSmashAttack smash;
+        smash.launch(fleet->device(kVictim),
+                     fleet->device(kVictim).sim.now() + 1000);
+        fleet->run(20000);
+        return fleet;
+    };
+
+    const auto one = run_fleet(1);
+    const auto eight = run_fleet(8);
+
+    // The fleet trace is an index-ordered reduction over per-device
+    // recorders fed only by simulated cycles, so the JSON is
+    // byte-identical at any worker count.
+    const std::string trace = one->chrome_trace();
+    ASSERT_FALSE(trace.empty());
+    EXPECT_EQ(trace, eight->chrome_trace());
+    // Every device got a process track.
+    for (std::size_t i = 0; i < kDevices; ++i) {
+        EXPECT_NE(trace.find("device-" + std::to_string(i)),
+                  std::string::npos)
+            << i;
+    }
+
+    // Sealed postmortems (HMAC tags included) match byte for byte.
+    const auto pm_one = one->sealed_postmortems();
+    const auto pm_eight = eight->sealed_postmortems();
+    ASSERT_FALSE(pm_one.empty());  // The breach closed an incident.
+    EXPECT_EQ(pm_one, pm_eight);
+}
+
 // --- (c) worker_threads resolution -----------------------------------------
 
 TEST(FleetParallel, ZeroWorkerThreadsResolvesToHardwareConcurrency) {
