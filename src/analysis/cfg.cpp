@@ -1,0 +1,330 @@
+#include "analysis/cfg.h"
+
+#include <array>
+#include <deque>
+#include <set>
+
+namespace cres::analysis {
+
+namespace {
+
+using isa::Opcode;
+
+/// Block-local constant propagation: which registers hold statically
+/// known values. r0 is architecturally zero; everything else starts
+/// unknown at block entry (blocks can be entered from anywhere).
+struct ConstState {
+    std::array<std::optional<std::uint32_t>, 16> regs;
+
+    ConstState() { regs[0] = 0; }
+
+    [[nodiscard]] std::optional<std::uint32_t> get(std::uint8_t r) const {
+        return regs[r & 0x0f];
+    }
+    void set(std::uint8_t r, std::optional<std::uint32_t> v) {
+        if ((r & 0x0f) != 0) regs[r & 0x0f] = v;
+    }
+};
+
+std::optional<std::uint32_t> eval_alu(Opcode op, std::uint32_t a,
+                                      std::uint32_t b) {
+    const auto s = [](std::uint32_t v) { return static_cast<std::int32_t>(v); };
+    switch (op) {
+        case Opcode::kAdd: return a + b;
+        case Opcode::kSub: return a - b;
+        case Opcode::kAnd: return a & b;
+        case Opcode::kOr: return a | b;
+        case Opcode::kXor: return a ^ b;
+        case Opcode::kShl: return a << (b & 31);
+        case Opcode::kShr: return a >> (b & 31);
+        case Opcode::kSra:
+            return static_cast<std::uint32_t>(s(a) >> (b & 31));
+        case Opcode::kMul: return a * b;
+        case Opcode::kSlt: return s(a) < s(b) ? 1u : 0u;
+        case Opcode::kSltu: return a < b ? 1u : 0u;
+        default: return std::nullopt;
+    }
+}
+
+/// Applies one instruction's register effect to the constant state.
+void propagate(const isa::Instruction& insn, mem::Addr pc, ConstState& st) {
+    const std::uint32_t uimm = insn.imm;
+    const std::uint32_t simm = static_cast<std::uint32_t>(insn.simm());
+    const auto rs1 = st.get(insn.rs1);
+    switch (insn.opcode) {
+        case Opcode::kLui:
+            st.set(insn.rd, uimm << 16);
+            return;
+        case Opcode::kAddi:
+            st.set(insn.rd, rs1 ? std::optional(*rs1 + simm) : std::nullopt);
+            return;
+        case Opcode::kAndi:
+            st.set(insn.rd, rs1 ? std::optional(*rs1 & uimm) : std::nullopt);
+            return;
+        case Opcode::kOri:
+            st.set(insn.rd, rs1 ? std::optional(*rs1 | uimm) : std::nullopt);
+            return;
+        case Opcode::kXori:
+            st.set(insn.rd, rs1 ? std::optional(*rs1 ^ uimm) : std::nullopt);
+            return;
+        case Opcode::kShli:
+            st.set(insn.rd,
+                   rs1 ? std::optional(*rs1 << (uimm & 31)) : std::nullopt);
+            return;
+        case Opcode::kShri:
+            st.set(insn.rd,
+                   rs1 ? std::optional(*rs1 >> (uimm & 31)) : std::nullopt);
+            return;
+        case Opcode::kAdd:
+        case Opcode::kSub:
+        case Opcode::kAnd:
+        case Opcode::kOr:
+        case Opcode::kXor:
+        case Opcode::kShl:
+        case Opcode::kShr:
+        case Opcode::kSra:
+        case Opcode::kMul:
+        case Opcode::kSlt:
+        case Opcode::kSltu: {
+            const auto rs2 = st.get(insn.rs2);
+            st.set(insn.rd, (rs1 && rs2) ? eval_alu(insn.opcode, *rs1, *rs2)
+                                         : std::nullopt);
+            return;
+        }
+        case Opcode::kJal:
+        case Opcode::kJalr:
+            st.set(insn.rd, pc + 4);  // Link value is statically known.
+            return;
+        case Opcode::kLw:
+        case Opcode::kLh:
+        case Opcode::kLb:
+        case Opcode::kCsrr:
+            st.set(insn.rd, std::nullopt);
+            return;
+        default:
+            return;  // Stores, branches, system ops: no register write.
+    }
+}
+
+constexpr std::uint8_t kSp = 13;
+constexpr std::uint8_t kLr = 14;
+
+}  // namespace
+
+std::size_t Cfg::reachable_count() const noexcept {
+    std::size_t n = 0;
+    for (const DecodedWord& w : words) {
+        if (w.reachable) ++n;
+    }
+    return n;
+}
+
+Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
+    Cfg cfg;
+    cfg.base = base;
+    cfg.entry = entry;
+    cfg.tail_bytes = code.size() % 4;
+
+    cfg.words.reserve(code.size() / 4);
+    for (std::size_t i = 0; i + 4 <= code.size(); i += 4) {
+        DecodedWord w;
+        w.raw = static_cast<std::uint32_t>(code[i]) |
+                (static_cast<std::uint32_t>(code[i + 1]) << 8) |
+                (static_cast<std::uint32_t>(code[i + 2]) << 16) |
+                (static_cast<std::uint32_t>(code[i + 3]) << 24);
+        w.insn = isa::decode(w.raw);
+        w.valid = isa::is_valid_opcode(w.raw);
+        cfg.words.push_back(w);
+    }
+
+    std::deque<mem::Addr> worklist;
+    std::set<mem::Addr> root_set;
+    auto add_root = [&](mem::Addr addr) {
+        if ((addr & 3u) != 0 || !cfg.in_image(addr)) return;
+        if (!root_set.insert(addr).second) return;
+        cfg.roots.push_back(addr);
+        worklist.push_back(addr);
+    };
+    add_root(entry);
+
+    while (!worklist.empty()) {
+        const mem::Addr start = worklist.front();
+        worklist.pop_front();
+        if (cfg.blocks.count(start) != 0) continue;
+
+        BasicBlock bb;
+        bb.start = start;
+        ConstState st;
+
+        // Stack-growth accounting, split around sp re-materialization.
+        std::int64_t grow = 0, peak = 0, grow2 = 0, peak2 = 0;
+        bool seen_reset = false;
+        auto on_growth = [&](std::int64_t d) {
+            if (seen_reset) {
+                grow2 += d;
+                if (grow2 > peak2) peak2 = grow2;
+            } else {
+                grow += d;
+                if (grow > peak) peak = grow;
+            }
+        };
+
+        auto add_successor = [&](mem::Addr target) {
+            if ((target & 3u) != 0 || !cfg.in_image(target)) return;
+            bb.successors.push_back(target);
+            worklist.push_back(target);
+        };
+
+        mem::Addr pc = start;
+        bool open = true;
+        while (open) {
+            if (!cfg.in_image(pc)) {
+                bb.falls_off = true;
+                break;
+            }
+            DecodedWord& w = cfg.words[cfg.index_of(pc)];
+            w.reachable = true;
+            if (!w.valid) {
+                // The opcode pass reports it; execution would trap here.
+                pc += 4;
+                break;
+            }
+            const isa::Instruction& insn = w.insn;
+            const std::int32_t simm = insn.simm();
+
+            switch (insn.opcode) {
+                case Opcode::kBeq:
+                case Opcode::kBne:
+                case Opcode::kBlt:
+                case Opcode::kBge:
+                case Opcode::kBltu:
+                case Opcode::kBgeu: {
+                    const mem::Addr target =
+                        pc + static_cast<std::uint32_t>(simm);
+                    cfg.jumps.push_back(
+                        {pc, target, JumpKind::kBranch, true, false});
+                    add_successor(target);
+                    add_successor(pc + 4);
+                    open = false;
+                    break;
+                }
+                case Opcode::kJal: {
+                    const mem::Addr target =
+                        pc + static_cast<std::uint32_t>(simm);
+                    const bool call = insn.rd == kLr;
+                    cfg.jumps.push_back(
+                        {pc, target, JumpKind::kDirect, true, call});
+                    add_successor(target);
+                    if (call) add_successor(pc + 4);  // Callee returns here.
+                    open = false;
+                    break;
+                }
+                case Opcode::kJalr: {
+                    const bool is_return =
+                        insn.rd == 0 && insn.rs1 == kLr && simm == 0;
+                    if (is_return) {
+                        bb.terminal = true;
+                    } else if (const auto v = st.get(insn.rs1)) {
+                        const mem::Addr target =
+                            (*v + static_cast<std::uint32_t>(simm)) & ~3u;
+                        const bool call = insn.rd == kLr;
+                        cfg.jumps.push_back(
+                            {pc, target, JumpKind::kResolved, true, call});
+                        add_successor(target);
+                        if (call) add_successor(pc + 4);
+                    } else {
+                        const bool call = insn.rd == kLr;
+                        cfg.jumps.push_back(
+                            {pc, 0, JumpKind::kIndirect, false, call});
+                        bb.indirect_exit = true;
+                        if (call) add_successor(pc + 4);
+                    }
+                    open = false;
+                    break;
+                }
+                case Opcode::kCsrw: {
+                    if ((insn.imm == isa::kCsrMtvec ||
+                         insn.imm == isa::kCsrStvec ||
+                         insn.imm == isa::kCsrMepc ||
+                         insn.imm == isa::kCsrSepc)) {
+                        if (const auto v = st.get(insn.rs1)) {
+                            cfg.jumps.push_back(
+                                {pc, *v, JumpKind::kVector, true, false});
+                            add_root(*v);
+                        }
+                    }
+                    break;
+                }
+                case Opcode::kLw:
+                case Opcode::kLh:
+                case Opcode::kLb:
+                case Opcode::kSw:
+                case Opcode::kSh:
+                case Opcode::kSb: {
+                    if (const auto v = st.get(insn.rs1)) {
+                        const bool store = insn.opcode == Opcode::kSw ||
+                                           insn.opcode == Opcode::kSh ||
+                                           insn.opcode == Opcode::kSb;
+                        const std::uint8_t size =
+                            (insn.opcode == Opcode::kLw ||
+                             insn.opcode == Opcode::kSw)
+                                ? 4
+                                : (insn.opcode == Opcode::kLh ||
+                                   insn.opcode == Opcode::kSh)
+                                      ? 2
+                                      : 1;
+                        cfg.accesses.push_back(
+                            {pc, *v + static_cast<std::uint32_t>(simm), size,
+                             store});
+                    }
+                    break;
+                }
+                case Opcode::kHalt:
+                case Opcode::kMret:
+                case Opcode::kSret:
+                    bb.terminal = true;
+                    open = false;
+                    break;
+                default:
+                    break;  // Straight-line instruction.
+            }
+
+            if (!open) {
+                pc += 4;
+                break;
+            }
+
+            // Stack effect before the general register update.
+            if (insn.opcode == Opcode::kAddi && insn.rd == kSp &&
+                insn.rs1 == kSp) {
+                on_growth(-static_cast<std::int64_t>(simm));
+            } else if (insn.rd == kSp && insn.opcode != Opcode::kSw &&
+                       insn.opcode != Opcode::kSh &&
+                       insn.opcode != Opcode::kSb) {
+                // sp re-materialized (li sp, ...) or clobbered.
+                ConstState probe = st;
+                propagate(insn, pc, probe);
+                if (probe.get(kSp)) {
+                    seen_reset = true;
+                    grow2 = 0;
+                } else {
+                    bb.sp_clobbered = true;
+                }
+            }
+            propagate(insn, pc, st);
+            pc += 4;
+        }
+
+        bb.end = pc;
+        bb.net_growth = grow;
+        bb.peak_growth = peak;
+        bb.stack_reset = seen_reset;
+        bb.post_reset_net = grow2;
+        bb.post_reset_peak = peak2;
+        cfg.blocks.emplace(start, std::move(bb));
+    }
+
+    return cfg;
+}
+
+}  // namespace cres::analysis

@@ -1,0 +1,105 @@
+// Control-flow-graph construction over a raw CRV32 code section.
+//
+// The builder decodes every aligned word, then explores from the entry
+// point (plus any trap vectors it can resolve), discovering basic
+// blocks and recording *facts* — jump sites, resolvable memory
+// accesses, per-block stack effects — that the verifier's policy
+// passes turn into findings. Within each block a small constant
+// propagator tracks registers built from lui/ori/addi chains, so the
+// common `li rX, <addr>` materialization resolves absolute jump and
+// store targets statically.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "isa/encoding.h"
+#include "mem/bus.h"
+#include "util/bytes.h"
+
+namespace cres::analysis {
+
+/// One aligned 32-bit word of the code section.
+struct DecodedWord {
+    std::uint32_t raw = 0;
+    isa::Instruction insn;
+    bool valid = false;      ///< Opcode field holds a defined opcode.
+    bool reachable = false;  ///< Visited by the CFG exploration.
+};
+
+/// How a control transfer's target was established.
+enum class JumpKind : std::uint8_t {
+    kBranch,    ///< Conditional branch (pc-relative).
+    kDirect,    ///< jal (pc-relative jump or call).
+    kResolved,  ///< jalr whose register value was constant-propagated.
+    kIndirect,  ///< jalr with an unknown register value.
+    kVector,    ///< csrw mtvec/stvec with a constant handler address.
+};
+
+/// A control transfer discovered during exploration.
+struct JumpSite {
+    mem::Addr at = 0;      ///< Address of the transferring instruction.
+    mem::Addr target = 0;  ///< Resolved target (unset for kIndirect).
+    JumpKind kind = JumpKind::kDirect;
+    bool resolved = false;
+    bool is_call = false;  ///< Writes the link register.
+};
+
+/// A load/store whose effective address was constant-propagated.
+struct MemSite {
+    mem::Addr at = 0;        ///< Instruction address.
+    mem::Addr target = 0;    ///< Effective data address.
+    std::uint8_t size = 4;   ///< Access width in bytes.
+    bool is_store = false;
+};
+
+/// A basic block: straight-line run of instructions ending at a
+/// control transfer, a terminal instruction, or the image edge.
+struct BasicBlock {
+    mem::Addr start = 0;
+    mem::Addr end = 0;  ///< One past the last instruction.
+    std::vector<mem::Addr> successors;  ///< In-image successor starts.
+
+    // Stack effects (positive = downward growth in bytes).
+    std::int64_t net_growth = 0;      ///< Net growth across the block.
+    std::int64_t peak_growth = 0;     ///< Max cumulative growth inside.
+    bool stack_reset = false;         ///< sp assigned a fresh constant.
+    std::int64_t post_reset_net = 0;  ///< Net growth after the reset.
+    std::int64_t post_reset_peak = 0;
+
+    bool indirect_exit = false;  ///< Ends in an unresolved jalr.
+    bool terminal = false;       ///< halt/mret/sret/ret: no successors.
+    bool falls_off = false;      ///< Ran past the last full word.
+    bool sp_clobbered = false;   ///< sp written from a non-constant.
+};
+
+/// The constructed graph plus the fact tables the passes consume.
+struct Cfg {
+    mem::Addr base = 0;   ///< Load address of the code section.
+    mem::Addr entry = 0;  ///< Declared entry point.
+
+    std::vector<DecodedWord> words;  ///< One per aligned word, in order.
+    std::size_t tail_bytes = 0;      ///< Payload bytes past the last word.
+
+    std::map<mem::Addr, BasicBlock> blocks;  ///< Keyed by start address.
+    std::vector<mem::Addr> roots;  ///< Entry + resolved trap vectors.
+    std::vector<JumpSite> jumps;
+    std::vector<MemSite> accesses;
+
+    [[nodiscard]] bool in_image(mem::Addr addr) const noexcept {
+        return addr >= base && addr < base + words.size() * 4;
+    }
+    /// Word index for an aligned in-image address.
+    [[nodiscard]] std::size_t index_of(mem::Addr addr) const noexcept {
+        return static_cast<std::size_t>(addr - base) / 4;
+    }
+    [[nodiscard]] std::size_t reachable_count() const noexcept;
+};
+
+/// Decodes `code` loaded at `base` and explores from `entry`.
+/// Never throws: malformed input becomes facts for the passes.
+Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry);
+
+}  // namespace cres::analysis

@@ -1,0 +1,76 @@
+#include "analysis/report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace cres::analysis {
+
+std::string_view severity_name(Severity severity) noexcept {
+    switch (severity) {
+        case Severity::kInfo: return "info";
+        case Severity::kWarning: return "warning";
+        case Severity::kError: return "error";
+    }
+    return "?";
+}
+
+std::string_view pass_name(PassId pass) noexcept {
+    switch (pass) {
+        case PassId::kDecode: return "decode";
+        case PassId::kOpcode: return "opcode";
+        case PassId::kControlFlow: return "control-flow";
+        case PassId::kMemory: return "memory";
+        case PassId::kStack: return "stack";
+        case PassId::kPrivilege: return "privilege";
+        case PassId::kReachability: return "reachability";
+    }
+    return "?";
+}
+
+namespace {
+
+void append_addr(std::ostringstream& os, mem::Addr addr) {
+    os << "0x" << std::hex << addr << std::dec;
+}
+
+}  // namespace
+
+std::size_t Report::count(Severity severity) const noexcept {
+    std::size_t n = 0;
+    for (const Finding& f : findings) {
+        if (f.severity == severity) ++n;
+    }
+    return n;
+}
+
+std::string Report::summary() const {
+    std::ostringstream os;
+    os << errors() << " error(s), " << warnings() << " warning(s), "
+       << count(Severity::kInfo) << " info";
+    for (const Finding& f : findings) {
+        if (f.severity != Severity::kError) continue;
+        os << "; first: " << f.code << "@";
+        append_addr(os, f.addr);
+        break;
+    }
+    return os.str();
+}
+
+std::string Report::render() const {
+    std::ostringstream os;
+    os << "blocks=" << blocks << " reachable=" << reachable_insns << "/"
+       << words << " words";
+    if (tail_bytes != 0) os << " (+" << tail_bytes << " tail bytes)";
+    os << " indirect=" << indirect_jumps << " max-stack=" << max_stack_bytes
+       << (stack_bounded ? "" : " (UNBOUNDED)") << "\n";
+    for (const Finding& f : findings) {
+        os << "  [" << severity_name(f.severity) << "] " << pass_name(f.pass)
+           << " ";
+        append_addr(os, f.addr);
+        os << " " << f.code << ": " << f.detail << "\n";
+    }
+    os << summary() << "\n";
+    return os.str();
+}
+
+}  // namespace cres::analysis

@@ -1,0 +1,84 @@
+// Findings vocabulary for the static firmware verifier.
+//
+// Every policy pass reports Findings into one Report; the admission
+// gate and the cres_lint CLI read the same structure, so an image
+// rejected at boot produces exactly the findings an offline audit
+// prints.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "mem/bus.h"
+
+namespace cres::analysis {
+
+enum class Severity : std::uint8_t {
+    kInfo = 0,     ///< Noteworthy, never gates admission.
+    kWarning = 1,  ///< Suspicious; gates only under warnings-as-errors.
+    kError = 2,    ///< Policy violation; gates admission in deny mode.
+};
+
+/// Static-storage name ("info"/"warning"/"error").
+std::string_view severity_name(Severity severity) noexcept;
+
+/// The pass that produced a finding.
+enum class PassId : std::uint8_t {
+    kDecode,        ///< Image shape: tail bytes, entry point, decode faults.
+    kOpcode,        ///< Illegal/undefined opcodes on reachable paths.
+    kControlFlow,   ///< Jump/call target validity (bounds + alignment).
+    kMemory,        ///< W^X and segment checks on resolvable accesses.
+    kStack,         ///< Worst-case stack depth along CFG paths.
+    kPrivilege,     ///< Banned-opcode policy.
+    kReachability,  ///< Unreachable-code reporting.
+};
+
+/// Static-storage pass name ("decode", "control-flow", ...).
+std::string_view pass_name(PassId pass) noexcept;
+
+/// One verifier observation, anchored to an image address.
+struct Finding {
+    PassId pass = PassId::kDecode;
+    Severity severity = Severity::kInfo;
+    mem::Addr addr = 0;   ///< Instruction (or entry/target) address.
+    std::string code;     ///< Stable machine-readable tag ("wx-violation").
+    std::string detail;   ///< Human-readable context.
+};
+
+/// Verdict + findings + CFG statistics for one image.
+struct Report {
+    std::vector<Finding> findings;
+
+    // CFG statistics (filled by the verifier).
+    std::size_t words = 0;             ///< Full 32-bit words in the payload.
+    std::size_t tail_bytes = 0;        ///< Trailing bytes (< one word).
+    std::size_t reachable_insns = 0;   ///< Words reachable as instructions.
+    std::size_t blocks = 0;            ///< Basic blocks discovered.
+    std::size_t indirect_jumps = 0;    ///< Statically unresolved transfers.
+    std::uint32_t max_stack_bytes = 0; ///< Worst-case depth found.
+    bool stack_bounded = true;         ///< False when a growing cycle exists.
+
+    [[nodiscard]] std::size_t count(Severity severity) const noexcept;
+    [[nodiscard]] std::size_t errors() const noexcept {
+        return count(Severity::kError);
+    }
+    [[nodiscard]] std::size_t warnings() const noexcept {
+        return count(Severity::kWarning);
+    }
+
+    /// True when the image passes policy (optionally promoting warnings).
+    [[nodiscard]] bool admissible(bool warnings_as_errors = false) const
+        noexcept {
+        return errors() == 0 && (!warnings_as_errors || warnings() == 0);
+    }
+
+    /// One-line digest: "2 errors, 1 warning; first: wx-violation@0x10040".
+    [[nodiscard]] std::string summary() const;
+
+    /// Multi-line findings listing (severity, pass, address, detail).
+    [[nodiscard]] std::string render() const;
+};
+
+}  // namespace cres::analysis

@@ -1,0 +1,420 @@
+#include "analysis/verifier.h"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "platform/memmap.h"
+
+namespace cres::analysis {
+
+namespace {
+
+std::string hex(mem::Addr addr) {
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+void add(Report& report, PassId pass, Severity severity, mem::Addr addr,
+         std::string code, std::string detail) {
+    report.findings.push_back(
+        {pass, severity, addr, std::move(code), std::move(detail)});
+}
+
+// --- decode pass -------------------------------------------------------
+
+void decode_pass(const Cfg& cfg, Report& report) {
+    if (cfg.words.empty()) {
+        add(report, PassId::kDecode, Severity::kError, cfg.base, "empty-image",
+            "payload holds no full instruction word");
+        return;
+    }
+    if ((cfg.entry & 3u) != 0) {
+        add(report, PassId::kDecode, Severity::kError, cfg.entry,
+            "entry-misaligned", "entry point is not 4-byte aligned");
+    } else if (!cfg.in_image(cfg.entry)) {
+        add(report, PassId::kDecode, Severity::kError, cfg.entry,
+            "entry-out-of-image",
+            "entry point lies outside the loaded payload");
+    }
+    if (cfg.tail_bytes != 0) {
+        add(report, PassId::kDecode, Severity::kInfo,
+            cfg.base + static_cast<mem::Addr>(cfg.words.size() * 4),
+            "tail-bytes",
+            std::to_string(cfg.tail_bytes) +
+                " trailing byte(s) shorter than one instruction word");
+    }
+    for (const auto& [start, bb] : cfg.blocks) {
+        if (bb.falls_off) {
+            add(report, PassId::kDecode, Severity::kError, bb.end,
+                "code-runs-off-image",
+                "reachable path at " + hex(start) +
+                    " runs past the end of the code section");
+        }
+    }
+}
+
+// --- opcode pass -------------------------------------------------------
+
+void opcode_pass(const Cfg& cfg, Report& report) {
+    for (std::size_t i = 0; i < cfg.words.size(); ++i) {
+        const DecodedWord& w = cfg.words[i];
+        if (!w.reachable || w.valid) continue;
+        std::ostringstream os;
+        os << "opcode byte 0x" << std::hex
+           << static_cast<unsigned>((w.raw >> 24) & 0xff)
+           << " is undefined (word 0x" << w.raw << ")";
+        add(report, PassId::kOpcode, Severity::kError,
+            cfg.base + static_cast<mem::Addr>(i * 4), "illegal-opcode",
+            os.str());
+    }
+}
+
+// --- control-flow pass -------------------------------------------------
+
+void control_flow_pass(const Cfg& cfg, const Policy& policy, Report& report) {
+    for (const JumpSite& j : cfg.jumps) {
+        if (!j.resolved) {
+            ++report.indirect_jumps;
+            continue;
+        }
+        if ((j.target & 3u) != 0) {
+            add(report, PassId::kControlFlow, Severity::kError, j.at,
+                "jump-misaligned",
+                "transfer to unaligned address " + hex(j.target));
+            continue;
+        }
+        if (cfg.in_image(j.target)) continue;
+        const Segment* seg = policy.segments.find(j.target);
+        if (seg != nullptr && seg->executable) {
+            add(report, PassId::kControlFlow, Severity::kWarning, j.at,
+                "jump-outside-image",
+                "transfer to " + hex(j.target) + " in executable segment '" +
+                    seg->name + "' but outside this image");
+        } else {
+            add(report, PassId::kControlFlow, Severity::kError, j.at,
+                "exec-from-data",
+                "transfer to " + hex(j.target) +
+                    (seg != nullptr ? " in non-executable segment '" +
+                                          seg->name + "'"
+                                    : " in unmapped address space"));
+        }
+    }
+    if (report.indirect_jumps != 0) {
+        add(report, PassId::kControlFlow, Severity::kInfo, cfg.base,
+            "indirect-transfers",
+            std::to_string(report.indirect_jumps) +
+                " register-indirect transfer(s) not statically resolvable "
+                "(runtime CFI monitor enforces)");
+    }
+}
+
+// --- memory pass -------------------------------------------------------
+
+/// True when [addr, addr+size) overlaps a word marked reachable.
+bool touches_reachable_code(const Cfg& cfg, mem::Addr addr,
+                            std::uint8_t size) {
+    const mem::Addr lo = std::max(addr, cfg.base);
+    const mem::Addr hi =
+        std::min<std::uint64_t>(static_cast<std::uint64_t>(addr) + size,
+                                cfg.base + cfg.words.size() * 4);
+    for (mem::Addr a = lo & ~3u; a < hi; a += 4) {
+        if (cfg.in_image(a) && cfg.words[cfg.index_of(a)].reachable) {
+            return true;
+        }
+    }
+    return false;
+}
+
+void memory_pass(const Cfg& cfg, const Policy& policy, Report& report) {
+    for (const MemSite& m : cfg.accesses) {
+        const Segment* seg = policy.segments.find(m.target);
+        if (m.is_store) {
+            if (touches_reachable_code(cfg, m.target, m.size)) {
+                add(report, PassId::kMemory, Severity::kError, m.at,
+                    "wx-violation",
+                    "store to " + hex(m.target) +
+                        " overwrites reachable code");
+            } else if (cfg.in_image(m.target)) {
+                add(report, PassId::kMemory, Severity::kInfo, m.at,
+                    "data-in-text-store",
+                    "store to " + hex(m.target) +
+                        " targets image-embedded data inside the text "
+                        "section");
+            } else if (seg != nullptr && seg->executable) {
+                add(report, PassId::kMemory, Severity::kError, m.at,
+                    "wx-violation",
+                    "store to " + hex(m.target) + " in executable segment '" +
+                        seg->name + "'");
+            } else if (seg == nullptr) {
+                add(report, PassId::kMemory, Severity::kWarning, m.at,
+                    "unmapped-store",
+                    "store to unmapped address " + hex(m.target));
+            } else if (seg->secure) {
+                add(report, PassId::kMemory, Severity::kWarning, m.at,
+                    "secure-region-store",
+                    "store to secure segment '" + seg->name + "' at " +
+                        hex(m.target));
+            } else if (!seg->writable) {
+                add(report, PassId::kMemory, Severity::kError, m.at,
+                    "readonly-store",
+                    "store to read-only segment '" + seg->name + "' at " +
+                        hex(m.target));
+            }
+        } else {
+            if (seg == nullptr && !cfg.in_image(m.target)) {
+                add(report, PassId::kMemory, Severity::kWarning, m.at,
+                    "unmapped-load",
+                    "load from unmapped address " + hex(m.target));
+            } else if (seg != nullptr && seg->secure) {
+                add(report, PassId::kMemory, Severity::kWarning, m.at,
+                    "secure-region-load",
+                    "load from secure segment '" + seg->name + "' at " +
+                        hex(m.target));
+            }
+        }
+    }
+}
+
+// --- stack pass --------------------------------------------------------
+
+struct StackWalk {
+    const Cfg& cfg;
+    const Policy& policy;
+    Report& report;
+    std::map<mem::Addr, std::int64_t> best_entry;  ///< Max depth seen.
+    std::map<mem::Addr, int> visits;
+    std::vector<mem::Addr> path;
+    std::int64_t max_depth = 0;
+    bool unbounded = false;
+    mem::Addr unbounded_at = 0;
+
+    static constexpr int kMaxVisits = 64;
+
+    [[nodiscard]] std::int64_t block_peak(const BasicBlock& bb,
+                                          std::int64_t entry) const {
+        if (bb.stack_reset) {
+            return std::max(entry + bb.peak_growth, bb.post_reset_peak);
+        }
+        return entry + bb.peak_growth;
+    }
+    [[nodiscard]] static std::int64_t block_exit(const BasicBlock& bb,
+                                                 std::int64_t entry) {
+        const std::int64_t exit = bb.stack_reset
+                                      ? bb.post_reset_net
+                                      : entry + bb.net_growth;
+        return exit < 0 ? 0 : exit;
+    }
+
+    void walk(mem::Addr start, std::int64_t entry) {
+        const auto it = cfg.blocks.find(start);
+        if (it == cfg.blocks.end()) return;
+        const BasicBlock& bb = it->second;
+
+        const bool on_path =
+            std::find(path.begin(), path.end(), start) != path.end();
+        const auto best = best_entry.find(start);
+        if (best != best_entry.end() && entry <= best->second) {
+            return;  // Already explored at least this deep.
+        }
+        if (on_path && best != best_entry.end() && entry > best->second) {
+            // Back edge reached with a deeper stack: a growing cycle.
+            if (!unbounded) {
+                unbounded = true;
+                unbounded_at = start;
+            }
+            return;
+        }
+        if (++visits[start] > kMaxVisits) {
+            // Defensive bound; treat as potentially unbounded.
+            if (!unbounded) {
+                unbounded = true;
+                unbounded_at = start;
+            }
+            return;
+        }
+        best_entry[start] = entry;
+
+        const std::int64_t peak = block_peak(bb, entry);
+        if (peak > max_depth) max_depth = peak;
+
+        const std::int64_t exit = block_exit(bb, entry);
+        path.push_back(start);
+        for (const mem::Addr succ : bb.successors) {
+            walk(succ, exit);
+        }
+        path.pop_back();
+    }
+};
+
+void stack_pass(const Cfg& cfg, const Policy& policy, Report& report) {
+    StackWalk walk{cfg, policy, report, {}, {}, {}, 0, false, 0};
+    for (const mem::Addr root : cfg.roots) {
+        walk.walk(root, 0);
+    }
+    report.max_stack_bytes = static_cast<std::uint32_t>(
+        std::min<std::int64_t>(walk.max_depth, 0xffffffffll));
+    report.stack_bounded = !walk.unbounded;
+
+    if (walk.unbounded) {
+        add(report, PassId::kStack, Severity::kWarning, walk.unbounded_at,
+            "stack-unbounded",
+            "cycle through " + hex(walk.unbounded_at) +
+                " grows the stack on every iteration");
+    }
+    if (!walk.unbounded &&
+        walk.max_depth > static_cast<std::int64_t>(policy.max_stack_bytes)) {
+        add(report, PassId::kStack, Severity::kError, cfg.entry,
+            "stack-depth-exceeded",
+            "worst-case stack depth " + std::to_string(walk.max_depth) +
+                " bytes exceeds the policy budget of " +
+                std::to_string(policy.max_stack_bytes));
+    }
+    for (const auto& [start, bb] : cfg.blocks) {
+        if (bb.sp_clobbered) {
+            add(report, PassId::kStack, Severity::kInfo, start,
+                "stack-indeterminate",
+                "sp written from a statically unknown value in block " +
+                    hex(start));
+        }
+    }
+}
+
+// --- privilege pass ----------------------------------------------------
+
+void privilege_pass(const Cfg& cfg, const Policy& policy, Report& report) {
+    if (policy.banned_opcodes.empty()) return;
+    for (std::size_t i = 0; i < cfg.words.size(); ++i) {
+        const DecodedWord& w = cfg.words[i];
+        if (!w.reachable || !w.valid) continue;
+        if (std::find(policy.banned_opcodes.begin(),
+                      policy.banned_opcodes.end(),
+                      w.insn.opcode) == policy.banned_opcodes.end()) {
+            continue;
+        }
+        add(report, PassId::kPrivilege, Severity::kError,
+            cfg.base + static_cast<mem::Addr>(i * 4), "banned-opcode",
+            "opcode '" + isa::opcode_name(w.insn.opcode) +
+                "' is banned by policy");
+    }
+}
+
+// --- reachability pass -------------------------------------------------
+
+void reachability_pass(const Cfg& cfg, const Policy& policy, Report& report) {
+    if (!policy.report_unreachable) return;
+    constexpr std::size_t kMaxRunFindings = 4;
+    std::size_t unreachable = 0;
+    std::size_t runs_reported = 0;
+    std::size_t i = 0;
+    while (i < cfg.words.size()) {
+        if (cfg.words[i].reachable) {
+            ++i;
+            continue;
+        }
+        std::size_t j = i;
+        while (j < cfg.words.size() && !cfg.words[j].reachable) ++j;
+        unreachable += j - i;
+        if (runs_reported < kMaxRunFindings) {
+            add(report, PassId::kReachability, Severity::kInfo,
+                cfg.base + static_cast<mem::Addr>(i * 4), "unreachable-code",
+                std::to_string(j - i) +
+                    " word(s) never reached from the entry point (code or "
+                    "embedded data)");
+            ++runs_reported;
+        }
+        i = j;
+    }
+    if (runs_reported == kMaxRunFindings && unreachable != 0) {
+        add(report, PassId::kReachability, Severity::kInfo, cfg.base,
+            "unreachable-code",
+            "total " + std::to_string(unreachable) +
+                " unreachable word(s) across all runs");
+    }
+}
+
+}  // namespace
+
+SegmentMap SegmentMap::soc_default() {
+    using namespace cres::platform;
+    SegmentMap map;
+    map.segments = {
+        {"code", kCodeBase, kCodeSize, false, true, false},
+        {"data", kDataBase, kAppRamSize - kCodeSize, true, false, false},
+        {"uart", kUartBase, kPeriphSize, true, false, false},
+        {"timer", kTimerBase, kPeriphSize, true, false, false},
+        {"wdog", kWdogBase, kPeriphSize, true, false, false},
+        {"dma", kDmaBase, kPeriphSize, true, false, false},
+        {"sensor", kSensorBase, kPeriphSize, true, false, false},
+        {"actuator", kActuatorBase, kPeriphSize, true, false, false},
+        {"nic", kNicBase, kPeriphSize, true, false, false},
+        {"trng", kTrngBase, kPeriphSize, true, false, true},
+        {"power", kPowerBase, kPeriphSize, true, false, false},
+        {"tee_ram", kTeeRamBase, kTeeRamSize, false, false, true},
+    };
+    return map;
+}
+
+const Segment* SegmentMap::find(mem::Addr addr) const noexcept {
+    for (const Segment& seg : segments) {
+        if (addr >= seg.base && addr - seg.base < seg.size) return &seg;
+    }
+    return nullptr;
+}
+
+Policy Policy::unprivileged() {
+    Policy policy;
+    policy.banned_opcodes = {isa::Opcode::kMret, isa::Opcode::kSret,
+                             isa::Opcode::kSmc, isa::Opcode::kCsrw,
+                             isa::Opcode::kWfi};
+    return policy;
+}
+
+Report FirmwareVerifier::analyze(BytesView code, mem::Addr load_addr,
+                                 mem::Addr entry) const {
+    const Cfg cfg = build_cfg(code, load_addr, entry);
+
+    Report report;
+    report.words = cfg.words.size();
+    report.tail_bytes = cfg.tail_bytes;
+    report.blocks = cfg.blocks.size();
+    report.reachable_insns = cfg.reachable_count();
+
+    decode_pass(cfg, report);
+    opcode_pass(cfg, report);
+    control_flow_pass(cfg, policy_, report);
+    memory_pass(cfg, policy_, report);
+    stack_pass(cfg, policy_, report);
+    privilege_pass(cfg, policy_, report);
+    reachability_pass(cfg, policy_, report);
+
+    // Severity order first, then address: the gate's "reason" and the
+    // lint listing both lead with what matters.
+    std::stable_sort(report.findings.begin(), report.findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                         return static_cast<int>(a.severity) >
+                                static_cast<int>(b.severity);
+                     });
+    return report;
+}
+
+Report FirmwareVerifier::analyze(const boot::FirmwareImage& image) const {
+    return analyze(image.payload, image.load_addr, image.entry_point);
+}
+
+boot::AdmissionVerdict AnalysisGate::admit(const boot::FirmwareImage& image) {
+    const Report report = verifier_.analyze(image);
+
+    boot::AdmissionVerdict verdict;
+    verdict.errors = report.errors();
+    verdict.warnings = report.warnings();
+    if (!report.admissible(verifier_.policy().warnings_as_errors)) {
+        verdict.reason = report.summary();
+        verdict.allow = mode_ != boot::AdmissionMode::kDeny;
+    }
+    if (observer_) observer_(image, report, !verdict.allow);
+    return verdict;
+}
+
+}  // namespace cres::analysis

@@ -1,0 +1,116 @@
+// Static firmware verifier: the Protect-function complement to the
+// runtime monitors. Decodes an image's code section, builds a CFG
+// (analysis/cfg.h) and runs a pipeline of policy passes:
+//
+//   decode        image shape: entry point validity, trailing bytes
+//   opcode        illegal/undefined opcodes on reachable paths
+//   control-flow  direct jump/call targets in-bounds and aligned;
+//                 statically resolved indirect jumps into data/MMIO
+//   memory        W^X over the SoC segment map: no stores to reachable
+//                 code, no execution from data or MMIO
+//   stack         bounded worst-case stack depth along CFG paths
+//   privilege     banned-opcode policy (e.g. privileged ops in
+//                 unprivileged images)
+//   reachability  unreachable-code reporting (informational)
+//
+// The same Report drives the secure-boot/update admission gate and the
+// cres_lint offline auditor.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "analysis/cfg.h"
+#include "analysis/report.h"
+#include "boot/admission.h"
+#include "boot/image.h"
+#include "util/bytes.h"
+
+namespace cres::analysis {
+
+/// One region of the SoC address space with its access policy.
+struct Segment {
+    std::string name;
+    mem::Addr base = 0;
+    mem::Addr size = 0;
+    bool writable = false;
+    bool executable = false;
+    bool secure = false;  ///< Secure-world only (normal images keep out).
+};
+
+/// The address-space model the memory and control-flow passes check
+/// against. Defaults mirror platform/memmap.h.
+struct SegmentMap {
+    std::vector<Segment> segments;
+
+    /// The canonical SoC layout: code (x, ro), data (rw, nx), one
+    /// segment per peripheral (rw, nx) and the secure TEE RAM.
+    static SegmentMap soc_default();
+
+    [[nodiscard]] const Segment* find(mem::Addr addr) const noexcept;
+};
+
+/// Policy knobs for the pass pipeline.
+struct Policy {
+    SegmentMap segments = SegmentMap::soc_default();
+    /// Opcodes the image may not use on any reachable path.
+    std::vector<isa::Opcode> banned_opcodes;
+    /// Worst-case stack depth budget (bytes).
+    std::uint32_t max_stack_bytes = 8192;
+    /// Promote warnings to admission failures.
+    bool warnings_as_errors = false;
+    /// Report unreachable code (informational findings).
+    bool report_unreachable = true;
+
+    /// Profile for unprivileged images: bans mret/sret/smc/csrw/wfi.
+    static Policy unprivileged();
+};
+
+class FirmwareVerifier {
+public:
+    FirmwareVerifier() = default;
+    explicit FirmwareVerifier(Policy policy) : policy_(std::move(policy)) {}
+
+    /// Analyzes a raw code section loaded at `load_addr`.
+    [[nodiscard]] Report analyze(BytesView code, mem::Addr load_addr,
+                                 mem::Addr entry) const;
+
+    /// Analyzes a firmware image's payload.
+    [[nodiscard]] Report analyze(const boot::FirmwareImage& image) const;
+
+    [[nodiscard]] const Policy& policy() const noexcept { return policy_; }
+
+private:
+    Policy policy_;
+};
+
+/// Adapts the verifier into the secure-boot/update admission interface.
+/// In kWarn mode findings are reported but never block; in kDeny mode
+/// errors (and warnings under warnings_as_errors) reject the image.
+class AnalysisGate final : public boot::ImageAdmissionGate {
+public:
+    /// Called after every admission decision (metrics/evidence hook).
+    using Observer = std::function<void(const boot::FirmwareImage& image,
+                                        const Report& report, bool rejected)>;
+
+    AnalysisGate(Policy policy, boot::AdmissionMode mode)
+        : verifier_(std::move(policy)), mode_(mode) {}
+
+    boot::AdmissionVerdict admit(const boot::FirmwareImage& image) override;
+
+    void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+    [[nodiscard]] const FirmwareVerifier& verifier() const noexcept {
+        return verifier_;
+    }
+    [[nodiscard]] boot::AdmissionMode mode() const noexcept { return mode_; }
+
+private:
+    FirmwareVerifier verifier_;
+    boot::AdmissionMode mode_;
+    Observer observer_;
+};
+
+}  // namespace cres::analysis

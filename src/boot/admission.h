@@ -1,0 +1,38 @@
+// Pre-execution admission interface for the secure-boot chain and the
+// A/B update agent: after signature and anti-rollback checks pass, an
+// optional gate judges what the image's *code would do* (the static
+// firmware verifier in src/analysis implements it). Kept as an
+// abstract interface so cres_boot does not depend on the analyzer.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace cres::boot {
+
+struct FirmwareImage;
+
+enum class AdmissionMode : std::uint8_t {
+    kOff,   ///< No static analysis.
+    kWarn,  ///< Analyze and report; never block admission.
+    kDeny,  ///< Reject images whose analysis finds policy violations.
+};
+
+std::string_view admission_mode_name(AdmissionMode mode) noexcept;
+
+/// Outcome of one admission decision.
+struct AdmissionVerdict {
+    bool allow = true;
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
+    std::string reason;  ///< Findings digest; empty when clean.
+};
+
+class ImageAdmissionGate {
+public:
+    virtual ~ImageAdmissionGate() = default;
+    virtual AdmissionVerdict admit(const FirmwareImage& image) = 0;
+};
+
+}  // namespace cres::boot

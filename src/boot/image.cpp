@@ -41,6 +41,11 @@ FirmwareImage FirmwareImage::parse(BytesView data) {
         image.entry_point = r.u32();
         image.payload = r.blob();
         image.signature = r.blob();
+        if (!r.done()) {
+            // Trailing bytes are not covered by the digest: accepting
+            // them would let one signed image have many wire forms.
+            throw BootError("FirmwareImage: trailing bytes after image");
+        }
         return image;
     } catch (const BootError&) {
         throw;

@@ -12,6 +12,16 @@ std::string boot_status_name(BootStatus status) {
         case BootStatus::kBadSignature: return "bad-signature";
         case BootStatus::kRollbackRejected: return "rollback-rejected";
         case BootStatus::kLoadFault: return "load-fault";
+        case BootStatus::kPolicyRejected: return "policy-rejected";
+    }
+    return "?";
+}
+
+std::string_view admission_mode_name(AdmissionMode mode) noexcept {
+    switch (mode) {
+        case AdmissionMode::kOff: return "off";
+        case AdmissionMode::kWarn: return "warn";
+        case AdmissionMode::kDeny: return "deny";
     }
     return "?";
 }
@@ -53,6 +63,16 @@ StageResult BootRom::boot_stage(const FirmwareImage& image, mem::Ram& memory,
         const std::uint64_t floor = counters_.value(counter_name_);
         if (image.security_version < floor) {
             result.status = BootStatus::kRollbackRejected;
+            return result;
+        }
+    }
+
+    if (admission_gate_ != nullptr) {
+        // Static analysis scales with code size: a few model cycles per
+        // instruction word for decode + CFG + passes.
+        cost_cycles += (image.payload.size() / 4) * 3;
+        if (!admission_gate_->admit(image).allow) {
+            result.status = BootStatus::kPolicyRejected;
             return result;
         }
     }

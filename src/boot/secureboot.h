@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "boot/admission.h"
 #include "boot/image.h"
 #include "boot/measured.h"
 #include "crypto/merkle.h"
@@ -25,6 +26,7 @@ enum class BootStatus : std::uint8_t {
     kBadSignature,
     kRollbackRejected,
     kLoadFault,
+    kPolicyRejected,  ///< Static analysis denied admission.
 };
 
 std::string boot_status_name(BootStatus status);
@@ -60,6 +62,15 @@ public:
         return strict_rollback_;
     }
 
+    /// Optional static-analysis admission gate, consulted after the
+    /// signature and anti-rollback checks. Not owned; nullptr = off.
+    void set_admission_gate(ImageAdmissionGate* gate) noexcept {
+        admission_gate_ = gate;
+    }
+    [[nodiscard]] ImageAdmissionGate* admission_gate() const noexcept {
+        return admission_gate_;
+    }
+
     /// Verifies, measures and loads one image. On success, advances the
     /// anti-rollback counter to the image's version ("roll-forward").
     StageResult boot_stage(const FirmwareImage& image, mem::Ram& memory,
@@ -76,6 +87,7 @@ private:
     crypto::MonotonicCounterBank& counters_;
     std::string counter_name_;
     bool strict_rollback_ = true;
+    ImageAdmissionGate* admission_gate_ = nullptr;
 };
 
 }  // namespace cres::boot

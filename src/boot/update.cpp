@@ -10,6 +10,7 @@ std::string update_status_name(UpdateStatus status) {
         case UpdateStatus::kBadImage: return "bad-image";
         case UpdateStatus::kBadSignature: return "bad-signature";
         case UpdateStatus::kVersionRegression: return "version-regression";
+        case UpdateStatus::kPolicyRejected: return "policy-rejected";
     }
     return "?";
 }
@@ -36,6 +37,10 @@ UpdateStatus UpdateAgent::install(BytesView image_bytes) {
     if (image.security_version < counters_.value(counter_name_)) {
         ++rejected_;
         return UpdateStatus::kVersionRegression;
+    }
+    if (admission_gate_ != nullptr && !admission_gate_->admit(image).allow) {
+        ++rejected_;
+        return UpdateStatus::kPolicyRejected;
     }
     slots_[1 - active_].image = std::move(image);
     return UpdateStatus::kOk;

@@ -8,6 +8,7 @@
 #include <optional>
 #include <string>
 
+#include "boot/admission.h"
 #include "boot/image.h"
 #include "crypto/merkle.h"
 #include "crypto/monotonic.h"
@@ -19,6 +20,7 @@ enum class UpdateStatus : std::uint8_t {
     kBadImage,
     kBadSignature,
     kVersionRegression,
+    kPolicyRejected,  ///< Static analysis denied admission.
 };
 
 std::string update_status_name(UpdateStatus status);
@@ -32,6 +34,15 @@ public:
     /// Installs wire-format image bytes into the inactive slot after
     /// verifying signature and anti-rollback.
     UpdateStatus install(BytesView image_bytes);
+
+    /// Optional static-analysis admission gate, consulted after the
+    /// signature and version checks. Not owned; nullptr = off.
+    void set_admission_gate(ImageAdmissionGate* gate) noexcept {
+        admission_gate_ = gate;
+    }
+    [[nodiscard]] ImageAdmissionGate* admission_gate() const noexcept {
+        return admission_gate_;
+    }
 
     /// Swaps active/inactive. The new image runs provisionally until
     /// commit() — reboot_failed() rolls back instead.
@@ -70,6 +81,7 @@ private:
     bool provisional_ = false;
     std::uint32_t rejected_ = 0;
     std::uint32_t rollbacks_ = 0;
+    ImageAdmissionGate* admission_gate_ = nullptr;
 };
 
 }  // namespace cres::boot

@@ -91,7 +91,9 @@ public:
             detail.size() < FlightRecord::kDetailCapacity
                 ? detail.size()
                 : FlightRecord::kDetailCapacity;
-        std::memcpy(slot.detail.data(), detail.data(), n);
+        // An empty string_view may carry a null data() pointer, which
+        // memcpy must never receive even for n == 0.
+        if (n != 0) std::memcpy(slot.detail.data(), detail.data(), n);
         if (n < FlightRecord::kDetailCapacity) {
             std::memset(slot.detail.data() + n, 0,
                         FlightRecord::kDetailCapacity - n);

@@ -303,6 +303,50 @@ void Node::provision(const crypto::MerklePublicKey& vendor_pk,
     rom->set_strict_rollback(cfg.strict_rollback);
     update_agent = std::make_unique<boot::UpdateAgent>(vendor_pk, counters);
 
+    if (cfg.admission_mode != boot::AdmissionMode::kOff) {
+        admission_gate = std::make_unique<analysis::AnalysisGate>(
+            cfg.admission_policy, cfg.admission_mode);
+        admission_gate->set_observer([this](const boot::FirmwareImage& image,
+                                            const analysis::Report& report,
+                                            bool rejected) {
+            if (cfg.metrics) {
+                metrics.counter("cres_analysis_images_total").inc();
+                if (report.errors() != 0) {
+                    metrics.counter("cres_analysis_errors_total")
+                        .inc(report.errors());
+                }
+                if (report.warnings() != 0) {
+                    metrics.counter("cres_analysis_warnings_total")
+                        .inc(report.warnings());
+                }
+                if (rejected) metrics.counter("cres_analysis_rejects").inc();
+            }
+            trace.emit(sim.now(), "boot",
+                       rejected ? "image-rejected" : "image-verified",
+                       image.name + ": " + report.summary());
+            if (!rejected) return;
+            recorder.record_slow(sim.now(), "boot", "image-rejected",
+                                 /*severity=*/3,
+                                 obs::FlightRecordType::kInstant,
+                                 report.errors(), report.warnings(),
+                                 image.name + ": " + report.summary());
+            if (ssm) {
+                core::MonitorEvent event;
+                event.at = sim.now();
+                event.monitor = "static-verifier";
+                event.category = core::EventCategory::kBoot;
+                event.severity = core::EventSeverity::kCritical;
+                event.resource = image.name;
+                event.detail = report.summary();
+                event.a = report.errors();
+                event.b = report.warnings();
+                ssm->submit(event);
+            }
+        });
+        rom->set_admission_gate(admission_gate.get());
+        update_agent->set_admission_gate(admission_gate.get());
+    }
+
     // Re-key the security engine with the derived evidence key (the SSM
     // has no meaningful history at provision time).
     if (cfg.resilient) build_security_engine(seal_key);

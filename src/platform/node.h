@@ -17,6 +17,7 @@
 #include <optional>
 #include <string>
 
+#include "analysis/verifier.h"
 #include "boot/measured.h"
 #include "boot/secureboot.h"
 #include "boot/update.h"
@@ -78,6 +79,13 @@ struct NodeConfig {
     std::size_t flight_recorder_capacity = 2048;
     std::string policy_dsl;        ///< Empty = default policy.
     double sensor_nominal = 50.0;  ///< Physical signal baseline.
+    /// Static firmware analysis at boot/update admission. kDeny rejects
+    /// images whose analysis finds policy violations; kWarn only
+    /// reports; kOff skips analysis entirely.
+    boot::AdmissionMode admission_mode = boot::AdmissionMode::kDeny;
+    /// Pass policy for the admission verifier (segments, stack budget,
+    /// banned opcodes).
+    analysis::Policy admission_policy{};
 };
 
 /// Runtime service/health counters every experiment reads.
@@ -186,6 +194,9 @@ public:
     tee::Tee tee;
     std::unique_ptr<boot::BootRom> rom;
     std::unique_ptr<boot::UpdateAgent> update_agent;
+    /// Static-analysis admission gate (null when admission_mode==kOff);
+    /// wired into both the boot ROM and the update agent at provision.
+    std::unique_ptr<analysis::AnalysisGate> admission_gate;
     std::unique_ptr<net::SecureChannel> channel;  ///< After provision().
 
     // --- Lockstep shadow core (config.lockstep) ----------------------------

@@ -44,22 +44,36 @@ std::uint8_t BinaryReader::u8() {
     return data_[pos_++];
 }
 
+// Multi-byte reads check bounds up front so a truncated input throws
+// without consuming a partial value: a reader that survives the throw
+// (parser resynchronization, speculative decode) stays at the field
+// boundary instead of mid-field.
 std::uint16_t BinaryReader::u16() {
-    const std::uint16_t lo = u8();
-    const std::uint16_t hi = u8();
+    require(2);
+    const std::uint16_t lo = data_[pos_];
+    const std::uint16_t hi = data_[pos_ + 1];
+    pos_ += 2;
     return static_cast<std::uint16_t>(lo | (hi << 8));
 }
 
 std::uint32_t BinaryReader::u32() {
-    const std::uint32_t lo = u16();
-    const std::uint32_t hi = u16();
-    return lo | (hi << 16);
+    require(4);
+    std::uint32_t v = 0;
+    for (std::size_t i = 0; i < 4; ++i) {
+        v |= static_cast<std::uint32_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 4;
+    return v;
 }
 
 std::uint64_t BinaryReader::u64() {
-    const std::uint64_t lo = u32();
-    const std::uint64_t hi = u32();
-    return lo | (hi << 32);
+    require(8);
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+        v |= static_cast<std::uint64_t>(data_[pos_ + i]) << (8 * i);
+    }
+    pos_ += 8;
+    return v;
 }
 
 Bytes BinaryReader::raw(std::size_t n) {

@@ -1,0 +1,476 @@
+// Static firmware verifier: CFG construction, policy passes, and the
+// secure-boot/update admission gate (unit + end-to-end).
+#include <gtest/gtest.h>
+
+#include "analysis/verifier.h"
+#include "boot/image.h"
+#include "boot/secureboot.h"
+#include "boot/update.h"
+#include "isa/assembler.h"
+#include "platform/node.h"
+#include "platform/workload.h"
+
+namespace cres::analysis {
+namespace {
+
+using platform::kCodeBase;
+using platform::kDataBase;
+using platform::kStackTop;
+
+isa::Program asm_at_code_base(const std::string& source) {
+    return isa::assemble(source, kCodeBase);
+}
+
+Report analyze_program(const isa::Program& program,
+                       const Policy& policy = {}) {
+    const FirmwareVerifier verifier(policy);
+    return verifier.analyze(program.code, program.origin,
+                            program.symbol("start"));
+}
+
+bool has_code(const Report& report, std::string_view code) {
+    for (const auto& f : report.findings) {
+        if (f.code == code) return true;
+    }
+    return false;
+}
+
+// --- CFG construction -------------------------------------------------
+
+TEST(Cfg, SplitsBlocksAndResolvesMaterializedTargets) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        li   r1, 5
+    loop:
+        addi r1, r1, -1
+        bne  r1, r0, loop
+        li   r2, 0x20000
+        sw   r1, r2, 8
+        halt
+    )");
+    const Cfg cfg = build_cfg(p.code, p.origin, p.symbol("start"));
+
+    EXPECT_GE(cfg.blocks.size(), 3u);
+    EXPECT_EQ(cfg.reachable_count(), cfg.words.size());
+    // The bne is a resolved branch with two successors.
+    bool saw_branch = false;
+    for (const JumpSite& j : cfg.jumps) {
+        if (j.kind == JumpKind::kBranch) {
+            saw_branch = true;
+            EXPECT_TRUE(j.resolved);
+            EXPECT_EQ(j.target, p.symbol("loop"));
+        }
+    }
+    EXPECT_TRUE(saw_branch);
+    // The materialized store address resolved statically.
+    ASSERT_EQ(cfg.accesses.size(), 1u);
+    EXPECT_EQ(cfg.accesses[0].target, 0x20008u);
+    EXPECT_TRUE(cfg.accesses[0].is_store);
+}
+
+TEST(Cfg, TrapVectorWritesBecomeRoots) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        la   r1, handler
+        csrw mtvec, r1
+        halt
+    handler:
+        mret
+    )");
+    const Cfg cfg = build_cfg(p.code, p.origin, p.symbol("start"));
+    // The handler is only referenced through the csr write, yet it is
+    // explored: a vector jump site plus a second root.
+    EXPECT_EQ(cfg.roots.size(), 2u);
+    EXPECT_EQ(cfg.reachable_count(), cfg.words.size());
+    bool saw_vector = false;
+    for (const JumpSite& j : cfg.jumps) {
+        if (j.kind == JumpKind::kVector) {
+            saw_vector = true;
+            EXPECT_EQ(j.target, p.symbol("handler"));
+        }
+    }
+    EXPECT_TRUE(saw_vector);
+}
+
+TEST(Cfg, CallLinksFallThroughAndReturnIsTerminal) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        call fn
+        halt
+    fn:
+        ret
+    )");
+    const Cfg cfg = build_cfg(p.code, p.origin, p.symbol("start"));
+    const auto fn = cfg.blocks.find(p.symbol("fn"));
+    ASSERT_NE(fn, cfg.blocks.end());
+    EXPECT_TRUE(fn->second.terminal);
+    EXPECT_EQ(cfg.reachable_count(), cfg.words.size());
+}
+
+// --- policy passes ----------------------------------------------------
+
+TEST(Verifier, SeedWorkloadsAreAdmissible) {
+    for (const isa::Program& p :
+         {platform::control_loop_program(),
+          platform::interrupt_control_loop_program(),
+          platform::checksum_program(16)}) {
+        const Report report = analyze_program(p);
+        EXPECT_EQ(report.errors(), 0u) << report.render();
+        EXPECT_EQ(report.warnings(), 0u) << report.render();
+        EXPECT_TRUE(report.stack_bounded);
+        EXPECT_TRUE(report.admissible());
+    }
+}
+
+TEST(Verifier, FlagsStoreToReachableCodeAsWxViolation) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        la   r1, start
+        sw   r0, r1, 0
+        halt
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_TRUE(has_code(report, "wx-violation")) << report.render();
+    EXPECT_FALSE(report.admissible());
+}
+
+TEST(Verifier, AllowsDataInTextStoresAsInfo) {
+    // Unreachable in-image words written at runtime (counters embedded
+    // in the text section) are informational, not W^X errors.
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        la   r1, counter
+        sw   r0, r1, 0
+        halt
+    counter:
+        .word 0
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_FALSE(has_code(report, "wx-violation")) << report.render();
+    EXPECT_TRUE(has_code(report, "data-in-text-store"));
+    EXPECT_TRUE(report.admissible()) << report.render();
+}
+
+TEST(Verifier, FlagsExecFromDataViaResolvedIndirectJump) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   r1, 0x20000
+        jalr r0, r1, 0
+        halt
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_TRUE(has_code(report, "exec-from-data")) << report.render();
+    EXPECT_FALSE(report.admissible());
+}
+
+TEST(Verifier, FlagsJumpOutsideImageInCodeSegmentAsWarning) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   r1, 0x18000
+        jalr r0, r1, 0
+        halt
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_TRUE(has_code(report, "jump-outside-image")) << report.render();
+    EXPECT_TRUE(report.admissible());
+    EXPECT_FALSE(report.admissible(/*warnings_as_errors=*/true));
+}
+
+TEST(Verifier, FlagsIllegalOpcodeOnReachablePath) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        nop
+        .word 0xff000001
+        halt
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_TRUE(has_code(report, "illegal-opcode")) << report.render();
+    EXPECT_FALSE(report.admissible());
+}
+
+TEST(Verifier, UnreachableGarbageIsInformationalOnly) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        halt
+    blob:
+        .word 0xff000001
+        .word 0xdeadbeef
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_FALSE(has_code(report, "illegal-opcode")) << report.render();
+    EXPECT_TRUE(has_code(report, "unreachable-code"));
+    EXPECT_TRUE(report.admissible());
+}
+
+TEST(Verifier, FlagsEntryProblems) {
+    const isa::Program p = asm_at_code_base("start:\n halt\n");
+    const FirmwareVerifier verifier;
+
+    Report report = verifier.analyze(p.code, p.origin, p.origin + 0x1000);
+    EXPECT_TRUE(has_code(report, "entry-out-of-image"));
+    EXPECT_FALSE(report.admissible());
+
+    report = verifier.analyze(p.code, p.origin, p.origin + 2);
+    EXPECT_TRUE(has_code(report, "entry-misaligned"));
+
+    report = verifier.analyze(BytesView{}, p.origin, p.origin);
+    EXPECT_TRUE(has_code(report, "empty-image"));
+}
+
+TEST(Verifier, ReportsTruncatedTailBytes) {
+    isa::Program p = asm_at_code_base("start:\n nop\n halt\n");
+    p.code.push_back(0xab);  // 9 bytes: one dangling.
+    const Report report = analyze_program(p);
+    EXPECT_EQ(report.tail_bytes, 1u);
+    EXPECT_TRUE(has_code(report, "tail-bytes"));
+    EXPECT_TRUE(report.admissible());
+}
+
+TEST(Verifier, ComputesWorstCaseStackDepthAcrossCalls) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        addi sp, sp, -16
+        call fn
+        addi sp, sp, 16
+        halt
+    fn:
+        addi sp, sp, -24
+        addi sp, sp, 24
+        ret
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_EQ(report.max_stack_bytes, 40u) << report.render();
+    EXPECT_TRUE(report.stack_bounded);
+    EXPECT_TRUE(report.admissible());
+}
+
+TEST(Verifier, EnforcesStackBudget) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        addi sp, sp, -64
+        halt
+    )");
+    Policy policy;
+    policy.max_stack_bytes = 32;
+    const Report report = analyze_program(p, policy);
+    EXPECT_TRUE(has_code(report, "stack-depth-exceeded")) << report.render();
+    EXPECT_FALSE(report.admissible());
+}
+
+TEST(Verifier, FlagsRecursionAsUnboundedStack) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        call fn
+        halt
+    fn:
+        addi sp, sp, -8
+        call fn
+        addi sp, sp, 8
+        ret
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_FALSE(report.stack_bounded);
+    EXPECT_TRUE(has_code(report, "stack-unbounded")) << report.render();
+}
+
+TEST(Verifier, UnprivilegedPolicyBansSystemOpcodes) {
+    const isa::Program p = platform::control_loop_program();
+    const Report deflt = analyze_program(p);
+    EXPECT_FALSE(has_code(deflt, "banned-opcode"));
+
+    const Report restricted = analyze_program(p, Policy::unprivileged());
+    EXPECT_TRUE(has_code(restricted, "banned-opcode"))
+        << restricted.render();
+    EXPECT_FALSE(restricted.admissible());
+}
+
+TEST(Verifier, RendersFindingsWithSeverityAndAddress) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        la   r1, start
+        sw   r0, r1, 0
+        halt
+    )");
+    const Report report = analyze_program(p);
+    const std::string text = report.render();
+    EXPECT_NE(text.find("[error]"), std::string::npos) << text;
+    EXPECT_NE(text.find("wx-violation"), std::string::npos) << text;
+    EXPECT_NE(text.find("0x"), std::string::npos) << text;
+    EXPECT_NE(report.summary().find("error"), std::string::npos);
+}
+
+// --- admission gate ---------------------------------------------------
+
+crypto::MerkleSigner test_vendor(std::uint8_t fill) {
+    crypto::Hash256 seed{};
+    seed.fill(fill);
+    return crypto::MerkleSigner(seed, 3);
+}
+
+boot::FirmwareImage signed_image(crypto::MerkleSigner& vendor,
+                                 const isa::Program& program,
+                                 const std::string& name,
+                                 std::uint32_t version = 1) {
+    boot::FirmwareImage image;
+    image.name = name;
+    image.security_version = version;
+    image.load_addr = program.origin;
+    image.entry_point = program.symbol("start");
+    image.payload = program.code;
+    boot::ImageSigner signer(vendor);
+    signer.sign(image);
+    return image;
+}
+
+isa::Program wx_implant_program() {
+    return asm_at_code_base(R"(
+    start:
+        la   r1, start
+        sw   r0, r1, 0
+        halt
+    )");
+}
+
+TEST(AnalysisGate, DenyRejectsWarnOnlyReports) {
+    auto vendor = test_vendor(21);
+    const boot::FirmwareImage bad =
+        signed_image(vendor, wx_implant_program(), "implant");
+
+    AnalysisGate deny(Policy{}, boot::AdmissionMode::kDeny);
+    bool observed_reject = false;
+    deny.set_observer([&](const boot::FirmwareImage&, const Report& report,
+                          bool rejected) {
+        observed_reject = rejected;
+        EXPECT_GT(report.errors(), 0u);
+    });
+    const boot::AdmissionVerdict denied = deny.admit(bad);
+    EXPECT_FALSE(denied.allow);
+    EXPECT_GT(denied.errors, 0u);
+    EXPECT_FALSE(denied.reason.empty());
+    EXPECT_TRUE(observed_reject);
+
+    AnalysisGate warn(Policy{}, boot::AdmissionMode::kWarn);
+    const boot::AdmissionVerdict warned = warn.admit(bad);
+    EXPECT_TRUE(warned.allow);
+    EXPECT_GT(warned.errors, 0u);
+}
+
+TEST(AnalysisGate, BootRomReturnsPolicyRejectedAndSkipsMeasurement) {
+    auto vendor = test_vendor(22);
+    crypto::MonotonicCounterBank counters;
+    boot::BootRom rom(vendor.public_key(), counters);
+    AnalysisGate gate(Policy{}, boot::AdmissionMode::kDeny);
+    rom.set_admission_gate(&gate);
+
+    const boot::FirmwareImage bad =
+        signed_image(vendor, wx_implant_program(), "implant");
+    mem::Ram ram("app_ram", platform::kAppRamSize);
+    boot::PcrBank pcrs;
+    std::uint64_t cycles = 0;
+    const boot::StageResult result =
+        rom.boot_stage(bad, ram, platform::kAppRamBase, pcrs, cycles);
+    EXPECT_EQ(result.status, boot::BootStatus::kPolicyRejected);
+    EXPECT_EQ(boot::boot_status_name(result.status), "policy-rejected");
+    // Rejected before "measure then load": no PCR entry, nothing loaded.
+    EXPECT_TRUE(pcrs.log().empty());
+    EXPECT_EQ(counters.value("fw_version"), 0u);
+}
+
+TEST(AnalysisGate, UpdateAgentReturnsPolicyRejectedAndCountsIt) {
+    auto vendor = test_vendor(23);
+    crypto::MonotonicCounterBank counters;
+    boot::UpdateAgent agent(vendor.public_key(), counters);
+    AnalysisGate gate(Policy{}, boot::AdmissionMode::kDeny);
+    agent.set_admission_gate(&gate);
+
+    const boot::FirmwareImage bad =
+        signed_image(vendor, wx_implant_program(), "implant");
+    EXPECT_EQ(agent.install(bad.serialize()),
+              boot::UpdateStatus::kPolicyRejected);
+    EXPECT_EQ(agent.rejected_installs(), 1u);
+    EXPECT_FALSE(agent.inactive_image().has_value());
+
+    const boot::FirmwareImage good =
+        signed_image(vendor, platform::control_loop_program(), "ctrl");
+    EXPECT_EQ(agent.install(good.serialize()), boot::UpdateStatus::kOk);
+}
+
+// --- end to end through the Node --------------------------------------
+
+TEST(AnalysisGate, NodeDeniesMaliciousImageAndRecordsEvidence) {
+    auto vendor = test_vendor(24);
+    platform::NodeConfig config;
+    config.resilient = true;
+    platform::Node node(config);
+    node.provision(vendor.public_key(), to_bytes("root"));
+    ASSERT_NE(node.admission_gate, nullptr);
+
+    const boot::FirmwareImage bad =
+        signed_image(vendor, wx_implant_program(), "implant");
+    const boot::BootReport report = node.secure_boot({bad});
+    EXPECT_FALSE(report.success);
+    ASSERT_EQ(report.stages.size(), 1u);
+    EXPECT_EQ(report.stages[0].status, boot::BootStatus::kPolicyRejected);
+    EXPECT_TRUE(node.cpu.halted());  // Nothing ran.
+
+    const auto* rejects = node.metrics.find_counter("cres_analysis_rejects");
+    ASSERT_NE(rejects, nullptr);
+    EXPECT_EQ(rejects->value(), 1u);
+
+    // The SSM drains the submitted boot event into sealed evidence.
+    node.run(50);
+    bool recorded = false;
+    for (const auto& r : node.ssm->evidence().records()) {
+        if (r.detail.find("static-verifier") != std::string::npos) {
+            recorded = true;
+        }
+    }
+    EXPECT_TRUE(recorded);
+    EXPECT_TRUE(node.ssm->evidence().verify_chain());
+
+    // The same node still admits healthy firmware afterwards.
+    const boot::FirmwareImage good =
+        signed_image(vendor, platform::control_loop_program(), "ctrl");
+    EXPECT_TRUE(node.secure_boot({good}).success);
+    EXPECT_EQ(rejects->value(), 1u);
+}
+
+TEST(AnalysisGate, NodeWarnModeAdmitsButStillObserves) {
+    auto vendor = test_vendor(25);
+    platform::NodeConfig config;
+    config.admission_mode = boot::AdmissionMode::kWarn;
+    platform::Node node(config);
+    node.provision(vendor.public_key(), to_bytes("root"));
+
+    const boot::FirmwareImage bad =
+        signed_image(vendor, wx_implant_program(), "implant");
+    EXPECT_TRUE(node.secure_boot({bad}).success);
+    const auto* total =
+        node.metrics.find_counter("cres_analysis_images_total");
+    ASSERT_NE(total, nullptr);
+    EXPECT_EQ(total->value(), 1u);
+    EXPECT_EQ(node.metrics.find_counter("cres_analysis_rejects"), nullptr);
+}
+
+TEST(AnalysisGate, NodeOffModeSkipsAnalysisEntirely) {
+    auto vendor = test_vendor(26);
+    platform::NodeConfig config;
+    config.admission_mode = boot::AdmissionMode::kOff;
+    platform::Node node(config);
+    node.provision(vendor.public_key(), to_bytes("root"));
+    EXPECT_EQ(node.admission_gate, nullptr);
+
+    const boot::FirmwareImage bad =
+        signed_image(vendor, wx_implant_program(), "implant");
+    EXPECT_TRUE(node.secure_boot({bad}).success);
+    EXPECT_EQ(node.metrics.find_counter("cres_analysis_images_total"),
+              nullptr);
+}
+
+}  // namespace
+}  // namespace cres::analysis

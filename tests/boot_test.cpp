@@ -66,6 +66,23 @@ TEST_F(BootFixture, ParseRejectsGarbage) {
     EXPECT_THROW(FirmwareImage::parse(bad), BootError);
 }
 
+TEST_F(BootFixture, ParseRejectsTrailingBytes) {
+    // Trailing bytes sit outside the signed digest, so one signature
+    // must not validate many wire forms (update-channel malleability).
+    Bytes padded = make_image("fw", 1).serialize();
+    padded.push_back(0x00);
+    EXPECT_THROW(FirmwareImage::parse(padded), BootError);
+}
+
+TEST_F(BootFixture, ParseRejectsEveryTruncation) {
+    const Bytes wire = make_image("fw", 1).serialize();
+    for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+        EXPECT_THROW(FirmwareImage::parse(BytesView(wire.data(), cut)),
+                     BootError)
+            << "prefix length " << cut;
+    }
+}
+
 TEST_F(BootFixture, UnsignedImageFailsVerification) {
     FirmwareImage image = make_image("fw", 1);
     image.signature.clear();

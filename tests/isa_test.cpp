@@ -2,6 +2,11 @@
 // state, traps, interrupts and observer hooks.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <set>
+#include <string>
+#include <vector>
+
 #include "isa/assembler.h"
 #include "isa/cpu.h"
 #include "isa/encoding.h"
@@ -585,6 +590,218 @@ TEST_F(CpuFixture, HaltedCpuDoesNotStep) {
     const auto before = cpu.instret();
     EXPECT_FALSE(cpu.step());
     EXPECT_EQ(cpu.instret(), before);
+}
+
+// --- exhaustive encode/decode/assembler round-trips --------------------
+
+/// Every defined opcode, in enum order.
+const std::vector<Opcode>& all_opcodes() {
+    static const std::vector<Opcode> ops = {
+        Opcode::kNop,  Opcode::kHalt, Opcode::kAdd,   Opcode::kSub,
+        Opcode::kAnd,  Opcode::kOr,   Opcode::kXor,   Opcode::kShl,
+        Opcode::kShr,  Opcode::kSra,  Opcode::kMul,   Opcode::kSlt,
+        Opcode::kSltu, Opcode::kAddi, Opcode::kAndi,  Opcode::kOri,
+        Opcode::kXori, Opcode::kShli, Opcode::kShri,  Opcode::kLui,
+        Opcode::kLw,   Opcode::kLh,   Opcode::kLb,    Opcode::kSw,
+        Opcode::kSh,   Opcode::kSb,   Opcode::kBeq,   Opcode::kBne,
+        Opcode::kBlt,  Opcode::kBge,  Opcode::kBltu,  Opcode::kBgeu,
+        Opcode::kJal,  Opcode::kJalr, Opcode::kEcall, Opcode::kMret,
+        Opcode::kSmc,  Opcode::kSret, Opcode::kCsrr,  Opcode::kCsrw,
+        Opcode::kWfi,
+    };
+    return ops;
+}
+
+TEST(Encoding, EncodeDecodeRoundTripsEveryOpcodeAndOperandPattern) {
+    // decode() then encode() must reproduce the exact word for every
+    // defined opcode and every operand-bit pattern (rs2 and imm16
+    // overlap by design, so the word is the ground truth).
+    const std::uint32_t patterns[] = {0x000000, 0xffffff, 0xa5a5a5,
+                                      0x5a5a5a, 0x123456, 0x00f000,
+                                      0x008000, 0x007fff};
+    for (const Opcode op : all_opcodes()) {
+        for (const std::uint32_t low : patterns) {
+            const std::uint32_t word =
+                (static_cast<std::uint32_t>(op) << 24) | low;
+            const Instruction insn = decode(word);
+            EXPECT_EQ(insn.opcode, op);
+            EXPECT_EQ(insn.rd, (low >> 20) & 0x0f);
+            EXPECT_EQ(insn.rs1, (low >> 16) & 0x0f);
+            EXPECT_EQ(insn.rs2, (low >> 12) & 0x0f);
+            EXPECT_EQ(insn.imm, low & 0xffff);
+            EXPECT_EQ(encode(insn), word) << opcode_name(op);
+        }
+    }
+}
+
+TEST(Encoding, SignedImmediateRoundTripsBoundaryValues) {
+    for (const std::uint16_t imm :
+         {std::uint16_t{0}, std::uint16_t{1}, std::uint16_t{0x7fff},
+          std::uint16_t{0x8000}, std::uint16_t{0xffff}}) {
+        const Instruction insn{Opcode::kAddi, 1, 2, 0, imm};
+        const Instruction back = decode(encode(insn));
+        EXPECT_EQ(back.imm, imm);
+        EXPECT_EQ(back.simm(), static_cast<std::int16_t>(imm));
+    }
+}
+
+TEST(Encoding, ValidityScanMatchesDefinedOpcodeSetExactly) {
+    std::set<std::uint8_t> defined;
+    for (const Opcode op : all_opcodes()) {
+        defined.insert(static_cast<std::uint8_t>(op));
+    }
+    ASSERT_EQ(defined.size(), 41u);  // The enum holds 41 distinct opcodes.
+    for (unsigned byte = 0; byte < 256; ++byte) {
+        const std::uint32_t word = byte << 24 | 0x00345678;
+        EXPECT_EQ(is_valid_opcode(word),
+                  defined.count(static_cast<std::uint8_t>(byte)) != 0)
+            << "opcode byte 0x" << std::hex << byte;
+    }
+}
+
+TEST(Encoding, EveryOpcodeNameRoundTripsThroughLookup) {
+    for (const Opcode op : all_opcodes()) {
+        const std::string name = opcode_name(op);
+        EXPECT_NE(name, "?");
+        const auto back = opcode_from_name(name);
+        ASSERT_TRUE(back.has_value()) << name;
+        EXPECT_EQ(*back, op);
+    }
+    EXPECT_EQ(opcode_name(static_cast<Opcode>(0xff)), "?");
+    EXPECT_FALSE(opcode_from_name("bogus").has_value());
+}
+
+/// One assembly statement per opcode with the operand syntax the
+/// assembler documents, plus the exact instruction it must produce.
+struct AsmCase {
+    const char* source;
+    Instruction expected;
+};
+
+TEST(Assembler, RoundTripsEveryMnemonicAgainstEncode) {
+    // Labels resolve pc-relative immediates to 0 ("start" is the
+    // statement's own address), so every case has one fixed encoding.
+    const AsmCase cases[] = {
+        {"nop", {Opcode::kNop, 0, 0, 0, 0}},
+        {"halt", {Opcode::kHalt, 0, 0, 0, 0}},
+        {"add r1, r2, r3", {Opcode::kAdd, 1, 2, 3, 3u << 12}},
+        {"sub r4, r5, r6", {Opcode::kSub, 4, 5, 6, 6u << 12}},
+        {"and r7, r8, r9", {Opcode::kAnd, 7, 8, 9, 9u << 12}},
+        {"or r10, r11, r12", {Opcode::kOr, 10, 11, 12, 12u << 12}},
+        {"xor r13, r14, r15", {Opcode::kXor, 13, 14, 15, 15u << 12}},
+        {"shl r1, r2, r3", {Opcode::kShl, 1, 2, 3, 3u << 12}},
+        {"shr r1, r2, r3", {Opcode::kShr, 1, 2, 3, 3u << 12}},
+        {"sra r1, r2, r3", {Opcode::kSra, 1, 2, 3, 3u << 12}},
+        {"mul r1, r2, r3", {Opcode::kMul, 1, 2, 3, 3u << 12}},
+        {"slt r1, r2, r3", {Opcode::kSlt, 1, 2, 3, 3u << 12}},
+        {"sltu r1, r2, r3", {Opcode::kSltu, 1, 2, 3, 3u << 12}},
+        {"addi r1, r2, -2", {Opcode::kAddi, 1, 2, 0, 0xfffe}},
+        {"andi r1, r2, 0xff", {Opcode::kAndi, 1, 2, 0, 0x00ff}},
+        {"ori r1, r2, 0x80", {Opcode::kOri, 1, 2, 0, 0x0080}},
+        {"xori r1, r2, 1", {Opcode::kXori, 1, 2, 0, 1}},
+        {"shli r1, r2, 4", {Opcode::kShli, 1, 2, 0, 4}},
+        {"shri r1, r2, 31", {Opcode::kShri, 1, 2, 0, 31}},
+        {"lui r1, 0x1234", {Opcode::kLui, 1, 0, 0, 0x1234}},
+        {"lw r1, r2, 8", {Opcode::kLw, 1, 2, 0, 8}},
+        {"lh r1, r2, 2", {Opcode::kLh, 1, 2, 0, 2}},
+        {"lb r1, r2, 1", {Opcode::kLb, 1, 2, 0, 1}},
+        {"sw r1, r2, -4", {Opcode::kSw, 1, 2, 0, 0xfffc}},
+        {"sh r1, r2, 6", {Opcode::kSh, 1, 2, 0, 6}},
+        {"sb r1, r2, 3", {Opcode::kSb, 1, 2, 0, 3}},
+        // Branch second comparand travels in rd; "start" is offset 0.
+        {"beq r1, r2, start", {Opcode::kBeq, 2, 1, 0, 0}},
+        {"bne r3, r4, start", {Opcode::kBne, 4, 3, 0, 0}},
+        {"blt r5, r6, start", {Opcode::kBlt, 6, 5, 0, 0}},
+        {"bge r7, r8, start", {Opcode::kBge, 8, 7, 0, 0}},
+        {"bltu r9, r10, start", {Opcode::kBltu, 10, 9, 0, 0}},
+        {"bgeu r11, r12, start", {Opcode::kBgeu, 12, 11, 0, 0}},
+        {"jal lr, start", {Opcode::kJal, 14, 0, 0, 0}},
+        {"jalr r0, r1, 4", {Opcode::kJalr, 0, 1, 0, 4}},
+        {"ecall 3", {Opcode::kEcall, 0, 0, 0, 3}},
+        {"mret", {Opcode::kMret, 0, 0, 0, 0}},
+        {"smc 2", {Opcode::kSmc, 0, 0, 0, 2}},
+        {"sret", {Opcode::kSret, 0, 0, 0, 0}},
+        {"csrr r2, mcause", {Opcode::kCsrr, 2, 0, 0, kCsrMcause}},
+        {"csrw mscratch, r5", {Opcode::kCsrw, 0, 5, 0, kCsrMscratch}},
+        {"wfi", {Opcode::kWfi, 0, 0, 0, 0}},
+    };
+    std::set<Opcode> covered;
+    for (const AsmCase& c : cases) {
+        const Program p =
+            assemble(std::string("start:\n    ") + c.source + "\n", 0);
+        ASSERT_EQ(p.code.size(), 4u) << c.source;
+        const std::uint32_t word =
+            static_cast<std::uint32_t>(p.code[0]) |
+            (static_cast<std::uint32_t>(p.code[1]) << 8) |
+            (static_cast<std::uint32_t>(p.code[2]) << 16) |
+            (static_cast<std::uint32_t>(p.code[3]) << 24);
+        EXPECT_EQ(word, encode(c.expected)) << c.source;
+        covered.insert(c.expected.opcode);
+    }
+    // The table above must stay exhaustive as the ISA grows.
+    EXPECT_EQ(covered.size(), all_opcodes().size());
+}
+
+TEST(Assembler, PseudoInstructionsExpandToDocumentedSequences) {
+    const Program p = assemble(R"(
+    start:
+        li   r1, 0x12345678
+        mv   r2, r1
+        call start
+        j    start
+        ret
+    )",
+                               0);
+    auto word_at = [&](std::size_t i) {
+        return decode(static_cast<std::uint32_t>(p.code[4 * i]) |
+                      (static_cast<std::uint32_t>(p.code[4 * i + 1]) << 8) |
+                      (static_cast<std::uint32_t>(p.code[4 * i + 2]) << 16) |
+                      (static_cast<std::uint32_t>(p.code[4 * i + 3]) << 24));
+    };
+    // li = lui + ori.
+    EXPECT_EQ(word_at(0).opcode, Opcode::kLui);
+    EXPECT_EQ(word_at(0).imm, 0x1234);
+    EXPECT_EQ(word_at(1).opcode, Opcode::kOri);
+    EXPECT_EQ(word_at(1).imm, 0x5678);
+    // mv = addi rd, rs, 0.
+    EXPECT_EQ(word_at(2).opcode, Opcode::kAddi);
+    EXPECT_EQ(word_at(2).imm, 0u);
+    // call = jal lr, target.
+    EXPECT_EQ(word_at(3).opcode, Opcode::kJal);
+    EXPECT_EQ(word_at(3).rd, 14);
+    // j = jal r0, target.
+    EXPECT_EQ(word_at(4).opcode, Opcode::kJal);
+    EXPECT_EQ(word_at(4).rd, 0);
+    // ret = jalr r0, lr, 0.
+    EXPECT_EQ(word_at(5).opcode, Opcode::kJalr);
+    EXPECT_EQ(word_at(5).rd, 0);
+    EXPECT_EQ(word_at(5).rs1, 14);
+    EXPECT_EQ(word_at(5).imm, 0u);
+}
+
+TEST(Assembler, RejectsMalformedStatements) {
+    EXPECT_THROW(assemble("add r1, r2\n"), IsaError);       // Arity.
+    EXPECT_THROW(assemble("add r1, r2, r16\n"), IsaError);  // Register.
+    EXPECT_THROW(assemble("beq r1, r2, nowhere\n"), IsaError);  // Label.
+    EXPECT_THROW(assemble("frobnicate r1\n"), IsaError);  // Mnemonic.
+    EXPECT_THROW(assemble("csrw bogus, r1\n"), IsaError);  // CSR name.
+}
+
+TEST_F(CpuFixture, EveryUndefinedOpcodeByteTrapsAsIllegalInstruction) {
+    // Spot-check a spread of undefined opcode bytes end to end: the
+    // word decodes (structurally total) but execution must trap.
+    for (const unsigned byte : {0x02u, 0x0fu, 0x1bu, 0x27u, 0x36u, 0x48u,
+                                0x57u, 0x80u, 0xc3u, 0xffu}) {
+        const std::uint32_t word = (byte << 24) | 0x00123456;
+        ASSERT_FALSE(is_valid_opcode(word));
+        char line[32];
+        std::snprintf(line, sizeof line, ".word 0x%08x\n", word);
+        run(line);
+        EXPECT_TRUE(cpu.halted()) << byte;
+        EXPECT_EQ(cpu.csr(kCsrMcause),
+                  static_cast<std::uint32_t>(TrapCause::kIllegalInstruction))
+            << "opcode byte 0x" << std::hex << byte;
+    }
 }
 
 }  // namespace

@@ -59,7 +59,9 @@ TEST(Histogram, EveryValueLandsInsideItsBucketBounds) {
                             ~std::uint64_t{0}}) {
         const std::size_t i = Histogram::bucket_index(v);
         EXPECT_LE(v, Histogram::bucket_upper(i)) << v;
-        if (i > 0) EXPECT_GT(v, Histogram::bucket_upper(i - 1)) << v;
+        if (i > 0) {
+            EXPECT_GT(v, Histogram::bucket_upper(i - 1)) << v;
+        }
     }
 }
 

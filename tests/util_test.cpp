@@ -114,6 +114,60 @@ TEST(Serial, OversizedBlobLengthThrows) {
     EXPECT_THROW(r.blob(), Error);
 }
 
+TEST(Serial, TruncatedMultiByteReadConsumesNothing) {
+    // A failed u16/u32/u64 must leave the cursor at the field start so
+    // a caller that catches the error is not mid-field.
+    const Bytes buf = {0x01, 0x02, 0x03};
+    BinaryReader r(buf);
+    EXPECT_THROW(r.u32(), Error);
+    EXPECT_EQ(r.remaining(), 3u);
+    EXPECT_THROW(r.u64(), Error);
+    EXPECT_EQ(r.remaining(), 3u);
+    EXPECT_EQ(r.u16(), 0x0201);  // Unaffected by the failed attempts.
+    EXPECT_THROW(r.u16(), Error);
+    EXPECT_EQ(r.remaining(), 1u);
+    EXPECT_EQ(r.u8(), 0x03);
+    EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, EveryTruncationPointOfACompositeRecordThrows) {
+    BinaryWriter w;
+    w.u32(0xfeedface);
+    w.str("name");
+    w.u64(7);
+    w.blob(Bytes{1, 2, 3, 4});
+    const Bytes full = w.data();
+
+    // Full record parses; every proper prefix throws instead of
+    // reading out of bounds or looping.
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+        BinaryReader r(BytesView(full.data(), cut));
+        EXPECT_THROW(
+            {
+                (void)r.u32();
+                (void)r.str();
+                (void)r.u64();
+                (void)r.blob();
+            },
+            Error)
+            << "prefix length " << cut;
+    }
+    BinaryReader ok(full);
+    EXPECT_EQ(ok.u32(), 0xfeedfaceu);
+    EXPECT_EQ(ok.str(), "name");
+    EXPECT_EQ(ok.u64(), 7u);
+    EXPECT_EQ(ok.blob(), (Bytes{1, 2, 3, 4}));
+    EXPECT_TRUE(ok.done());
+}
+
+TEST(Serial, RawReadIsBoundsCheckedBeforeAllocation) {
+    const Bytes buf = {0x01, 0x02};
+    BinaryReader r(buf);
+    // A huge claimed size must throw, not attempt a giant allocation.
+    EXPECT_THROW((void)r.raw(static_cast<std::size_t>(-1)), Error);
+    EXPECT_EQ(r.remaining(), 2u);
+}
+
 TEST(Rng, Deterministic) {
     Rng a(42);
     Rng b(42);
