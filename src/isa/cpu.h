@@ -1,4 +1,4 @@
-// CRV32 CPU interpreter.
+// CRV32 CPU: a two-tier guest-execution engine.
 //
 // Models the architectural surface the paper's monitors observe:
 // privilege (machine/user), security state (secure/non-secure world),
@@ -6,15 +6,30 @@
 // accounting. Monitors attach as CpuObservers; they see instruction
 // retirement, calls/returns (for control-flow integrity), traps and
 // world switches.
+//
+// Execution tiers (docs/EXECUTION.md has the full design):
+//   0. Interpreter — fetch through MPU+bus, decode, execute. Always
+//      available; the reference semantics every other tier must match
+//      instruction-for-instruction.
+//   1. Translated step() — with a TranslationImage installed, step()
+//      retires predecoded micro-ops directly, eliding the fetch
+//      (validity guaranteed by the image + environment stamps). Used
+//      by tick(), so cycle accounting is untouched.
+//   2. run_steps() — computed-goto threaded dispatch over the micro-op
+//      stream for step-driven callers (benches, batch simulation).
+// All tiers share one semantics implementation (exec_one); tiers 1-2
+// only change how the next micro-op is obtained.
 #pragma once
 
 #include <array>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "isa/encoding.h"
+#include "isa/uop.h"
 #include "mem/bus.h"
 #include "mem/mpu.h"
 #include "sim/simulator.h"
@@ -73,7 +88,44 @@ public:
     /// Returns false when halted.
     bool step();
 
+    /// Executes up to `max_steps` step events with threaded dispatch
+    /// over the installed translation, falling back to step() outside
+    /// it. A step event is one instruction retirement or one trap /
+    /// interrupt delivery — exactly what one step() call performs.
+    /// Returns the number of events executed; stops early when the core
+    /// halts or parks in WFI. Architecturally equivalent to calling
+    /// step() in a loop — same regs/CSRs/instret/trap history — and,
+    /// like step(), it accumulates but does not burn stall cycles.
+    std::uint64_t run_steps(std::uint64_t max_steps);
+
+    // --- Translation (tier 1/2 execution) -------------------------------
+    /// Installs a predecoded translation of guest code memory. The image
+    /// is shared (typically fleet-wide, keyed by firmware digest) and
+    /// immutable; the CPU registers a bus write watch over the covered
+    /// window so any successful write — any master — invalidates it.
+    void install_translation(std::shared_ptr<const TranslationImage> image);
+
+    /// Drops the installed translation and its write watch; execution
+    /// reverts to the plain interpreter. Safe to call from within the
+    /// write-watch callback (i.e. mid-instruction on self-modification).
+    void clear_translation() noexcept;
+
+    [[nodiscard]] bool translation_active() const noexcept {
+        return translation_ != nullptr;
+    }
+    [[nodiscard]] const TranslationImage* translation() const noexcept {
+        return translation_.get();
+    }
+    /// Instructions retired via the translated fast path (tier 1/2).
+    [[nodiscard]] std::uint64_t translated_instret() const noexcept {
+        return translated_instret_;
+    }
+
     // --- Architectural state -------------------------------------------
+    /// Register access. Valid indices are 0..15; out-of-range indices
+    /// assert in debug builds. Release builds keep the historical
+    /// hardened behaviour: out-of-range reads return 0, out-of-range
+    /// writes are ignored (as are writes to r0, which is hardwired zero).
     [[nodiscard]] std::uint32_t reg(unsigned index) const noexcept;
     void set_reg(unsigned index, std::uint32_t value) noexcept;
     [[nodiscard]] mem::Addr pc() const noexcept { return pc_; }
@@ -118,9 +170,22 @@ public:
     void halt() noexcept { halted_ = true; }
 
 private:
-    void execute(const Instruction& insn, mem::Addr insn_pc);
+    /// The single semantics implementation all execution tiers share.
+    /// Executes one predecoded micro-op; pc_ has already been advanced
+    /// to insn_pc + 4 (traps and branches overwrite it).
+    void exec_one(const Uop& u, mem::Addr insn_pc);
     void trap(std::uint32_t cause, std::uint32_t tval, mem::Addr epc);
     bool take_pending_interrupt();
+
+    /// True when the installed translation is still valid for the
+    /// current execution environment (MPU/bus configuration, privilege
+    /// and security state). Cached per environment generation; the
+    /// revalidation probes are silent (no faults, no bus transactions).
+    bool translation_usable();
+    [[nodiscard]] bool irq_deliverable() const noexcept {
+        return (csrs_[kCsrMstatus] & kMstatusMie) != 0 &&
+               (csrs_[kCsrMip] & csrs_[kCsrMie]) != 0;
+    }
 
     /// Memory helpers; on fault they trap and return false.
     bool load(mem::Addr addr, std::uint32_t size, std::uint32_t& out,
@@ -150,6 +215,19 @@ private:
 
     std::vector<CpuObserver*> observers_;
     EcallHandler ecall_handler_;
+
+    // Translation state. The image is shared and immutable; everything
+    // mutable about execution stays in this Cpu (per-node state), which
+    // is what keeps fleet-parallel runs bit-identical to serial runs.
+    std::shared_ptr<const TranslationImage> translation_;
+    std::uint64_t translated_instret_ = 0;
+    // Environment stamp for the cached translation-validity verdict.
+    std::uint64_t env_mpu_generation_ = 0;
+    std::uint64_t env_bus_generation_ = 0;
+    bool env_privileged_ = false;
+    bool env_secure_ = false;
+    bool env_valid_ = false;   ///< Stamp matches current environment.
+    bool env_usable_ = false;  ///< Verdict cached under that stamp.
 };
 
 }  // namespace cres::isa

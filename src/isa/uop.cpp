@@ -1,0 +1,84 @@
+#include "isa/uop.h"
+
+namespace cres::isa {
+
+Uop predecode(std::uint32_t word, mem::Addr pc) noexcept {
+    const Instruction insn = decode(word);
+    Uop u;
+    u.rd = insn.rd & 0x0f;
+    u.rs1 = insn.rs1 & 0x0f;
+    u.rs2 = insn.rs2 & 0x0f;
+    u.imm = insn.imm;
+    u.simm = static_cast<std::uint32_t>(insn.simm());
+    u.raw = word;
+
+    if (!is_valid_opcode(word)) {
+        u.kind = UopKind::kInvalid;
+        return u;
+    }
+
+    switch (insn.opcode) {
+        case Opcode::kNop: u.kind = UopKind::kNop; break;
+        case Opcode::kHalt: u.kind = UopKind::kHalt; break;
+        case Opcode::kAdd: u.kind = UopKind::kAdd; break;
+        case Opcode::kSub: u.kind = UopKind::kSub; break;
+        case Opcode::kAnd: u.kind = UopKind::kAnd; break;
+        case Opcode::kOr: u.kind = UopKind::kOr; break;
+        case Opcode::kXor: u.kind = UopKind::kXor; break;
+        case Opcode::kShl: u.kind = UopKind::kShl; break;
+        case Opcode::kShr: u.kind = UopKind::kShr; break;
+        case Opcode::kSra: u.kind = UopKind::kSra; break;
+        case Opcode::kMul: u.kind = UopKind::kMul; break;
+        case Opcode::kSlt: u.kind = UopKind::kSlt; break;
+        case Opcode::kSltu: u.kind = UopKind::kSltu; break;
+        case Opcode::kAddi: u.kind = UopKind::kAddi; break;
+        case Opcode::kAndi: u.kind = UopKind::kAndi; break;
+        case Opcode::kOri: u.kind = UopKind::kOri; break;
+        case Opcode::kXori: u.kind = UopKind::kXori; break;
+        case Opcode::kShli: u.kind = UopKind::kShli; break;
+        case Opcode::kShri: u.kind = UopKind::kShri; break;
+        case Opcode::kLui: u.kind = UopKind::kLui; break;
+
+        case Opcode::kLw: u.kind = UopKind::kLoad; u.size = 4; break;
+        case Opcode::kLh: u.kind = UopKind::kLoad; u.size = 2; break;
+        case Opcode::kLb: u.kind = UopKind::kLoad; u.size = 1; break;
+        case Opcode::kSw: u.kind = UopKind::kStore; u.size = 4; break;
+        case Opcode::kSh: u.kind = UopKind::kStore; u.size = 2; break;
+        case Opcode::kSb: u.kind = UopKind::kStore; u.size = 1; break;
+
+        case Opcode::kBeq: u.kind = UopKind::kBeq; break;
+        case Opcode::kBne: u.kind = UopKind::kBne; break;
+        case Opcode::kBlt: u.kind = UopKind::kBlt; break;
+        case Opcode::kBge: u.kind = UopKind::kBge; break;
+        case Opcode::kBltu: u.kind = UopKind::kBltu; break;
+        case Opcode::kBgeu: u.kind = UopKind::kBgeu; break;
+
+        case Opcode::kJal: u.kind = UopKind::kJal; break;
+        case Opcode::kJalr: u.kind = UopKind::kJalr; break;
+
+        case Opcode::kEcall: u.kind = UopKind::kEcall; break;
+        case Opcode::kMret: u.kind = UopKind::kMret; break;
+        case Opcode::kSmc: u.kind = UopKind::kSmc; break;
+        case Opcode::kSret: u.kind = UopKind::kSret; break;
+        case Opcode::kCsrr: u.kind = UopKind::kCsrr; break;
+        case Opcode::kCsrw: u.kind = UopKind::kCsrw; break;
+        case Opcode::kWfi: u.kind = UopKind::kWfi; break;
+    }
+
+    switch (u.kind) {
+        case UopKind::kBeq:
+        case UopKind::kBne:
+        case UopKind::kBlt:
+        case UopKind::kBge:
+        case UopKind::kBltu:
+        case UopKind::kBgeu:
+        case UopKind::kJal:
+            u.target = pc + u.simm;
+            break;
+        default:
+            break;
+    }
+    return u;
+}
+
+}  // namespace cres::isa

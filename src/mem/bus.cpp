@@ -50,6 +50,7 @@ void Bus::map(const RegionConfig& config, BusTarget& target) {
         }
     }
     mappings_.push_back(Mapping{config, &target, false});
+    ++config_generation_;
 }
 
 Bus::Mapping* Bus::decode(Addr addr, std::uint32_t size) {
@@ -59,6 +60,50 @@ Bus::Mapping* Bus::decode(Addr addr, std::uint32_t size) {
         if (addr >= m.config.base && addr + size <= end) return &m;
     }
     return nullptr;
+}
+
+const Bus::Mapping* Bus::decode_const(Addr addr, std::uint32_t size) const {
+    if (addr + size < addr) return nullptr;  // Address-space wrap.
+    for (const auto& m : mappings_) {
+        const Addr end = m.config.base + m.config.size;
+        if (addr >= m.config.base && addr + size <= end) return &m;
+    }
+    return nullptr;
+}
+
+bool Bus::fetch_allowed(Addr addr, std::uint32_t size,
+                        const BusAttr& attr) const noexcept {
+    if (size == 0) return false;
+    const Mapping* mapping = decode_const(addr, size);
+    if (mapping == nullptr || mapping->isolated) return false;
+    return !mapping->config.secure_only || attr.secure;
+}
+
+void Bus::set_write_watch(Addr base, Addr size, WriteWatch watch) {
+    watch_base_ = base;
+    watch_size_ = size;
+    watch_ = std::move(watch);
+}
+
+void Bus::clear_write_watch() noexcept {
+    watch_base_ = 0;
+    watch_size_ = 0;
+    watch_ = nullptr;
+}
+
+void Bus::fire_write_watch(Addr addr, std::uint32_t size) {
+    if (!watch_ || watch_size_ == 0) return;
+    // Overlap test in 64-bit space: the watched window never wraps
+    // (it mirrors a mapped region), the access was already decoded.
+    const std::uint64_t a0 = addr;
+    const std::uint64_t a1 = a0 + size;
+    const std::uint64_t w0 = watch_base_;
+    const std::uint64_t w1 = w0 + watch_size_;
+    if (a1 <= w0 || a0 >= w1) return;
+    // Copy first: the callback may clear or replace the watch (the
+    // translation engine drops itself on invalidation).
+    const WriteWatch fire = watch_;
+    fire(addr, size);
 }
 
 void Bus::notify(const BusTransaction& txn) {
@@ -110,6 +155,9 @@ BusResponse Bus::access(BusOp op, Addr addr, std::uint32_t size,
     }
     last_latency_ = mapping->target->last_latency();
     notify(txn);
+    if (op == BusOp::kWrite && txn.response == BusResponse::kOk) {
+        fire_write_watch(addr, size);
+    }
     return txn.response;
 }
 
@@ -166,6 +214,7 @@ bool Bus::write_block(Addr addr, BytesView data, const BusAttr& attr,
                 BusResponse::kOk) {
                 return false;
             }
+            fire_write_watch(addr + static_cast<Addr>(i), 1);
         } else {
             if (access(BusOp::kWrite, addr + static_cast<Addr>(i), 1, value,
                        attr) != BusResponse::kOk) {
@@ -191,6 +240,7 @@ bool Bus::isolate_region(const std::string& name, bool isolated) {
     for (auto& m : mappings_) {
         if (m.config.name == name) {
             m.isolated = isolated;
+            ++config_generation_;
             return true;
         }
     }
@@ -208,6 +258,7 @@ bool Bus::set_secure_only(const std::string& name, bool secure_only) {
     for (auto& m : mappings_) {
         if (m.config.name == name) {
             m.config.secure_only = secure_only;
+            ++config_generation_;
             return true;
         }
     }

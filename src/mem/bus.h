@@ -120,6 +120,32 @@ public:
     void add_observer(BusObserver* observer);
     void remove_observer(BusObserver* observer) noexcept;
 
+    /// Write-invalidation watch: `watch` fires after any successful bus
+    /// write overlapping [base, base+size) — by any master, including
+    /// DMA and physical-tamper models. The CPU's translation engine
+    /// registers its code window here so self-modifying code demotes it
+    /// to the interpreter. One watch slot (the executing core owns it);
+    /// the callback may clear or replace the watch from within itself.
+    using WriteWatch = std::function<void(Addr addr, std::uint32_t size)>;
+    void set_write_watch(Addr base, Addr size, WriteWatch watch);
+    void clear_write_watch() noexcept;
+
+    /// Silent fetch probe: true when a fetch of the whole range
+    /// [addr, addr+size) with `attr` would currently succeed (single
+    /// region, not isolated, security attributes satisfied). No
+    /// transaction is issued: observers see nothing and no counters
+    /// move. The CPU's translation fast path uses this (together with
+    /// config_generation()) to elide per-instruction fetch checks.
+    [[nodiscard]] bool fetch_allowed(Addr addr, std::uint32_t size,
+                                     const BusAttr& attr) const noexcept;
+
+    /// Bumped on every interconnect configuration change (map,
+    /// isolate_region, set_secure_only). Consumers caching decode or
+    /// permission results revalidate when this moves.
+    [[nodiscard]] std::uint64_t config_generation() const noexcept {
+        return config_generation_;
+    }
+
     /// Fences a region off: every subsequent access returns kIsolated.
     /// Returns false when the region name is unknown.
     bool isolate_region(const std::string& name, bool isolated = true);
@@ -154,12 +180,20 @@ private:
     };
 
     Mapping* decode(Addr addr, std::uint32_t size);
+    [[nodiscard]] const Mapping* decode_const(Addr addr,
+                                              std::uint32_t size) const;
     void notify(const BusTransaction& txn);
+    void fire_write_watch(Addr addr, std::uint32_t size);
 
     std::vector<Mapping> mappings_;
     std::vector<BusObserver*> observers_;
     std::uint64_t transactions_ = 0;
     std::uint32_t last_latency_ = 1;
+    std::uint64_t config_generation_ = 0;
+
+    Addr watch_base_ = 0;
+    Addr watch_size_ = 0;
+    WriteWatch watch_;
 };
 
 }  // namespace cres::mem

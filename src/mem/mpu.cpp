@@ -21,17 +21,20 @@ void Mpu::add_region(const MpuRegion& region) {
                        " violates W^X (writable and executable)");
     }
     regions_.push_back(region);
+    ++generation_;
 }
 
 void Mpu::clear() {
     if (locked_) throw MemError("Mpu: locked");
     regions_.clear();
+    ++generation_;
 }
 
 void Mpu::reset() noexcept {
     locked_ = false;
     enabled_ = false;
     regions_.clear();
+    ++generation_;
 }
 
 MpuDecision Mpu::check(Addr addr, std::uint32_t size, AccessType type,
@@ -50,6 +53,20 @@ MpuDecision Mpu::check(Addr addr, std::uint32_t size, AccessType type,
     }
     ++faults_;
     return MpuDecision{false, ""};
+}
+
+bool Mpu::allows(Addr addr, std::uint32_t size, AccessType type,
+                 bool privileged) const noexcept {
+    if (!enabled_) return true;
+    for (const auto& r : regions_) {
+        const Addr end = r.base + r.size;
+        if (addr < r.base || addr + size > end) continue;
+        if (!privileged && !r.user) continue;
+        return (type == AccessType::kRead && r.read) ||
+               (type == AccessType::kWrite && r.write) ||
+               (type == AccessType::kExecute && r.execute);
+    }
+    return false;
 }
 
 }  // namespace cres::mem

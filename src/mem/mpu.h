@@ -42,7 +42,10 @@ public:
     void clear();
 
     /// When disabled every access is allowed (pre-boot state).
-    void set_enabled(bool enabled) noexcept { enabled_ = enabled; }
+    void set_enabled(bool enabled) noexcept {
+        enabled_ = enabled;
+        ++generation_;
+    }
     [[nodiscard]] bool enabled() const noexcept { return enabled_; }
 
     /// Prevents further configuration changes until reset().
@@ -57,6 +60,20 @@ public:
                                     AccessType type,
                                     bool privileged) const noexcept;
 
+    /// Silent permission probe: same verdict as check() but never
+    /// counted as a fault. Used by the translation engine to validate
+    /// its execute-permission cache without polluting the memory
+    /// monitor's telemetry with speculative denials.
+    [[nodiscard]] bool allows(Addr addr, std::uint32_t size, AccessType type,
+                              bool privileged) const noexcept;
+
+    /// Bumped on every configuration change (region add/clear, enable
+    /// toggle, reset). Consumers caching MPU-derived permissions (the
+    /// CPU's translation fast path) revalidate when this moves.
+    [[nodiscard]] std::uint64_t generation() const noexcept {
+        return generation_;
+    }
+
     [[nodiscard]] const std::vector<MpuRegion>& regions() const noexcept {
         return regions_;
     }
@@ -70,6 +87,7 @@ private:
     std::vector<MpuRegion> regions_;
     bool enabled_ = false;
     bool locked_ = false;
+    std::uint64_t generation_ = 0;
     mutable std::uint64_t faults_ = 0;
 };
 

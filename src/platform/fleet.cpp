@@ -31,6 +31,7 @@ Fleet::Fleet(FleetConfig config)
     : cfg_(std::move(config)),
       vendor_key_(fleet_vendor_seed(cfg_.seed), 6),
       pool_(cfg_.worker_threads),
+      translation_cache_(std::make_shared<TranslationCache>()),
       devices_(cfg_.device_count) {
     // Enrolment is sharded like every other phase: device i's entire
     // identity derives from cfg_.seed ^ i, so workers never share
@@ -55,6 +56,8 @@ void Fleet::enrol_device(std::size_t index) {
     node_config.name = "device-" + std::to_string(index);
     node_config.resilient = cfg_.resilient;
     node_config.seed = device_seed;
+    node_config.translate = cfg_.translate;
+    node_config.translation_cache = translation_cache_;
     device.node = std::make_unique<Node>(node_config);
 
     device.operator_nic =

@@ -31,6 +31,13 @@ struct FleetConfig {
     /// per-device seeds derive from `seed ^ device_index`, and all
     /// reductions happen in device-index order.
     std::size_t worker_threads = 1;
+
+    /// Guest-code superblock translation (docs/EXECUTION.md). The whole
+    /// fleet shares one read-only translation per firmware image (all
+    /// devices run the same measured workload); per-device execution
+    /// state stays private, so determinism is unaffected. Off = every
+    /// device interprets — the E13c ablation baseline.
+    bool translate = true;
 };
 
 /// One attestation sweep across the fleet.
@@ -68,6 +75,11 @@ public:
     /// 0 has become the hardware thread count).
     [[nodiscard]] std::size_t worker_threads() const noexcept {
         return pool_.thread_count();
+    }
+
+    /// The fleet-shared firmware-keyed translation cache.
+    [[nodiscard]] const TranslationCache& translation_cache() const noexcept {
+        return *translation_cache_;
     }
 
     /// Advances every device's simulation by `cycles`, sharded across
@@ -138,6 +150,7 @@ private:
     FleetConfig cfg_;
     crypto::MerkleSigner vendor_key_;
     ThreadPool pool_;
+    std::shared_ptr<TranslationCache> translation_cache_;
     std::vector<Device> devices_;
 };
 

@@ -1,5 +1,6 @@
 #include "platform/node.h"
 
+#include "analysis/translate.h"
 #include "crypto/hmac.h"
 #include "net/attestation.h"
 #include "util/error.h"
@@ -205,6 +206,9 @@ void Node::build_security_engine(Bytes seal_key) {
     recovery->set_post_restore([this] {
         if (cfi_monitor) cfi_monitor->reset();
         resync_shadow();
+        // Checkpoint restore rewrites RAM off-bus (no write watch
+        // fires): rebuild the translation against the restored bytes.
+        refresh_translation();
     });
 
     core::ResponseContext ctx;
@@ -324,6 +328,9 @@ void Node::provision(const crypto::MerklePublicKey& vendor_pk,
             trace.emit(sim.now(), "boot",
                        rejected ? "image-rejected" : "image-verified",
                        image.name + ": " + report.summary());
+            // kWarn mode admits flawed images; run them interpreted so
+            // the fast path never executes code the verifier distrusts.
+            if (report.errors() != 0) translation_vetoed_ = true;
             if (!rejected) return;
             recorder.record_slow(sim.now(), "boot", "image-rejected",
                                  /*severity=*/3,
@@ -356,6 +363,8 @@ boot::BootReport Node::secure_boot(
     const std::vector<boot::FirmwareImage>& chain) {
     if (!rom) throw PlatformError("Node: provision() before secure_boot()");
     boot_chain_ = chain;
+    loaded_program_.reset();
+    translation_vetoed_ = false;
     const boot::BootReport report =
         rom->boot_chain(chain, app_ram, kAppRamBase, pcrs);
     trace.emit(sim.now(), "boot", report.success ? "boot-ok" : "boot-fail",
@@ -365,6 +374,7 @@ boot::BootReport Node::secure_boot(
         stats_.downtime_cycles += report.verification_cost_cycles;
         cpu.reset(entry_);
     }
+    refresh_translation();
     return report;
 }
 
@@ -373,6 +383,7 @@ void Node::load_and_start(const isa::Program& program) {
         throw PlatformError("Node: program origin below app RAM");
     }
     loaded_program_ = program;
+    translation_vetoed_ = false;  // Debug loads bypass the gate.
     app_ram.load(program.origin - kAppRamBase, program.code);
     entry_ = program.origin;
     cpu.reset(entry_);
@@ -381,6 +392,56 @@ void Node::load_and_start(const isa::Program& program) {
         if (mirror) mirror->clear();
         shadow_cpu->reset(entry_);
     }
+    refresh_translation();
+}
+
+void Node::refresh_translation() {
+    cpu.clear_translation();
+    if (shadow_cpu) shadow_cpu->clear_translation();
+    if (!cfg.translate || translation_vetoed_) return;
+
+    // Identify the source of the code currently in memory. Debug loads
+    // key by content hash; secure-booted images key by their measured
+    // digest, so fleet nodes running the same firmware share one entry.
+    BytesView code;
+    mem::Addr base = 0;
+    crypto::Hash256 key{};
+    if (loaded_program_.has_value() && entry_ == loaded_program_->origin) {
+        code = loaded_program_->code;
+        base = loaded_program_->origin;
+        key = TranslationCache::key_for(code, base, entry_);
+    } else {
+        const boot::FirmwareImage* match = nullptr;
+        for (const auto& image : boot_chain_) {
+            if (entry_ >= image.load_addr &&
+                entry_ - image.load_addr < image.payload.size()) {
+                match = &image;
+            }
+        }
+        if (match == nullptr) return;
+        code = match->payload;
+        base = match->load_addr;
+        key = match->digest();
+    }
+    if (code.empty() || base < kAppRamBase) return;
+
+    // The translation must describe the bytes actually in memory. A
+    // mixed lifecycle (e.g. a debug load over a previously booted
+    // chain) can leave RAM diverged from the candidate source; the
+    // interpreter is always correct, so just skip installation then.
+    const Bytes& ram = app_ram.data();
+    const std::size_t offset = base - kAppRamBase;
+    if (offset + code.size() > ram.size() ||
+        !std::equal(code.begin(), code.end(), ram.begin() + offset)) {
+        return;
+    }
+
+    std::shared_ptr<const isa::TranslationImage> image =
+        cfg.translation_cache
+            ? cfg.translation_cache->get_or_build(key, code, base, entry_)
+            : analysis::translate_image_shared(code, base, entry_);
+    cpu.install_translation(image);
+    if (shadow_cpu) shadow_cpu->install_translation(std::move(image));
 }
 
 void Node::reboot(const std::string& reason) {
@@ -403,18 +464,21 @@ void Node::reboot(const std::string& reason) {
         rebooting_ = false;
         if (!boot_chain_.empty() && rom) {
             pcrs.reset();
+            translation_vetoed_ = false;
             const boot::BootReport report =
                 rom->boot_chain(boot_chain_, app_ram, kAppRamBase, pcrs);
             if (report.success) {
                 entry_ = report.entry_point;
                 cpu.reset(entry_);
             }
+            refresh_translation();
             return;
         }
         if (loaded_program_.has_value()) {
             app_ram.load(loaded_program_->origin - kAppRamBase,
                          loaded_program_->code);
             cpu.reset(loaded_program_->origin);
+            refresh_translation();
         }
     });
 }

@@ -57,6 +57,7 @@
 #include "obs/metrics.h"
 #include "platform/lockstep.h"
 #include "platform/memmap.h"
+#include "platform/translation_cache.h"
 #include "sim/simulator.h"
 #include "sim/trace.h"
 #include "tee/tee.h"
@@ -86,6 +87,15 @@ struct NodeConfig {
     /// Pass policy for the admission verifier (segments, stack budget,
     /// banned opcodes).
     analysis::Policy admission_policy{};
+    /// Superblock translation of admitted firmware (docs/EXECUTION.md).
+    /// Purely a speed knob: architectural behaviour is identical with
+    /// it off. Images the admission gate flagged (kWarn mode) and
+    /// self-modifying code fall back to the interpreter automatically.
+    bool translate = true;
+    /// Shared firmware-keyed cache (the Fleet passes one per fleet so
+    /// nodes measuring the same image share a translation). Null =
+    /// build privately per node.
+    std::shared_ptr<TranslationCache> translation_cache;
 };
 
 /// Runtime service/health counters every experiment reads.
@@ -137,6 +147,14 @@ public:
 
     /// Takes a known-good checkpoint now.
     void take_checkpoint();
+
+    /// (Re)installs the superblock translation of the currently loaded
+    /// firmware on the CPU (and lockstep shadow). Called automatically
+    /// at every point code memory is (re)established — secure boot,
+    /// debug load, reboot, checkpoint restore; exposed for tests. A
+    /// no-op (beyond clearing any stale translation) when cfg.translate
+    /// is off or the admission gate flagged the running image.
+    void refresh_translation();
 
     /// Drains and demultiplexes inbound NIC frames: attestation
     /// challenges are answered by the secure world (TEE quote over the
@@ -240,6 +258,9 @@ private:
     mem::Addr entry_ = kCodeBase;
     bool telemetry_enabled_ = true;
     bool rebooting_ = false;
+    /// Admission gate reported errors on the running image (kWarn mode
+    /// admits it anyway): run it interpreted, never from a translation.
+    bool translation_vetoed_ = false;
     std::vector<boot::FirmwareImage> boot_chain_;
     std::optional<isa::Program> loaded_program_;
 };
