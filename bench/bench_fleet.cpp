@@ -8,7 +8,10 @@
 // setting implies.
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "attack/attacks.h"
 #include "bench_util.h"
@@ -22,6 +25,75 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
     return std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                          start)
         .count();
+}
+
+/// E13d sweep sizes: CRES_E13D_DEVICES (comma-separated) overrides the
+/// default. CI uses "50000"; the million-node headline run uses
+/// "10000,100000,1000000"; the default stays small enough for the
+/// build-test smoke run.
+std::vector<std::size_t> e13d_device_counts() {
+    if (const char* env = std::getenv("CRES_E13D_DEVICES")) {
+        std::vector<std::size_t> out;
+        const std::string s(env);
+        std::size_t pos = 0;
+        while (pos <= s.size()) {
+            std::size_t next = s.find(',', pos);
+            if (next == std::string::npos) next = s.size();
+            const std::string token = s.substr(pos, next - pos);
+            if (!token.empty()) {
+                out.push_back(
+                    static_cast<std::size_t>(std::stoull(token)));
+            }
+            pos = next + 1;
+        }
+        if (!out.empty()) return out;
+    }
+    return {1000, 10000};
+}
+
+/// The E13d estate: passive interrupt-driven control nodes — the
+/// configuration a million-device deployment actually looks like
+/// (cores in WFI between timer interrupts, observability turned down).
+platform::FleetConfig passive_estate_config(std::size_t devices,
+                                            bool quiescence) {
+    platform::FleetConfig config;
+    config.device_count = devices;
+    config.resilient = false;
+    config.seed = 47;
+    config.metrics = false;
+    config.flight_recorder_capacity = 0;
+    config.interrupt_workload = true;
+    config.quiescence = quiescence;
+    return config;
+}
+
+/// Architectural digest of the whole estate: per-device retired
+/// instructions, cycle counters, service counters, sensor sample
+/// counts and actuator setpoints, folded in device-index order. The
+/// quiescence differential gate compares digests, so a fast-forwarded
+/// run must reproduce per-cycle execution bit-for-bit to pass.
+crypto::Hash256 estate_digest(platform::Fleet& fleet) {
+    crypto::Sha256 h;
+    Bytes word(8);
+    const auto fold = [&](std::uint64_t v) {
+        for (int i = 0; i < 8; ++i) {
+            word[static_cast<std::size_t>(i)] =
+                static_cast<std::uint8_t>(v >> (8 * i));
+        }
+        h.update(word);
+    };
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        platform::Node& node = fleet.device(i);
+        fold(node.sim.now());
+        fold(node.cpu.csr(isa::kCsrMcycle));
+        fold(node.cpu.csr(isa::kCsrMinstret));
+        fold(node.stats().control_iterations);
+        fold(node.sensor.samples());
+        fold(static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(dev::to_fixed(node.actuator.current()))));
+        fold(node.actuator.command_count());
+    }
+    return h.finish();
 }
 
 /// One full operator epoch: advance the fleet, sweep it, collect
@@ -212,5 +284,135 @@ int main() {
                      "parallelism nor the execution engine ever changes "
                      "results, only wall time.\n";
     }
-    return 0;
+
+    bench::JsonReporter json;
+    json.field("bench", "fleet");
+    bool e13d_ok = true;
+
+    bench::section(
+        "E13d — Quiescence speedup: WFI estate, per-cycle vs fast-forward");
+    {
+        // Fixed size so the number is comparable across runs — this is
+        // the series the CI regression gate tracks.
+        constexpr std::size_t kDevices = 64;
+        constexpr sim::Cycle kCycles = 50000;
+
+        platform::Fleet baseline(passive_estate_config(kDevices, false));
+        const auto t0 = std::chrono::steady_clock::now();
+        baseline.run(kCycles);
+        const double percycle_s = seconds_since(t0);
+        const crypto::Hash256 baseline_digest = estate_digest(baseline);
+
+        platform::Fleet quick(passive_estate_config(kDevices, true));
+        const auto t1 = std::chrono::steady_clock::now();
+        quick.run(kCycles);
+        const double quick_s = seconds_since(t1);
+        const crypto::Hash256 quick_digest = estate_digest(quick);
+
+        const bool deterministic = baseline_digest == quick_digest;
+        const double speedup = percycle_s / quick_s;
+        const double node_cycles = static_cast<double>(kDevices) *
+                                   static_cast<double>(kCycles);
+        const double skip_fraction =
+            static_cast<double>(quick.fleet_cycles_skipped()) / node_cycles;
+
+        bench::Table table({"scheduler", "wall (ms)", "node-cycles/sec",
+                            "cycles skipped", "digest == per-cycle"});
+        table.row("per-cycle", bench::fmt_double(percycle_s * 1e3, 1),
+                  bench::fmt_double(node_cycles / percycle_s, 0),
+                  std::uint64_t{0}, "(reference)");
+        table.row("quiescence", bench::fmt_double(quick_s * 1e3, 1),
+                  bench::fmt_double(node_cycles / quick_s, 0),
+                  quick.fleet_cycles_skipped(),
+                  bench::yesno(deterministic));
+        table.print();
+        std::cout << "\nspeedup: " << bench::fmt_double(speedup, 2)
+                  << "x (gate: >= 5x); skipped "
+                  << bench::fmt_double(skip_fraction * 100.0, 1)
+                  << "% of node-cycles\n"
+                  << "Expected shape: WFI cores plus event-horizon "
+                     "fast-forward elide almost every idle tick; the "
+                     "digest column must read yes — fast-forward is a "
+                     "speed knob, never a semantics knob.\n";
+
+        if (!deterministic || speedup < 5.0) e13d_ok = false;
+        json.metric("e13d_speedup_x", speedup);
+        json.metric("e13d_percycle_node_cycles_per_s",
+                    node_cycles / percycle_s);
+        json.metric("e13d_quiescence_node_cycles_per_s",
+                    node_cycles / quick_s);
+        json.metric("e13d_skip_fraction", skip_fraction);
+        json.field("e13d_determinism", deterministic ? "ok" : "MISMATCH");
+    }
+
+    bench::section("E13d — Fleet memory diet: bytes/node at estate scale");
+    {
+        constexpr sim::Cycle kCycles = 4000;
+        const std::vector<std::size_t> counts = e13d_device_counts();
+
+        bench::Table table({"devices", "enrol (s)", "run (s)",
+                            "node-cycles/sec", "rss bytes/node",
+                            "resident ram bytes/node", "fw images",
+                            "fw store KiB"});
+        std::size_t largest = 0;
+        for (const std::size_t devices : counts) {
+            const std::size_t rss_before = bench::current_rss_bytes();
+            const auto t0 = std::chrono::steady_clock::now();
+            platform::Fleet fleet(passive_estate_config(devices, true));
+            const double enrol_s = seconds_since(t0);
+
+            const auto t1 = std::chrono::steady_clock::now();
+            fleet.run(kCycles);
+            const double run_s = seconds_since(t1);
+            const std::size_t rss_after = bench::current_rss_bytes();
+
+            // Allocator reuse makes the delta approximate (and the
+            // probe reads 0 off-Linux); sizes run ascending so the
+            // largest — the number that matters — is the most honest.
+            const double rss_per_node =
+                rss_after > rss_before
+                    ? static_cast<double>(rss_after - rss_before) /
+                          static_cast<double>(devices)
+                    : 0.0;
+            const double node_cycles = static_cast<double>(devices) *
+                                       static_cast<double>(kCycles);
+            const double ram_per_node =
+                static_cast<double>(fleet.fleet_resident_ram_bytes()) /
+                static_cast<double>(devices);
+
+            table.row(devices, bench::fmt_double(enrol_s, 2),
+                      bench::fmt_double(run_s, 2),
+                      bench::fmt_double(node_cycles / run_s, 0),
+                      bench::fmt_double(rss_per_node, 0),
+                      bench::fmt_double(ram_per_node, 0),
+                      fleet.firmware_store().size(),
+                      fleet.firmware_store().stored_bytes() / 1024);
+
+            const std::string tag = std::to_string(devices);
+            json.metric("e13d_mem_" + tag + "_rss_bytes_per_node",
+                        rss_per_node);
+            json.metric("e13d_mem_" + tag + "_ram_bytes_per_node",
+                        ram_per_node);
+            json.metric("e13d_mem_" + tag + "_node_cycles_per_s",
+                        node_cycles / run_s);
+            json.metric("e13d_mem_" + tag + "_enrol_s", enrol_s);
+            largest = std::max(largest, devices);
+        }
+        table.print();
+        json.metric("e13d_devices_max", static_cast<double>(largest));
+        json.metric("peak_rss_bytes",
+                    static_cast<double>(bench::peak_rss_bytes()));
+        std::cout << "\nExpected shape: bytes/node flat (page-table "
+                     "overhead plus touched pages) rather than linear in "
+                     "firmware size — the estate shares one "
+                     "copy-on-write image per distinct firmware.\n";
+    }
+
+    const char* path_env = std::getenv("CRES_BENCH_JSON");
+    const std::string path =
+        path_env != nullptr ? path_env : "BENCH_fleet.json";
+    if (json.write(path)) {
+        std::cout << "\nwrote " << path << "\n";
+    }
+    return e13d_ok ? 0 : 1;
 }

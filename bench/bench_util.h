@@ -191,6 +191,35 @@ private:
     std::vector<std::pair<std::string, std::string>> entries_;
 };
 
+/// Reads one "<key>:  <n> kB" entry from /proc/self/status, returning
+/// the value in bytes (0 on non-Linux hosts or parse failure — callers
+/// must treat 0 as "probe unavailable", not "no memory").
+inline std::size_t proc_status_bytes(const std::string& key) {
+#ifdef __linux__
+    std::ifstream status("/proc/self/status");
+    if (!status) return 0;
+    std::string line;
+    while (std::getline(status, line)) {
+        if (line.rfind(key + ":", 0) != 0) continue;
+        std::istringstream fields(line.substr(key.size() + 1));
+        std::size_t kib = 0;
+        if (fields >> kib) return kib * 1024;
+        return 0;
+    }
+#else
+    (void)key;
+#endif
+    return 0;
+}
+
+/// Peak resident set (VmHWM): the process-lifetime high-water mark —
+/// the honest denominator for bytes-per-node at the largest sweep size.
+inline std::size_t peak_rss_bytes() { return proc_status_bytes("VmHWM"); }
+
+/// Current resident set (VmRSS): deltas around a phase give that
+/// phase's footprint while the process is still below its peak.
+inline std::size_t current_rss_bytes() { return proc_status_bytes("VmRSS"); }
+
 inline void section(const std::string& title) {
     std::cout << "\n=== " << title << " ===\n\n";
 }

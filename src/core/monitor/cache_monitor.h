@@ -27,6 +27,13 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: polls fire at an absolute deadline (frozen while
+    /// disabled); ticks before it are pure no-ops.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override {
+        if (!enabled()) return kIdleForever;
+        return next_poll_ > now ? next_poll_ : now;
+    }
+
     [[nodiscard]] std::uint64_t storms_detected() const noexcept {
         return storms_;
     }

@@ -28,6 +28,12 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: audits fire at an absolute deadline; ticks before it
+    /// are pure no-ops, so there is nothing to replay on skip.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override {
+        return next_audit_ > now ? next_audit_ : now;
+    }
+
     [[nodiscard]] std::uint64_t drifts_detected() const noexcept {
         return drifts_;
     }

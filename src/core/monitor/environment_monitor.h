@@ -29,6 +29,15 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: acts only when the poll countdown drains; skipped
+    /// ticks just run the countdown down, replayed in one subtraction.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override {
+        return now + countdown_ - 1;
+    }
+    void skip(sim::Cycle /*now*/, sim::Cycle cycles) override {
+        countdown_ -= static_cast<std::uint32_t>(cycles);
+    }
+
     [[nodiscard]] std::uint64_t excursions() const noexcept {
         return excursions_;
     }

@@ -103,4 +103,21 @@ void PeripheralMonitor::tick(sim::Cycle now) {
     }
 }
 
+sim::Cycle PeripheralMonitor::next_activity(sim::Cycle now) {
+    if (!enabled()) return kIdleForever;
+    sim::Cycle wake = kIdleForever;
+    for (const auto& watch : sensors_) {
+        const sim::Cycle due = now + watch.countdown - 1;
+        if (due < wake) wake = due;
+    }
+    return wake;
+}
+
+void PeripheralMonitor::skip(sim::Cycle /*now*/, sim::Cycle cycles) {
+    if (!enabled()) return;  // Disabled ticks leave countdowns frozen.
+    for (auto& watch : sensors_) {
+        watch.countdown -= static_cast<std::uint32_t>(cycles);
+    }
+}
+
 }  // namespace cres::core

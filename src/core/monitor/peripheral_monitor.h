@@ -55,6 +55,11 @@ public:
     void on_transaction(const mem::BusTransaction& txn) override;
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: actuator envelopes are transaction-driven (stepped
+    /// cycles only); sensor polls wake at the earliest countdown.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override;
+    void skip(sim::Cycle now, sim::Cycle cycles) override;
+
 private:
     struct ActuatorWatch {
         std::string region;

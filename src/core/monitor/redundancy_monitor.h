@@ -22,6 +22,12 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: compares fire at an absolute deadline; ticks before
+    /// it are pure no-ops, so there is nothing to replay on skip.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override {
+        return next_compare_ > now ? next_compare_ : now;
+    }
+
     [[nodiscard]] std::uint64_t comparisons() const noexcept {
         return comparisons_;
     }

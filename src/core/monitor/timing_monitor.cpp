@@ -45,6 +45,22 @@ void TimingMonitor::tick(sim::Cycle now) {
     }
 }
 
+sim::Cycle TimingMonitor::next_activity(sim::Cycle now) {
+    sim::Cycle wake = kIdleForever;
+    for (const auto& [task, watch] : tasks_) {
+        if (watch.overdue) continue;
+        // First cycle at which now > last_heartbeat + deadline holds.
+        const sim::Cycle due = watch.last_heartbeat + watch.deadline + 1;
+        if (due <= now) return now;
+        if (due < wake) wake = due;
+    }
+    return wake;
+}
+
+void TimingMonitor::skip(sim::Cycle now, sim::Cycle cycles) {
+    if (!tasks_.empty()) note_polls(now, cycles);
+}
+
 std::uint64_t TimingMonitor::missed_deadlines(const std::string& task) const {
     const auto it = tasks_.find(task);
     return it == tasks_.end() ? 0 : it->second.missed;

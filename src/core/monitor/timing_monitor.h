@@ -33,6 +33,14 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: wakes when the earliest non-overdue deadline can
+    /// first be missed; the per-cycle liveness poll itself carries no
+    /// decision and is replayed in bulk by skip(), so an all-overdue
+    /// or freshly heartbeating task set does not force per-cycle
+    /// stepping.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override;
+    void skip(sim::Cycle now, sim::Cycle cycles) override;
+
     [[nodiscard]] std::uint64_t missed_deadlines(const std::string& task) const;
 
 private:

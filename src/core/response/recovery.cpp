@@ -20,7 +20,7 @@ const Checkpoint& RecoveryManager::take_checkpoint(sim::Cycle now) {
     for (std::uint16_t i = 0; i < isa::kCsrCount; ++i) {
         cp.csrs[i] = cpu_.csr(i);
     }
-    cp.ram_image = ram_.data();
+    cp.ram_image = ram_.dump(0, ram_.size());
 
     crypto::Sha256 h;
     h.update(cp.ram_image);

@@ -207,6 +207,36 @@ void SystemSecurityManager::tick(sim::Cycle now) {
     }
 }
 
+sim::Cycle SystemSecurityManager::next_activity(sim::Cycle now) {
+    if (disabled_) return kIdleForever;
+    if (config_.poll_interval == 0) return now;
+    // Empty-queue polls are decision-free and replayed by skip();
+    // queued events must be drained at the next poll deadline.
+    if (queue_.empty()) return kIdleForever;
+    return next_poll_ > now ? next_poll_ : now;
+}
+
+void SystemSecurityManager::skip(sim::Cycle now, sim::Cycle cycles) {
+    if (disabled_ || config_.poll_interval == 0) return;
+    const sim::Cycle end = now + cycles;
+    // First poll a per-cycle run would have made inside the window.
+    // A non-empty queue reports next_poll_ as its wake, so any poll
+    // landing here drains an empty queue.
+    const sim::Cycle first = next_poll_ > now ? next_poll_ : now;
+    if (first >= end) return;
+    const std::uint64_t polls = 1 + (end - 1 - first) / config_.poll_interval;
+    if (m_queue_depth_per_poll_ != nullptr) {
+        m_queue_depth_per_poll_->record_many(0, polls);
+    }
+    if (recorder_ != nullptr && last_queue_recorded_ != 0) {
+        last_queue_recorded_ = 0;
+        recorder_->record(first, rec_source_, rec_queue_, 0,
+                          obs::FlightRecordType::kCounter, 0, 0, {});
+    }
+    if (m_queue_depth_ != nullptr) m_queue_depth_->set(0);
+    next_poll_ = first + polls * config_.poll_interval;
+}
+
 void SystemSecurityManager::notify_recovery_started(sim::Cycle at) {
     transition(HealthState::kRecovering, at, "recovery initiated");
 }

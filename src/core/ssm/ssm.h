@@ -110,6 +110,14 @@ public:
     // --- Tickable ---------------------------------------------------------
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: a disabled SSM never acts; with events queued it
+    /// wakes at the next poll deadline; with an empty queue the poll
+    /// carries no decision, so skip() replays every elided poll
+    /// (queue-depth histogram samples, the change-guarded recorder
+    /// track, the depth gauge) bit-exactly instead of waking.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override;
+    void skip(sim::Cycle now, sim::Cycle cycles) override;
+
     // --- Recovery signalling (called by the response manager) -----------
     void notify_recovery_started(sim::Cycle at);
     void notify_recovery_complete(sim::Cycle at, bool degraded);

@@ -34,6 +34,16 @@ public:
 
     void tick(sim::Cycle now) override { now_ = now; }
 
+    /// Quiescence: the actuator only timestamps bus commands, which
+    /// land exclusively on stepped cycles; skip() replays the clock
+    /// latch of the elided ticks.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle /*now*/) override {
+        return kIdleForever;
+    }
+    void skip(sim::Cycle now, sim::Cycle cycles) override {
+        now_ = now + cycles - 1;
+    }
+
     [[nodiscard]] double current() const noexcept { return current_; }
     [[nodiscard]] const std::vector<Command>& history() const noexcept {
         return history_;

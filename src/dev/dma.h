@@ -36,6 +36,12 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: an idle engine does nothing until a transfer is
+    /// programmed — a bus write, which only lands on a stepped cycle.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override {
+        return busy_ ? now : kIdleForever;
+    }
+
     /// Host-side transfer kick-off (models a driver call). With
     /// `dst_fixed` every byte goes to the same destination address
     /// (FIFO-register targets such as a NIC TX port).

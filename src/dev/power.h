@@ -24,6 +24,17 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: readings are polled on stepped cycles only, so the
+    /// glitch countdown never wakes the kernel; skip() replays the
+    /// elided decrements exactly.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle /*now*/) override {
+        return kIdleForever;
+    }
+    void skip(sim::Cycle /*now*/, sim::Cycle cycles) override {
+        glitch_remaining_ -=
+            cycles < glitch_remaining_ ? cycles : glitch_remaining_;
+    }
+
     [[nodiscard]] double voltage() const noexcept;
     [[nodiscard]] double temperature() const noexcept { return temp_; }
 

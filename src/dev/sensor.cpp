@@ -30,6 +30,22 @@ void Sensor::tick(sim::Cycle now) {
     ++samples_;
 }
 
+void Sensor::skip(sim::Cycle now, sim::Cycle cycles) {
+    if (countdown_ > cycles) {
+        countdown_ -= static_cast<std::uint32_t>(cycles);
+        return;
+    }
+    const sim::Cycle end = now + cycles;
+    sim::Cycle at = now + countdown_ - 1;
+    while (at < end) {
+        const double value = spoof_ ? spoof_(at) : signal_(at);
+        data_ = to_fixed(value);
+        ++samples_;
+        at += period_;
+    }
+    countdown_ = static_cast<std::uint32_t>(at - end + 1);
+}
+
 mem::BusResponse Sensor::read_reg(mem::Addr offset, std::uint32_t& out,
                                   const mem::BusAttr& /*attr*/) {
     switch (offset) {

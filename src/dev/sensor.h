@@ -29,6 +29,15 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: sampling has no external side effects (readers poll
+    /// on stepped cycles), so the sensor is never a wake source; skip()
+    /// replays each elided sample at its exact cycle instead — the
+    /// signal is a function of the cycle, so replay is bit-exact.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle /*now*/) override {
+        return kIdleForever;
+    }
+    void skip(sim::Cycle now, sim::Cycle cycles) override;
+
     /// Spoof hook: when set, readings come from the spoof function
     /// instead of the physical signal (models sensor-injection attacks).
     void set_spoof(std::function<double(sim::Cycle)> spoof) {

@@ -18,6 +18,22 @@ void Timer::tick(sim::Cycle /*now*/) {
     }
 }
 
+sim::Cycle Timer::next_activity(sim::Cycle now) {
+    if ((ctrl_ & kCtrlEnable) == 0) return kIdleForever;
+    // The tick at cycle c increments COUNT before comparing, so the
+    // match lands k - 1 cycles out, where k is the increment count to
+    // reach COMPARE (a full 2^32 wrap when COUNT == COMPARE already).
+    const std::uint32_t delta = compare_ - count_;
+    const std::uint64_t k =
+        delta == 0 ? (std::uint64_t{1} << 32) : std::uint64_t{delta};
+    return now + k - 1;
+}
+
+void Timer::skip(sim::Cycle /*now*/, sim::Cycle cycles) {
+    if ((ctrl_ & kCtrlEnable) == 0) return;
+    count_ += static_cast<std::uint32_t>(cycles);
+}
+
 mem::BusResponse Timer::read_reg(mem::Addr offset, std::uint32_t& out,
                                  const mem::BusAttr& /*attr*/) {
     switch (offset) {

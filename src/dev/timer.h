@@ -24,6 +24,12 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: a disabled timer never acts; an enabled one acts at
+    /// its next COUNT == COMPARE match. Skipped ticks only advance
+    /// COUNT, replayed in one addition.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override;
+    void skip(sim::Cycle now, sim::Cycle cycles) override;
+
     /// Host-side configuration shortcut.
     void configure(std::uint32_t compare, bool auto_reload);
 

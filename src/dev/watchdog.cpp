@@ -19,6 +19,18 @@ void Watchdog::tick(sim::Cycle /*now*/) {
     }
 }
 
+sim::Cycle Watchdog::next_activity(sim::Cycle now) {
+    if (!enabled() || remaining_ == 0) return kIdleForever;
+    // Expiry fires on the tick that drains remaining_ to zero.
+    return now + remaining_ - 1;
+}
+
+void Watchdog::skip(sim::Cycle /*now*/, sim::Cycle cycles) {
+    if (!enabled() || remaining_ == 0) return;
+    remaining_ -= static_cast<std::uint32_t>(
+        cycles < remaining_ ? cycles : remaining_ - 1);
+}
+
 mem::BusResponse Watchdog::read_reg(mem::Addr offset, std::uint32_t& out,
                                     const mem::BusAttr& /*attr*/) {
     switch (offset) {

@@ -23,6 +23,12 @@ public:
 
     void tick(sim::Cycle now) override;
 
+    /// Quiescence: disabled or drained (remaining == 0) watchdogs never
+    /// act; an armed one expires when the countdown hits zero. Skipped
+    /// ticks only drain the countdown, replayed in one subtraction.
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override;
+    void skip(sim::Cycle now, sim::Cycle cycles) override;
+
     /// Host-side arm.
     void arm(std::uint32_t timeout_cycles);
     void kick() noexcept { remaining_ = timeout_; }

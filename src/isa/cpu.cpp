@@ -238,6 +238,26 @@ void Cpu::tick(sim::Cycle /*now*/) {
     (void)step();
 }
 
+sim::Cycle Cpu::next_activity(sim::Cycle now) {
+    if (halted_) return kIdleForever;
+    if (waiting_) {
+        // A deliverable interrupt is taken on the very next tick;
+        // otherwise the core sleeps until raise_irq clears waiting_
+        // (which only happens on an actually stepped cycle).
+        return irq_deliverable() ? now : kIdleForever;
+    }
+    if (stall_ > 0) return now + stall_;
+    return now;
+}
+
+void Cpu::skip(sim::Cycle /*now*/, sim::Cycle cycles) {
+    cycles_ += cycles;
+    if (!halted_ && !waiting_ && stall_ > 0) {
+        stall_ -= static_cast<std::uint32_t>(
+            cycles < stall_ ? cycles : stall_);
+    }
+}
+
 bool Cpu::step() {
     if (halted_) return false;
     if (take_pending_interrupt()) return true;

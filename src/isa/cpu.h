@@ -84,6 +84,14 @@ public:
     /// stall cycle (loads/stores and mul are multi-cycle).
     void tick(sim::Cycle now) override;
 
+    /// Quiescence (docs/SCHEDULER.md): a halted core — or one parked in
+    /// WFI with no deliverable interrupt — is idle until externally
+    /// re-armed (raise_irq wakes a waiting core); a stalling core wakes
+    /// when the stall drains. Idle ticks only advance mcycle, which
+    /// skip() replays in O(1).
+    [[nodiscard]] sim::Cycle next_activity(sim::Cycle now) override;
+    void skip(sim::Cycle now, sim::Cycle cycles) override;
+
     /// Executes exactly one instruction (ignoring stall modelling).
     /// Returns false when halted.
     bool step();

@@ -7,16 +7,57 @@
 namespace cres::mem {
 
 Ram::Ram(std::string name, std::size_t size, bool writable)
-    : name_(std::move(name)), data_(size, 0), writable_(writable) {
+    : name_(std::move(name)),
+      size_(size),
+      writable_(writable),
+      pages_((size + kPageSize - 1) / kPageSize) {
     if (size == 0) throw MemError("Ram: zero size");
+}
+
+std::uint8_t Ram::background_byte(std::size_t addr) const noexcept {
+    if (backing_ != nullptr && addr >= backing_offset_ &&
+        addr - backing_offset_ < backing_->size()) {
+        return (*backing_)[addr - backing_offset_];
+    }
+    return fill_;
+}
+
+std::uint8_t Ram::read_byte(std::size_t addr) const noexcept {
+    const std::uint8_t* page = pages_[addr / kPageSize].get();
+    if (page != nullptr) return page[addr % kPageSize];
+    return background_byte(addr);
+}
+
+std::uint8_t* Ram::materialize(std::size_t page) {
+    std::unique_ptr<std::uint8_t[]>& slot = pages_[page];
+    if (slot == nullptr) {
+        slot = std::make_unique<std::uint8_t[]>(kPageSize);
+        const std::size_t base = page * kPageSize;
+        const std::size_t used = std::min(kPageSize, size_ - base);
+        for (std::size_t i = 0; i < used; ++i) {
+            slot[i] = background_byte(base + i);
+        }
+        std::fill(slot.get() + used, slot.get() + kPageSize,
+                  std::uint8_t{0});
+    }
+    return slot.get();
 }
 
 BusResponse Ram::read(Addr offset, std::uint32_t size, std::uint32_t& out,
                       const BusAttr& /*attr*/) {
-    if (offset + size > data_.size()) return BusResponse::kDeviceError;
+    if (offset + size > size_) return BusResponse::kDeviceError;
+    const std::size_t in_page = offset % kPageSize;
     std::uint32_t value = 0;
-    for (std::uint32_t i = 0; i < size; ++i) {
-        value |= static_cast<std::uint32_t>(data_[offset + i]) << (8 * i);
+    const std::uint8_t* page = pages_[offset / kPageSize].get();
+    if (page != nullptr && in_page + size <= kPageSize) {
+        for (std::uint32_t i = 0; i < size; ++i) {
+            value |= static_cast<std::uint32_t>(page[in_page + i]) << (8 * i);
+        }
+    } else {
+        for (std::uint32_t i = 0; i < size; ++i) {
+            value |= static_cast<std::uint32_t>(read_byte(offset + i))
+                     << (8 * i);
+        }
     }
     out = value;
     return BusResponse::kOk;
@@ -25,31 +66,119 @@ BusResponse Ram::read(Addr offset, std::uint32_t size, std::uint32_t& out,
 BusResponse Ram::write(Addr offset, std::uint32_t size, std::uint32_t value,
                        const BusAttr& /*attr*/) {
     if (!writable_) return BusResponse::kReadOnly;
-    if (offset + size > data_.size()) return BusResponse::kDeviceError;
-    for (std::uint32_t i = 0; i < size; ++i) {
-        data_[offset + i] = static_cast<std::uint8_t>(value >> (8 * i));
+    if (offset + size > size_) return BusResponse::kDeviceError;
+    const std::size_t in_page = offset % kPageSize;
+    if (in_page + size <= kPageSize) {
+        std::uint8_t* page = materialize(offset / kPageSize);
+        for (std::uint32_t i = 0; i < size; ++i) {
+            page[in_page + i] = static_cast<std::uint8_t>(value >> (8 * i));
+        }
+    } else {
+        for (std::uint32_t i = 0; i < size; ++i) {
+            const std::size_t addr = offset + i;
+            materialize(addr / kPageSize)[addr % kPageSize] =
+                static_cast<std::uint8_t>(value >> (8 * i));
+        }
     }
     return BusResponse::kOk;
 }
 
 void Ram::load(Addr offset, BytesView image) {
-    if (offset + image.size() > data_.size()) {
+    if (offset + image.size() > size_) {
         throw MemError("Ram::load: image exceeds memory bounds in " + name_);
     }
-    std::copy(image.begin(), image.end(),
-              data_.begin() + static_cast<std::ptrdiff_t>(offset));
+    for (std::size_t i = 0; i < image.size();) {
+        const std::size_t addr = offset + i;
+        std::uint8_t* page = materialize(addr / kPageSize);
+        const std::size_t in_page = addr % kPageSize;
+        const std::size_t chunk =
+            std::min(kPageSize - in_page, image.size() - i);
+        std::copy(image.begin() + static_cast<std::ptrdiff_t>(i),
+                  image.begin() + static_cast<std::ptrdiff_t>(i + chunk),
+                  page + in_page);
+        i += chunk;
+    }
 }
 
 Bytes Ram::dump(Addr offset, std::size_t length) const {
-    if (offset + length > data_.size()) {
+    if (offset + length > size_) {
         throw MemError("Ram::dump: range exceeds memory bounds in " + name_);
     }
-    return Bytes(data_.begin() + static_cast<std::ptrdiff_t>(offset),
-                 data_.begin() + static_cast<std::ptrdiff_t>(offset + length));
+    Bytes out(length);
+    for (std::size_t i = 0; i < length;) {
+        const std::size_t addr = offset + i;
+        const std::size_t in_page = addr % kPageSize;
+        const std::size_t chunk = std::min(kPageSize - in_page, length - i);
+        const std::uint8_t* page = pages_[addr / kPageSize].get();
+        if (page != nullptr) {
+            std::copy(page + in_page, page + in_page + chunk,
+                      out.begin() + static_cast<std::ptrdiff_t>(i));
+        } else {
+            for (std::size_t j = 0; j < chunk; ++j) {
+                out[i + j] = background_byte(addr + j);
+            }
+        }
+        i += chunk;
+    }
+    return out;
 }
 
 void Ram::fill(std::uint8_t value) noexcept {
-    std::fill(data_.begin(), data_.end(), value);
+    for (std::unique_ptr<std::uint8_t[]>& page : pages_) page.reset();
+    backing_.reset();
+    backing_offset_ = 0;
+    fill_ = value;
+}
+
+void Ram::set_backing(std::shared_ptr<const Bytes> image, Addr offset) {
+    if (image == nullptr || image->empty()) {
+        backing_.reset();
+        backing_offset_ = 0;
+        return;
+    }
+    if (offset + image->size() > size_) {
+        throw MemError("Ram::set_backing: image exceeds memory bounds in " +
+                       name_);
+    }
+    backing_ = std::move(image);
+    backing_offset_ = offset;
+    // Reload semantics: the backed range must read exactly as the
+    // image. Fully covered private pages are dropped back to the
+    // shared copy; partially covered ones are patched in place.
+    const std::size_t begin = offset;
+    const std::size_t end = offset + backing_->size();
+    for (std::size_t p = begin / kPageSize; p <= (end - 1) / kPageSize;
+         ++p) {
+        if (pages_[p] == nullptr) continue;
+        const std::size_t page_begin = p * kPageSize;
+        const std::size_t page_end = page_begin + kPageSize;
+        if (begin <= page_begin && end >= page_end) {
+            pages_[p].reset();
+            continue;
+        }
+        const std::size_t lo = std::max(begin, page_begin);
+        const std::size_t hi = std::min(end, page_end);
+        std::copy(
+            backing_->begin() + static_cast<std::ptrdiff_t>(lo - begin),
+            backing_->begin() + static_cast<std::ptrdiff_t>(hi - begin),
+            pages_[p].get() + (lo - page_begin));
+    }
+}
+
+bool Ram::matches(Addr offset, BytesView expected) const noexcept {
+    if (offset + expected.size() > size_) return false;
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        if (read_byte(offset + i) != expected[i]) return false;
+    }
+    return true;
+}
+
+std::size_t Ram::resident_pages() const noexcept {
+    std::size_t count = 0;
+    for (const std::unique_ptr<std::uint8_t[]>& page : pages_) {
+        if (page != nullptr) ++count;
+    }
+    return count;
 }
 
 }  // namespace cres::mem

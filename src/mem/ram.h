@@ -1,7 +1,10 @@
-// RAM and ROM bus targets backed by an in-process byte array.
+// RAM and ROM bus targets backed by lazily materialized 4 KiB pages.
 #pragma once
 
+#include <cstdint>
+#include <memory>
 #include <string>
+#include <vector>
 
 #include "mem/bus.h"
 #include "util/bytes.h"
@@ -11,8 +14,18 @@ namespace cres::mem {
 /// Little-endian byte-addressable memory. With `writable == false` the
 /// device rejects bus writes (ROM) but can still be programmed through
 /// the load() back door (the factory provisioning path).
+///
+/// Storage is paged and copy-on-write: pages start unmaterialized
+/// (reading as the fill byte, default 0) and are allocated on first
+/// write. A shared read-only backing image (set_backing) may supply the
+/// initial contents of a byte range — fleet nodes running the same
+/// firmware share one image; the first guest write to a backed page
+/// promotes exactly that page to a private copy. An untouched node
+/// therefore costs page-table overhead only, not a full RAM copy.
 class Ram : public BusTarget {
 public:
+    static constexpr std::size_t kPageSize = 4096;
+
     Ram(std::string name, std::size_t size, bool writable = true);
 
     std::string_view name() const override { return name_; }
@@ -29,16 +42,47 @@ public:
     /// Direct (off-bus) readback, e.g. for test assertions.
     [[nodiscard]] Bytes dump(Addr offset, std::size_t length) const;
 
-    [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
-    [[nodiscard]] const Bytes& data() const noexcept { return data_; }
+    [[nodiscard]] std::size_t size() const noexcept { return size_; }
 
     /// Fills the memory with a byte (models power-on or scrubbing).
+    /// Drops all private pages and any shared backing.
     void fill(std::uint8_t value) noexcept;
 
+    /// Installs `image` as the shared read-only backing for
+    /// [offset, offset + image size): unwritten bytes in that range
+    /// read from the shared image; a bus write promotes the touched
+    /// page to a private copy. Replaces any previous backing and makes
+    /// the range read exactly as `image` (reload semantics, like
+    /// load()). Pass nullptr/empty to detach.
+    void set_backing(std::shared_ptr<const Bytes> image, Addr offset = 0);
+
+    /// True when [offset, offset + expected size) reads exactly as
+    /// `expected`, without materializing anything. False when the
+    /// range is out of bounds.
+    [[nodiscard]] bool matches(Addr offset, BytesView expected) const noexcept;
+
+    /// Privately materialized pages (memory-diet telemetry).
+    [[nodiscard]] std::size_t resident_pages() const noexcept;
+    [[nodiscard]] std::size_t resident_bytes() const noexcept {
+        return resident_pages() * kPageSize;
+    }
+    [[nodiscard]] bool has_backing() const noexcept {
+        return backing_ != nullptr;
+    }
+
 private:
+    /// Initial value of an unwritten byte (shared image or fill byte).
+    [[nodiscard]] std::uint8_t background_byte(std::size_t addr) const noexcept;
+    [[nodiscard]] std::uint8_t read_byte(std::size_t addr) const noexcept;
+    std::uint8_t* materialize(std::size_t page);
+
     std::string name_;
-    Bytes data_;
+    std::size_t size_;
     bool writable_;
+    std::uint8_t fill_ = 0;
+    std::size_t backing_offset_ = 0;
+    std::shared_ptr<const Bytes> backing_;
+    std::vector<std::unique_ptr<std::uint8_t[]>> pages_;
 };
 
 }  // namespace cres::mem

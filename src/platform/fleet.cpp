@@ -32,6 +32,13 @@ Fleet::Fleet(FleetConfig config)
       vendor_key_(fleet_vendor_seed(cfg_.seed), 6),
       pool_(cfg_.worker_threads),
       translation_cache_(std::make_shared<TranslationCache>()),
+      firmware_store_(std::make_shared<FirmwareStore>()),
+      // Every device runs the same firmware: assemble it once here,
+      // not once per device inside enrolment.
+      program_(cfg_.interrupt_workload
+                   ? interrupt_control_loop_program(cfg_.workload,
+                                                    cfg_.timer_period)
+                   : control_loop_program(cfg_.workload)),
       devices_(cfg_.device_count) {
     // Enrolment is sharded like every other phase: device i's entire
     // identity derives from cfg_.seed ^ i, so workers never share
@@ -43,8 +50,6 @@ Fleet::Fleet(FleetConfig config)
 Fleet::~Fleet() = default;
 
 void Fleet::enrol_device(std::size_t index) {
-    Device& device = devices_[index];
-
     // The determinism contract: per-device seed = fleet seed ⊕ index.
     // Everything below (device root, workload jitter, attestation
     // nonces) is derived from it, never from a fleet-shared stream.
@@ -56,38 +61,39 @@ void Fleet::enrol_device(std::size_t index) {
     node_config.name = "device-" + std::to_string(index);
     node_config.resilient = cfg_.resilient;
     node_config.seed = device_seed;
+    node_config.metrics = cfg_.metrics;
+    node_config.flight_recorder_capacity = cfg_.flight_recorder_capacity;
+    node_config.quiescence = cfg_.quiescence;
     node_config.translate = cfg_.translate;
     node_config.translation_cache = translation_cache_;
-    device.node = std::make_unique<Node>(node_config);
+    if (cfg_.share_firmware) node_config.firmware_store = firmware_store_;
 
-    device.operator_nic =
-        std::make_unique<dev::Nic>("op-nic-" + std::to_string(index));
-    device.link = std::make_unique<dev::Link>();
-    device.link->attach(device.node->nic, *device.operator_nic);
+    devices_[index] = std::make_unique<Device>(
+        std::move(node_config), "op-nic-" + std::to_string(index));
+    Device& device = *devices_[index];
+    const std::string& name = device.node.cfg.name;
+    device.link.attach(device.node.nic, device.operator_nic);
 
     const Bytes device_root = rng.bytes(32);
-    device.node->provision(vendor_key_.public_key(), device_root);
-    device.seal_key = crypto::hkdf(device_root, to_bytes(node_config.name),
-                                   "evidence-seal", 32);
+    device.node.provision(vendor_key_.public_key(), device_root);
+    device.seal_key =
+        crypto::hkdf(device_root, to_bytes(name), "evidence-seal", 32);
 
     // Enrolment measurement: a per-device firmware digest.
     crypto::Hash256 fw_digest =
-        crypto::sha256(to_bytes("fw-image-for-" + node_config.name));
-    device.node->pcrs.extend(boot::PcrBank::kPcrFirmware, fw_digest,
-                             node_config.name);
+        crypto::sha256(to_bytes("fw-image-for-" + name));
+    device.node.pcrs.extend(boot::PcrBank::kPcrFirmware, fw_digest, name);
 
-    const Bytes attest_key = crypto::hkdf(
-        device_root, to_bytes(node_config.name), "attestation", 32);
-    device.verifier = std::make_unique<net::AttestationVerifier>(
-        device.node->pcrs.composite(), attest_key,
-        cfg_.seed ^ (0x1000 + index));
+    const Bytes attest_key =
+        crypto::hkdf(device_root, to_bytes(name), "attestation", 32);
+    device.verifier.emplace(device.node.pcrs.composite(), attest_key,
+                            cfg_.seed ^ (0x1000 + index));
 
-    const isa::Program program = control_loop_program(cfg_.workload);
-    device.node->load_and_start(program);
-    device.node->arm_resilience(program);
+    device.node.load_and_start(program_);
+    device.node.arm_resilience(program_);
 
     // Periodic NIC pump (attestation responder + channel demux).
-    schedule_pump(*device.node);
+    schedule_pump(device.node);
 }
 
 void Fleet::schedule_pump(Node& node) {
@@ -100,7 +106,7 @@ void Fleet::schedule_pump(Node& node) {
 void Fleet::run(sim::Cycle cycles, sim::Cycle slice) {
     const sim::Cycle quantum = slice == 0 ? 1 : slice;
     pool_.parallel_for(devices_.size(), [&](std::size_t i) {
-        Node& node = *devices_[i].node;
+        Node& node = devices_[i]->node;
         sim::Cycle done = 0;
         while (done < cycles) {
             const sim::Cycle step = std::min(quantum, cycles - done);
@@ -127,7 +133,7 @@ net::AttestResult Fleet::attest_device(Device& device) {
 
     // The device's secure-world attestation service answers.
     const auto quote =
-        device.node->tee.quote(device.node->pcrs, *nonce, "attest");
+        device.node.tee.quote(device.node.pcrs, *nonce, "attest");
     if (!quote) {
         // Zeroised / lost key: the device cannot produce a quote at
         // all. Treat as a failed attestation.
@@ -140,7 +146,7 @@ SweepResult Fleet::attestation_sweep() {
     SweepResult result;
     result.verdicts.assign(devices_.size(), net::AttestResult::kMalformed);
     pool_.parallel_for(devices_.size(), [&](std::size_t i) {
-        result.verdicts[i] = attest_device(devices_[i]);
+        result.verdicts[i] = attest_device(*devices_[i]);
     });
     finalize_sweep(result);
     return result;
@@ -150,14 +156,14 @@ SweepResult Fleet::attestation_sweep_wire(sim::Cycle timeout) {
     SweepResult result;
     result.verdicts.assign(devices_.size(), net::AttestResult::kMalformed);
     pool_.parallel_for(devices_.size(), [&](std::size_t i) {
-        Device& device = devices_[i];
+        Device& device = *devices_[i];
         // Challenge goes out over the link...
-        device.link->inject(device.verifier->challenge(), /*to_a=*/true);
+        device.link.inject(device.verifier->challenge(), /*to_a=*/true);
         // ...the device answers during normal operation...
-        device.node->run(timeout);
+        device.node.run(timeout);
         // ...and the quote frame arrives at the operator NIC.
         net::AttestResult verdict = net::AttestResult::kMalformed;
-        while (auto frame = device.operator_nic->receive_frame()) {
+        while (auto frame = device.operator_nic.receive_frame()) {
             if (const auto quote = net::decode_quote(*frame)) {
                 verdict = device.verifier->verify(*frame);
                 break;
@@ -181,9 +187,9 @@ HealthSummary Fleet::collect_health() {
     std::vector<DeviceHealth> per_device(devices_.size());
 
     pool_.parallel_for(devices_.size(), [&](std::size_t i) {
-        Device& device = devices_[i];
-        if (device.node->ssm && !device.node->ssm->disabled()) {
-            const auto report = device.node->ssm->health_report();
+        Device& device = *devices_[i];
+        if (device.node.ssm && !device.node.ssm->disabled()) {
+            const auto report = device.node.ssm->health_report();
             per_device[i].state = report.state;
             per_device[i].valid =
                 core::SystemSecurityManager::verify_health_report(
@@ -208,7 +214,7 @@ HealthSummary Fleet::collect_health() {
 
 void Fleet::checkpoint_all() {
     pool_.parallel_for(devices_.size(), [&](std::size_t i) {
-        devices_[i].node->take_checkpoint();
+        devices_[i]->node.take_checkpoint();
     });
 }
 
@@ -217,12 +223,12 @@ obs::MetricsRegistry Fleet::collect_metrics() const {
     std::size_t healthy = 0;
     std::uint64_t reboots = 0;
     std::uint64_t alerts = 0;
-    for (const Device& device : devices_) {  // Index order: deterministic.
-        merged.merge_from(device.node->metrics);
-        reboots += device.node->stats().reboots;
-        alerts += device.node->stats().operator_alerts;
-        if (device.node->ssm && !device.node->ssm->disabled() &&
-            device.node->ssm->health() == core::HealthState::kHealthy) {
+    for (const auto& device : devices_) {  // Index order: deterministic.
+        merged.merge_from(device->node.metrics);
+        reboots += device->node.stats().reboots;
+        alerts += device->node.stats().operator_alerts;
+        if (device->node.ssm && !device->node.ssm->disabled() &&
+            device->node.ssm->health() == core::HealthState::kHealthy) {
             ++healthy;
         }
     }
@@ -238,19 +244,19 @@ obs::MetricsRegistry Fleet::collect_metrics() const {
 
 std::string Fleet::chrome_trace() const {
     obs::ChromeTrace out;
-    for (const Device& device : devices_) {  // Index order: deterministic.
-        device.node->append_chrome_trace(out);
+    for (const auto& device : devices_) {  // Index order: deterministic.
+        device->node.append_chrome_trace(out);
     }
     return out.json();
 }
 
 std::vector<std::string> Fleet::sealed_postmortems() const {
     std::vector<std::string> out;
-    for (const Device& device : devices_) {  // Index order: deterministic.
-        if (!device.node->ssm) continue;
-        const std::size_t count = device.node->ssm->postmortems().size();
+    for (const auto& device : devices_) {  // Index order: deterministic.
+        if (!device->node.ssm) continue;
+        const std::size_t count = device->node.ssm->postmortems().size();
         for (std::size_t i = 0; i < count; ++i) {
-            out.push_back(device.node->ssm->sealed_postmortem(i));
+            out.push_back(device->node.ssm->sealed_postmortem(i));
         }
     }
     return out;
@@ -259,7 +265,24 @@ std::vector<std::string> Fleet::sealed_postmortems() const {
 std::uint64_t Fleet::fleet_iterations() const {
     std::uint64_t total = 0;
     for (const auto& device : devices_) {
-        total += device.node->stats().control_iterations;
+        total += device->node.stats().control_iterations;
+    }
+    return total;
+}
+
+std::uint64_t Fleet::fleet_cycles_skipped() const {
+    std::uint64_t total = 0;
+    for (const auto& device : devices_) {
+        total += device->node.sim.cycles_skipped();
+    }
+    return total;
+}
+
+std::size_t Fleet::fleet_resident_ram_bytes() const {
+    std::size_t total = 0;
+    for (const auto& device : devices_) {
+        total += device->node.app_ram.resident_bytes() +
+                 device->node.tee_ram.resident_bytes();
     }
     return total;
 }

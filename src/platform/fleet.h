@@ -7,11 +7,13 @@
 #pragma once
 
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "dev/nic.h"
 #include "net/attestation.h"
+#include "platform/firmware_store.h"
 #include "platform/node.h"
 #include "platform/workload.h"
 #include "util/thread_pool.h"
@@ -23,6 +25,29 @@ struct FleetConfig {
     bool resilient = true;
     std::uint64_t seed = 1;
     ControlLoopOptions workload;
+
+    /// Interrupt-driven (WFI) control loop instead of the busy-wait
+    /// one: the idiomatic embedded structure, and the configuration
+    /// where quiescence fast-forwarding pays — cores sleep between
+    /// timer interrupts. `timer_period` paces the control step.
+    bool interrupt_workload = false;
+    std::uint32_t timer_period = 800;
+
+    /// Event-kernel quiescence on every device (docs/SCHEDULER.md).
+    /// Purely a speed knob: results are bit-identical with it off —
+    /// the E13d differential tests enforce exactly that.
+    bool quiescence = true;
+
+    /// Share firmware bytes fleet-wide, copy-on-write (docs/FLEET.md
+    /// "memory diet"): every node's app RAM reads code from one
+    /// immutable store entry keyed by image hash. Off = each node
+    /// holds a private copy (the E13d memory ablation).
+    bool share_firmware = true;
+
+    /// Per-node observability cost knobs, forwarded to NodeConfig.
+    /// Large passive estates turn both down to hit bytes-per-node.
+    bool metrics = true;
+    std::size_t flight_recorder_capacity = 2048;
 
     /// Worker threads for fleet phases (enrolment, run, sweeps, health
     /// collection). 0 = hardware concurrency; 1 = serial. Any value
@@ -68,7 +93,7 @@ public:
         return devices_.size();
     }
     [[nodiscard]] Node& device(std::size_t index) {
-        return *devices_.at(index).node;
+        return devices_.at(index)->node;
     }
 
     /// Concurrency actually in use (config.worker_threads resolved, so
@@ -81,6 +106,19 @@ public:
     [[nodiscard]] const TranslationCache& translation_cache() const noexcept {
         return *translation_cache_;
     }
+
+    /// The fleet-shared firmware byte store (one entry per distinct
+    /// image; the whole estate's code bytes live here when
+    /// cfg.share_firmware).
+    [[nodiscard]] const FirmwareStore& firmware_store() const noexcept {
+        return *firmware_store_;
+    }
+
+    /// Total cycles elided by quiescence fast-forwarding across the
+    /// fleet (0 when cfg.quiescence is off) and total private RAM pages
+    /// materialized — the two headline E13d telemetry series.
+    [[nodiscard]] std::uint64_t fleet_cycles_skipped() const;
+    [[nodiscard]] std::size_t fleet_resident_ram_bytes() const;
 
     /// Advances every device's simulation by `cycles`, sharded across
     /// the worker pool (each node's simulator is thread-confined to one
@@ -129,11 +167,18 @@ public:
     [[nodiscard]] std::vector<std::string> sealed_postmortems() const;
 
 private:
+    /// One allocation per enrolled device: the node and its operator
+    /// endpoint live inline (a million-node estate previously paid four
+    /// heap blocks plus pointer-chase indirection per device).
     struct Device {
-        std::unique_ptr<Node> node;
-        std::unique_ptr<dev::Nic> operator_nic;
-        std::unique_ptr<dev::Link> link;
-        std::unique_ptr<net::AttestationVerifier> verifier;
+        Device(NodeConfig node_config, std::string nic_name)
+            : node(std::move(node_config)),
+              operator_nic(std::move(nic_name)) {}
+
+        Node node;
+        dev::Nic operator_nic;
+        dev::Link link;
+        std::optional<net::AttestationVerifier> verifier;
         Bytes seal_key;  ///< For verifying health reports.
     };
 
@@ -151,7 +196,11 @@ private:
     crypto::MerkleSigner vendor_key_;
     ThreadPool pool_;
     std::shared_ptr<TranslationCache> translation_cache_;
-    std::vector<Device> devices_;
+    std::shared_ptr<FirmwareStore> firmware_store_;
+    /// Assembled once per fleet — every device runs the same firmware,
+    /// so per-device assembly is pure enrolment overhead at scale.
+    isa::Program program_;
+    std::vector<std::unique_ptr<Device>> devices_;
 };
 
 }  // namespace cres::platform

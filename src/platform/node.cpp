@@ -30,6 +30,7 @@ Node::Node(NodeConfig config)
       cpu("cpu0", bus),
       tee(bus, kTeeRamBase, kTeeRamSize) {
     build_memory_map();
+    sim.set_quiescence(cfg.quiescence);
     if (cfg.metrics) trace.bind_metrics(metrics);
 
     sim.add_tickable(&cpu);
@@ -384,7 +385,7 @@ void Node::load_and_start(const isa::Program& program) {
     }
     loaded_program_ = program;
     translation_vetoed_ = false;  // Debug loads bypass the gate.
-    app_ram.load(program.origin - kAppRamBase, program.code);
+    install_program_image(program);
     entry_ = program.origin;
     cpu.reset(entry_);
     if (shadow_cpu) {
@@ -393,6 +394,22 @@ void Node::load_and_start(const isa::Program& program) {
         shadow_cpu->reset(entry_);
     }
     refresh_translation();
+}
+
+void Node::install_program_image(const isa::Program& program) {
+    const mem::Addr offset =
+        static_cast<mem::Addr>(program.origin - kAppRamBase);
+    if (cfg.firmware_store) {
+        // Fleet memory diet: RAM reads the code from one fleet-shared
+        // immutable copy; writes promote pages to private copies.
+        app_ram.set_backing(
+            cfg.firmware_store->get_or_add(
+                FirmwareStore::key_for(program.code, program.origin),
+                program.code),
+            offset);
+        return;
+    }
+    app_ram.load(offset, program.code);
 }
 
 void Node::refresh_translation() {
@@ -429,10 +446,7 @@ void Node::refresh_translation() {
     // mixed lifecycle (e.g. a debug load over a previously booted
     // chain) can leave RAM diverged from the candidate source; the
     // interpreter is always correct, so just skip installation then.
-    const Bytes& ram = app_ram.data();
-    const std::size_t offset = base - kAppRamBase;
-    if (offset + code.size() > ram.size() ||
-        !std::equal(code.begin(), code.end(), ram.begin() + offset)) {
+    if (!app_ram.matches(static_cast<mem::Addr>(base - kAppRamBase), code)) {
         return;
     }
 
@@ -475,8 +489,7 @@ void Node::reboot(const std::string& reason) {
             return;
         }
         if (loaded_program_.has_value()) {
-            app_ram.load(loaded_program_->origin - kAppRamBase,
-                         loaded_program_->code);
+            install_program_image(*loaded_program_);
             cpu.reset(loaded_program_->origin);
             refresh_translation();
         }
@@ -506,7 +519,7 @@ void Node::pump_network() {
 
 void Node::resync_shadow() {
     if (!shadow_cpu || !shadow_ram) return;
-    shadow_ram->load(0, app_ram.data());
+    shadow_ram->load(0, app_ram.dump(0, app_ram.size()));
     if (mirror) mirror->clear();
     shadow_cpu->reset(cpu.pc());
     for (unsigned i = 1; i < 16; ++i) shadow_cpu->set_reg(i, cpu.reg(i));

@@ -55,6 +55,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "platform/firmware_store.h"
 #include "platform/lockstep.h"
 #include "platform/memmap.h"
 #include "platform/translation_cache.h"
@@ -96,6 +97,15 @@ struct NodeConfig {
     /// nodes measuring the same image share a translation). Null =
     /// build privately per node.
     std::shared_ptr<TranslationCache> translation_cache;
+    /// Shared firmware byte store: debug loads install their code as a
+    /// copy-on-write RAM backing from here instead of copying into
+    /// private pages, so fleet nodes running the same image share the
+    /// bytes (docs/FLEET.md "memory diet"). Null = private copy.
+    std::shared_ptr<FirmwareStore> firmware_store;
+    /// Event-kernel quiescence (docs/SCHEDULER.md): fast-forward over
+    /// provably idle cycles. Purely a speed knob — architecture-level
+    /// results are bit-identical with it off.
+    bool quiescence = true;
 };
 
 /// Runtime service/health counters every experiment reads.
@@ -249,6 +259,10 @@ public:
 private:
     void build_memory_map();
     void install_os_services();
+    /// Places a debug-loaded program's code into app RAM: through the
+    /// shared firmware store as a copy-on-write backing when one is
+    /// configured, else as a private copy.
+    void install_program_image(const isa::Program& program);
     /// (Re)builds SSM + monitors + response manager with the given
     /// evidence-sealing key. Called at construction (placeholder key)
     /// and again at provision time (HKDF-derived key).

@@ -12,27 +12,51 @@ void Simulator::add_tickable(Tickable* component) {
 }
 
 void Simulator::remove_tickable(Tickable* component) noexcept {
+    if (ticking_) {
+        // Mid-cycle removal: null the slot so the component receives no
+        // further ticks (this cycle included); compact after the cycle.
+        for (Tickable*& slot : tickables_) {
+            if (slot == component) {
+                slot = nullptr;
+                compact_pending_ = true;
+            }
+        }
+        return;
+    }
     std::erase(tickables_, component);
 }
 
-void Simulator::schedule_at(Cycle at, std::string label,
-                            std::function<void()> action) {
-    if (at < now_) {
-        throw SimError("schedule_at: cannot schedule in the past (" +
-                       label + ")");
-    }
-    events_.push(Event{at, next_seq_++, std::move(label), std::move(action)});
+std::uint32_t Simulator::intern_label(std::string_view label) {
+    const auto it = label_ids_.find(label);
+    if (it != label_ids_.end()) return it->second;
+    const auto id = static_cast<std::uint32_t>(labels_.size());
+    labels_.emplace_back(label);
+    label_ids_.emplace(labels_.back(), id);
+    return id;
 }
 
-void Simulator::schedule_in(Cycle delta, std::string label,
-                            std::function<void()> action) {
-    schedule_at(now_ + delta, std::move(label), std::move(action));
+void Simulator::schedule_at(Cycle at, std::string_view label,
+                            EventFn action) {
+    if (at < now_) {
+        throw SimError("schedule_at: cannot schedule in the past (" +
+                       std::string(label) + ")");
+    }
+    events_.push(
+        Event{at, next_seq_++, intern_label(label), std::move(action)});
+}
+
+void Simulator::schedule_in(Cycle delta, std::string_view label,
+                            EventFn action) {
+    schedule_at(now_ + delta, label, std::move(action));
 }
 
 void Simulator::fire_due_events() {
     while (!events_.empty() && events_.top().at <= now_) {
-        // Copy out before pop so the action may schedule more events.
-        auto action = events_.top().action;
+        // Move out before pop so the action may schedule more events.
+        // Mutating `action` never reorders the heap: ordering depends
+        // only on (at, seq).
+        EventFn action =
+            std::move(const_cast<Event&>(events_.top()).action);
         events_.pop();
         ++events_fired_;
         action();
@@ -41,19 +65,63 @@ void Simulator::fire_due_events() {
 
 void Simulator::step() {
     fire_due_events();
-    // Snapshot: a tick may register/unregister components; those changes
-    // take effect next cycle.
-    const std::vector<Tickable*> snapshot = tickables_;
-    for (Tickable* t : snapshot) t->tick(now_);
+    // A tick may register/unregister components. Additions land beyond
+    // the captured bound and tick from the next cycle; removals null
+    // their slot immediately (see remove_tickable).
+    const std::size_t bound = tickables_.size();
+    ticking_ = true;
+    for (std::size_t i = 0; i < bound; ++i) {
+        Tickable* t = tickables_[i];
+        if (t != nullptr) t->tick(now_);
+    }
+    ticking_ = false;
+    if (compact_pending_) {
+        std::erase(tickables_, static_cast<Tickable*>(nullptr));
+        compact_pending_ = false;
+    }
     ++now_;
 }
 
-void Simulator::run_for(Cycle cycles) {
-    for (Cycle i = 0; i < cycles; ++i) step();
+void Simulator::run_for(Cycle cycles) { run_until(now_ + cycles); }
+
+Cycle Simulator::earliest_wake(Cycle limit) {
+    Cycle wake = limit;
+    for (Tickable* t : tickables_) {
+        const Cycle na = t->next_activity(now_);
+        if (na <= now_) return now_;  // active this cycle
+        if (na < wake) wake = na;
+    }
+    return wake;
 }
 
 void Simulator::run_until(Cycle target) {
-    while (now_ < target) step();
+    if (!quiescence_) {
+        while (now_ < target) step();
+        return;
+    }
+    while (now_ < target) {
+        // Events due this cycle force a normal step (their actions may
+        // re-arm components).
+        if (!events_.empty() && events_.top().at <= now_) {
+            step();
+            continue;
+        }
+        Cycle limit = target;
+        if (!events_.empty() && events_.top().at < limit) {
+            limit = events_.top().at;
+        }
+        const Cycle wake = earliest_wake(limit);
+        if (wake <= now_) {
+            step();
+            continue;
+        }
+        // Every component is quiescent until `wake` and no event is
+        // due before it: replay the gap in O(components) and jump.
+        const Cycle skipped = wake - now_;
+        for (Tickable* t : tickables_) t->skip(now_, skipped);
+        now_ = wake;
+        cycles_skipped_ += skipped;
+    }
 }
 
 }  // namespace cres::sim

@@ -4,13 +4,27 @@
 // behaviour (CPU, DMA, watchdog, monitors) register as Tickables and are
 // stepped on every cycle; sporadic behaviour (timer expiry, attack
 // injection, network delivery) is scheduled on the event queue.
+//
+// Quiescence (docs/SCHEDULER.md): a Tickable may additionally report
+// when its next architecturally visible work is due via
+// next_activity(). When every registered component is quiescent and no
+// event is due, run_until() fast-forwards the clock to the earliest
+// wake point instead of cycle-stepping, after asking each component to
+// skip() the gap. skip() must leave the component bit-identical to
+// having ticked every skipped cycle — the fast path is a scheduling
+// optimisation, never a semantics change.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
-#include <functional>
 #include <memory>
+#include <new>
 #include <queue>
 #include <string>
+#include <string_view>
+#include <type_traits>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "util/error.h"
@@ -21,10 +35,134 @@ namespace cres::sim {
 using Cycle = std::uint64_t;
 
 /// A component stepped once per simulated cycle.
+///
+/// Quiescence contract: next_activity(now) may return
+///  - `now`            — the component does architecturally visible work
+///                       this cycle; the kernel must step per-cycle.
+///  - a cycle `w > now` — every tick in [now, w) is replicable by
+///                       skip(); the first visible work is at `w`.
+///  - `kIdleForever`   — no tick does visible work until some external
+///                       input (bus write, IRQ, event) re-arms the
+///                       component; ticks are still replicated by
+///                       skip().
+/// When the kernel jumps from `now` to `now + n` (with
+/// `now + n <= next_activity(now)` for every component), it calls
+/// skip(now, n) on each component, which must reproduce the exact state
+/// n consecutive tick(now)..tick(now+n-1) calls would have produced.
+/// skip() must not register/unregister tickables or schedule events.
 class Tickable {
 public:
+    /// next_activity() sentinel: quiescent until externally re-armed.
+    static constexpr Cycle kIdleForever = ~Cycle{0};
+
     virtual ~Tickable() = default;
     virtual void tick(Cycle now) = 0;
+
+    /// Earliest cycle >= now at which tick() does architecturally
+    /// visible work. Defaults to `now` (always active), so components
+    /// that do not implement the protocol simply disable fast-forward.
+    [[nodiscard]] virtual Cycle next_activity(Cycle now) { return now; }
+
+    /// Replays `cycles` consecutive quiescent ticks starting at `now`
+    /// in O(1)/O(work). Only called when
+    /// `now + cycles <= next_activity(now)` held at the jump decision.
+    virtual void skip(Cycle now, Cycle cycles) {
+        (void)now;
+        (void)cycles;
+    }
+};
+
+/// Move-only callable with small-buffer optimisation: event actions the
+/// size of a few captured pointers (the steady-state case — e.g. the
+/// fleet's nic-pump closure) are stored inline, so scheduling them
+/// allocates nothing. Larger callables fall back to the heap.
+class EventFn {
+public:
+    EventFn() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, EventFn> &&
+                  std::is_invocable_r_v<void, std::decay_t<F>&>>>
+    EventFn(F&& fn) {  // NOLINT(google-explicit-constructor)
+        using Fn = std::decay_t<F>;
+        if constexpr (sizeof(Fn) <= kInlineSize &&
+                      alignof(Fn) <= alignof(std::max_align_t) &&
+                      std::is_nothrow_move_constructible_v<Fn>) {
+            ::new (static_cast<void*>(storage_)) Fn(std::forward<F>(fn));
+            vtable_ = &inline_vtable<Fn>;
+        } else {
+            ::new (static_cast<void*>(storage_))
+                Fn*(new Fn(std::forward<F>(fn)));
+            vtable_ = &boxed_vtable<Fn>;
+        }
+    }
+
+    EventFn(EventFn&& other) noexcept { move_from(other); }
+    EventFn& operator=(EventFn&& other) noexcept {
+        if (this != &other) {
+            reset();
+            move_from(other);
+        }
+        return *this;
+    }
+    EventFn(const EventFn&) = delete;
+    EventFn& operator=(const EventFn&) = delete;
+    ~EventFn() { reset(); }
+
+    void operator()() { vtable_->invoke(storage_); }
+    [[nodiscard]] explicit operator bool() const noexcept {
+        return vtable_ != nullptr;
+    }
+
+private:
+    static constexpr std::size_t kInlineSize = 48;
+
+    struct VTable {
+        void (*invoke)(void* storage);
+        void (*relocate)(void* dst, void* src) noexcept;
+        void (*destroy)(void* storage) noexcept;
+    };
+
+    template <typename Fn>
+    static constexpr VTable inline_vtable{
+        [](void* s) { (*std::launder(reinterpret_cast<Fn*>(s)))(); },
+        [](void* dst, void* src) noexcept {
+            Fn* from = std::launder(reinterpret_cast<Fn*>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void* s) noexcept {
+            std::launder(reinterpret_cast<Fn*>(s))->~Fn();
+        }};
+
+    template <typename Fn>
+    static constexpr VTable boxed_vtable{
+        [](void* s) { (**std::launder(reinterpret_cast<Fn**>(s)))(); },
+        [](void* dst, void* src) noexcept {
+            Fn** from = std::launder(reinterpret_cast<Fn**>(src));
+            ::new (dst) Fn*(*from);
+        },
+        [](void* s) noexcept {
+            delete *std::launder(reinterpret_cast<Fn**>(s));
+        }};
+
+    void move_from(EventFn& other) noexcept {
+        vtable_ = other.vtable_;
+        if (vtable_ != nullptr) {
+            vtable_->relocate(storage_, other.storage_);
+            other.vtable_ = nullptr;
+        }
+    }
+    void reset() noexcept {
+        if (vtable_ != nullptr) {
+            vtable_->destroy(storage_);
+            vtable_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char storage_[kInlineSize]{};
+    const VTable* vtable_ = nullptr;
 };
 
 /// The simulation kernel: owns the clock, the event queue and the list
@@ -42,18 +180,22 @@ public:
 
     /// Registers a per-cycle component. The pointer must outlive the
     /// simulator run (platform objects own their components).
+    /// Registration during a tick takes effect next cycle.
     void add_tickable(Tickable* component);
 
-    /// Removes a previously registered component.
+    /// Removes a previously registered component. Safe to call from
+    /// inside tick(): the slot is nulled immediately (the component
+    /// receives no further ticks, including later in the same cycle)
+    /// and compacted after the cycle completes.
     void remove_tickable(Tickable* component) noexcept;
 
     /// Schedules `action` to run at absolute cycle `at` (>= now).
-    /// Events at the same cycle run in scheduling order.
-    void schedule_at(Cycle at, std::string label, std::function<void()> action);
+    /// Events at the same cycle run in scheduling order. The label is
+    /// interned: scheduling a previously seen label allocates nothing.
+    void schedule_at(Cycle at, std::string_view label, EventFn action);
 
     /// Schedules `action` to run `delta` cycles from now.
-    void schedule_in(Cycle delta, std::string label,
-                     std::function<void()> action);
+    void schedule_in(Cycle delta, std::string_view label, EventFn action);
 
     /// Advances exactly one cycle: fires due events, then ticks all
     /// components.
@@ -62,8 +204,15 @@ public:
     /// Advances `cycles` cycles.
     void run_for(Cycle cycles);
 
-    /// Advances until now() == target (no-op when already past).
+    /// Advances until now() == target (no-op when already past). With
+    /// quiescence enabled (the default) stretches where every component
+    /// is idle and no event is due are skipped in one jump; results are
+    /// bit-identical to per-cycle stepping (docs/SCHEDULER.md).
     void run_until(Cycle target);
+
+    /// Enables/disables quiescence fast-forward (differential testing).
+    void set_quiescence(bool enabled) noexcept { quiescence_ = enabled; }
+    [[nodiscard]] bool quiescence() const noexcept { return quiescence_; }
 
     /// True when the event queue is empty.
     [[nodiscard]] bool idle() const noexcept { return events_.empty(); }
@@ -73,12 +222,23 @@ public:
         return events_fired_;
     }
 
+    /// Cycles fast-forwarded (not individually stepped) so far.
+    [[nodiscard]] std::uint64_t cycles_skipped() const noexcept {
+        return cycles_skipped_;
+    }
+
+    /// Resolves an interned label id (telemetry/tests).
+    [[nodiscard]] std::string_view label_name(std::uint32_t id) const {
+        return id < labels_.size() ? std::string_view{labels_[id]}
+                                   : std::string_view{};
+    }
+
 private:
     struct Event {
         Cycle at;
         std::uint64_t seq;
-        std::string label;
-        std::function<void()> action;
+        std::uint32_t label;
+        EventFn action;
     };
     struct EventLater {
         bool operator()(const Event& a, const Event& b) const noexcept {
@@ -86,14 +246,35 @@ private:
             return a.seq > b.seq;
         }
     };
+    struct LabelHash {
+        using is_transparent = void;
+        std::size_t operator()(std::string_view s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+        std::size_t operator()(const std::string& s) const noexcept {
+            return std::hash<std::string_view>{}(s);
+        }
+    };
 
     void fire_due_events();
+    std::uint32_t intern_label(std::string_view label);
+    /// Earliest quiescent wake across tickables, capped at `limit`;
+    /// returns now_ when any component is active this cycle.
+    [[nodiscard]] Cycle earliest_wake(Cycle limit);
 
     Cycle now_ = 0;
     std::uint64_t next_seq_ = 0;
     std::uint64_t events_fired_ = 0;
+    std::uint64_t cycles_skipped_ = 0;
+    bool quiescence_ = true;
+    bool ticking_ = false;
+    bool compact_pending_ = false;
     std::priority_queue<Event, std::vector<Event>, EventLater> events_;
     std::vector<Tickable*> tickables_;
+    std::vector<std::string> labels_;
+    std::unordered_map<std::string, std::uint32_t, LabelHash,
+                       std::equal_to<>>
+        label_ids_;
 };
 
 }  // namespace cres::sim

@@ -198,7 +198,180 @@ TEST(FleetParallel, ChromeTraceAndPostmortemsAreBitIdenticalAcrossThreads) {
     EXPECT_EQ(pm_one, pm_eight);
 }
 
-// --- (c) worker_threads resolution -----------------------------------------
+// --- (c) quiescence fast-forward: differential determinism ------------------
+// The scheduler contract (docs/SCHEDULER.md): fast-forwarding over
+// provably idle cycles is a speed knob, never a semantics knob. The
+// same scenario per-cycle, quiescence-skipped, and quiescence-skipped
+// on 8 workers must produce byte-identical artefacts.
+
+FleetConfig estate_config(std::size_t devices, std::size_t threads,
+                          bool quiescence, bool interrupt_workload,
+                          std::uint64_t seed = 98) {
+    FleetConfig config;
+    config.device_count = devices;
+    config.resilient = true;
+    config.seed = seed;
+    config.worker_threads = threads;
+    config.quiescence = quiescence;
+    config.interrupt_workload = interrupt_workload;
+    return config;
+}
+
+/// Per-device architectural counters, index-ordered: retired
+/// instructions, cycle CSRs, service iterations, sensor samples.
+std::vector<std::uint64_t> device_counters(Fleet& fleet) {
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        Node& node = fleet.device(i);
+        out.push_back(node.sim.now());
+        out.push_back(node.cpu.csr(isa::kCsrMcycle));
+        out.push_back(node.cpu.csr(isa::kCsrMinstret));
+        out.push_back(node.stats().control_iterations);
+        out.push_back(node.sensor.samples());
+    }
+    return out;
+}
+
+TEST(FleetQuiescence, InterruptEstateFastForwardMatchesPerCycle) {
+    constexpr std::size_t kDevices = 12;
+    constexpr sim::Cycle kCycles = 30000;
+
+    Fleet percycle(estate_config(kDevices, 1, false, true));
+    Fleet skipped(estate_config(kDevices, 1, true, true));
+    percycle.run(kCycles);
+    skipped.run(kCycles);
+
+    // The WFI estate actually fast-forwarded (the test is not vacuous).
+    EXPECT_EQ(percycle.fleet_cycles_skipped(), 0u);
+    EXPECT_GT(skipped.fleet_cycles_skipped(), 0u);
+
+    EXPECT_EQ(device_counters(percycle), device_counters(skipped));
+    EXPECT_EQ(percycle.fleet_iterations(), skipped.fleet_iterations());
+
+    const SweepResult sweep_a = percycle.attestation_sweep();
+    const SweepResult sweep_b = skipped.attestation_sweep();
+    EXPECT_EQ(sweep_a.verdicts, sweep_b.verdicts);
+
+    const HealthSummary health_a = percycle.collect_health();
+    const HealthSummary health_b = skipped.collect_health();
+    EXPECT_EQ(health_a.states, health_b.states);
+    EXPECT_EQ(health_a.report_valid, health_b.report_valid);
+
+    // Metrics snapshots — poll counters, gap histograms, queue-depth
+    // series included — are byte-identical: skip() replays every
+    // elided observation effect exactly.
+    EXPECT_EQ(percycle.collect_metrics().prometheus(),
+              skipped.collect_metrics().prometheus());
+    EXPECT_EQ(percycle.collect_metrics().json(),
+              skipped.collect_metrics().json());
+    EXPECT_EQ(percycle.chrome_trace(), skipped.chrome_trace());
+
+    for (const std::size_t i :
+         {std::size_t{0}, kDevices / 2, kDevices - 1}) {
+        EXPECT_EQ(percycle.device(i).ssm->evidence().serialize(),
+                  skipped.device(i).ssm->evidence().serialize())
+            << "device " << i;
+    }
+}
+
+TEST(FleetQuiescence, BusyEstateFastForwardIsExactToo) {
+    // The busy-wait workload keeps cores active, so there is little to
+    // skip — but whatever is skipped must still be exact.
+    constexpr std::size_t kDevices = 8;
+    Fleet percycle(estate_config(kDevices, 1, false, false));
+    Fleet skipped(estate_config(kDevices, 1, true, false));
+    percycle.run(15000);
+    skipped.run(15000);
+
+    EXPECT_EQ(device_counters(percycle), device_counters(skipped));
+    EXPECT_EQ(percycle.collect_metrics().prometheus(),
+              skipped.collect_metrics().prometheus());
+    EXPECT_EQ(percycle.chrome_trace(), skipped.chrome_trace());
+}
+
+TEST(FleetQuiescence, EightWorkerSkippedRunMatchesSerialPerCycle) {
+    constexpr std::size_t kDevices = 16;
+    constexpr sim::Cycle kCycles = 25000;
+
+    Fleet reference(estate_config(kDevices, 1, false, true));
+    Fleet fast(estate_config(kDevices, 8, true, true));
+    reference.run(kCycles);
+    fast.run(kCycles);
+
+    EXPECT_GT(fast.fleet_cycles_skipped(), 0u);
+    EXPECT_EQ(device_counters(reference), device_counters(fast));
+    EXPECT_EQ(reference.attestation_sweep().verdicts,
+              fast.attestation_sweep().verdicts);
+    EXPECT_EQ(reference.collect_metrics().prometheus(),
+              fast.collect_metrics().prometheus());
+    EXPECT_EQ(reference.chrome_trace(), fast.chrome_trace());
+    for (const std::size_t i :
+         {std::size_t{0}, kDevices / 2, kDevices - 1}) {
+        EXPECT_EQ(reference.device(i).ssm->evidence().serialize(),
+                  fast.device(i).ssm->evidence().serialize())
+            << "device " << i;
+    }
+}
+
+TEST(FleetQuiescence, BreachUnderFastForwardYieldsIdenticalForensics) {
+    constexpr std::size_t kDevices = 8;
+    constexpr std::size_t kVictim = 5;
+
+    auto breach = [](Fleet& fleet) {
+        fleet.run(3000);
+        fleet.checkpoint_all();
+        attack::StackSmashAttack smash;
+        smash.launch(fleet.device(kVictim),
+                     fleet.device(kVictim).sim.now() + 1000);
+        fleet.run(20000);
+    };
+
+    Fleet percycle(estate_config(kDevices, 1, false, false));
+    Fleet skipped(estate_config(kDevices, 1, true, false));
+    breach(percycle);
+    breach(skipped);
+
+    ASSERT_GT(percycle.device(kVictim).ssm->evidence().size(), 1u);
+    EXPECT_EQ(percycle.device(kVictim).ssm->evidence().serialize(),
+              skipped.device(kVictim).ssm->evidence().serialize());
+    EXPECT_EQ(percycle.sealed_postmortems(), skipped.sealed_postmortems());
+    const HealthSummary a = percycle.collect_health();
+    const HealthSummary b = skipped.collect_health();
+    EXPECT_EQ(a.states, b.states);
+}
+
+// --- (d) fleet-shared firmware bytes ----------------------------------------
+
+TEST(FleetFirmware, SharedFirmwareIsDeduplicatedAndBitExact) {
+    constexpr std::size_t kDevices = 16;
+
+    FleetConfig shared_cfg = estate_config(kDevices, 1, true, false);
+    FleetConfig private_cfg = shared_cfg;
+    private_cfg.share_firmware = false;
+
+    Fleet shared(shared_cfg);
+    Fleet priv(private_cfg);
+    shared.run(8000);
+    priv.run(8000);
+
+    // One store entry serves the whole estate.
+    EXPECT_EQ(shared.firmware_store().size(), 1u);
+    EXPECT_EQ(shared.firmware_store().misses(), 1u);
+    EXPECT_EQ(shared.firmware_store().hits(), kDevices - 1);
+    EXPECT_EQ(priv.firmware_store().size(), 0u);
+
+    // Sharing strictly shrinks private residency (the code pages), and
+    // changes nothing observable.
+    EXPECT_LT(shared.fleet_resident_ram_bytes(),
+              priv.fleet_resident_ram_bytes());
+    EXPECT_EQ(device_counters(shared), device_counters(priv));
+    EXPECT_EQ(shared.attestation_sweep().verdicts,
+              priv.attestation_sweep().verdicts);
+    EXPECT_EQ(shared.collect_metrics().prometheus(),
+              priv.collect_metrics().prometheus());
+}
+
+// --- (e) worker_threads resolution -----------------------------------------
 
 TEST(FleetParallel, ZeroWorkerThreadsResolvesToHardwareConcurrency) {
     const unsigned hw = std::thread::hardware_concurrency();

@@ -225,6 +225,104 @@ TEST(Ram, ZeroSizeRejected) {
     EXPECT_THROW(Ram("r", 0), MemError);
 }
 
+TEST(RamPaging, UntouchedRamHasNoResidentPages) {
+    Ram ram("r", 64 * 1024);
+    EXPECT_EQ(ram.resident_pages(), 0u);
+    EXPECT_EQ(ram.dump(0, 16), Bytes(16, 0));  // Reads don't materialize.
+    EXPECT_EQ(ram.resident_pages(), 0u);
+}
+
+TEST(RamPaging, WriteMaterializesOnlyTouchedPages) {
+    Ram ram("r", 64 * 1024);
+    EXPECT_EQ(ram.write(5 * Ram::kPageSize + 8, 4, 0xdeadbeef, BusAttr{}),
+              BusResponse::kOk);
+    EXPECT_EQ(ram.resident_pages(), 1u);
+    std::uint32_t out = 0;
+    EXPECT_EQ(ram.read(5 * Ram::kPageSize + 8, 4, out, BusAttr{}),
+              BusResponse::kOk);
+    EXPECT_EQ(out, 0xdeadbeefu);
+    // Other pages still read as background without materializing.
+    EXPECT_EQ(ram.dump(0, 4), Bytes(4, 0));
+    EXPECT_EQ(ram.resident_pages(), 1u);
+}
+
+TEST(RamPaging, SharedBackingSuppliesReadsCopyOnWrite) {
+    auto image = std::make_shared<const Bytes>(Bytes{10, 20, 30, 40});
+    Ram a("a", 2 * Ram::kPageSize);
+    Ram b("b", 2 * Ram::kPageSize);
+    a.set_backing(image, 100);
+    b.set_backing(image, 100);
+    EXPECT_TRUE(a.has_backing());
+    EXPECT_EQ(a.resident_pages(), 0u);
+    EXPECT_EQ(a.dump(100, 4), (Bytes{10, 20, 30, 40}));
+    EXPECT_EQ(b.dump(100, 4), (Bytes{10, 20, 30, 40}));
+
+    // A write to one node promotes only its own touched page.
+    EXPECT_EQ(a.write(101, 1, 99, BusAttr{}), BusResponse::kOk);
+    EXPECT_EQ(a.resident_pages(), 1u);
+    EXPECT_EQ(a.dump(100, 4), (Bytes{10, 99, 30, 40}));
+    EXPECT_EQ(b.resident_pages(), 0u);
+    EXPECT_EQ(b.dump(100, 4), (Bytes{10, 20, 30, 40}));  // Unperturbed.
+}
+
+TEST(RamPaging, SetBackingHasReloadSemantics) {
+    Ram ram("r", 2 * Ram::kPageSize);
+    ram.load(0, Bytes{1, 2, 3, 4});  // Private page with stale content.
+    auto image =
+        std::make_shared<const Bytes>(Bytes(Ram::kPageSize, 0x5a));
+    ram.set_backing(image, 0);
+    // The fully covered page was dropped: the range reads as the image.
+    EXPECT_EQ(ram.dump(0, 4), (Bytes{0x5a, 0x5a, 0x5a, 0x5a}));
+    EXPECT_EQ(ram.resident_pages(), 0u);
+    // Bytes past the image keep their background.
+    EXPECT_EQ(ram.dump(Ram::kPageSize, 4), Bytes(4, 0));
+}
+
+TEST(RamPaging, SetBackingPatchesPartiallyCoveredPrivatePages) {
+    Ram ram("r", 2 * Ram::kPageSize);
+    // Private page with writes on both sides of the image range.
+    ram.load(0, Bytes{0xaa});
+    ram.load(8, Bytes{0xbb});
+    auto image = std::make_shared<const Bytes>(Bytes{1, 2, 3, 4});
+    ram.set_backing(image, 2);  // Covers [2, 6) — partial page.
+    EXPECT_EQ(ram.dump(0, 9),
+              (Bytes{0xaa, 0, 1, 2, 3, 4, 0, 0, 0xbb}));
+}
+
+TEST(RamPaging, MatchesComparesWithoutMaterializing) {
+    auto image = std::make_shared<const Bytes>(Bytes{1, 2, 3, 4});
+    Ram ram("r", Ram::kPageSize);
+    ram.set_backing(image, 0);
+    EXPECT_TRUE(ram.matches(0, *image));
+    EXPECT_FALSE(ram.matches(1, *image));
+    EXPECT_FALSE(ram.matches(Ram::kPageSize - 2, *image));  // Overruns.
+    EXPECT_EQ(ram.resident_pages(), 0u);
+    // Divergence after a private write is visible to matches().
+    EXPECT_EQ(ram.write(2, 1, 9, BusAttr{}), BusResponse::kOk);
+    EXPECT_FALSE(ram.matches(0, *image));
+}
+
+TEST(RamPaging, FillDropsPagesAndBacking) {
+    auto image = std::make_shared<const Bytes>(Bytes{1, 2, 3, 4});
+    Ram ram("r", Ram::kPageSize);
+    ram.set_backing(image, 0);
+    EXPECT_EQ(ram.write(100, 1, 7, BusAttr{}), BusResponse::kOk);
+    ram.fill(0xee);
+    EXPECT_FALSE(ram.has_backing());
+    EXPECT_EQ(ram.resident_pages(), 0u);
+    EXPECT_EQ(ram.dump(0, 2), (Bytes{0xee, 0xee}));
+    EXPECT_EQ(ram.dump(100, 1), Bytes{0xee});
+}
+
+TEST(RamPaging, LoadOverBackingCreatesPrivateCopy) {
+    auto image = std::make_shared<const Bytes>(Bytes{1, 2, 3, 4});
+    Ram ram("r", Ram::kPageSize);
+    ram.set_backing(image, 0);
+    ram.load(0, Bytes{9, 9});
+    EXPECT_EQ(ram.dump(0, 4), (Bytes{9, 9, 3, 4}));
+    EXPECT_EQ(*image, (Bytes{1, 2, 3, 4}));  // Shared image untouched.
+}
+
 TEST(Mpu, DisabledAllowsEverything) {
     Mpu mpu;
     EXPECT_TRUE(mpu.check(0x1234, 4, AccessType::kWrite, false).allowed);

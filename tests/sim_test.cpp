@@ -110,6 +110,213 @@ TEST(Simulator, IdleReflectsQueue) {
     EXPECT_TRUE(sim.idle());
 }
 
+// Ticks every `period` cycles and implements the quiescence protocol;
+// skip() reproduces the state of the elided (non-firing) ticks.
+class Periodic : public Tickable {
+public:
+    explicit Periodic(Cycle period) : period_(period) {}
+
+    void tick(Cycle now) override {
+        ++ticks;
+        last = now;
+        if (now % period_ == 0) ++fires;
+    }
+    Cycle next_activity(Cycle now) override {
+        if (now % period_ == 0) return now;
+        return now + (period_ - now % period_);
+    }
+    void skip(Cycle now, Cycle cycles) override {
+        ticks += static_cast<int>(cycles);
+        last = now + cycles - 1;
+    }
+
+    Cycle period_;
+    int ticks = 0;
+    int fires = 0;
+    Cycle last = 0;
+};
+
+TEST(Quiescence, FastForwardMatchesPerCycleExecution) {
+    Simulator fast;
+    Simulator slow;
+    slow.set_quiescence(false);
+    Periodic fast_p(97);
+    Periodic slow_p(97);
+    fast.add_tickable(&fast_p);
+    slow.add_tickable(&slow_p);
+
+    fast.run_for(1000);
+    slow.run_for(1000);
+
+    EXPECT_EQ(fast.now(), slow.now());
+    EXPECT_EQ(fast_p.ticks, slow_p.ticks);
+    EXPECT_EQ(fast_p.fires, slow_p.fires);
+    EXPECT_EQ(fast_p.last, slow_p.last);
+    EXPECT_GT(fast.cycles_skipped(), 0u);
+    EXPECT_EQ(slow.cycles_skipped(), 0u);
+}
+
+TEST(Quiescence, EventsFireAtExactCyclesAcrossSkips) {
+    Simulator sim;
+    Periodic p(1000);  // Idle almost always: events bound the jumps.
+    sim.add_tickable(&p);
+    std::vector<Cycle> fired;
+    sim.schedule_at(37, "a", [&] { fired.push_back(sim.now()); });
+    sim.schedule_at(612, "b", [&] { fired.push_back(sim.now()); });
+    sim.schedule_at(613, "c", [&] { fired.push_back(sim.now()); });
+    sim.run_for(700);
+    EXPECT_EQ(fired, (std::vector<Cycle>{37, 612, 613}));
+    EXPECT_EQ(sim.now(), 700u);
+    EXPECT_GT(sim.cycles_skipped(), 0u);
+}
+
+TEST(Quiescence, DefaultTickableIsAlwaysActive) {
+    // Tickables that don't implement the protocol keep per-cycle
+    // semantics, pinning the whole simulator to per-cycle stepping.
+    Simulator sim;
+    Counter c;
+    sim.add_tickable(&c);
+    sim.run_for(50);
+    EXPECT_EQ(c.ticks, 50);
+    EXPECT_EQ(sim.cycles_skipped(), 0u);
+}
+
+TEST(Quiescence, IdleForeverTickableJumpsToTarget) {
+    class Dormant : public Tickable {
+    public:
+        void tick(Cycle) override { ++ticks; }
+        Cycle next_activity(Cycle) override { return kIdleForever; }
+        void skip(Cycle, Cycle) override {}
+        int ticks = 0;
+    };
+    Simulator sim;
+    Dormant d;
+    sim.add_tickable(&d);
+    sim.run_for(10000);
+    EXPECT_EQ(sim.now(), 10000u);
+    EXPECT_EQ(d.ticks, 0);
+    EXPECT_EQ(sim.cycles_skipped(), 10000u);
+}
+
+TEST(Quiescence, DisabledKnobForcesPerCycle) {
+    Simulator sim;
+    sim.set_quiescence(false);
+    EXPECT_FALSE(sim.quiescence());
+    Periodic p(100);
+    sim.add_tickable(&p);
+    sim.run_for(500);
+    EXPECT_EQ(p.ticks, 500);
+    EXPECT_EQ(sim.cycles_skipped(), 0u);
+}
+
+// Removes itself — and optionally a victim — from inside tick().
+class RemoveDuringTick : public Tickable {
+public:
+    RemoveDuringTick(Simulator& sim, Tickable* victim)
+        : sim_(sim), victim_(victim) {}
+    void tick(Cycle) override {
+        ++ticks;
+        sim_.remove_tickable(this);
+        if (victim_ != nullptr) sim_.remove_tickable(victim_);
+    }
+    int ticks = 0;
+
+private:
+    Simulator& sim_;
+    Tickable* victim_;
+};
+
+TEST(Simulator, RemoveSelfDuringTickIsSafe) {
+    Simulator sim;
+    Counter before;
+    RemoveDuringTick remover(sim, nullptr);
+    Counter after;
+    sim.add_tickable(&before);
+    sim.add_tickable(&remover);
+    sim.add_tickable(&after);
+    sim.run_for(3);
+    EXPECT_EQ(remover.ticks, 1);
+    EXPECT_EQ(before.ticks, 3);
+    EXPECT_EQ(after.ticks, 3);
+}
+
+TEST(Simulator, RemoveLaterComponentDuringTickSkipsItThatCycle) {
+    Simulator sim;
+    Counter victim;
+    RemoveDuringTick remover(sim, &victim);
+    sim.add_tickable(&remover);
+    sim.add_tickable(&victim);  // Registered after the remover.
+    sim.run_for(5);
+    // Removal takes effect immediately: the victim never ticks.
+    EXPECT_EQ(remover.ticks, 1);
+    EXPECT_EQ(victim.ticks, 0);
+}
+
+TEST(Simulator, AddDuringTickStartsNextCycle) {
+    class Adder : public Tickable {
+    public:
+        Adder(Simulator& sim, Tickable* child) : sim_(sim), child_(child) {}
+        void tick(Cycle) override {
+            if (!added_) {
+                added_ = true;
+                sim_.add_tickable(child_);
+            }
+        }
+
+    private:
+        Simulator& sim_;
+        Tickable* child_;
+        bool added_ = false;
+    };
+    Simulator sim;
+    Counter child;
+    Adder adder(sim, &child);
+    sim.add_tickable(&adder);
+    sim.run_for(4);
+    EXPECT_EQ(child.ticks, 3);  // Missed the cycle it was added on.
+}
+
+TEST(Simulator, RemoveMiddleTickableKeepsOthersTicking) {
+    Simulator sim;
+    Counter a;
+    Counter b;
+    Counter c;
+    sim.add_tickable(&a);
+    sim.add_tickable(&b);
+    sim.add_tickable(&c);
+    sim.run_for(2);
+    sim.remove_tickable(&b);
+    sim.run_for(2);
+    EXPECT_EQ(a.ticks, 4);
+    EXPECT_EQ(b.ticks, 2);
+    EXPECT_EQ(c.ticks, 4);
+}
+
+TEST(Simulator, LargeCaptureEventFires) {
+    // Callables past the inline small-buffer bound take the boxed path.
+    Simulator sim;
+    std::array<std::uint64_t, 16> payload{};
+    for (std::size_t i = 0; i < payload.size(); ++i) payload[i] = i * 3;
+    std::uint64_t sum = 0;
+    sim.schedule_at(5, "big", [payload, &sum] {
+        for (const auto v : payload) sum += v;
+    });
+    sim.run_for(10);
+    EXPECT_EQ(sum, 360u);
+}
+
+TEST(Simulator, PastScheduleErrorNamesTheLabel) {
+    Simulator sim;
+    sim.run_for(10);
+    try {
+        sim.schedule_at(5, "late-label", [] {});
+        FAIL() << "expected SimError";
+    } catch (const SimError& e) {
+        EXPECT_NE(std::string(e.what()).find("late-label"),
+                  std::string::npos);
+    }
+}
+
 TEST(Trace, EmitAndQuery) {
     TraceStream trace;
     trace.emit(1, "cpu", "trap", "bus-fault", 0x100, 0);
