@@ -13,7 +13,10 @@
 #include <thread>
 #include <vector>
 
+#include <fstream>
+
 #include "attack/attacks.h"
+#include "attack/campaigns.h"
 #include "bench_util.h"
 #include "platform/fleet.h"
 
@@ -49,6 +52,61 @@ std::vector<std::size_t> e13d_device_counts() {
         if (!out.empty()) return out;
     }
     return {1000, 10000};
+}
+
+/// E16 sweep sizes: CRES_E16_DEVICES (comma-separated) overrides the
+/// default. CI uses "10000"; the paper sweep is "1000,10000,50000";
+/// the default stays small for the build-test smoke run.
+std::vector<std::size_t> e16_device_counts() {
+    if (const char* env = std::getenv("CRES_E16_DEVICES")) {
+        std::vector<std::size_t> out;
+        const std::string s(env);
+        std::size_t pos = 0;
+        while (pos <= s.size()) {
+            std::size_t next = s.find(',', pos);
+            if (next == std::string::npos) next = s.size();
+            const std::string token = s.substr(pos, next - pos);
+            if (!token.empty()) {
+                out.push_back(
+                    static_cast<std::size_t>(std::stoull(token)));
+            }
+            pos = next + 1;
+        }
+        if (!out.empty()) return out;
+    }
+    return {256, 1000};
+}
+
+/// The E16 estate: resilient WFI control nodes (monitors + SSM feed
+/// the per-device SIEM buffers), quiescence on — campaign verdicts are
+/// scheduler-invariant, so the fast path is safe to benchmark on.
+platform::FleetConfig campaign_estate_config(std::size_t devices) {
+    platform::FleetConfig config;
+    config.device_count = devices;
+    config.resilient = true;
+    config.seed = 53;
+    config.interrupt_workload = true;
+    config.quiescence = true;
+    config.worker_threads = 0;
+    return config;
+}
+
+/// Detection latency (first contributing evidence -> detection) of the
+/// first campaign of `kind`, or 0 when none was detected.
+std::uint64_t campaign_latency(const platform::Fleet& fleet,
+                               platform::CampaignKind kind) {
+    for (const auto& c : fleet.campaign_monitor().campaigns()) {
+        if (c.kind == kind) return c.detected_at - c.first_at;
+    }
+    return 0;
+}
+
+bool campaign_detected(const platform::Fleet& fleet,
+                       platform::CampaignKind kind) {
+    for (const auto& c : fleet.campaign_monitor().campaigns()) {
+        if (c.kind == kind) return true;
+    }
+    return false;
 }
 
 /// The E13d estate: passive interrupt-driven control nodes — the
@@ -408,11 +466,174 @@ int main() {
                      "copy-on-write image per distinct firmware.\n";
     }
 
+    bool e16_ok = true;
+
+    bench::section(
+        "E16 — Campaign detection: latency vs fleet size (SIEM export)");
+    {
+        // All three campaign classes on estates of increasing size. The
+        // cycle-domain detection latency should be INVARIANT in fleet
+        // size (the correlation engine counts devices, not records);
+        // what scales is the wall cost of the drain/verify pipeline.
+        const std::vector<std::size_t> counts = e16_device_counts();
+        constexpr sim::Cycle kCycles = 20000;
+
+        bench::Table table({"devices", "enrol (s)", "run (s)",
+                            "drain (ms)", "records", "records/sec",
+                            "verify (ms)", "worm lat (cyc)",
+                            "replay lat (cyc)", "downgrade lat (cyc)",
+                            "chain ok"});
+        const std::size_t largest =
+            *std::max_element(counts.begin(), counts.end());
+        for (const std::size_t devices : counts) {
+            const auto t0 = std::chrono::steady_clock::now();
+            platform::Fleet fleet(campaign_estate_config(devices));
+            const double enrol_s = seconds_since(t0);
+
+            attack::WormCampaign worm;
+            attack::CoordinatedReplayCampaign::Options replay_opt;
+            replay_opt.replay_at = 15000;
+            replay_opt.stagger = 20;
+            // The correlation bar needs >= 8 devices; capping the
+            // replay taps keeps the wire overhead flat at estate scale.
+            replay_opt.device_count = std::min<std::size_t>(devices, 512);
+            attack::CoordinatedReplayCampaign replay(replay_opt);
+            attack::StaggeredDowngradeCampaign downgrade;
+            worm.launch(fleet);
+            replay.launch(fleet);
+            downgrade.launch(fleet);
+
+            const auto t1 = std::chrono::steady_clock::now();
+            fleet.run(kCycles);
+            const double run_s = seconds_since(t1);
+
+            const auto t2 = std::chrono::steady_clock::now();
+            const std::size_t records = fleet.drain_siem();
+            const double drain_s = seconds_since(t2);
+
+            const auto t3 = std::chrono::steady_clock::now();
+            const obs::SiemVerifyResult verdict = obs::SiemStream::verify(
+                fleet.siem_stream().jsonl(), fleet.siem_key());
+            const double verify_s = seconds_since(t3);
+
+            const std::uint64_t worm_lat =
+                campaign_latency(fleet, platform::CampaignKind::kWorm);
+            const std::uint64_t replay_lat = campaign_latency(
+                fleet, platform::CampaignKind::kCoordinatedReplay);
+            const std::uint64_t downgrade_lat = campaign_latency(
+                fleet, platform::CampaignKind::kStaggeredDowngrade);
+            const bool all_detected =
+                campaign_detected(fleet, platform::CampaignKind::kWorm) &&
+                campaign_detected(
+                    fleet, platform::CampaignKind::kCoordinatedReplay) &&
+                campaign_detected(
+                    fleet, platform::CampaignKind::kStaggeredDowngrade);
+            if (!all_detected || !verdict.ok) e16_ok = false;
+
+            table.row(devices, bench::fmt_double(enrol_s, 2),
+                      bench::fmt_double(run_s, 2),
+                      bench::fmt_double(drain_s * 1e3, 1), records,
+                      bench::fmt_double(
+                          static_cast<double>(records) / drain_s, 0),
+                      bench::fmt_double(verify_s * 1e3, 1), worm_lat,
+                      replay_lat, downgrade_lat,
+                      bench::yesno(verdict.ok));
+
+            const std::string tag = std::to_string(devices);
+            json.metric("e16_" + tag + "_records",
+                        static_cast<double>(records));
+            json.metric("e16_" + tag + "_drain_ms", drain_s * 1e3);
+            json.metric("e16_" + tag + "_records_per_s",
+                        static_cast<double>(records) / drain_s);
+            json.metric("e16_" + tag + "_verify_ms", verify_s * 1e3);
+            json.metric("e16_" + tag + "_worm_latency_cycles",
+                        static_cast<double>(worm_lat));
+            json.metric("e16_" + tag + "_replay_latency_cycles",
+                        static_cast<double>(replay_lat));
+            json.metric("e16_" + tag + "_downgrade_latency_cycles",
+                        static_cast<double>(downgrade_lat));
+
+            if (devices == largest) {
+                // Headline series for the CI regression gate, plus the
+                // jq-checked status fields. Emitted only for the largest
+                // size so the JSON holds each key exactly once.
+                json.metric("e16_detection_latency_cycles",
+                            static_cast<double>(worm_lat));
+                json.metric("e16_campaigns",
+                            static_cast<double>(
+                                fleet.campaign_monitor().campaigns().size()));
+                json.field("e16_chain", verdict.ok ? "ok" : "FAILED");
+                json.field("e16_worm",
+                           campaign_detected(fleet,
+                                             platform::CampaignKind::kWorm)
+                               ? "detected"
+                               : "MISSING");
+                // Optional stream artefact for CI upload.
+                if (const char* dump = std::getenv("CRES_SIEM_JSONL")) {
+                    std::ofstream out(dump, std::ios::binary);
+                    out << fleet.siem_stream().jsonl();
+                    std::cout << "wrote SIEM stream (" << devices
+                              << " devices) to " << dump << "\n";
+                }
+            }
+        }
+        table.print();
+        json.metric("e16_devices_max", static_cast<double>(largest));
+        std::cout << "\nExpected shape: detection latency flat in fleet "
+                     "size (the bar is device count, not record count); "
+                     "drain and offline verify scale linearly with "
+                     "records. chain ok must read yes everywhere.\n";
+    }
+
+    bench::section("E16 — Worm detection latency vs infection rate");
+    {
+        // Infection rate = worm fanout: how many fresh victims each
+        // infected device probes per generation. Faster spread crosses
+        // the 8-device component bar in fewer hops.
+        constexpr std::size_t kDevices = 256;
+        bench::Table table({"fanout", "infections", "first probe (cyc)",
+                            "detected at (cyc)", "latency (cyc)",
+                            "detected"});
+        for (const std::size_t fanout :
+             {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+            platform::Fleet fleet(campaign_estate_config(kDevices));
+            attack::WormCampaign::Options opt;
+            opt.fanout = fanout;
+            attack::WormCampaign worm(opt);
+            worm.launch(fleet);
+            fleet.run(15000);
+            (void)fleet.drain_siem();
+
+            const bool detected =
+                campaign_detected(fleet, platform::CampaignKind::kWorm);
+            const std::uint64_t latency =
+                campaign_latency(fleet, platform::CampaignKind::kWorm);
+            std::uint64_t detected_at = 0;
+            for (const auto& c : fleet.campaign_monitor().campaigns()) {
+                if (c.kind == platform::CampaignKind::kWorm) {
+                    detected_at = c.detected_at;
+                }
+            }
+            if (!detected) e16_ok = false;
+
+            table.row(fanout, worm.infections(), worm.first_probe_at(),
+                      detected_at, latency, bench::yesno(detected));
+            json.metric("e16_worm_f" + std::to_string(fanout) +
+                            "_latency_cycles",
+                        static_cast<double>(latency));
+        }
+        table.print();
+        std::cout << "\nExpected shape: latency falls as fanout rises — "
+                     "an aggressive worm is caught in fewer generations; "
+                     "a slow one takes longer but is still invisible to "
+                     "every individual device either way.\n";
+    }
+
     const char* path_env = std::getenv("CRES_BENCH_JSON");
     const std::string path =
         path_env != nullptr ? path_env : "BENCH_fleet.json";
     if (json.write(path)) {
         std::cout << "\nwrote " << path << "\n";
     }
-    return e13d_ok ? 0 : 1;
+    return (e13d_ok && e16_ok) ? 0 : 1;
 }

@@ -1,0 +1,212 @@
+// cres_siemtail: offline SIEM export verifier and campaign viewer.
+//
+// Verifies the fleet export stream's HMAC hash chain (obs/siem.h) the
+// same way an off-device SIEM would — holding only the JSONL text and
+// the export key — and pretty-prints the stream: per-severity record
+// counts, per-device contributions and every fleet-level campaign
+// record.
+//
+//   cres_siemtail --key <hex> <stream.jsonl>
+//   cres_siemtail --demo
+//
+// Options:
+//   --key <hex>   fleet export key (HKDF output, hex-encoded)
+//   --demo        run a built-in 64-device estate through all three
+//                 campaign classes (worm / coordinated replay /
+//                 staggered downgrade), export, verify and display —
+//                 no input file. The demo fails unless every campaign
+//                 is detected, the chain verifies, and a 1-byte flip
+//                 breaks it.
+//
+// Exit status: 0 verified, 2 verification/detection failure, 64
+// usage/input error.
+#include <array>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "attack/campaigns.h"
+#include "obs/siem.h"
+#include "obs/syslog.h"
+#include "platform/fleet.h"
+#include "util/bytes.h"
+
+namespace {
+
+using namespace cres;
+
+int usage() {
+    std::cerr << "usage: cres_siemtail --key <hex> <stream.jsonl>\n"
+                 "       cres_siemtail --demo\n";
+    return 64;
+}
+
+/// Minimal field extraction from one exported record line. The format
+/// is fixed (obs/siem.cpp renders it), so plain string search is
+/// enough — no JSON parser, mirroring the offline chain verifier.
+std::string field_str(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":\"";
+    const std::size_t begin = line.find(needle);
+    if (begin == std::string::npos) return {};
+    const std::size_t start = begin + needle.size();
+    const std::size_t end = line.find('"', start);
+    if (end == std::string::npos) return {};
+    return line.substr(start, end - start);
+}
+
+std::uint64_t field_u64(const std::string& line, const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t begin = line.find(needle);
+    if (begin == std::string::npos) return 0;
+    return std::strtoull(line.c_str() + begin + needle.size(), nullptr, 10);
+}
+
+/// Verifies and summarizes one exported stream. Returns the exit code.
+int tail_stream(const std::string& jsonl, BytesView key) {
+    const obs::SiemVerifyResult verdict = obs::SiemStream::verify(jsonl, key);
+    if (!verdict.ok) {
+        std::cout << "chain: FAILED at line " << verdict.bad_line << " ("
+                  << verdict.reason << ")\n";
+        return 2;
+    }
+
+    std::array<std::uint64_t, 8> by_severity{};
+    std::uint64_t alerts = 0;
+    std::uint64_t incidents = 0;
+    std::uint64_t anchors = 0;
+    std::size_t campaigns = 0;
+    std::ostringstream campaign_lines;
+
+    std::istringstream in(jsonl);
+    std::string line;
+    std::getline(in, line);  // Header (already verified).
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        ++by_severity[field_u64(line, "severity") & 0x7];
+        const std::string kind = field_str(line, "kind");
+        if (kind == "alert") ++alerts;
+        if (kind == "incident-open") ++incidents;
+        if (kind == "evidence-head") ++anchors;
+        if (kind == "campaign") {
+            ++campaigns;
+            campaign_lines << "  [" << field_u64(line, "at") << "] "
+                           << field_str(line, "resource") << " across "
+                           << field_u64(line, "a") << " devices: "
+                           << field_str(line, "detail") << "\n";
+        }
+    }
+
+    std::cout << "chain: ok (" << verdict.records << " records)\n"
+              << "severity:";
+    for (std::size_t s = 0; s < by_severity.size(); ++s) {
+        if (by_severity[s] == 0) continue;
+        std::cout << " " << obs::rfc5424::severity_keyword(
+                         static_cast<std::uint8_t>(s))
+                  << "=" << by_severity[s];
+    }
+    std::cout << "\nalerts: " << alerts << "  incidents-opened: "
+              << incidents << "  evidence-anchors: " << anchors << "\n";
+    if (campaigns != 0) {
+        std::cout << "campaigns (" << campaigns << "):\n"
+                  << campaign_lines.str();
+    } else {
+        std::cout << "campaigns: none\n";
+    }
+    return 0;
+}
+
+int run_demo() {
+    platform::FleetConfig config;
+    config.device_count = 64;
+    config.seed = 11;
+    config.worker_threads = 0;
+    platform::Fleet fleet(config);
+
+    attack::WormCampaign worm;
+    attack::CoordinatedReplayCampaign replay;
+    attack::StaggeredDowngradeCampaign downgrade;
+    worm.launch(fleet);
+    replay.launch(fleet);
+    downgrade.launch(fleet);
+
+    fleet.run(80000);
+    fleet.drain_siem();
+
+    const std::string& jsonl = fleet.siem_stream().jsonl();
+    // CI hook: dump the raw stream so the pipeline can jq-validate the
+    // JSONL framing and archive the artefact.
+    if (const char* dump = std::getenv("CRES_SIEM_JSONL")) {
+        std::ofstream out(dump, std::ios::binary);
+        out << jsonl;
+        std::cerr << "wrote stream to " << dump << "\n";
+    }
+    std::cout << "== demo estate: 64 devices, 3 campaigns ==\n";
+    const int rc = tail_stream(jsonl, fleet.siem_key());
+    if (rc != 0) return rc;
+
+    // The demo's own bar: all three campaign classes detected...
+    std::array<bool, platform::kCampaignKindCount> seen{};
+    for (const auto& c : fleet.campaign_monitor().campaigns()) {
+        seen[static_cast<std::size_t>(c.kind)] = true;
+    }
+    if (!seen[0] || !seen[1] || !seen[2]) {
+        std::cout << "demo: FAILED (campaign classes detected: worm="
+                  << seen[0] << " replay=" << seen[1] << " downgrade="
+                  << seen[2] << ")\n";
+        return 2;
+    }
+    // ...and tamper evidence: flipping one byte must break the chain.
+    std::string tampered = jsonl;
+    tampered[tampered.size() / 2] ^= 0x01;
+    if (obs::SiemStream::verify(tampered, fleet.siem_key()).ok) {
+        std::cout << "demo: FAILED (tampered stream still verifies)\n";
+        return 2;
+    }
+    std::cout << "demo: ok (all campaign classes detected; 1-byte flip "
+                 "breaks the chain)\n";
+    return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string key_hex;
+    std::string path;
+    bool demo = false;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--key") {
+            if (i + 1 >= argc) return usage();
+            key_hex = argv[++i];
+        } else if (arg == "--demo") {
+            demo = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "cres_siemtail: unknown option '" << arg << "'\n";
+            return usage();
+        } else {
+            path = arg;
+        }
+    }
+
+    if (demo) return run_demo();
+    if (key_hex.empty() || path.empty()) return usage();
+
+    Bytes key;
+    try {
+        key = from_hex(key_hex);
+    } catch (const std::exception&) {
+        std::cerr << "cres_siemtail: --key is not valid hex\n";
+        return 64;
+    }
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::cerr << "cres_siemtail: cannot open '" << path << "'\n";
+        return 64;
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return tail_stream(buffer.str(), key);
+}

@@ -165,8 +165,14 @@ void ReplayAttack::launch(platform::Node& node, sim::Cycle at) {
         node.sim.schedule_in(5000, "replay-inject", [this, &node] {
             link_.clear_tap();
             if (!captured_.empty()) {
-                link_.inject(captured_, victim_is_a_);
-                mark_success();  // The forged frame reached the victim.
+                // A single stale frame is indistinguishable from a
+                // retransmission (advisory-grade at the monitor); a
+                // real replay attack hammers the captured frame, which
+                // is what crosses the burst threshold.
+                for (int i = 0; i < 3; ++i) {
+                    link_.inject(captured_, victim_is_a_);
+                }
+                mark_success();  // The forged frames reached the victim.
             }
         });
     });

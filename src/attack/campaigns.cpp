@@ -1,0 +1,160 @@
+#include "attack/campaigns.h"
+
+#include <algorithm>
+#include <deque>
+
+#include "util/serial.h"
+
+namespace cres::attack {
+
+namespace {
+
+/// A worm probe: channel wire format (u64 sequence | blob payload |
+/// 32-byte tag) with the claimed origin index in the sequence field and
+/// a tag the attacker cannot forge — the victim rejects it as bad-tag
+/// and surfaces the origin as channel-peer metadata.
+Bytes forge_probe(std::uint64_t origin_index) {
+    BinaryWriter w;
+    w.u64(origin_index);
+    w.blob(to_bytes("worm-beacon"));
+    const Bytes bogus_tag(32, 0x77);
+    w.raw(bogus_tag);
+    return w.take();
+}
+
+}  // namespace
+
+void WormCampaign::launch(platform::Fleet& fleet) {
+    const std::size_t fleet_size = fleet.size();
+    if (fleet_size == 0 || opt_.patient_zero >= fleet_size) return;
+    const std::size_t budget =
+        opt_.max_infections == 0
+            ? fleet_size
+            : std::min(opt_.max_infections, fleet_size);
+    const std::size_t fanout = std::max<std::size_t>(1, opt_.fanout);
+
+    // Deterministic BFS: each infected device claims the next
+    // uninfected indices in ascending order as its victims.
+    struct Infected {
+        std::size_t index;
+        sim::Cycle at;
+    };
+    std::vector<bool> infected(fleet_size, false);
+    std::deque<Infected> frontier;
+    infected[opt_.patient_zero] = true;
+    frontier.push_back({opt_.patient_zero, opt_.start});
+    infections_ = 1;
+    first_probe_at_ = 0;
+
+    std::size_t next_victim = 0;
+    while (!frontier.empty() && infections_ < budget) {
+        const Infected parent = frontier.front();
+        frontier.pop_front();
+        const sim::Cycle probe_at = parent.at + opt_.hop_interval;
+        for (std::size_t child = 0;
+             child < fanout && infections_ < budget; ++child) {
+            while (next_victim < fleet_size && infected[next_victim]) {
+                ++next_victim;
+            }
+            if (next_victim >= fleet_size) return;
+            const std::size_t victim = next_victim;
+            infected[victim] = true;
+            ++infections_;
+            frontier.push_back({victim, probe_at});
+            if (first_probe_at_ == 0 || probe_at < first_probe_at_) {
+                first_probe_at_ = probe_at;
+            }
+
+            probes_.push_back(forge_probe(parent.index));
+            const Bytes& probe = probes_.back();
+            dev::Link& link = fleet.link(victim);
+            fleet.device(victim).sim.schedule_at(
+                probe_at, "worm-probe",
+                [&link, &probe] { link.inject(probe, /*to_a=*/true); });
+        }
+    }
+}
+
+void CoordinatedReplayCampaign::launch(platform::Fleet& fleet) {
+    const std::size_t targets = opt_.device_count == 0
+                                    ? fleet.size()
+                                    : std::min(opt_.device_count,
+                                               fleet.size());
+    captured_.assign(fleet.size(), Bytes{});
+    replayed_.assign(fleet.size(), 0);
+
+    for (std::size_t i = 0; i < targets; ++i) {
+        dev::Link& link = fleet.link(i);
+        platform::Node& node = fleet.device(i);
+
+        // Capture the outbound telemetry frame carrying the target
+        // sequence. The tap runs on the device's own worker thread and
+        // touches only this device's capture slot.
+        node.sim.schedule_at(opt_.capture_start, "replay-tap", [this, &link,
+                                                                i] {
+            link.set_tap([this, i](const Bytes& frame,
+                                   bool from_a) -> std::optional<Bytes> {
+                if (from_a && captured_[i].empty() && frame.size() >= 8) {
+                    std::uint64_t seq = 0;
+                    for (int b = 0; b < 8; ++b) {
+                        seq |= static_cast<std::uint64_t>(
+                                   frame[static_cast<std::size_t>(b)])
+                               << (8 * b);
+                    }
+                    if (seq == opt_.sequence) captured_[i] = frame;
+                }
+                return frame;
+            });
+        });
+
+        // The replay wave: re-inject the stale frame twice. The first
+        // copy is accepted (the device had never consumed it — one-way
+        // telemetry), which makes the second copy a true replay: one
+        // advisory per device, fingerprinted by the frame's sequence.
+        const sim::Cycle at =
+            opt_.replay_at + static_cast<sim::Cycle>(i) * opt_.stagger;
+        node.sim.schedule_at(at, "replay-wave", [this, &link, i] {
+            link.clear_tap();
+            if (captured_[i].empty()) return;
+            link.inject(captured_[i], /*to_a=*/true);
+            link.inject(captured_[i], /*to_a=*/true);
+            replayed_[i] = 1;
+        });
+    }
+}
+
+std::size_t CoordinatedReplayCampaign::replayed_devices() const {
+    std::size_t count = 0;
+    for (const std::uint8_t hit : replayed_) count += hit;
+    return count;
+}
+
+void StaggeredDowngradeCampaign::launch(platform::Fleet& fleet) {
+    const std::size_t targets = opt_.device_count == 0
+                                    ? fleet.size()
+                                    : std::min(opt_.device_count,
+                                               fleet.size());
+    // One vendor-signed stale image, serialized once, pushed everywhere
+    // (a real downgrade campaign re-serves one old release).
+    image_bytes_ =
+        fleet.make_signed_image("legacy-fw", opt_.offered_version)
+            .serialize();
+    installs_scheduled_ = 0;
+
+    for (std::size_t i = 0; i < targets; ++i) {
+        platform::Node& node = fleet.device(i);
+        // The estate already runs good_version: committed rollback
+        // floors are what makes the stale offer a regression.
+        (void)node.counters.advance("fw_version", opt_.good_version);
+        const sim::Cycle at =
+            opt_.start + static_cast<sim::Cycle>(i) * opt_.stagger;
+        node.sim.schedule_at(at, "stale-install", [this, &node] {
+            if (node.update_agent) {
+                (void)node.update_agent->install(image_bytes_);
+            }
+        });
+        ++installs_scheduled_;
+    }
+}
+
+}  // namespace cres::attack

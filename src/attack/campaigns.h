@@ -1,0 +1,140 @@
+// Fleet-scale attack campaigns. Unlike the single-node attacks in
+// attacks.h, each campaign is orchestrated across a whole Fleet and is
+// deliberately paced so that *no individual device* sees more than
+// advisory-grade noise: the campaign is only visible to the fleet
+// correlation tier (platform/fleet_monitor.h). Every step is scheduled
+// on the owning device's simulator before Fleet::run(), so campaigns
+// are bit-identical at any worker_threads setting.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "platform/fleet.h"
+
+namespace cres::attack {
+
+/// Worm-style propagation over the M2M channel: an infected device
+/// probes its next victims with forged frames whose sequence field
+/// carries the sender's device index (the channel-peer metadata a real
+/// worm beacon leaks). Each victim rejects the frame (bad tag) with a
+/// single advisory — far below any per-device threshold — but the
+/// fleet tier links the (origin -> victim) edges into an infection
+/// graph and flags the growing component.
+class WormCampaign {
+public:
+    struct Options {
+        std::size_t patient_zero = 0;
+        /// New victims each infected device probes per generation.
+        std::size_t fanout = 2;
+        sim::Cycle start = 2000;
+        /// Delay between a device's infection and its own probes.
+        sim::Cycle hop_interval = 1500;
+        /// Total devices to infect (patient zero included); 0 = all.
+        std::size_t max_infections = 0;
+    };
+
+    WormCampaign() = default;
+    explicit WormCampaign(Options options) : opt_(options) {}
+
+    /// Schedules every probe; call before Fleet::run().
+    void launch(platform::Fleet& fleet);
+
+    /// Ground truth: devices infected (patient zero included).
+    [[nodiscard]] std::size_t infections() const noexcept {
+        return infections_;
+    }
+    /// Cycle of the first scheduled probe injection.
+    [[nodiscard]] sim::Cycle first_probe_at() const noexcept {
+        return first_probe_at_;
+    }
+
+private:
+    Options opt_;
+    std::size_t infections_ = 0;
+    sim::Cycle first_probe_at_ = 0;
+    /// One forged probe frame per (parent, victim) edge. A deque keeps
+    /// element addresses stable while probes are appended — the
+    /// scheduled lambdas hold references into it.
+    std::deque<Bytes> probes_;
+};
+
+/// Coordinated M2M replay: one operator captures the telemetry frame
+/// with the same sequence number on every targeted device's link, then
+/// replays it fleet-wide inside a tight window. Each device sees one
+/// advisory-grade stale frame (a retransmission, as far as it can
+/// tell); the shared fingerprint across >= k devices is the campaign.
+class CoordinatedReplayCampaign {
+public:
+    struct Options {
+        /// Telemetry sequence number to capture — the fingerprint. Every
+        /// device emits it eventually, so captures line up fleet-wide.
+        std::uint64_t sequence = 2;
+        sim::Cycle capture_start = 0;
+        sim::Cycle replay_at = 40000;
+        /// Per-device replay offset (keeps the wave inside the fleet
+        /// correlation window while avoiding a single-cycle spike).
+        sim::Cycle stagger = 40;
+        /// Devices targeted (index 0..n-1); 0 = the whole fleet.
+        std::size_t device_count = 0;
+    };
+
+    CoordinatedReplayCampaign() = default;
+    explicit CoordinatedReplayCampaign(Options options) : opt_(options) {}
+
+    /// Installs the capture taps and schedules the replay wave; call
+    /// before Fleet::run().
+    void launch(platform::Fleet& fleet);
+
+    /// Ground truth: devices where the stale frame was re-injected.
+    [[nodiscard]] std::size_t replayed_devices() const;
+
+private:
+    Options opt_;
+    /// Per-device capture slot (each device's worker touches only its
+    /// own index, so the campaign state is race-free under the pool).
+    std::vector<Bytes> captured_;
+    std::vector<std::uint8_t> replayed_;
+};
+
+/// Staggered downgrade: the attacker pushes a vendor-signed but stale
+/// firmware image across the estate in slow waves. Every device's
+/// anti-rollback floor rejects the install with one advisory — never
+/// enough to raise a local incident — but the same offered version
+/// rejected on >= k devices inside the window is an estate-wide
+/// downgrade attempt.
+class StaggeredDowngradeCampaign {
+public:
+    struct Options {
+        /// Anti-rollback floor each device already committed.
+        std::uint32_t good_version = 5;
+        /// The stale version the campaign offers (the fingerprint).
+        std::uint32_t offered_version = 1;
+        sim::Cycle start = 2000;
+        /// Delay between consecutive devices' install attempts.
+        sim::Cycle stagger = 900;
+        /// Devices targeted (index 0..n-1); 0 = the whole fleet.
+        std::size_t device_count = 0;
+    };
+
+    StaggeredDowngradeCampaign() = default;
+    explicit StaggeredDowngradeCampaign(Options options) : opt_(options) {}
+
+    /// Signs the stale image once, raises every device's rollback floor
+    /// to good_version and schedules the install waves; call before
+    /// Fleet::run().
+    void launch(platform::Fleet& fleet);
+
+    /// Ground truth: install attempts scheduled.
+    [[nodiscard]] std::size_t installs_scheduled() const noexcept {
+        return installs_scheduled_;
+    }
+
+private:
+    Options opt_;
+    Bytes image_bytes_;  ///< Serialized once; installed everywhere.
+    std::size_t installs_scheduled_ = 0;
+};
+
+}  // namespace cres::attack

@@ -23,24 +23,31 @@ UpdateAgent::UpdateAgent(crypto::MerklePublicKey vendor_pk,
       counter_name_(std::move(counter_name)) {}
 
 UpdateStatus UpdateAgent::install(BytesView image_bytes) {
+    const auto reject = [this](UpdateStatus status,
+                               const FirmwareImage* image) {
+        ++rejected_;
+        if (reject_observer_) {
+            reject_observer_(
+                status, image != nullptr ? image->name : std::string(),
+                image != nullptr ? image->security_version : 0,
+                counters_.value(counter_name_));
+        }
+        return status;
+    };
     FirmwareImage image;
     try {
         image = FirmwareImage::parse(image_bytes);
     } catch (const BootError&) {
-        ++rejected_;
-        return UpdateStatus::kBadImage;
+        return reject(UpdateStatus::kBadImage, nullptr);
     }
     if (!verify_image(image, vendor_pk_)) {
-        ++rejected_;
-        return UpdateStatus::kBadSignature;
+        return reject(UpdateStatus::kBadSignature, &image);
     }
     if (image.security_version < counters_.value(counter_name_)) {
-        ++rejected_;
-        return UpdateStatus::kVersionRegression;
+        return reject(UpdateStatus::kVersionRegression, &image);
     }
     if (admission_gate_ != nullptr && !admission_gate_->admit(image).allow) {
-        ++rejected_;
-        return UpdateStatus::kPolicyRejected;
+        return reject(UpdateStatus::kPolicyRejected, &image);
     }
     slots_[1 - active_].image = std::move(image);
     return UpdateStatus::kOk;

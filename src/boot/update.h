@@ -5,6 +5,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <optional>
 #include <string>
 
@@ -42,6 +43,18 @@ public:
     }
     [[nodiscard]] ImageAdmissionGate* admission_gate() const noexcept {
         return admission_gate_;
+    }
+
+    /// Observes every rejected install: (status, image name, offered
+    /// security version, current anti-rollback floor). The name and
+    /// versions are zero/empty for images that failed to parse. Lets
+    /// the platform surface rollback attempts as monitor events without
+    /// polling rejected_installs().
+    using RejectObserver =
+        std::function<void(UpdateStatus status, const std::string& name,
+                           std::uint64_t offered, std::uint64_t floor)>;
+    void set_reject_observer(RejectObserver observer) {
+        reject_observer_ = std::move(observer);
     }
 
     /// Swaps active/inactive. The new image runs provisionally until
@@ -82,6 +95,7 @@ private:
     std::uint32_t rejected_ = 0;
     std::uint32_t rollbacks_ = 0;
     ImageAdmissionGate* admission_gate_ = nullptr;
+    RejectObserver reject_observer_;
 };
 
 }  // namespace cres::boot

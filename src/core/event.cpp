@@ -1,5 +1,7 @@
 #include "core/event.h"
 
+#include "obs/syslog.h"
+
 namespace cres::core {
 
 std::string_view severity_name(EventSeverity severity) noexcept {
@@ -10,6 +12,38 @@ std::string_view severity_name(EventSeverity severity) noexcept {
         case EventSeverity::kCritical: return "critical";
     }
     return "?";
+}
+
+std::uint8_t syslog_severity(EventSeverity severity) noexcept {
+    switch (severity) {
+        case EventSeverity::kInfo: return obs::rfc5424::kInformational;
+        case EventSeverity::kAdvisory: return obs::rfc5424::kNotice;
+        case EventSeverity::kAlert: return obs::rfc5424::kWarning;
+        case EventSeverity::kCritical: return obs::rfc5424::kCritical;
+    }
+    return obs::rfc5424::kInformational;
+}
+
+std::uint8_t syslog_facility(EventCategory category) noexcept {
+    switch (category) {
+        case EventCategory::kBusViolation: return obs::rfc5424::kFacLocal0;
+        case EventCategory::kControlFlow: return obs::rfc5424::kFacLocal1;
+        case EventCategory::kMemory: return obs::rfc5424::kFacLocal2;
+        case EventCategory::kDataFlow: return obs::rfc5424::kFacLocal3;
+        case EventCategory::kPeripheral: return obs::rfc5424::kFacLocal4;
+        case EventCategory::kTiming: return obs::rfc5424::kFacLocal5;
+        case EventCategory::kNetwork: return obs::rfc5424::kFacLocal6;
+        case EventCategory::kEnvironment: return obs::rfc5424::kFacLocal7;
+        case EventCategory::kBoot: return obs::rfc5424::kFacKern;
+        case EventCategory::kSystem: return obs::rfc5424::kFacAudit;
+    }
+    return obs::rfc5424::kFacAudit;
+}
+
+std::uint8_t syslog_pri(EventCategory category,
+                        EventSeverity severity) noexcept {
+    return obs::rfc5424::pri(syslog_facility(category),
+                             syslog_severity(severity));
 }
 
 std::string_view category_name(EventCategory category) noexcept {

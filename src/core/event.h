@@ -37,6 +37,24 @@ constexpr std::size_t kEventCategoryCount = 10;
 /// Static-storage name for a category; no per-call allocation.
 std::string_view category_name(EventCategory category) noexcept;
 
+// --- RFC 5424 mapping table (shared by obs::JsonLogSink and the SIEM
+// --- export stream, so every exporter classifies identically; the
+// --- numeric vocabulary itself lives in obs/syslog.h).
+
+/// Syslog severity code for an event severity: kInfo -> informational
+/// (6), kAdvisory -> notice (5), kAlert -> warning (4), kCritical ->
+/// critical (2).
+[[nodiscard]] std::uint8_t syslog_severity(EventSeverity severity) noexcept;
+
+/// Syslog facility code for an event category: monitor categories map
+/// onto local0..7 (16..23), kBoot onto kern (0), kSystem onto the
+/// audit facility (13).
+[[nodiscard]] std::uint8_t syslog_facility(EventCategory category) noexcept;
+
+/// PRI = facility * 8 + severity (RFC 5424 §6.2.1).
+[[nodiscard]] std::uint8_t syslog_pri(EventCategory category,
+                                      EventSeverity severity) noexcept;
+
 /// One observation from a resource monitor.
 struct MonitorEvent {
     sim::Cycle at = 0;

@@ -11,8 +11,14 @@ void NetworkMonitor::set_flood_threshold(std::uint32_t frames,
     flood_window_ = window;
 }
 
-void NetworkMonitor::note_rx(net::RecvStatus status,
-                             std::size_t frame_bytes) {
+void NetworkMonitor::set_replay_burst_threshold(std::uint32_t replays,
+                                                sim::Cycle window) {
+    replay_burst_ = replays;
+    replay_window_ = window;
+}
+
+void NetworkMonitor::note_rx(net::RecvStatus status, std::size_t frame_bytes,
+                             std::uint64_t sequence) {
     const sim::Cycle now = sim_.now();
     note_poll(now);
 
@@ -32,11 +38,31 @@ void NetworkMonitor::note_rx(net::RecvStatus status,
         case net::RecvStatus::kOk:
             streak_ = 0;
             break;
-        case net::RecvStatus::kReplay:
+        case net::RecvStatus::kReplay: {
             ++auth_failures_;
-            emit(now, EventCategory::kNetwork, EventSeverity::kAlert, "link",
-                 "replayed frame detected", 0, frame_bytes);
+            // One stale frame is advisory-grade (retransmission, path
+            // hiccup); a burst of distinct replays inside the window is
+            // an active replay attack. `a` carries the replayed
+            // sequence number — the fleet tier fingerprints coordinated
+            // replay across devices with it.
+            replays_.push_back(now);
+            while (!replays_.empty() &&
+                   replays_.front() + replay_window_ < now) {
+                replays_.pop_front();
+            }
+            if (replays_.size() >= replay_burst_) {
+                emit(now, EventCategory::kNetwork, EventSeverity::kAlert,
+                     "link",
+                     "replay burst: " + std::to_string(replays_.size()) +
+                         " replayed frames in window",
+                     sequence, frame_bytes);
+                replays_.clear();
+            } else {
+                emit(now, EventCategory::kNetwork, EventSeverity::kAdvisory,
+                     "link", "replayed frame detected", sequence, frame_bytes);
+            }
             break;
+        }
         case net::RecvStatus::kBadTag:
         case net::RecvStatus::kMalformed: {
             ++auth_failures_;
@@ -49,8 +75,11 @@ void NetworkMonitor::note_rx(net::RecvStatus status,
                      streak_, frame_bytes);
                 streak_ = 0;
             } else {
+                // `a` carries the forged frame's claimed sequence — the
+                // fleet tier reads it as channel-peer metadata when
+                // reconstructing a worm's infection graph.
                 emit(now, EventCategory::kNetwork, EventSeverity::kAdvisory,
-                     "link", "frame failed authentication", streak_,
+                     "link", "frame failed authentication", sequence,
                      frame_bytes);
             }
             break;

@@ -20,7 +20,12 @@ public:
     }
 
     /// Feed: the platform reports every received-frame outcome here.
-    void note_rx(net::RecvStatus status, std::size_t frame_bytes);
+    /// `sequence` is the frame's claimed sequence number (channel-layer
+    /// metadata); it rides on the emitted event's `a` scalar so the
+    /// fleet correlation tier can fingerprint replays and trace forged-
+    /// frame origins. 0 when the caller has no sequence to report.
+    void note_rx(net::RecvStatus status, std::size_t frame_bytes,
+                 std::uint64_t sequence = 0);
 
     /// Consecutive failures before an alert (default 3).
     void set_failure_streak_threshold(std::uint32_t threshold) noexcept {
@@ -28,6 +33,9 @@ public:
     }
     /// Frames within `window` cycles before a flood alert.
     void set_flood_threshold(std::uint32_t frames, sim::Cycle window);
+    /// Replays within `window` cycles before the advisory-per-replay
+    /// escalates to an alert (default 3 in 20000).
+    void set_replay_burst_threshold(std::uint32_t replays, sim::Cycle window);
 
     [[nodiscard]] std::uint64_t auth_failures() const noexcept {
         return auth_failures_;
@@ -41,6 +49,9 @@ private:
     std::deque<sim::Cycle> arrivals_;
     std::uint32_t flood_frames_ = 100;
     sim::Cycle flood_window_ = 10000;
+    std::deque<sim::Cycle> replays_;
+    std::uint32_t replay_burst_ = 3;
+    sim::Cycle replay_window_ = 20000;
 };
 
 }  // namespace cres::core

@@ -1,9 +1,28 @@
 #include "core/ssm/ssm.h"
 
+#include "obs/syslog.h"
 #include "util/error.h"
 #include "util/serial.h"
 
 namespace cres::core {
+
+namespace {
+
+/// SSM-lifecycle SIEM record skeleton (state transitions, incident
+/// open/close): kSystem vocabulary, source "ssm".
+obs::SiemEvent siem_lifecycle(sim::Cycle at, obs::SiemKind kind,
+                              std::uint8_t severity) {
+    obs::SiemEvent record;
+    record.at = at;
+    record.kind = kind;
+    record.severity = severity;
+    record.facility = syslog_facility(EventCategory::kSystem);
+    record.category = std::string(category_name(EventCategory::kSystem));
+    record.source = "ssm";
+    return record;
+}
+
+}  // namespace
 
 std::string health_state_name(HealthState state) {
     switch (state) {
@@ -75,6 +94,16 @@ void SystemSecurityManager::transition(HealthState next, sim::Cycle at,
                           static_cast<std::uint64_t>(next),
                           health_state_name(next));
     }
+    if (siem_ != nullptr && siem_->enabled()) {
+        obs::SiemEvent record = siem_lifecycle(at, obs::SiemKind::kState,
+                                               obs::rfc5424::kNotice);
+        record.resource = "health";
+        record.detail = health_state_name(health_) + " -> " +
+                        health_state_name(next) + ": " + why;
+        record.a = static_cast<std::uint64_t>(health_);
+        record.b = static_cast<std::uint64_t>(next);
+        siem_->push(std::move(record));
+    }
     health_ = next;
     if (m_transitions_ != nullptr) m_transitions_->inc();
 }
@@ -109,6 +138,23 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
         .append(event.detail);
     evidence_.append(event.at, "event", std::move(detail), payload.take());
 
+    if (siem_ != nullptr && siem_->enabled()) {
+        obs::SiemEvent record;
+        record.at = event.at;
+        record.kind = event.severity >= EventSeverity::kAlert
+                          ? obs::SiemKind::kAlert
+                          : obs::SiemKind::kEvent;
+        record.severity = syslog_severity(event.severity);
+        record.facility = syslog_facility(event.category);
+        record.category = std::string(category);
+        record.source = event.monitor;
+        record.resource = event.resource;
+        record.detail = event.detail;
+        record.a = event.a;
+        record.b = event.b;
+        siem_->push(std::move(record));
+    }
+
     if (event.severity >= EventSeverity::kAdvisory) {
         risks_.record_incident(event.resource);
     }
@@ -121,6 +167,15 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
         incident_ = spans_->open(event.at);
         spans_->mark(*incident_, obs::CsfPhase::kDetect, now);
         open_postmortem(*incident_, event.at);
+        if (siem_ != nullptr && siem_->enabled()) {
+            obs::SiemEvent record = siem_lifecycle(
+                event.at, obs::SiemKind::kIncidentOpen,
+                obs::rfc5424::kCritical);
+            record.resource = event.resource;
+            record.detail = event.detail;
+            record.a = *incident_;
+            siem_->push(std::move(record));
+        }
     };
     if (event.severity == EventSeverity::kAlert &&
         health_ == HealthState::kHealthy) {
@@ -255,6 +310,15 @@ void SystemSecurityManager::notify_recovery_complete(sim::Cycle at,
     if (spans_ != nullptr && incident_.has_value()) {
         close_postmortem(at);  // Marks are read before close() drops them.
         spans_->close(*incident_, at);
+        if (siem_ != nullptr && siem_->enabled()) {
+            obs::SiemEvent record = siem_lifecycle(
+                at, obs::SiemKind::kIncidentClose, obs::rfc5424::kNotice);
+            record.resource = "incident";
+            record.detail = degraded ? "recovered with degraded service"
+                                     : "recovered to full service";
+            record.a = *incident_;
+            siem_->push(std::move(record));
+        }
         incident_.reset();
     }
 }

@@ -29,6 +29,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/postmortem.h"
+#include "obs/siem.h"
 #include "obs/span.h"
 #include "sim/simulator.h"
 
@@ -103,6 +104,12 @@ public:
     /// snapshots the pre-incident ring window, and on close it seals
     /// the full bundle (requires bind_metrics for the span tracer).
     void bind_recorder(obs::FlightRecorder& recorder);
+
+    /// Attaches the device SIEM staging buffer: every processed event,
+    /// health transition and incident open/close is framed as one
+    /// severity-classified record for the fleet export stream. The
+    /// buffer is bounded — overflow is counted, never blocking.
+    void bind_siem(obs::SiemBuffer& buffer) { siem_ = &buffer; }
 
     // --- EventSink (called synchronously by monitors) --------------------
     void submit(const MonitorEvent& event) override;
@@ -212,6 +219,7 @@ private:
     std::optional<std::uint64_t> incident_;  ///< Open incident span id.
     obs::MetricsRegistry* registry_ = nullptr;
     obs::FlightRecorder* recorder_ = nullptr;
+    obs::SiemBuffer* siem_ = nullptr;
     std::uint16_t rec_source_ = 0;   ///< Interned "ssm".
     std::uint16_t rec_state_ = 0;    ///< Interned kinds.
     std::uint16_t rec_decision_ = 0;

@@ -4,8 +4,26 @@
 #include <string>
 
 #include "obs/json.h"
+#include "obs/syslog.h"
 
 namespace cres::obs {
+
+namespace {
+
+// Log levels onto RFC 5424 severity codes — the same vocabulary the
+// SIEM stream uses (core events map via core::syslog_severity).
+std::uint8_t log_level_syslog_severity(LogLevel level) noexcept {
+    switch (level) {
+        case LogLevel::kTrace:
+        case LogLevel::kDebug: return rfc5424::kDebug;
+        case LogLevel::kInfo: return rfc5424::kInformational;
+        case LogLevel::kWarn: return rfc5424::kWarning;
+        case LogLevel::kError: return rfc5424::kError;
+        default: return rfc5424::kInformational;
+    }
+}
+
+}  // namespace
 
 Logger::Sink json_log_sink(std::ostream& out,
                            std::function<std::uint64_t()> clock) {
@@ -18,7 +36,9 @@ Logger::Sink json_log_sink(std::ostream& out,
             line += static_cast<char>(
                 std::tolower(static_cast<unsigned char>(c)));
         }
-        line += "\", \"detail\": ";
+        line += "\", \"severity\": ";
+        line += std::to_string(log_level_syslog_severity(level));
+        line += ", \"detail\": ";
         line += json_quote(message);
         line += "}\n";
         out << line;

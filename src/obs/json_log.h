@@ -1,8 +1,10 @@
 // Structured JSON sink for util/log.h. Each log line becomes one JSON
 // object per line (JSONL) using the same vocabulary as trace records
 // and the metrics snapshot: {"at": <cycle>, "source": "log",
-// "kind": "<level>", "detail": "<message>"} — so logs, telemetry and
-// metrics correlate on the `at` / `source` / `kind` fields.
+// "kind": "<level>", "severity": <rfc5424>, "detail": "<message>"} —
+// so logs, telemetry and metrics correlate on the `at` / `source` /
+// `kind` fields, and `severity` carries the RFC 5424 code shared with
+// the SIEM export stream (obs/syslog.h).
 #pragma once
 
 #include <functional>

@@ -1,0 +1,76 @@
+// RFC 5424 numeric vocabulary (severity and facility codes plus the
+// PRI computation) shared by the JSONL log sink, the core event
+// mapping table and the SIEM export stream, so every exporter agrees
+// on the wire codes. Kept in its own namespace — <syslog.h> defines
+// LOG_* macros and we must not collide with them.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace cres::obs::rfc5424 {
+
+// Severities (RFC 5424 §6.2.1, table 2).
+inline constexpr std::uint8_t kEmergency = 0;
+inline constexpr std::uint8_t kAlert = 1;
+inline constexpr std::uint8_t kCritical = 2;
+inline constexpr std::uint8_t kError = 3;
+inline constexpr std::uint8_t kWarning = 4;
+inline constexpr std::uint8_t kNotice = 5;
+inline constexpr std::uint8_t kInformational = 6;
+inline constexpr std::uint8_t kDebug = 7;
+
+// Facilities (RFC 5424 §6.2.1, table 1). Only the codes this platform
+// emits are named; local0..7 carry the monitor categories.
+inline constexpr std::uint8_t kFacKern = 0;
+inline constexpr std::uint8_t kFacAudit = 13;
+inline constexpr std::uint8_t kFacLocal0 = 16;
+inline constexpr std::uint8_t kFacLocal1 = 17;
+inline constexpr std::uint8_t kFacLocal2 = 18;
+inline constexpr std::uint8_t kFacLocal3 = 19;
+inline constexpr std::uint8_t kFacLocal4 = 20;
+inline constexpr std::uint8_t kFacLocal5 = 21;
+inline constexpr std::uint8_t kFacLocal6 = 22;
+inline constexpr std::uint8_t kFacLocal7 = 23;
+
+/// PRI = facility * 8 + severity (RFC 5424 §6.2.1).
+[[nodiscard]] constexpr std::uint8_t pri(std::uint8_t facility,
+                                         std::uint8_t severity) noexcept {
+    return static_cast<std::uint8_t>(facility * 8 + (severity & 0x7));
+}
+
+/// Static-storage keyword for a severity code ("emerg".."debug").
+[[nodiscard]] constexpr std::string_view severity_keyword(
+    std::uint8_t severity) noexcept {
+    switch (severity & 0x7) {
+        case kEmergency: return "emerg";
+        case kAlert: return "alert";
+        case kCritical: return "crit";
+        case kError: return "err";
+        case kWarning: return "warning";
+        case kNotice: return "notice";
+        case kInformational: return "info";
+        case kDebug: return "debug";
+    }
+    return "?";
+}
+
+/// Static-storage keyword for the facility codes this platform emits.
+[[nodiscard]] constexpr std::string_view facility_keyword(
+    std::uint8_t facility) noexcept {
+    switch (facility) {
+        case kFacKern: return "kern";
+        case kFacAudit: return "audit";
+        case kFacLocal0: return "local0";
+        case kFacLocal1: return "local1";
+        case kFacLocal2: return "local2";
+        case kFacLocal3: return "local3";
+        case kFacLocal4: return "local4";
+        case kFacLocal5: return "local5";
+        case kFacLocal6: return "local6";
+        case kFacLocal7: return "local7";
+        default: return "?";
+    }
+}
+
+}  // namespace cres::obs::rfc5424

@@ -1,7 +1,9 @@
 #include "platform/fleet.h"
 
+#include "boot/image.h"
 #include "crypto/hmac.h"
 #include "net/attestation.h"
+#include "platform/memmap.h"
 #include "util/rng.h"
 
 namespace cres::platform {
@@ -15,6 +17,25 @@ crypto::Hash256 fleet_vendor_seed(std::uint64_t seed) {
             static_cast<std::uint8_t>(seed >> (8 * i));
     }
     return crypto::sha256(s);
+}
+
+/// Fleet SIEM export key: seed-derived root (distinct domain tag from
+/// the vendor seed) stretched through HKDF like every device key.
+Bytes fleet_siem_key(std::uint64_t seed) {
+    Bytes s(9, 0x51);
+    for (int i = 0; i < 8; ++i) {
+        s[static_cast<std::size_t>(i)] =
+            static_cast<std::uint8_t>(seed >> (8 * i));
+    }
+    const crypto::Hash256 root = crypto::sha256(s);
+    return crypto::hkdf(Bytes(root.begin(), root.end()), to_bytes("fleet"),
+                        "siem-export", 32);
+}
+
+FleetMonitorConfig campaign_config(const FleetConfig& cfg) {
+    FleetMonitorConfig out = cfg.campaign;
+    out.device_count = cfg.device_count;
+    return out;
 }
 
 }  // namespace
@@ -31,6 +52,12 @@ Fleet::Fleet(FleetConfig config)
     : cfg_(std::move(config)),
       vendor_key_(fleet_vendor_seed(cfg_.seed), 6),
       pool_(cfg_.worker_threads),
+      siem_key_(fleet_siem_key(cfg_.seed)),
+      fleet_recorder_(cfg_.fleet_recorder_capacity),
+      siem_stream_(std::make_unique<obs::SiemStream>(siem_key_)),
+      monitor_(std::make_unique<FleetMonitor>(campaign_config(cfg_),
+                                              fleet_metrics_,
+                                              fleet_recorder_)),
       translation_cache_(std::make_shared<TranslationCache>()),
       firmware_store_(std::make_shared<FirmwareStore>()),
       // Every device runs the same firmware: assemble it once here,
@@ -63,6 +90,7 @@ void Fleet::enrol_device(std::size_t index) {
     node_config.seed = device_seed;
     node_config.metrics = cfg_.metrics;
     node_config.flight_recorder_capacity = cfg_.flight_recorder_capacity;
+    node_config.siem_buffer_capacity = cfg_.siem_buffer_capacity;
     node_config.quiescence = cfg_.quiescence;
     node_config.translate = cfg_.translate;
     node_config.translation_cache = translation_cache_;
@@ -223,8 +251,16 @@ obs::MetricsRegistry Fleet::collect_metrics() const {
     std::size_t healthy = 0;
     std::uint64_t reboots = 0;
     std::uint64_t alerts = 0;
+    std::uint64_t skipped = 0;
     for (const auto& device : devices_) {  // Index order: deterministic.
-        merged.merge_from(device->node.metrics);
+        // Unbound/empty registries (cfg.metrics off, or a device that
+        // never registered a series) contribute nothing; count them so
+        // a partial merge is visible instead of silent.
+        if (device->node.metrics.size() == 0) {
+            ++skipped;
+        } else {
+            merged.merge_from(device->node.metrics);
+        }
         reboots += device->node.stats().reboots;
         alerts += device->node.stats().operator_alerts;
         if (device->node.ssm && !device->node.ssm->disabled() &&
@@ -232,6 +268,10 @@ obs::MetricsRegistry Fleet::collect_metrics() const {
             ++healthy;
         }
     }
+    // Fleet-tier series (campaign counters, detection latency) fold in
+    // after the devices.
+    merged.merge_from(fleet_metrics_);
+    merged.counter("cres_fleet_merge_skipped_total").inc(skipped);
     merged.gauge("cres_fleet_devices")
         .set(static_cast<std::int64_t>(devices_.size()));
     merged.gauge("cres_fleet_devices_healthy")
@@ -247,7 +287,64 @@ std::string Fleet::chrome_trace() const {
     for (const auto& device : devices_) {  // Index order: deterministic.
         device->node.append_chrome_trace(out);
     }
+    if (!monitor_->campaigns().empty()) {
+        const std::uint32_t pid = out.process("fleet");
+        const std::uint32_t tid = out.thread(pid, "campaigns");
+        for (const CampaignIncident& c : monitor_->campaigns()) {
+            out.complete(pid, tid,
+                         std::string(campaign_kind_name(c.kind)) + " #" +
+                             std::to_string(c.id),
+                         "campaign", c.first_at,
+                         c.detected_at - c.first_at);
+        }
+    }
     return out.json();
+}
+
+std::size_t Fleet::drain_siem() {
+    const std::uint64_t before = siem_stream_->records();
+    for (std::size_t i = 0; i < devices_.size(); ++i) {  // Index order.
+        Node& node = devices_[i]->node;
+        if (!node.siem.enabled()) continue;
+        const std::vector<obs::SiemEvent> batch = node.siem.drain();
+        if (batch.empty()) continue;
+        const auto index = static_cast<std::uint32_t>(i);
+        for (const obs::SiemEvent& event : batch) {
+            siem_stream_->append(index, node.cfg.name, event);
+            monitor_->observe(index, event);
+        }
+        // Anchor the device's on-board evidence chain in the export so
+        // the two artefacts corroborate each other offline.
+        if (node.ssm) {
+            siem_stream_->append_evidence_head(
+                index, node.cfg.name, node.sim.now(),
+                node.ssm->evidence().size(),
+                to_hex(node.ssm->evidence().head()));
+        }
+    }
+    monitor_->flush(*siem_stream_);
+    return static_cast<std::size_t>(siem_stream_->records() - before);
+}
+
+std::vector<std::string> Fleet::sealed_campaign_postmortems() const {
+    std::vector<std::string> out;
+    const crypto::HmacSha256 sealer(siem_key_);
+    for (const obs::PostmortemBundle& bundle : monitor_->postmortems()) {
+        out.push_back(obs::seal_postmortem(bundle, sealer));
+    }
+    return out;
+}
+
+boot::FirmwareImage Fleet::make_signed_image(const std::string& name,
+                                             std::uint32_t security_version) {
+    boot::FirmwareImage image;
+    image.name = name;
+    image.security_version = security_version;
+    image.load_addr = kAppRamBase;
+    image.entry_point = kAppRamBase;
+    image.payload = to_bytes("fw-payload-" + name);
+    boot::ImageSigner(vendor_key_).sign(image);
+    return image;
 }
 
 std::vector<std::string> Fleet::sealed_postmortems() const {

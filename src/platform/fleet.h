@@ -13,7 +13,9 @@
 
 #include "dev/nic.h"
 #include "net/attestation.h"
+#include "obs/siem.h"
 #include "platform/firmware_store.h"
+#include "platform/fleet_monitor.h"
 #include "platform/node.h"
 #include "platform/workload.h"
 #include "util/thread_pool.h"
@@ -48,6 +50,18 @@ struct FleetConfig {
     /// Large passive estates turn both down to hit bytes-per-node.
     bool metrics = true;
     std::size_t flight_recorder_capacity = 2048;
+
+    /// Per-node SIEM staging-buffer slots (forwarded to NodeConfig).
+    /// drain_siem() empties them; overflow between drains lands in
+    /// cres_siem_dropped_total. 0 disables the export layer per node.
+    std::size_t siem_buffer_capacity = 256;
+
+    /// Campaign-correlation thresholds (docs/OBSERVABILITY.md). The
+    /// device_count field is ignored — the fleet fills it in.
+    FleetMonitorConfig campaign;
+
+    /// Fleet-level flight-recorder slots (campaign black box).
+    std::size_t fleet_recorder_capacity = 1024;
 
     /// Worker threads for fleet phases (enrolment, run, sweeps, health
     /// collection). 0 = hardware concurrency; 1 = serial. Any value
@@ -94,6 +108,12 @@ public:
     }
     [[nodiscard]] Node& device(std::size_t index) {
         return devices_.at(index)->node;
+    }
+
+    /// The wire between device `index` and its operator endpoint
+    /// (attack models inject campaign traffic through it).
+    [[nodiscard]] dev::Link& link(std::size_t index) {
+        return devices_.at(index)->link;
     }
 
     /// Concurrency actually in use (config.worker_threads resolved, so
@@ -166,6 +186,43 @@ public:
     /// then incident order (bit-identical at any worker_threads).
     [[nodiscard]] std::vector<std::string> sealed_postmortems() const;
 
+    // --- SIEM export & campaign correlation --------------------------------
+    /// Drains every device's SIEM staging buffer into the export stream
+    /// in device-index order, feeds each record to the campaign
+    /// correlation engine, anchors each contributing device's evidence
+    /// head and flushes newly detected campaigns. Serial by design — it
+    /// is a reduction, so the stream and the campaign verdicts are
+    /// bit-identical at any worker_threads. Returns the records
+    /// appended by this drain.
+    std::size_t drain_siem();
+
+    /// The fleet export stream (JSONL + syslog framings, hash-chained).
+    [[nodiscard]] const obs::SiemStream& siem_stream() const noexcept {
+        return *siem_stream_;
+    }
+
+    /// The HKDF-derived fleet export key — what an offline verifier
+    /// (cres_siemtail) needs to check the stream chain.
+    [[nodiscard]] const Bytes& siem_key() const noexcept {
+        return siem_key_;
+    }
+
+    /// The cross-device campaign correlation engine.
+    [[nodiscard]] const FleetMonitor& campaign_monitor() const noexcept {
+        return *monitor_;
+    }
+
+    /// Fleet-level campaign postmortems, sealed under the SIEM export
+    /// key (campaign order, bit-identical at any worker_threads).
+    [[nodiscard]] std::vector<std::string> sealed_campaign_postmortems()
+        const;
+
+    /// Convenience for update-channel experiments: a vendor-signed
+    /// firmware image carrying `security_version` (each call consumes
+    /// one Merkle signature slot — sign once, install everywhere).
+    [[nodiscard]] boot::FirmwareImage make_signed_image(
+        const std::string& name, std::uint32_t security_version);
+
 private:
     /// One allocation per enrolled device: the node and its operator
     /// endpoint live inline (a million-node estate previously paid four
@@ -195,6 +252,13 @@ private:
     FleetConfig cfg_;
     crypto::MerkleSigner vendor_key_;
     ThreadPool pool_;
+    Bytes siem_key_;
+    /// Fleet-tier observability (campaign metrics/black box) — merged
+    /// after the per-device registries in collect_metrics().
+    obs::MetricsRegistry fleet_metrics_;
+    obs::FlightRecorder fleet_recorder_;
+    std::unique_ptr<obs::SiemStream> siem_stream_;
+    std::unique_ptr<FleetMonitor> monitor_;
     std::shared_ptr<TranslationCache> translation_cache_;
     std::shared_ptr<FirmwareStore> firmware_store_;
     /// Assembled once per fleet — every device runs the same firmware,

@@ -1,0 +1,252 @@
+#include "platform/fleet_monitor.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/syslog.h"
+
+namespace cres::platform {
+
+namespace {
+
+constexpr std::uint64_t kUnset = ~std::uint64_t{0};
+
+}  // namespace
+
+std::string_view campaign_kind_name(CampaignKind kind) noexcept {
+    switch (kind) {
+        case CampaignKind::kWorm: return "worm-propagation";
+        case CampaignKind::kCoordinatedReplay: return "coordinated-replay";
+        case CampaignKind::kStaggeredDowngrade: return "staggered-downgrade";
+    }
+    return "?";
+}
+
+FleetMonitor::FleetMonitor(FleetMonitorConfig config,
+                           obs::MetricsRegistry& registry,
+                           obs::FlightRecorder& recorder)
+    : cfg_(config),
+      registry_(registry),
+      recorder_(recorder),
+      spans_(registry, "cres_fleet_csf"),
+      m_latency_(&registry.histogram(
+          "cres_fleet_campaign_detection_latency_cycles")),
+      parent_(cfg_.device_count),
+      rank_(cfg_.device_count, 0),
+      comp_size_(cfg_.device_count, 0),
+      comp_first_at_(cfg_.device_count, kUnset),
+      comp_flagged_(cfg_.device_count, false),
+      worm_member_(cfg_.device_count, false) {
+    for (std::uint32_t i = 0; i < parent_.size(); ++i) parent_[i] = i;
+    for (std::size_t k = 0; k < kCampaignKindCount; ++k) {
+        m_kind_[k] = &registry.counter(
+            "cres_fleet_campaigns_total{kind=\"" +
+            std::string(campaign_kind_name(static_cast<CampaignKind>(k))) +
+            "\"}");
+    }
+}
+
+std::uint32_t FleetMonitor::find_root(std::uint32_t device) {
+    while (parent_[device] != device) {
+        parent_[device] = parent_[parent_[device]];  // Path halving.
+        device = parent_[device];
+    }
+    return device;
+}
+
+void FleetMonitor::observe(std::uint32_t device_index,
+                           const obs::SiemEvent& event) {
+    if (event.source == "network-monitor") {
+        if (event.detail == "frame failed authentication") {
+            observe_worm(device_index, event);
+        } else if (event.detail == "replayed frame detected") {
+            observe_replay(device_index, event);
+        }
+    } else if (event.source == "update-agent" &&
+               event.detail == "rejected install (version-regression)") {
+        observe_downgrade(device_index, event);
+    }
+}
+
+void FleetMonitor::observe_worm(std::uint32_t victim,
+                                const obs::SiemEvent& event) {
+    // The forged frame's claimed sequence carries the sender's device
+    // index — channel-peer metadata, not trusted content. Out-of-range
+    // origins (ordinary forgery noise, real MITM garbage) contribute no
+    // edge.
+    const std::uint64_t claimed = event.a;
+    if (claimed >= cfg_.device_count || victim >= cfg_.device_count) return;
+    const auto origin = static_cast<std::uint32_t>(claimed);
+    if (origin == victim) return;
+
+    const auto touch = [this, &event](std::uint32_t device) {
+        const std::uint32_t root = find_root(device);
+        if (!worm_member_[device]) {
+            worm_member_[device] = true;
+            ++comp_size_[root];
+        }
+        if (event.at < comp_first_at_[root]) comp_first_at_[root] = event.at;
+    };
+    touch(origin);
+    touch(victim);
+
+    std::uint32_t ra = find_root(origin);
+    std::uint32_t rb = find_root(victim);
+    if (ra != rb) {
+        if (rank_[ra] < rank_[rb]) std::swap(ra, rb);
+        parent_[rb] = ra;
+        if (rank_[ra] == rank_[rb]) ++rank_[ra];
+        comp_size_[ra] += comp_size_[rb];
+        comp_first_at_[ra] = std::min(comp_first_at_[ra], comp_first_at_[rb]);
+        if (comp_flagged_[rb]) comp_flagged_[ra] = true;
+    }
+
+    const std::uint32_t root = find_root(victim);
+    if (comp_flagged_[root] || comp_size_[root] < cfg_.worm_min_devices) {
+        return;
+    }
+    comp_flagged_[root] = true;
+
+    std::vector<std::uint32_t> members;
+    for (std::uint32_t d = 0; d < cfg_.device_count; ++d) {
+        if (!worm_member_[d] || find_root(d) != root) continue;
+        if (members.size() < CampaignIncident::kDeviceSample) {
+            members.push_back(d);
+        }
+    }
+    emit(CampaignKind::kWorm, comp_first_at_[root], event.at, root,
+         std::move(members), comp_size_[root],
+         "worm propagation: infection graph reached " +
+             std::to_string(comp_size_[root]) + " devices");
+}
+
+void FleetMonitor::observe_replay(std::uint32_t device,
+                                  const obs::SiemEvent& event) {
+    WindowTrack& track = replay_by_fingerprint_[event.a];
+    if (track.flagged) return;
+    for (auto it = track.last_seen.begin(); it != track.last_seen.end();) {
+        if (it->second + cfg_.replay_window < event.at) {
+            it = track.last_seen.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    track.last_seen[device] = event.at;
+    if (track.last_seen.size() < cfg_.replay_min_devices) return;
+    track.flagged = true;
+
+    std::uint64_t first_at = kUnset;
+    std::vector<std::uint32_t> members;
+    for (const auto& [d, at] : track.last_seen) {
+        first_at = std::min(first_at, at);
+        if (members.size() < CampaignIncident::kDeviceSample) {
+            members.push_back(d);
+        }
+    }
+    emit(CampaignKind::kCoordinatedReplay, first_at, event.at, event.a,
+         std::move(members), track.last_seen.size(),
+         "coordinated replay: sequence " + std::to_string(event.a) +
+             " replayed on " + std::to_string(track.last_seen.size()) +
+             " devices");
+}
+
+void FleetMonitor::observe_downgrade(std::uint32_t device,
+                                     const obs::SiemEvent& event) {
+    WindowTrack& track = downgrade_by_version_[event.a];
+    if (track.flagged) return;
+    for (auto it = track.last_seen.begin(); it != track.last_seen.end();) {
+        if (it->second + cfg_.downgrade_window < event.at) {
+            it = track.last_seen.erase(it);
+        } else {
+            ++it;
+        }
+    }
+    track.last_seen[device] = event.at;
+    if (track.last_seen.size() < cfg_.downgrade_min_devices) return;
+    track.flagged = true;
+
+    std::uint64_t first_at = kUnset;
+    std::vector<std::uint32_t> members;
+    for (const auto& [d, at] : track.last_seen) {
+        first_at = std::min(first_at, at);
+        if (members.size() < CampaignIncident::kDeviceSample) {
+            members.push_back(d);
+        }
+    }
+    emit(CampaignKind::kStaggeredDowngrade, first_at, event.at, event.a,
+         std::move(members), track.last_seen.size(),
+         "staggered downgrade: version " + std::to_string(event.a) +
+             " pushed to " + std::to_string(track.last_seen.size()) +
+             " devices against floor " + std::to_string(event.b));
+}
+
+void FleetMonitor::emit(CampaignKind kind, std::uint64_t first_at,
+                        std::uint64_t detected_at, std::uint64_t fingerprint,
+                        std::vector<std::uint32_t> devices,
+                        std::uint64_t device_total, std::string detail) {
+    CampaignIncident incident;
+    incident.kind = kind;
+    incident.id = campaigns_.size();
+    incident.first_at = first_at;
+    incident.detected_at = detected_at;
+    incident.device_total = device_total;
+    incident.devices = std::move(devices);
+    incident.fingerprint = fingerprint;
+    incident.detail = std::move(detail);
+
+    // Fleet CSF span: the campaign's lifetime runs from the earliest
+    // contributing evidence to its detection; closing immediately makes
+    // the span's total the detection latency.
+    const std::uint64_t span = spans_.open(first_at);
+    spans_.mark(span, obs::CsfPhase::kDetect, detected_at);
+    spans_.close(span, detected_at);
+    m_latency_->record(detected_at - first_at);
+    m_kind_[static_cast<std::size_t>(kind)]->inc();
+    recorder_.record_slow(detected_at, "fleet-monitor", "campaign",
+                          /*severity=*/3, obs::FlightRecordType::kInstant,
+                          incident.id, fingerprint,
+                          campaign_kind_name(kind));
+
+    obs::PostmortemBundle bundle;
+    bundle.device = "fleet";
+    bundle.incident_id = incident.id;
+    bundle.opened_at = first_at;
+    bundle.closed_at = detected_at;
+    bundle.window_begin = first_at;
+    bundle.marked =
+        (1U << static_cast<std::size_t>(obs::CsfPhase::kDetect)) |
+        (1U << static_cast<std::size_t>(obs::CsfPhase::kRecover));
+    bundle.phase_at[static_cast<std::size_t>(obs::CsfPhase::kDetect)] =
+        detected_at;
+    bundle.phase_at[static_cast<std::size_t>(obs::CsfPhase::kRecover)] =
+        detected_at;
+    postmortems_.push_back(std::move(bundle));
+
+    campaigns_.push_back(std::move(incident));
+}
+
+void FleetMonitor::flush(obs::SiemStream& stream) {
+    for (; siem_published_ < campaigns_.size(); ++siem_published_) {
+        const CampaignIncident& incident = campaigns_[siem_published_];
+        obs::SiemEvent record;
+        record.at = incident.detected_at;
+        record.kind = obs::SiemKind::kCampaign;
+        record.severity = obs::rfc5424::kAlert;
+        record.facility = obs::rfc5424::kFacAudit;
+        record.category = "system";
+        record.source = "fleet-monitor";
+        record.resource = std::string(campaign_kind_name(incident.kind));
+        record.detail = incident.detail;
+        record.a = incident.device_total;
+        record.b = incident.fingerprint;
+        stream.append(obs::SiemStream::kFleetIndex, "fleet", record);
+
+        // Anchor the campaign bundle to the export chain: the bundle
+        // seals the head as of its own campaign record, so the bundle
+        // and the stream corroborate each other offline.
+        postmortems_[siem_published_].evidence_count = stream.records();
+        postmortems_[siem_published_].evidence_head_hex = stream.head_hex();
+    }
+}
+
+}  // namespace cres::platform

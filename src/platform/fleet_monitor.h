@@ -1,0 +1,158 @@
+// Fleet correlation engine — the fleet tier of the device→fleet
+// monitor hierarchy. It consumes the per-device SIEM records the Fleet
+// drains in device-index order and detects cross-device campaigns that
+// are invisible to any single device's SSM:
+//
+//   * Worm propagation: forged channel frames carry the claimed origin
+//     in their sequence field; each (origin -> victim) advisory becomes
+//     an edge in an infection graph, and a connected component growing
+//     past `worm_min_devices` is a campaign — even though every single
+//     device only ever saw a sub-streak advisory.
+//
+//   * Coordinated M2M replay: the same replayed sequence fingerprint
+//     surfacing on >= `replay_min_devices` distinct devices inside a
+//     window. One stale frame per device is advisory noise; the same
+//     fingerprint fleet-wide is an orchestrated attack.
+//
+//   * Staggered downgrade: rolling waves of anti-rollback rejections
+//     (version-regression installs) across >= `downgrade_min_devices`
+//     devices inside a window — an estate-wide downgrade attempt
+//     paced to stay under every per-device threshold.
+//
+// Detection is pure serial reduction over the drained stream, so the
+// verdicts are bit-identical at any worker_threads setting. Detected
+// campaigns land in the existing observability vocabulary: a fleet
+// SpanTracer (detect latency = first evidence -> detection), fleet
+// metrics counters/histograms, the fleet flight recorder, one SIEM
+// campaign record, and a sealed fleet postmortem bundle.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/flight_recorder.h"
+#include "obs/metrics.h"
+#include "obs/postmortem.h"
+#include "obs/siem.h"
+#include "obs/span.h"
+#include "sim/simulator.h"
+
+namespace cres::platform {
+
+enum class CampaignKind : std::uint8_t {
+    kWorm = 0,
+    kCoordinatedReplay,
+    kStaggeredDowngrade,
+};
+constexpr std::size_t kCampaignKindCount = 3;
+
+[[nodiscard]] std::string_view campaign_kind_name(CampaignKind kind) noexcept;
+
+struct FleetMonitorConfig {
+    std::size_t device_count = 0;
+    /// Infection-graph component size that flags a worm.
+    std::size_t worm_min_devices = 8;
+    /// Distinct devices reporting one replay fingerprint in-window.
+    std::size_t replay_min_devices = 8;
+    sim::Cycle replay_window = 60000;
+    /// Distinct devices rejecting a downgrade install in-window.
+    std::size_t downgrade_min_devices = 8;
+    sim::Cycle downgrade_window = 200000;
+};
+
+/// One detected fleet-level campaign.
+struct CampaignIncident {
+    CampaignKind kind = CampaignKind::kWorm;
+    std::uint64_t id = 0;
+    std::uint64_t first_at = 0;     ///< Earliest contributing evidence.
+    std::uint64_t detected_at = 0;  ///< Record that crossed the bar.
+    std::uint64_t device_total = 0;
+    /// Contributing device indices (ascending, capped at kDeviceSample
+    /// so a 50k-device worm doesn't balloon the incident record).
+    static constexpr std::size_t kDeviceSample = 64;
+    std::vector<std::uint32_t> devices;
+    /// Campaign-specific scalar: worm component root, replay sequence,
+    /// downgrade offered version.
+    std::uint64_t fingerprint = 0;
+    std::string detail;
+};
+
+class FleetMonitor {
+public:
+    /// `registry`/`recorder` are the fleet-level instances (owned by
+    /// the Fleet, merged/exported after the per-device artefacts).
+    FleetMonitor(FleetMonitorConfig config, obs::MetricsRegistry& registry,
+                 obs::FlightRecorder& recorder);
+
+    /// Feeds one drained per-device record. Called serially in device-
+    /// index order by Fleet::drain_siem().
+    void observe(std::uint32_t device_index, const obs::SiemEvent& event);
+
+    /// Appends one SIEM campaign record per newly detected campaign to
+    /// the export stream (called at the end of each drain), then
+    /// snapshots the stream chain head into the campaign's postmortem
+    /// bundle.
+    void flush(obs::SiemStream& stream);
+
+    [[nodiscard]] const std::vector<CampaignIncident>& campaigns()
+        const noexcept {
+        return campaigns_;
+    }
+    [[nodiscard]] const std::vector<obs::PostmortemBundle>& postmortems()
+        const noexcept {
+        return postmortems_;
+    }
+    [[nodiscard]] const obs::SpanTracer& spans() const noexcept {
+        return spans_;
+    }
+
+private:
+    void observe_worm(std::uint32_t victim, const obs::SiemEvent& event);
+    void observe_replay(std::uint32_t device, const obs::SiemEvent& event);
+    void observe_downgrade(std::uint32_t device, const obs::SiemEvent& event);
+    /// Registers the campaign, emits spans/metrics/recorder records and
+    /// stages the SIEM record for the next flush().
+    void emit(CampaignKind kind, std::uint64_t first_at,
+              std::uint64_t detected_at, std::uint64_t fingerprint,
+              std::vector<std::uint32_t> devices, std::uint64_t device_total,
+              std::string detail);
+
+    [[nodiscard]] std::uint32_t find_root(std::uint32_t device);
+
+    FleetMonitorConfig cfg_;
+    obs::MetricsRegistry& registry_;
+    obs::FlightRecorder& recorder_;
+    obs::SpanTracer spans_;
+    obs::Histogram* m_latency_;
+    obs::Counter* m_kind_[kCampaignKindCount];
+
+    // Worm infection graph: union-find over device indices. size_ and
+    // first_at_ are root-indexed; flagged_ roots already campaigned.
+    std::vector<std::uint32_t> parent_;
+    std::vector<std::uint32_t> rank_;
+    std::vector<std::uint32_t> comp_size_;
+    std::vector<std::uint64_t> comp_first_at_;
+    std::vector<bool> comp_flagged_;
+    /// Devices that contributed at least one worm edge (a lone device
+    /// is not "infected" until an edge touches it).
+    std::vector<bool> worm_member_;
+
+    struct WindowTrack {
+        /// device -> latest in-window sighting.
+        std::map<std::uint32_t, std::uint64_t> last_seen;
+        std::uint64_t first_at = 0;
+        bool flagged = false;
+    };
+    std::map<std::uint64_t, WindowTrack> replay_by_fingerprint_;
+    std::map<std::uint64_t, WindowTrack> downgrade_by_version_;
+
+    std::vector<CampaignIncident> campaigns_;
+    std::vector<obs::PostmortemBundle> postmortems_;
+    std::size_t siem_published_ = 0;  ///< Campaigns already flushed.
+};
+
+}  // namespace cres::platform

@@ -10,6 +10,7 @@ namespace cres::platform {
 Node::Node(NodeConfig config)
     : cfg(std::move(config)),
       recorder(cfg.flight_recorder_capacity),
+      siem(cfg.siem_buffer_capacity),
       app_ram("app_ram", kAppRamSize),
       tee_ram("tee_ram", kTeeRamSize),
       uart("uart"),
@@ -243,9 +244,12 @@ void Node::build_security_engine(Bytes seal_key) {
     response_manager = std::make_unique<core::ActiveResponseManager>(ctx);
     ssm->set_response_executor(response_manager.get());
 
+    ssm->bind_siem(siem);
+
     if (cfg.metrics) {
         // Get-or-create registration: a rebuilt engine (re-keyed at
         // provision time) continues the existing metric series.
+        siem.bind_metrics(metrics);
         ssm->bind_metrics(metrics);
         bus_monitor->bind_metrics(metrics);
         cfi_monitor->bind_metrics(metrics);
@@ -307,6 +311,30 @@ void Node::provision(const crypto::MerklePublicKey& vendor_pk,
     rom = std::make_unique<boot::BootRom>(vendor_pk, counters);
     rom->set_strict_rollback(cfg.strict_rollback);
     update_agent = std::make_unique<boot::UpdateAgent>(vendor_pk, counters);
+    update_agent->set_reject_observer([this](boot::UpdateStatus status,
+                                             const std::string& name,
+                                             std::uint64_t offered,
+                                             std::uint64_t floor) {
+        // Admission-gate rejects already surface through the gate's own
+        // observer as critical boot events; everything else (rollback
+        // attempts, bad signatures, garbage images) lands here as an
+        // advisory the fleet tier can correlate into downgrade waves.
+        if (status == boot::UpdateStatus::kPolicyRejected) return;
+        trace.emit(sim.now(), "boot", "update-rejected",
+                   update_status_name(status) + ": " + name);
+        if (!ssm) return;
+        core::MonitorEvent event;
+        event.at = sim.now();
+        event.monitor = "update-agent";
+        event.category = core::EventCategory::kBoot;
+        event.severity = core::EventSeverity::kAdvisory;
+        event.resource = name.empty() ? "firmware" : name;
+        event.detail = "rejected install (" + update_status_name(status) +
+                       ")";
+        event.a = offered;
+        event.b = floor;
+        ssm->submit(event);
+    });
 
     if (cfg.admission_mode != boot::AdmissionMode::kOff) {
         admission_gate = std::make_unique<analysis::AnalysisGate>(
@@ -510,8 +538,12 @@ void Node::pump_network() {
         if (channel) {
             const net::Received received = channel->process(*frame);
             if (network_monitor) {
+                // The sequence number is channel-layer metadata: replay
+                // fingerprints and forged-frame origin hints for the
+                // fleet correlation tier.
                 network_monitor->note_rx(received.status,
-                                         received.payload.size());
+                                         received.payload.size(),
+                                         received.sequence);
             }
         }
     }

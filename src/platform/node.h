@@ -55,6 +55,7 @@
 #include "obs/chrome_trace.h"
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
+#include "obs/siem.h"
 #include "platform/firmware_store.h"
 #include "platform/lockstep.h"
 #include "platform/memmap.h"
@@ -79,6 +80,10 @@ struct NodeConfig {
     /// Flight-recorder ring slots (black-box capacity). 0 disables the
     /// recorder entirely: nothing binds, producers pay one null check.
     std::size_t flight_recorder_capacity = 2048;
+    /// SIEM staging-buffer slots (fleet export backpressure bound). The
+    /// fleet drains it in device-index order; overflow between drains
+    /// is counted as cres_siem_dropped_total. 0 disables staging.
+    std::size_t siem_buffer_capacity = 256;
     std::string policy_dsl;        ///< Empty = default policy.
     double sensor_nominal = 50.0;  ///< Physical signal baseline.
     /// Static firmware analysis at boot/update admission. kDeny rejects
@@ -202,6 +207,9 @@ public:
     /// disabled). Monitors and the SSM bind to it on resilient nodes;
     /// rare platform events (reboot, operator alert) land directly.
     obs::FlightRecorder recorder;
+    /// Bounded SIEM staging buffer the SSM frames records into; the
+    /// fleet export layer drains it deterministically (obs/siem.h).
+    obs::SiemBuffer siem;
     mem::Bus bus;
     mem::Ram app_ram;
     mem::Ram tee_ram;

@@ -140,7 +140,9 @@ TEST(ReplayMechanics, VictimSelectsCorrectDirection) {
     ReplayAttack attack(scenario.link(), /*victim_is_a=*/true);
     (void)scenario.run(&attack, 20000);
     EXPECT_TRUE(attack.succeeded());
-    EXPECT_EQ(scenario.node().channel->rejected_replay(), 1u);
+    // The attack hammers the captured frame three times (one stale
+    // frame is advisory-grade; the burst is what raises the alert).
+    EXPECT_EQ(scenario.node().channel->rejected_replay(), 3u);
 }
 
 TEST(MitmMechanics, StopRestoresCleanTraffic) {

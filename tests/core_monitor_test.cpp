@@ -460,12 +460,28 @@ TEST(NetworkMon, SuccessResetsStreak) {
     EXPECT_FALSE(sink.saw(EventCategory::kNetwork, EventSeverity::kCritical));
 }
 
-TEST(NetworkMon, ReplayAlerts) {
+TEST(NetworkMon, SingleReplayIsAdvisoryWithSequenceFingerprint) {
     CollectingSink sink;
     sim::Simulator sim;
     NetworkMonitor monitor(sink, sim);
-    monitor.note_rx(net::RecvStatus::kReplay, 64);
+    monitor.note_rx(net::RecvStatus::kReplay, 64, 7);
+    EXPECT_FALSE(sink.saw(EventCategory::kNetwork, EventSeverity::kAlert));
+    ASSERT_EQ(sink.count(EventCategory::kNetwork, EventSeverity::kAdvisory),
+              1u);
+    // The replayed sequence number rides on `a` for fleet correlation.
+    EXPECT_EQ(sink.events.back().a, 7u);
+}
+
+TEST(NetworkMon, ReplayBurstEscalatesToAlert) {
+    CollectingSink sink;
+    sim::Simulator sim;
+    NetworkMonitor monitor(sink, sim);
+    monitor.note_rx(net::RecvStatus::kReplay, 64, 7);
+    monitor.note_rx(net::RecvStatus::kReplay, 64, 7);
+    EXPECT_FALSE(sink.saw(EventCategory::kNetwork, EventSeverity::kAlert));
+    monitor.note_rx(net::RecvStatus::kReplay, 64, 7);
     EXPECT_TRUE(sink.saw(EventCategory::kNetwork, EventSeverity::kAlert));
+    EXPECT_EQ(monitor.auth_failures(), 3u);
 }
 
 TEST(NetworkMon, FloodDetected) {

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "attack/attacks.h"
+#include "attack/campaigns.h"
 #include "platform/fleet.h"
 #include "util/thread_pool.h"
 
@@ -371,7 +372,103 @@ TEST(FleetFirmware, SharedFirmwareIsDeduplicatedAndBitExact) {
               priv.collect_metrics().prometheus());
 }
 
-// --- (e) worker_threads resolution -----------------------------------------
+// --- (e) SIEM export & campaign determinism ---------------------------------
+// The export stream is a serial device-index-ordered reduction and the
+// correlation engine consumes it record by record, so the JSONL bytes,
+// the syslog bytes, the chain head and every campaign verdict must be
+// bit-identical at any worker count and under quiescence fast-forward
+// — including with a mid-campaign single-device breach in the mix.
+
+struct SiemArtifacts {
+    std::string jsonl;
+    std::string syslog;
+    std::string head;
+    std::vector<std::string> campaign_postmortems;
+    std::vector<std::pair<CampaignKind, std::uint64_t>> verdicts;
+};
+
+SiemArtifacts run_campaign_estate(std::size_t threads, bool quiescence,
+                                  bool breach) {
+    constexpr std::size_t kDevices = 24;
+    // The breach variant uses the busy-wait workload: the stack-smash
+    // attack targets its saved-lr slot (the WFI estate has no
+    // smashable call frame). The clean variants use the WFI estate so
+    // quiescence fast-forward actually elides cycles.
+    Fleet fleet(estate_config(kDevices, threads, quiescence,
+                              /*interrupt_workload=*/!breach, 99));
+
+    // All three campaign classes, scheduled up front (their steps live
+    // on per-device simulators, so launching is worker-count neutral).
+    attack::WormCampaign worm;
+    attack::CoordinatedReplayCampaign replay;
+    attack::StaggeredDowngradeCampaign downgrade;
+    worm.launch(fleet);
+    replay.launch(fleet);
+    downgrade.launch(fleet);
+
+    attack::StackSmashAttack smash;  // Outlives its scheduled events.
+    fleet.run(3000);
+    fleet.checkpoint_all();
+    if (breach) {
+        smash.launch(fleet.device(5), fleet.device(5).sim.now() + 1000);
+    }
+    fleet.run(27000);
+    fleet.drain_siem();  // Mid-campaign drain: replay wave still pending.
+    fleet.run(30000);
+    fleet.drain_siem();
+
+    SiemArtifacts out;
+    out.jsonl = fleet.siem_stream().jsonl();
+    out.syslog = fleet.siem_stream().syslog();
+    out.head = fleet.siem_stream().head_hex();
+    out.campaign_postmortems = fleet.sealed_campaign_postmortems();
+    for (const CampaignIncident& c : fleet.campaign_monitor().campaigns()) {
+        out.verdicts.emplace_back(c.kind, c.detected_at);
+    }
+    return out;
+}
+
+TEST(FleetSiem, ExportAndVerdictsBitIdenticalAcrossThreadCounts) {
+    const SiemArtifacts one = run_campaign_estate(1, true, false);
+    const SiemArtifacts eight = run_campaign_estate(8, true, false);
+
+    // Non-vacuous: every campaign class was actually detected.
+    ASSERT_EQ(one.verdicts.size(), 3u);
+    EXPECT_EQ(one.jsonl, eight.jsonl);
+    EXPECT_EQ(one.syslog, eight.syslog);
+    EXPECT_EQ(one.head, eight.head);
+    EXPECT_EQ(one.verdicts, eight.verdicts);
+    EXPECT_EQ(one.campaign_postmortems, eight.campaign_postmortems);
+}
+
+TEST(FleetSiem, QuiescenceFastForwardLeavesExportByteIdentical) {
+    const SiemArtifacts percycle = run_campaign_estate(1, false, false);
+    const SiemArtifacts skipped = run_campaign_estate(1, true, false);
+    ASSERT_EQ(percycle.verdicts.size(), 3u);
+    EXPECT_EQ(percycle.jsonl, skipped.jsonl);
+    EXPECT_EQ(percycle.syslog, skipped.syslog);
+    EXPECT_EQ(percycle.head, skipped.head);
+    EXPECT_EQ(percycle.verdicts, skipped.verdicts);
+    EXPECT_EQ(percycle.campaign_postmortems, skipped.campaign_postmortems);
+}
+
+TEST(FleetSiem, MidCampaignBreachStaysDeterministic) {
+    // A single-device incident (stack smash on device 5) interleaved
+    // with all three fleet campaigns: the stream now carries incident
+    // spans AND campaign records, and must still be byte-stable across
+    // worker counts and fast-forward.
+    const SiemArtifacts reference = run_campaign_estate(1, false, true);
+    const SiemArtifacts fast = run_campaign_estate(8, true, true);
+    ASSERT_EQ(reference.verdicts.size(), 3u);
+    EXPECT_NE(reference.jsonl.find("incident-open"), std::string::npos);
+    EXPECT_EQ(reference.jsonl, fast.jsonl);
+    EXPECT_EQ(reference.syslog, fast.syslog);
+    EXPECT_EQ(reference.head, fast.head);
+    EXPECT_EQ(reference.verdicts, fast.verdicts);
+    EXPECT_EQ(reference.campaign_postmortems, fast.campaign_postmortems);
+}
+
+// --- (f) worker_threads resolution -----------------------------------------
 
 TEST(FleetParallel, ZeroWorkerThreadsResolvesToHardwareConcurrency) {
     const unsigned hw = std::thread::hardware_concurrency();

@@ -2,7 +2,12 @@
 // collection and compromise localisation across a device population.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "attack/attacks.h"
+#include "attack/campaigns.h"
+#include "obs/postmortem.h"
 #include "platform/fleet.h"
 
 namespace cres::platform {
@@ -126,6 +131,185 @@ TEST(Fleet, DevicesAreIndependent) {
     for (std::size_t i = 1; i < fleet.size(); ++i) {
         EXPECT_EQ(fleet.device(i).ssm->dispatches().size(), 0u) << i;
     }
+}
+
+// --- Campaign correlation: fleet-level detection, device-level silence ------
+// The acceptance bar for the correlation tier: each campaign class on
+// a 64-device estate raises a fleet-level incident while NO single
+// device's SSM opens one — the campaigns are paced to stay below every
+// per-device threshold by construction.
+
+FleetConfig estate(std::size_t devices, std::uint64_t seed) {
+    FleetConfig config;
+    config.device_count = devices;
+    config.resilient = true;
+    config.seed = seed;
+    config.worker_threads = 0;  // Hardware concurrency; determinism has
+                                // its own differential suite.
+    return config;
+}
+
+std::size_t kind_count(const std::string& jsonl, const std::string& kind) {
+    const std::string needle = "\"kind\":\"" + kind + "\"";
+    std::size_t count = 0;
+    for (std::size_t pos = jsonl.find(needle); pos != std::string::npos;
+         pos = jsonl.find(needle, pos + needle.size())) {
+        ++count;
+    }
+    return count;
+}
+
+/// No device-local incident anywhere: the stream carries no
+/// incident-open records and every SSM still reports healthy.
+void expect_no_device_incidents(Fleet& fleet) {
+    EXPECT_EQ(kind_count(fleet.siem_stream().jsonl(), "incident-open"), 0u);
+    for (std::size_t i = 0; i < fleet.size(); ++i) {
+        ASSERT_NE(fleet.device(i).ssm, nullptr);
+        EXPECT_EQ(fleet.device(i).ssm->health(), core::HealthState::kHealthy)
+            << "device " << i;
+    }
+    const auto snapshot = fleet.collect_metrics();
+    const auto* incidents =
+        snapshot.find_counter("cres_csf_incidents_total");
+    if (incidents != nullptr) {
+        EXPECT_EQ(incidents->value(), 0u);
+    }
+}
+
+TEST(FleetCampaign, WormPropagationDetectedWithoutDeviceIncidents) {
+    Fleet fleet(estate(64, 23));
+    attack::WormCampaign worm;
+    worm.launch(fleet);
+    EXPECT_EQ(worm.infections(), 64u);  // Fanout 2 reaches the estate.
+
+    fleet.run(20000);
+    fleet.drain_siem();
+
+    const auto& campaigns = fleet.campaign_monitor().campaigns();
+    ASSERT_FALSE(campaigns.empty());
+    const CampaignIncident& incident = campaigns.front();
+    EXPECT_EQ(incident.kind, CampaignKind::kWorm);
+    EXPECT_GE(incident.device_total, 8u);  // worm_min_devices.
+    EXPECT_GE(incident.detected_at, incident.first_at);
+    EXPECT_FALSE(incident.devices.empty());
+    EXPECT_TRUE(std::is_sorted(incident.devices.begin(),
+                               incident.devices.end()));
+
+    EXPECT_EQ(kind_count(fleet.siem_stream().jsonl(), "campaign"), 1u);
+    expect_no_device_incidents(fleet);
+}
+
+TEST(FleetCampaign, CoordinatedReplayDetectedWithoutDeviceIncidents) {
+    Fleet fleet(estate(64, 29));
+    attack::CoordinatedReplayCampaign replay;
+    replay.launch(fleet);
+
+    fleet.run(50000);
+    fleet.drain_siem();
+    EXPECT_GE(replay.replayed_devices(), 8u);
+
+    const auto& campaigns = fleet.campaign_monitor().campaigns();
+    ASSERT_FALSE(campaigns.empty());
+    const CampaignIncident& incident = campaigns.front();
+    EXPECT_EQ(incident.kind, CampaignKind::kCoordinatedReplay);
+    EXPECT_EQ(incident.fingerprint, 2u);  // The replayed sequence number.
+    EXPECT_GE(incident.device_total, 8u);
+    expect_no_device_incidents(fleet);
+}
+
+TEST(FleetCampaign, StaggeredDowngradeDetectedWithoutDeviceIncidents) {
+    Fleet fleet(estate(64, 31));
+    attack::StaggeredDowngradeCampaign downgrade;
+    downgrade.launch(fleet);
+    EXPECT_EQ(downgrade.installs_scheduled(), 64u);
+
+    // Eight waves at 900-cycle stagger cross the bar around cycle 8300;
+    // later installs stay scheduled but are irrelevant to detection.
+    fleet.run(12000);
+    fleet.drain_siem();
+
+    const auto& campaigns = fleet.campaign_monitor().campaigns();
+    ASSERT_FALSE(campaigns.empty());
+    const CampaignIncident& incident = campaigns.front();
+    EXPECT_EQ(incident.kind, CampaignKind::kStaggeredDowngrade);
+    EXPECT_EQ(incident.fingerprint, 1u);  // The offered (stale) version.
+    EXPECT_GE(incident.device_total, 8u);
+    expect_no_device_incidents(fleet);
+}
+
+TEST(FleetCampaign, CombinedEstateExportsVerifiableEvidence) {
+    Fleet fleet(estate(64, 37));
+    attack::WormCampaign worm;
+    attack::CoordinatedReplayCampaign replay;
+    attack::StaggeredDowngradeCampaign downgrade;
+    worm.launch(fleet);
+    replay.launch(fleet);
+    downgrade.launch(fleet);
+
+    fleet.run(60000);
+    fleet.drain_siem();
+
+    // All three campaign classes present.
+    bool seen[kCampaignKindCount] = {};
+    for (const auto& c : fleet.campaign_monitor().campaigns()) {
+        seen[static_cast<std::size_t>(c.kind)] = true;
+    }
+    EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+    expect_no_device_incidents(fleet);
+
+    // The export chain verifies offline with only the key + JSONL...
+    const std::string& jsonl = fleet.siem_stream().jsonl();
+    const obs::SiemVerifyResult verdict =
+        obs::SiemStream::verify(jsonl, fleet.siem_key());
+    EXPECT_TRUE(verdict.ok) << verdict.reason;
+    EXPECT_EQ(verdict.records, fleet.siem_stream().records());
+    // ...every device anchored its evidence head in the drain...
+    EXPECT_EQ(kind_count(jsonl, "evidence-head"), 64u);
+    // ...and a 1-byte flip anywhere breaks it.
+    std::string tampered = jsonl;
+    tampered[tampered.size() / 3] ^= 0x01;
+    EXPECT_FALSE(obs::SiemStream::verify(tampered, fleet.siem_key()).ok);
+
+    // Campaign postmortems are sealed under the export key.
+    const auto sealed = fleet.sealed_campaign_postmortems();
+    ASSERT_EQ(sealed.size(), fleet.campaign_monitor().campaigns().size());
+    for (const std::string& bundle : sealed) {
+        EXPECT_TRUE(obs::verify_postmortem(bundle, fleet.siem_key()));
+        std::string flipped = bundle;
+        flipped[flipped.size() / 2] ^= 0x01;
+        EXPECT_FALSE(obs::verify_postmortem(flipped, fleet.siem_key()));
+    }
+
+    // Fleet-tier series land in the merged snapshot and the trace.
+    const auto snapshot = fleet.collect_metrics();
+    const std::string prometheus = snapshot.prometheus();
+    EXPECT_NE(prometheus.find("cres_fleet_campaigns_total"),
+              std::string::npos);
+    EXPECT_NE(prometheus.find("cres_fleet_campaign_detection_latency"),
+              std::string::npos);
+    EXPECT_NE(fleet.chrome_trace().find("campaign"), std::string::npos);
+}
+
+TEST(FleetCampaign, MergeSkippedCounterTracksUnboundRegistries) {
+    // Metrics off: every per-device registry is empty, and the merge
+    // says so instead of silently producing a hollow snapshot.
+    FleetConfig dark = estate(4, 41);
+    dark.metrics = false;
+    Fleet dark_fleet(dark);
+    dark_fleet.run(5000);
+    const auto dark_snapshot = dark_fleet.collect_metrics();
+    const auto* skipped =
+        dark_snapshot.find_counter("cres_fleet_merge_skipped_total");
+    ASSERT_NE(skipped, nullptr);
+    EXPECT_EQ(skipped->value(), 4u);
+
+    Fleet lit_fleet(estate(4, 41));
+    lit_fleet.run(5000);
+    const auto lit_snapshot = lit_fleet.collect_metrics();
+    const auto* none =
+        lit_snapshot.find_counter("cres_fleet_merge_skipped_total");
+    ASSERT_NE(none, nullptr);
+    EXPECT_EQ(none->value(), 0u);
 }
 
 }  // namespace

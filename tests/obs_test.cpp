@@ -308,9 +308,9 @@ TEST(JsonLogSink, EmitsOneJsonObjectPerLine) {
 
     EXPECT_EQ(out.str(),
               "{\"at\": 77, \"source\": \"log\", \"kind\": \"warn\", "
-              "\"detail\": \"engine \\\"hot\\\"\\n\"}\n"
+              "\"severity\": 4, \"detail\": \"engine \\\"hot\\\"\\n\"}\n"
               "{\"at\": 78, \"source\": \"log\", \"kind\": \"info\", "
-              "\"detail\": \"ok\"}\n");
+              "\"severity\": 6, \"detail\": \"ok\"}\n");
 }
 
 // --- Flight recorder ---------------------------------------------------------
