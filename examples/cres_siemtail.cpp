@@ -17,6 +17,10 @@
 //                 no input file. The demo fails unless every campaign
 //                 is detected, the chain verifies, and a 1-byte flip
 //                 breaks it.
+//   --stats       machine-grepping mode: per-kind and per-severity
+//                 record counts, staging-buffer drop totals and the
+//                 chain verdict, one `stat <name> <value>` line each.
+//                 Composes with both the offline form and --demo.
 //
 // Exit status: 0 verified, 2 verification/detection failure, 64
 // usage/input error.
@@ -38,8 +42,8 @@ namespace {
 using namespace cres;
 
 int usage() {
-    std::cerr << "usage: cres_siemtail --key <hex> <stream.jsonl>\n"
-                 "       cres_siemtail --demo\n";
+    std::cerr << "usage: cres_siemtail [--stats] --key <hex> <stream.jsonl>\n"
+                 "       cres_siemtail [--stats] --demo\n";
     return 64;
 }
 
@@ -61,6 +65,62 @@ std::uint64_t field_u64(const std::string& line, const std::string& key) {
     const std::size_t begin = line.find(needle);
     if (begin == std::string::npos) return 0;
     return std::strtoull(line.c_str() + begin + needle.size(), nullptr, 10);
+}
+
+/// --stats mode: counts every record class and the backpressure drops
+/// the estate surfaced, one greppable `stat <name> <value>` line each.
+/// Runs the chain verifier too — stats over a forged stream are worse
+/// than no stats.
+int stats_stream(const std::string& jsonl, BytesView key) {
+    const obs::SiemVerifyResult verdict = obs::SiemStream::verify(jsonl, key);
+    std::cout << "stat chain " << (verdict.ok ? "ok" : "FAILED") << "\n"
+              << "stat records " << verdict.records << "\n";
+    if (!verdict.ok) {
+        std::cout << "stat bad_line " << verdict.bad_line << "\n";
+        return 2;
+    }
+
+    constexpr std::array<std::string_view, 7> kKinds = {
+        "event",         "alert",         "state", "incident-open",
+        "incident-close", "evidence-head", "campaign"};
+    std::array<std::uint64_t, kKinds.size()> by_kind{};
+    std::array<std::uint64_t, 8> by_severity{};
+    std::uint64_t drop_records = 0;
+    std::uint64_t drop_total = 0;
+    std::uint64_t traced = 0;
+
+    std::istringstream in(jsonl);
+    std::string line;
+    std::getline(in, line);  // Header (already verified).
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        ++by_severity[field_u64(line, "severity") & 0x7];
+        const std::string kind = field_str(line, "kind");
+        for (std::size_t k = 0; k < kKinds.size(); ++k) {
+            if (kind == kKinds[k]) ++by_kind[k];
+        }
+        if (line.find("\"trace\":{") != std::string::npos) ++traced;
+        // Backpressure accounting records (platform/fleet.cpp): a =
+        // records dropped since the previous drain.
+        if (field_str(line, "source") == "siem-buffer") {
+            ++drop_records;
+            drop_total += field_u64(line, "a");
+        }
+    }
+
+    for (std::size_t k = 0; k < kKinds.size(); ++k) {
+        std::cout << "stat kind." << kKinds[k] << " " << by_kind[k] << "\n";
+    }
+    for (std::size_t s = 0; s < by_severity.size(); ++s) {
+        std::cout << "stat severity."
+                  << obs::rfc5424::severity_keyword(
+                         static_cast<std::uint8_t>(s))
+                  << " " << by_severity[s] << "\n";
+    }
+    std::cout << "stat traced " << traced << "\n"
+              << "stat drop.records " << drop_records << "\n"
+              << "stat drop.total " << drop_total << "\n";
+    return 0;
 }
 
 /// Verifies and summarizes one exported stream. Returns the exit code.
@@ -117,7 +177,7 @@ int tail_stream(const std::string& jsonl, BytesView key) {
     return 0;
 }
 
-int run_demo() {
+int run_demo(bool stats) {
     platform::FleetConfig config;
     config.device_count = 64;
     config.seed = 11;
@@ -142,8 +202,16 @@ int run_demo() {
         out << jsonl;
         std::cerr << "wrote stream to " << dump << "\n";
     }
+    // CI hook: dump the fleet Chrome trace so the pipeline can
+    // jq-validate the causal flow events ("s"/"t" pairing).
+    if (const char* dump = std::getenv("CRES_TRACE_JSON")) {
+        std::ofstream out(dump, std::ios::binary);
+        out << fleet.chrome_trace();
+        std::cerr << "wrote chrome trace to " << dump << "\n";
+    }
     std::cout << "== demo estate: 64 devices, 3 campaigns ==\n";
-    const int rc = tail_stream(jsonl, fleet.siem_key());
+    const int rc = stats ? stats_stream(jsonl, fleet.siem_key())
+                         : tail_stream(jsonl, fleet.siem_key());
     if (rc != 0) return rc;
 
     // The demo's own bar: all three campaign classes detected...
@@ -175,6 +243,7 @@ int main(int argc, char** argv) {
     std::string key_hex;
     std::string path;
     bool demo = false;
+    bool stats = false;
 
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
@@ -183,6 +252,8 @@ int main(int argc, char** argv) {
             key_hex = argv[++i];
         } else if (arg == "--demo") {
             demo = true;
+        } else if (arg == "--stats") {
+            stats = true;
         } else if (!arg.empty() && arg[0] == '-') {
             std::cerr << "cres_siemtail: unknown option '" << arg << "'\n";
             return usage();
@@ -191,7 +262,7 @@ int main(int argc, char** argv) {
         }
     }
 
-    if (demo) return run_demo();
+    if (demo) return run_demo(stats);
     if (key_hex.empty() || path.empty()) return usage();
 
     Bytes key;
@@ -208,5 +279,6 @@ int main(int argc, char** argv) {
     }
     std::ostringstream buffer;
     buffer << in.rdbuf();
-    return tail_stream(buffer.str(), key);
+    return stats ? stats_stream(buffer.str(), key)
+                 : tail_stream(buffer.str(), key);
 }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <deque>
 
+#include "net/trace.h"
 #include "util/serial.h"
 
 namespace cres::attack {
@@ -10,16 +11,26 @@ namespace cres::attack {
 namespace {
 
 /// A worm probe: channel wire format (u64 sequence | blob payload |
-/// 32-byte tag) with the claimed origin index in the sequence field and
-/// a tag the attacker cannot forge — the victim rejects it as bad-tag
-/// and surfaces the origin as channel-peer metadata.
-Bytes forge_probe(std::uint64_t origin_index) {
+/// optional trace extension | 32-byte tag) with the claimed origin
+/// index in the sequence field and a tag the attacker cannot forge —
+/// the victim rejects it as bad-tag and surfaces the origin (and the
+/// claimed trace context, when present) as channel-peer metadata.
+Bytes forge_probe(std::uint64_t origin_index,
+                  const net::TraceContext* trace) {
     BinaryWriter w;
     w.u64(origin_index);
     w.blob(to_bytes("worm-beacon"));
+    if (trace != nullptr) net::write_trace(w, *trace);
     const Bytes bogus_tag(32, 0x77);
     w.raw(bogus_tag);
     return w.take();
+}
+
+/// Worm span ids live in their own namespace (bit 63 set) so they can
+/// never collide with legitimate channel spans ((device << 32) | seq).
+std::uint64_t worm_span(std::size_t parent, std::uint64_t seq) {
+    return (std::uint64_t{1} << 63) |
+           (static_cast<std::uint64_t>(parent) << 32) | seq;
 }
 
 }  // namespace
@@ -38,15 +49,23 @@ void WormCampaign::launch(platform::Fleet& fleet) {
     struct Infected {
         std::size_t index;
         sim::Cycle at;
+        std::uint32_t depth;
+        std::uint64_t span;  ///< Span of the probe that infected it.
     };
+    const bool traced = fleet.config().causal_tracing;
     std::vector<bool> infected(fleet_size, false);
     std::deque<Infected> frontier;
     infected[opt_.patient_zero] = true;
-    frontier.push_back({opt_.patient_zero, opt_.start});
+    // Patient zero's root span anchors the DAG (no probe created it).
+    frontier.push_back({opt_.patient_zero, opt_.start, 0,
+                        worm_span(opt_.patient_zero, 0)});
     infections_ = 1;
     first_probe_at_ = 0;
+    edges_.clear();
+    max_depth_ = 0;
 
     std::size_t next_victim = 0;
+    std::uint64_t probe_seq = 0;
     while (!frontier.empty() && infections_ < budget) {
         const Infected parent = frontier.front();
         frontier.pop_front();
@@ -60,17 +79,52 @@ void WormCampaign::launch(platform::Fleet& fleet) {
             const std::size_t victim = next_victim;
             infected[victim] = true;
             ++infections_;
-            frontier.push_back({victim, probe_at});
+            const std::uint32_t hop = parent.depth + 1;
+            const std::uint64_t span = worm_span(parent.index, ++probe_seq);
+            frontier.push_back({victim, probe_at, hop, span});
             if (first_probe_at_ == 0 || probe_at < first_probe_at_) {
                 first_probe_at_ = probe_at;
             }
+            edges_.push_back({static_cast<std::uint32_t>(parent.index),
+                              static_cast<std::uint32_t>(victim), hop});
+            max_depth_ = std::max(max_depth_, hop);
 
-            probes_.push_back(forge_probe(parent.index));
+            // A worm riding the traced channel inherits its parent's
+            // context like any legitimate frame: origin = the chain
+            // root, hop = depth, parent span = the infecting probe.
+            net::TraceContext ctx;
+            ctx.origin_device =
+                static_cast<std::uint32_t>(opt_.patient_zero);
+            ctx.hop = hop;
+            ctx.span_id = span;
+            ctx.parent_span_id = parent.span;
+            probes_.push_back(
+                forge_probe(parent.index, traced ? &ctx : nullptr));
             const Bytes& probe = probes_.back();
             dev::Link& link = fleet.link(victim);
             fleet.device(victim).sim.schedule_at(
                 probe_at, "worm-probe",
                 [&link, &probe] { link.inject(probe, /*to_a=*/true); });
+
+            // The sending side of the flow: a "net-send" flight record
+            // on the parent's own black box (its worker, its timeline),
+            // so the Perfetto flow arrow has both endpoints — the
+            // victim's "net-recv" record is produced by its channel.
+            if (traced) {
+                platform::Node& origin_node = fleet.device(parent.index);
+                origin_node.sim.schedule_at(
+                    probe_at, "worm-send",
+                    [&origin_node, ctx] {
+                        if (origin_node.recorder.capacity() == 0) return;
+                        origin_node.recorder.record_slow(
+                            origin_node.sim.now(), "net", "net-send",
+                            /*severity=*/0,
+                            obs::FlightRecordType::kInstant, ctx.span_id,
+                            (std::uint64_t{ctx.origin_device} << 32) |
+                                ctx.hop,
+                            {});
+                    });
+            }
         }
     }
 }

@@ -35,10 +35,21 @@ public:
         std::size_t max_infections = 0;
     };
 
+    /// One ground-truth infection edge, in schedule order.
+    struct Edge {
+        std::uint32_t parent = 0;
+        std::uint32_t child = 0;
+        std::uint32_t hop = 0;  ///< Child's depth below patient zero.
+    };
+
     WormCampaign() = default;
     explicit WormCampaign(Options options) : opt_(options) {}
 
-    /// Schedules every probe; call before Fleet::run().
+    /// Schedules every probe; call before Fleet::run(). When the fleet
+    /// runs with causal_tracing, each probe carries a forged-but-honest
+    /// trace-context extension (a worm that propagates over the traced
+    /// channel inherits its parent's context like any other frame), so
+    /// the fleet tier can reconstruct the exact infection DAG.
     void launch(platform::Fleet& fleet);
 
     /// Ground truth: devices infected (patient zero included).
@@ -49,11 +60,24 @@ public:
     [[nodiscard]] sim::Cycle first_probe_at() const noexcept {
         return first_probe_at_;
     }
+    /// Ground truth for provenance checks: the true patient zero and
+    /// every (parent -> child) infection edge the campaign scheduled.
+    [[nodiscard]] std::size_t patient_zero() const noexcept {
+        return opt_.patient_zero;
+    }
+    [[nodiscard]] const std::vector<Edge>& edges() const noexcept {
+        return edges_;
+    }
+    [[nodiscard]] std::uint32_t max_depth() const noexcept {
+        return max_depth_;
+    }
 
 private:
     Options opt_;
     std::size_t infections_ = 0;
     sim::Cycle first_probe_at_ = 0;
+    std::vector<Edge> edges_;
+    std::uint32_t max_depth_ = 0;
     /// One forged probe frame per (parent, victim) edge. A deque keeps
     /// element addresses stable while probes are appended — the
     /// scheduled lambdas hold references into it.

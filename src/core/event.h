@@ -3,9 +3,11 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <string_view>
 
+#include "net/trace.h"
 #include "sim/simulator.h"
 
 namespace cres::core {
@@ -65,6 +67,10 @@ struct MonitorEvent {
     std::string detail;     ///< Human-readable context.
     std::uint64_t a = 0;    ///< Category-specific scalar (e.g. address).
     std::uint64_t b = 0;    ///< Category-specific scalar (e.g. value).
+    /// Causal trace context the triggering frame carried, when the
+    /// observation is frame-borne and the estate traces (net/trace.h).
+    /// For rejected frames this is claimed, unauthenticated metadata.
+    std::optional<net::TraceContext> trace;
 };
 
 /// Where monitors deliver events (implemented by the SSM).

@@ -101,10 +101,15 @@ protected:
         last_poll_at_ = first + count - 1;
     }
 
-    /// Delivers an event to the SSM (no-op while disabled).
+    /// Delivers an event to the SSM (no-op while disabled). `trace`
+    /// attaches the causal context of the frame that triggered the
+    /// observation, when there is one; it rides the event into the SSM
+    /// and out over the SIEM export so FleetMonitor can reconstruct
+    /// cross-device provenance.
     void emit(sim::Cycle at, EventCategory category, EventSeverity severity,
               std::string resource, std::string detail, std::uint64_t a = 0,
-              std::uint64_t b = 0) {
+              std::uint64_t b = 0,
+              std::optional<net::TraceContext> trace = std::nullopt) {
         if (!enabled_) return;
         ++emitted_;
         if (events_ != nullptr) {
@@ -120,7 +125,7 @@ protected:
         }
         sink_.submit(MonitorEvent{at, name_, category, severity,
                                   std::move(resource), std::move(detail), a,
-                                  b});
+                                  b, trace});
     }
 
 private:

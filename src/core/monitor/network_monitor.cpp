@@ -18,7 +18,8 @@ void NetworkMonitor::set_replay_burst_threshold(std::uint32_t replays,
 }
 
 void NetworkMonitor::note_rx(net::RecvStatus status, std::size_t frame_bytes,
-                             std::uint64_t sequence) {
+                             std::uint64_t sequence,
+                             const std::optional<net::TraceContext>& trace) {
     const sim::Cycle now = sim_.now();
     note_poll(now);
 
@@ -59,7 +60,8 @@ void NetworkMonitor::note_rx(net::RecvStatus status, std::size_t frame_bytes,
                 replays_.clear();
             } else {
                 emit(now, EventCategory::kNetwork, EventSeverity::kAdvisory,
-                     "link", "replayed frame detected", sequence, frame_bytes);
+                     "link", "replayed frame detected", sequence, frame_bytes,
+                     trace);
             }
             break;
         }
@@ -72,15 +74,17 @@ void NetworkMonitor::note_rx(net::RecvStatus status, std::size_t frame_bytes,
                      "link",
                      "authentication-failure streak (" +
                          std::to_string(streak_) + ") — active MITM suspected",
-                     streak_, frame_bytes);
+                     streak_, frame_bytes, trace);
                 streak_ = 0;
             } else {
                 // `a` carries the forged frame's claimed sequence — the
                 // fleet tier reads it as channel-peer metadata when
-                // reconstructing a worm's infection graph.
+                // reconstructing a worm's infection graph. The claimed
+                // trace context (if any) rides along for the exact-DAG
+                // reconstruction path.
                 emit(now, EventCategory::kNetwork, EventSeverity::kAdvisory,
                      "link", "frame failed authentication", sequence,
-                     frame_bytes);
+                     frame_bytes, trace);
             }
             break;
         }

@@ -24,8 +24,13 @@ public:
     /// metadata); it rides on the emitted event's `a` scalar so the
     /// fleet correlation tier can fingerprint replays and trace forged-
     /// frame origins. 0 when the caller has no sequence to report.
+    /// `trace` is the frame's claimed causal context, when it carried
+    /// one — attached to the emitted events so the fleet tier can
+    /// reconstruct exact infection provenance (patient zero, hop depth)
+    /// rather than an anonymous component.
     void note_rx(net::RecvStatus status, std::size_t frame_bytes,
-                 std::uint64_t sequence = 0);
+                 std::uint64_t sequence = 0,
+                 const std::optional<net::TraceContext>& trace = std::nullopt);
 
     /// Consecutive failures before an alert (default 3).
     void set_failure_streak_threshold(std::uint32_t threshold) noexcept {

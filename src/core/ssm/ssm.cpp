@@ -152,6 +152,13 @@ void SystemSecurityManager::process_event(const MonitorEvent& event,
         record.detail = event.detail;
         record.a = event.a;
         record.b = event.b;
+        if (event.trace) {
+            record.traced = true;
+            record.trace_origin = event.trace->origin_device;
+            record.trace_hop = event.trace->hop;
+            record.trace_span = event.trace->span_id;
+            record.trace_parent = event.trace->parent_span_id;
+        }
         siem_->push(std::move(record));
     }
 

@@ -24,6 +24,19 @@ void SecureChannel::send(BytesView payload) {
     BinaryWriter w;
     w.u64(next_seq_);
     w.blob(payload);
+    if (traced_) {
+        TraceContext ctx;
+        ctx.span_id = (std::uint64_t{self_} << 32) | ++span_counter_;
+        if (parent_) {
+            ctx.origin_device = parent_->origin_device;
+            ctx.hop = parent_->hop + 1;
+            ctx.parent_span_id = parent_->span_id;
+        } else {
+            ctx.origin_device = self_;
+        }
+        write_trace(w, ctx);
+        last_sent_trace_ = ctx;
+    }
     const crypto::Hash256 tag = mac_.tag(w.data());
     w.raw(tag);
     ++next_seq_;
@@ -53,9 +66,19 @@ Received SecureChannel::process(BytesView frame) {
         out.sequence = r.u64();
         out.payload = r.blob();
         if (!r.done()) {
-            ++rejected_malformed_;
-            out.status = RecvStatus::kMalformed;
-            return out;
+            // v2 trace extension: exactly one, magic-tagged, covered by
+            // the MAC. Any other trailing bytes are malformed, as in v1.
+            if (r.remaining() != kTraceWireSize || r.u32() != kTraceMagic) {
+                ++rejected_malformed_;
+                out.status = RecvStatus::kMalformed;
+                return out;
+            }
+            TraceContext ctx;
+            ctx.origin_device = r.u32();
+            ctx.hop = r.u32();
+            ctx.span_id = r.u64();
+            ctx.parent_span_id = r.u64();
+            out.trace = ctx;
         }
     } catch (const Error&) {
         ++rejected_malformed_;
@@ -79,6 +102,15 @@ Received SecureChannel::process(BytesView frame) {
     last_accepted_seq_ = out.sequence;
     ++accepted_;
     out.status = RecvStatus::kOk;
+    if (traced_) {
+        // Only authenticated frames open a causal epoch; an untraced
+        // authenticated frame closes the previous one.
+        if (out.trace) {
+            parent_ = *out.trace;
+        } else {
+            parent_.reset();
+        }
+    }
     return out;
 }
 

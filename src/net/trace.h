@@ -1,0 +1,50 @@
+// Compact causal trace context carried across devices as a versioned
+// extension of the SecureChannel frame format (see net/channel.h).
+//
+// The context names the device that originated a causal chain, how many
+// M2M hops the chain has travelled, and the span ids linking one frame
+// to the frame whose handling produced it. FleetMonitor uses propagated
+// contexts to reconstruct exact infection DAGs (patient zero, per-device
+// hop depth) instead of blind union-find components, and ChromeTrace
+// renders the span pairs as Perfetto flow arrows between device tracks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/serial.h"
+
+namespace cres::net {
+
+/// One hop of cross-device causality. Span ids are allocated by the
+/// sending channel as `(device_index << 32) | counter`, so they are
+/// deterministic and globally unique without coordination.
+struct TraceContext {
+    std::uint32_t origin_device = 0;   ///< Device index of the chain root.
+    std::uint32_t hop = 0;             ///< Hops travelled from the origin.
+    std::uint64_t span_id = 0;         ///< This frame's span.
+    std::uint64_t parent_span_id = 0;  ///< Causing frame's span (0 = root).
+
+    friend bool operator==(const TraceContext&, const TraceContext&) = default;
+};
+
+/// Wire tag introducing the optional trace extension between the payload
+/// blob and the frame MAC ("CTX1" little-endian). A trailing segment
+/// that does not open with this magic is rejected as malformed, exactly
+/// as any trailing garbage was under the v1 format.
+inline constexpr std::uint32_t kTraceMagic = 0x31585443u;
+
+/// Serialized extension size: magic + origin + hop + span + parent.
+inline constexpr std::size_t kTraceWireSize = 4 + 4 + 4 + 8 + 8;
+
+/// Appends the wire encoding of `ctx` (magic included). The extension
+/// sits before the frame MAC, so the MAC covers it.
+inline void write_trace(BinaryWriter& w, const TraceContext& ctx) {
+    w.u32(kTraceMagic);
+    w.u32(ctx.origin_device);
+    w.u32(ctx.hop);
+    w.u64(ctx.span_id);
+    w.u64(ctx.parent_span_id);
+}
+
+}  // namespace cres::net

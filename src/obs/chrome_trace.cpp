@@ -124,6 +124,55 @@ void ChromeTrace::complete(std::uint32_t pid, std::uint32_t tid,
     push(std::move(e));
 }
 
+namespace {
+
+/// Shared rendering for the "s"/"t" flow phases; identical field order
+/// so the golden file pins both ends the same way. Flow ids are span
+/// ids — full 64-bit values — rendered as a hex string: JSON numbers
+/// above 2^53 lose precision in double-based consumers (jq, browsers),
+/// which would alias distinct spans, and the trace format accepts
+/// string ids.
+std::string render_flow(char phase, std::uint32_t pid, std::uint32_t tid,
+                        std::string_view name, std::string_view category,
+                        std::uint64_t ts, std::uint64_t id) {
+    std::string e = "{\"ph\":\"";
+    e += phase;
+    e += "\",";
+    field_u64(e, "pid", pid);
+    e += ',';
+    field_u64(e, "tid", tid);
+    e += ',';
+    field_str(e, "name", name);
+    e += ',';
+    field_str(e, "cat", category);
+    e += ',';
+    field_u64(e, "ts", ts);
+    e += ",\"id\":\"0x";
+    static constexpr char kHex[] = "0123456789abcdef";
+    bool started = false;
+    for (int shift = 60; shift >= 0; shift -= 4) {
+        const auto nibble = static_cast<unsigned>((id >> shift) & 0xF);
+        if (nibble != 0) started = true;
+        if (started || shift == 0) e += kHex[nibble];
+    }
+    e += "\"}";
+    return e;
+}
+
+}  // namespace
+
+void ChromeTrace::flow_start(std::uint32_t pid, std::uint32_t tid,
+                             std::string_view name, std::string_view category,
+                             std::uint64_t ts, std::uint64_t id) {
+    push(render_flow('s', pid, tid, name, category, ts, id));
+}
+
+void ChromeTrace::flow_step(std::uint32_t pid, std::uint32_t tid,
+                            std::string_view name, std::string_view category,
+                            std::uint64_t ts, std::uint64_t id) {
+    push(render_flow('t', pid, tid, name, category, ts, id));
+}
+
 void ChromeTrace::counter(std::uint32_t pid, std::string_view name,
                           std::uint64_t ts, std::uint64_t value) {
     std::string e = "{\"ph\":\"C\",";

@@ -47,6 +47,17 @@ public:
     void counter(std::uint32_t pid, std::string_view name, std::uint64_t ts,
                  std::uint64_t value);
 
+    /// Flow-event pair: Perfetto draws an arrow from each flow_start
+    /// ("s") to the flow_step ("t") carrying the same `id` — one arrow
+    /// per cross-device frame when `id` is the frame's span id. Both
+    /// ends must share `category` (Chrome matches flows on cat+id).
+    void flow_start(std::uint32_t pid, std::uint32_t tid,
+                    std::string_view name, std::string_view category,
+                    std::uint64_t ts, std::uint64_t id);
+    void flow_step(std::uint32_t pid, std::uint32_t tid,
+                   std::string_view name, std::string_view category,
+                   std::uint64_t ts, std::uint64_t id);
+
     [[nodiscard]] std::size_t event_count() const noexcept {
         return events_.size();
     }

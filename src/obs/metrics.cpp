@@ -21,12 +21,20 @@ std::pair<std::string_view, std::string_view> split_labels(
     return {name.substr(0, brace), labels};
 }
 
-/// Emits a `# TYPE` line once per base name (input is name-sorted, so
-/// equal bases are adjacent).
+/// Emits the `# HELP` (when registered) and `# TYPE` lines once per
+/// base name (input is name-sorted, so equal bases are adjacent).
 void type_line(std::string& out, std::string& last_base,
-               std::string_view base, std::string_view type) {
+               std::string_view base, std::string_view type,
+               const std::map<std::string, std::string, std::less<>>& help) {
     if (last_base == base) return;
     last_base.assign(base);
+    if (const auto it = help.find(base); it != help.end()) {
+        out += "# HELP ";
+        out += base;
+        out += ' ';
+        out += it->second;
+        out += '\n';
+    }
     out += "# TYPE ";
     out += base;
     out += ' ';
@@ -56,6 +64,39 @@ std::size_t Histogram::highest_bucket() const noexcept {
     return 0;
 }
 
+std::uint64_t Histogram::estimate_quantile(double q) const noexcept {
+    const std::uint64_t n = count();
+    if (n == 0) return 0;
+    if (q < 0.0) q = 0.0;
+    if (q > 1.0) q = 1.0;
+
+    // Prometheus histogram_quantile: find the bucket covering rank
+    // q * n, then interpolate linearly between the bucket's boundary
+    // values by the rank's position inside the bucket population.
+    const double rank = q * static_cast<double>(n);
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < kBucketCount; ++i) {
+        const std::uint64_t c = buckets_[i];
+        if (c == 0) continue;
+        if (static_cast<double>(cum + c) >= rank) {
+            const std::uint64_t lower = i == 0 ? 0 : bucket_upper(i - 1);
+            std::uint64_t upper = bucket_upper(i);
+            if (upper > max_) upper = max_;  // Tighten the top bucket.
+            const double frac =
+                (rank - static_cast<double>(cum)) / static_cast<double>(c);
+            double v = static_cast<double>(lower) +
+                       frac * static_cast<double>(upper - lower);
+            if (v < 0.0) v = 0.0;
+            auto estimate = static_cast<std::uint64_t>(v);
+            if (estimate < min()) estimate = min();
+            if (estimate > max_) estimate = max_;
+            return estimate;
+        }
+        cum += c;
+    }
+    return max_;
+}
+
 const Counter* MetricsRegistry::find_counter(const std::string& name) const {
     const auto it = counters_.find(name);
     return it == counters_.end() ? nullptr : &it->second;
@@ -70,6 +111,11 @@ const Histogram* MetricsRegistry::find_histogram(
     const std::string& name) const {
     const auto it = histograms_.find(name);
     return it == histograms_.end() ? nullptr : &it->second;
+}
+
+const std::string* MetricsRegistry::find_help(std::string_view base) const {
+    const auto it = help_.find(base);
+    return it == help_.end() ? nullptr : &it->second;
 }
 
 void MetricsRegistry::merge_from(const MetricsRegistry& other) {
@@ -90,6 +136,9 @@ void MetricsRegistry::merge_from(const MetricsRegistry& other) {
         mine.min_ = std::min(mine.min_, h.min_);
         mine.max_ = std::max(mine.max_, h.max_);
     }
+    for (const auto& [base, text] : other.help_) {
+        help_.emplace(base, text);
+    }
 }
 
 std::string MetricsRegistry::prometheus() const {
@@ -98,7 +147,7 @@ std::string MetricsRegistry::prometheus() const {
 
     for (const auto& [name, c] : counters_) {
         const auto [base, labels] = split_labels(name);
-        type_line(out, last_base, base, "counter");
+        type_line(out, last_base, base, "counter", help_);
         out += with_labels(base, labels);
         out += ' ';
         out += std::to_string(c.value());
@@ -106,7 +155,7 @@ std::string MetricsRegistry::prometheus() const {
     }
     for (const auto& [name, g] : gauges_) {
         const auto [base, labels] = split_labels(name);
-        type_line(out, last_base, base, "gauge");
+        type_line(out, last_base, base, "gauge", help_);
         out += with_labels(base, labels);
         out += ' ';
         out += std::to_string(g.value());
@@ -121,7 +170,7 @@ std::string MetricsRegistry::prometheus() const {
     }
     for (const auto& [name, h] : histograms_) {
         const auto [base, labels] = split_labels(name);
-        type_line(out, last_base, base, "histogram");
+        type_line(out, last_base, base, "histogram", help_);
         std::string bucket_base(base);
         bucket_base += "_bucket";
         const std::size_t top = h.highest_bucket();

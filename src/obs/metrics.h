@@ -101,6 +101,22 @@ public:
     /// Index of the highest non-empty bucket (0 when empty).
     [[nodiscard]] std::size_t highest_bucket() const noexcept;
 
+    /// Estimated q-quantile (q in [0,1], clamped), Prometheus
+    /// histogram_quantile style: rank = q * count, linear interpolation
+    /// between the covering bucket's boundaries, truncated to an
+    /// integer and clamped to [min(), max()] so degenerate buckets
+    /// (all samples equal) estimate exactly. 0 when empty.
+    [[nodiscard]] std::uint64_t estimate_quantile(double q) const noexcept;
+    [[nodiscard]] std::uint64_t p50() const noexcept {
+        return estimate_quantile(0.50);
+    }
+    [[nodiscard]] std::uint64_t p95() const noexcept {
+        return estimate_quantile(0.95);
+    }
+    [[nodiscard]] std::uint64_t p99() const noexcept {
+        return estimate_quantile(0.99);
+    }
+
 private:
     friend class MetricsRegistry;
     std::array<std::uint64_t, kBucketCount> buckets_{};
@@ -132,15 +148,26 @@ public:
         return counters_.size() + gauges_.size() + histograms_.size();
     }
 
+    /// Registers the `# HELP` text emitted for `base` (the metric name
+    /// without labels) in the Prometheus exposition. First registration
+    /// wins, so re-binding rebuilt components is idempotent.
+    void set_help(std::string_view base, std::string_view text) {
+        help_.emplace(std::string(base), std::string(text));
+    }
+    /// nullptr when no help text was registered for `base`.
+    [[nodiscard]] const std::string* find_help(std::string_view base) const;
+
     /// Index-ordered deterministic reduction: counters and histogram
     /// buckets sum, gauges sum values and take the max of high-water
-    /// marks. Safe to call repeatedly (fleet folds devices in index
-    /// order so the result is thread-count invariant).
+    /// marks; help texts union (first wins). Safe to call repeatedly
+    /// (fleet folds devices in index order so the result is
+    /// thread-count invariant).
     void merge_from(const MetricsRegistry& other);
 
     /// Prometheus text exposition (metrics sorted by name; histograms
     /// emit cumulative le-buckets up to the highest non-empty bucket,
-    /// then +Inf, _sum and _count).
+    /// then +Inf, _sum and _count). Bases with registered help text get
+    /// a `# HELP` line immediately before their `# TYPE` line.
     [[nodiscard]] std::string prometheus() const;
 
     /// One JSON object mirroring the exposition, for CI artifacts and
@@ -152,6 +179,7 @@ private:
     std::map<std::string, Counter> counters_;
     std::map<std::string, Gauge> gauges_;
     std::map<std::string, Histogram> histograms_;
+    std::map<std::string, std::string, std::less<>> help_;
 };
 
 }  // namespace cres::obs

@@ -65,6 +65,13 @@ std::string render_postmortem_body(const PostmortemBundle& b) {
     }
     out += first ? "]" : "\n  ]";
 
+    if (!b.provenance_json.empty()) {
+        // Already-rendered JSON from the fleet provenance reconstructor;
+        // embedded verbatim so the seal covers the exact DAG bytes.
+        out += ",\n  \"provenance\": ";
+        out += b.provenance_json;
+    }
+
     out += ",\n  \"metrics\": ";
     if (b.metrics_json.empty()) {
         out += "null";

@@ -47,6 +47,13 @@ struct PostmortemBundle {
     /// Metrics registry JSON snapshot at close (empty when unbound).
     std::string metrics_json;
 
+    /// Causal-provenance JSON object (fleet campaign bundles only):
+    /// patient zero, hop depths and the reconstructed infection edges.
+    /// Rendered as a "provenance" key when non-empty, so device
+    /// bundles (which never set it) are byte-identical to the v1
+    /// rendering.
+    std::string provenance_json;
+
     /// Evidence-chain anchor: record count and chain head at close.
     std::uint64_t evidence_count = 0;
     std::string evidence_head_hex;

@@ -126,6 +126,19 @@ void SiemStream::append(std::uint32_t device_index, std::string_view device,
     body += std::to_string(event.a);
     body += ",\"b\":";
     body += std::to_string(event.b);
+    if (event.traced) {
+        // Optional causal-trace object: absent on untraced records so
+        // tracing-off streams are byte-identical to the v1 rendering.
+        body += ",\"trace\":{\"origin\":";
+        body += std::to_string(event.trace_origin);
+        body += ",\"hop\":";
+        body += std::to_string(event.trace_hop);
+        body += ",\"span\":";
+        body += std::to_string(event.trace_span);
+        body += ",\"parent\":";
+        body += std::to_string(event.trace_parent);
+        body += '}';
+    }
     body += '}';
 
     const crypto::Hash256 digest = crypto::sha256(text_view(body));

@@ -65,6 +65,15 @@ struct SiemEvent {
     std::string detail;
     std::uint64_t a = 0;
     std::uint64_t b = 0;
+    /// Causal-trace annotation (net::TraceContext propagated down from
+    /// the monitor event). When `traced`, the JSONL record carries a
+    /// `"trace"` object after `"b"`; untraced records render exactly as
+    /// before, so tracing-off streams stay byte-identical.
+    bool traced = false;
+    std::uint32_t trace_origin = 0;
+    std::uint32_t trace_hop = 0;
+    std::uint64_t trace_span = 0;
+    std::uint64_t trace_parent = 0;
 };
 
 /// Bounded per-device staging buffer (see file comment). capacity 0

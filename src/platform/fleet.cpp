@@ -3,6 +3,7 @@
 #include "boot/image.h"
 #include "crypto/hmac.h"
 #include "net/attestation.h"
+#include "obs/syslog.h"
 #include "platform/memmap.h"
 #include "util/rng.h"
 
@@ -91,6 +92,8 @@ void Fleet::enrol_device(std::size_t index) {
     node_config.metrics = cfg_.metrics;
     node_config.flight_recorder_capacity = cfg_.flight_recorder_capacity;
     node_config.siem_buffer_capacity = cfg_.siem_buffer_capacity;
+    node_config.causal_tracing = cfg_.causal_tracing;
+    node_config.device_index = static_cast<std::uint32_t>(index);
     node_config.quiescence = cfg_.quiescence;
     node_config.translate = cfg_.translate;
     node_config.translation_cache = translation_cache_;
@@ -271,6 +274,9 @@ obs::MetricsRegistry Fleet::collect_metrics() const {
     // Fleet-tier series (campaign counters, detection latency) fold in
     // after the devices.
     merged.merge_from(fleet_metrics_);
+    merged.set_help("cres_fleet_devices", "Enrolled devices in the estate");
+    merged.set_help("cres_fleet_devices_healthy",
+                    "Devices reporting kHealthy with a valid SSM");
     merged.counter("cres_fleet_merge_skipped_total").inc(skipped);
     merged.gauge("cres_fleet_devices")
         .set(static_cast<std::int64_t>(devices_.size()));
@@ -304,14 +310,34 @@ std::string Fleet::chrome_trace() const {
 std::size_t Fleet::drain_siem() {
     const std::uint64_t before = siem_stream_->records();
     for (std::size_t i = 0; i < devices_.size(); ++i) {  // Index order.
-        Node& node = devices_[i]->node;
+        Device& device = *devices_[i];
+        Node& node = device.node;
         if (!node.siem.enabled()) continue;
         const std::vector<obs::SiemEvent> batch = node.siem.drain();
-        if (batch.empty()) continue;
+        const std::uint64_t drops = node.siem.dropped();
+        if (batch.empty() && drops == device.siem_drops_reported) continue;
         const auto index = static_cast<std::uint32_t>(i);
         for (const obs::SiemEvent& event : batch) {
             siem_stream_->append(index, node.cfg.name, event);
             monitor_->observe(index, event);
+        }
+        // Backpressure accounting: records lost to a full staging buffer
+        // since the previous drain surface as an explicit export record,
+        // so a gap in the chain is attributable instead of silent.
+        if (drops > device.siem_drops_reported) {
+            obs::SiemEvent gap;
+            gap.at = node.sim.now();
+            gap.kind = obs::SiemKind::kState;
+            gap.severity = obs::rfc5424::kWarning;
+            gap.facility = obs::rfc5424::kFacAudit;
+            gap.category = "system";
+            gap.source = "siem-buffer";
+            gap.resource = "staging";
+            gap.detail = "dropped records since last drain";
+            gap.a = drops - device.siem_drops_reported;
+            gap.b = drops;
+            siem_stream_->append(index, node.cfg.name, gap);
+            device.siem_drops_reported = drops;
         }
         // Anchor the device's on-board evidence chain in the export so
         // the two artefacts corroborate each other offline.

@@ -56,6 +56,13 @@ struct FleetConfig {
     /// cres_siem_dropped_total. 0 disables the export layer per node.
     std::size_t siem_buffer_capacity = 256;
 
+    /// Cross-device causal tracing (forwarded to NodeConfig): every
+    /// node's SecureChannel stamps/propagates trace contexts, and the
+    /// campaign monitor reconstructs the exact infection DAG from them
+    /// (docs/OBSERVABILITY.md "Causal tracing & provenance"). Off =
+    /// v1 frames on the wire and union-find-only worm correlation.
+    bool causal_tracing = true;
+
     /// Campaign-correlation thresholds (docs/OBSERVABILITY.md). The
     /// device_count field is ignored — the fleet fills it in.
     FleetMonitorConfig campaign;
@@ -106,6 +113,7 @@ public:
     [[nodiscard]] std::size_t size() const noexcept {
         return devices_.size();
     }
+    [[nodiscard]] const FleetConfig& config() const noexcept { return cfg_; }
     [[nodiscard]] Node& device(std::size_t index) {
         return devices_.at(index)->node;
     }
@@ -237,6 +245,9 @@ private:
         dev::Link link;
         std::optional<net::AttestationVerifier> verifier;
         Bytes seal_key;  ///< For verifying health reports.
+        /// Drops already surfaced in the export stream (drain_siem
+        /// publishes only the delta since the previous drain).
+        std::uint64_t siem_drops_reported = 0;
     };
 
     void schedule_pump(Node& node);

@@ -31,6 +31,10 @@ FleetMonitor::FleetMonitor(FleetMonitorConfig config,
       spans_(registry, "cres_fleet_csf"),
       m_latency_(&registry.histogram(
           "cres_fleet_campaign_detection_latency_cycles")),
+      m_latency_p95_(&registry.gauge(
+          "cres_fleet_campaign_detection_latency_p95_cycles")),
+      m_depth_(&registry.histogram("cres_fleet_infection_depth")),
+      prov_child_seen_(cfg_.device_count, false),
       parent_(cfg_.device_count),
       rank_(cfg_.device_count, 0),
       comp_size_(cfg_.device_count, 0),
@@ -44,6 +48,14 @@ FleetMonitor::FleetMonitor(FleetMonitorConfig config,
             std::string(campaign_kind_name(static_cast<CampaignKind>(k))) +
             "\"}");
     }
+    registry.set_help("cres_fleet_campaigns_total",
+                      "Detected fleet-level campaigns by kind");
+    registry.set_help("cres_fleet_campaign_detection_latency_cycles",
+                      "First contributing evidence to campaign detection");
+    registry.set_help("cres_fleet_campaign_detection_latency_p95_cycles",
+                      "Estimated p95 of campaign detection latency");
+    registry.set_help("cres_fleet_infection_depth",
+                      "Reconstructed worm hop depth per traced edge");
 }
 
 std::uint32_t FleetMonitor::find_root(std::uint32_t device) {
@@ -78,6 +90,31 @@ void FleetMonitor::observe_worm(std::uint32_t victim,
     if (claimed >= cfg_.device_count || victim >= cfg_.device_count) return;
     const auto origin = static_cast<std::uint32_t>(claimed);
     if (origin == victim) return;
+
+    // Exact provenance: a propagated trace context names the true chain
+    // root and the victim's depth, turning this advisory into a DAG edge
+    // instead of an anonymous union-find merge. First edge per victim
+    // wins (serial drain order makes that deterministic); any in-range
+    // worm edge *without* a trace poisons exactness — the DAG can no
+    // longer claim to be the whole story.
+    if (event.traced) {
+        provenance_.traced = true;
+        if (event.trace_origin < cfg_.device_count) {
+            provenance_.patient_zero = event.trace_origin;
+        }
+        if (!prov_child_seen_[victim]) {
+            prov_child_seen_[victim] = true;
+            provenance_.edges.push_back(ProvenanceEdge{
+                origin, victim, event.trace_hop, event.trace_span,
+                event.trace_parent, event.at});
+            provenance_.max_hop =
+                std::max(provenance_.max_hop, event.trace_hop);
+            m_depth_->record(event.trace_hop);
+        }
+    } else {
+        ++untraced_worm_edges_;
+    }
+    provenance_.exact = provenance_.traced && untraced_worm_edges_ == 0;
 
     const auto touch = [this, &event](std::uint32_t device) {
         const std::uint32_t root = find_root(device);
@@ -201,6 +238,8 @@ void FleetMonitor::emit(CampaignKind kind, std::uint64_t first_at,
     spans_.mark(span, obs::CsfPhase::kDetect, detected_at);
     spans_.close(span, detected_at);
     m_latency_->record(detected_at - first_at);
+    m_latency_p95_->set(
+        static_cast<std::int64_t>(m_latency_->estimate_quantile(0.95)));
     m_kind_[static_cast<std::size_t>(kind)]->inc();
     recorder_.record_slow(detected_at, "fleet-monitor", "campaign",
                           /*severity=*/3, obs::FlightRecordType::kInstant,
@@ -225,6 +264,56 @@ void FleetMonitor::emit(CampaignKind kind, std::uint64_t first_at,
     campaigns_.push_back(std::move(incident));
 }
 
+std::string FleetMonitor::propagation_tree(std::size_t max_edges) const {
+    if (provenance_.edges.empty()) return {};
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> sorted;
+    sorted.reserve(provenance_.edges.size());
+    for (const ProvenanceEdge& e : provenance_.edges) {
+        sorted.emplace_back(e.parent, e.child);
+    }
+    std::sort(sorted.begin(), sorted.end());
+    std::string out;
+    std::size_t rendered = 0;
+    for (const auto& [p, c] : sorted) {
+        if (rendered == max_edges) {
+            out += ",...";
+            break;
+        }
+        if (!out.empty()) out += ',';
+        out += std::to_string(p);
+        out += "->";
+        out += std::to_string(c);
+        ++rendered;
+    }
+    return out;
+}
+
+std::string FleetMonitor::provenance_json() const {
+    std::string out = "{\"traced\": ";
+    out += provenance_.traced ? "true" : "false";
+    out += ", \"exact\": ";
+    out += provenance_.exact ? "true" : "false";
+    out += ", \"patient_zero\": " + std::to_string(provenance_.patient_zero);
+    out += ", \"max_hop\": " + std::to_string(provenance_.max_hop);
+    out += ", \"edge_total\": " + std::to_string(provenance_.edges.size());
+    out += ", \"edges\": [";
+    const std::size_t cap =
+        std::min(provenance_.edges.size(), CampaignIncident::kDeviceSample);
+    for (std::size_t i = 0; i < cap; ++i) {
+        const ProvenanceEdge& e = provenance_.edges[i];
+        if (i != 0) out += ", ";
+        out += "{\"parent\": " + std::to_string(e.parent);
+        out += ", \"child\": " + std::to_string(e.child);
+        out += ", \"hop\": " + std::to_string(e.hop);
+        out += ", \"span\": " + std::to_string(e.span);
+        out += ", \"parent_span\": " + std::to_string(e.parent_span);
+        out += ", \"at\": " + std::to_string(e.at);
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
 void FleetMonitor::flush(obs::SiemStream& stream) {
     for (; siem_published_ < campaigns_.size(); ++siem_published_) {
         const CampaignIncident& incident = campaigns_[siem_published_];
@@ -237,6 +326,17 @@ void FleetMonitor::flush(obs::SiemStream& stream) {
         record.source = "fleet-monitor";
         record.resource = std::string(campaign_kind_name(incident.kind));
         record.detail = incident.detail;
+        // Traced worm campaigns publish the reconstructed DAG as part of
+        // the campaign record: attribution (patient zero) and the exact
+        // propagation tree, not just a component size.
+        if (incident.kind == CampaignKind::kWorm && provenance_.traced) {
+            record.detail += "; patient zero device " +
+                             std::to_string(provenance_.patient_zero) +
+                             " (depth " +
+                             std::to_string(provenance_.max_hop) + ", " +
+                             (provenance_.exact ? "exact" : "partial") +
+                             "); tree " + propagation_tree();
+        }
         record.a = incident.device_total;
         record.b = incident.fingerprint;
         stream.append(obs::SiemStream::kFleetIndex, "fleet", record);
@@ -246,6 +346,18 @@ void FleetMonitor::flush(obs::SiemStream& stream) {
         // and the stream corroborate each other offline.
         postmortems_[siem_published_].evidence_count = stream.records();
         postmortems_[siem_published_].evidence_head_hex = stream.head_hex();
+    }
+
+    // Edges keep accruing after detection; refresh every worm bundle's
+    // embedded DAG on each flush so the final sealed artefact carries
+    // the complete reconstruction (deterministic: the drain is serial).
+    if (provenance_.traced) {
+        const std::string dag = provenance_json();
+        for (std::size_t i = 0; i < postmortems_.size(); ++i) {
+            if (campaigns_[i].kind == CampaignKind::kWorm) {
+                postmortems_[i].provenance_json = dag;
+            }
+        }
     }
 }
 

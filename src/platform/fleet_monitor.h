@@ -81,6 +81,28 @@ struct CampaignIncident {
     std::string detail;
 };
 
+/// One reconstructed infection edge (a trace-carrying worm advisory).
+struct ProvenanceEdge {
+    std::uint32_t parent = 0;  ///< Claimed sender (sequence field).
+    std::uint32_t child = 0;   ///< Victim that reported the frame.
+    std::uint32_t hop = 0;     ///< Child's depth below patient zero.
+    std::uint64_t span = 0;         ///< Infecting frame's span id.
+    std::uint64_t parent_span = 0;  ///< Span that caused the infection.
+    std::uint64_t at = 0;           ///< Victim's observation cycle.
+};
+
+/// Exact infection DAG reconstructed from propagated trace contexts —
+/// the replacement for the blind union-find component on traced
+/// estates: who patient zero was, who infected whom, and how deep the
+/// propagation tree ran.
+struct ProvenanceReport {
+    bool traced = false;  ///< At least one traced worm edge seen.
+    bool exact = false;   ///< Every in-range worm edge carried a trace.
+    std::uint32_t patient_zero = 0;  ///< Trace origin (chain root).
+    std::uint32_t max_hop = 0;       ///< Deepest reconstructed hop.
+    std::vector<ProvenanceEdge> edges;  ///< First-per-victim, in order.
+};
+
 class FleetMonitor {
 public:
     /// `registry`/`recorder` are the fleet-level instances (owned by
@@ -110,6 +132,23 @@ public:
         return spans_;
     }
 
+    /// The reconstructed infection DAG (empty/untraced when no worm
+    /// advisory carried a trace context).
+    [[nodiscard]] const ProvenanceReport& provenance() const noexcept {
+        return provenance_;
+    }
+
+    /// Compact propagation-tree rendering: "p->c,p->c,..." sorted by
+    /// parent then child, capped at `max_edges` (",..." suffix when
+    /// truncated). Empty when untraced.
+    [[nodiscard]] std::string propagation_tree(
+        std::size_t max_edges = CampaignIncident::kDeviceSample) const;
+
+    /// The provenance report as a JSON object (patient zero, depth,
+    /// edge list capped at kDeviceSample) — embedded verbatim into
+    /// sealed worm-campaign postmortem bundles.
+    [[nodiscard]] std::string provenance_json() const;
+
 private:
     void observe_worm(std::uint32_t victim, const obs::SiemEvent& event);
     void observe_replay(std::uint32_t device, const obs::SiemEvent& event);
@@ -128,7 +167,17 @@ private:
     obs::FlightRecorder& recorder_;
     obs::SpanTracer spans_;
     obs::Histogram* m_latency_;
+    obs::Gauge* m_latency_p95_;
+    obs::Histogram* m_depth_;
     obs::Counter* m_kind_[kCampaignKindCount];
+
+    // Exact provenance (trace-carrying worm advisories). One edge per
+    // victim (first wins — deterministic in the serial drain order);
+    // untraced in-range edges poison exactness but still feed the
+    // union-find fallback below.
+    ProvenanceReport provenance_;
+    std::vector<bool> prov_child_seen_;
+    std::uint64_t untraced_worm_edges_ = 0;
 
     // Worm infection graph: union-find over device indices. size_ and
     // first_at_ are root-indexed; flagged_ roots already campaigned.

@@ -141,6 +141,23 @@ void Node::install_os_services() {
                     }
                     channel->send(payload);
                     ++stats_.telemetry_frames;
+                    if (channel->tracing() && recorder.capacity() > 0) {
+                        // Flow endpoint: a send that continues an
+                        // inbound causal chain (hop > 0) pairs with the
+                        // receiver's "net-recv" record (same span id)
+                        // as a Perfetto flow arrow. Root sends (plain
+                        // operator telemetry) stay off the ring.
+                        const net::TraceContext& t =
+                            channel->last_sent_trace();
+                        if (t.hop > 0) {
+                            recorder.record_slow(
+                                sim.now(), "net", "net-send", /*severity=*/0,
+                                obs::FlightRecordType::kInstant, t.span_id,
+                                (std::uint64_t{t.origin_device} << 32) |
+                                    t.hop,
+                                {});
+                        }
+                    }
                 }
                 return true;
             }
@@ -307,6 +324,7 @@ void Node::provision(const crypto::MerklePublicKey& vendor_pk,
 
     tee.provision_key("attest", attest_key);
     channel = std::make_unique<net::SecureChannel>(nic, channel_key);
+    if (cfg.causal_tracing) channel->enable_tracing(cfg.device_index);
 
     rom = std::make_unique<boot::BootRom>(vendor_pk, counters);
     rom->set_strict_rollback(cfg.strict_rollback);
@@ -537,13 +555,28 @@ void Node::pump_network() {
         // Everything else is authenticated channel traffic.
         if (channel) {
             const net::Received received = channel->process(*frame);
+            if (received.trace && received.trace->hop > 0 &&
+                recorder.capacity() > 0) {
+                // Flow endpoint: pairs with the sender's "net-send"
+                // record (same span id) as a Perfetto flow arrow. Only
+                // chained frames (hop > 0) have a sender-side record,
+                // so every "t" flow event has a matching "s".
+                recorder.record_slow(
+                    sim.now(), "net", "net-recv", /*severity=*/0,
+                    obs::FlightRecordType::kInstant,
+                    received.trace->span_id,
+                    (std::uint64_t{received.trace->origin_device} << 32) |
+                        received.trace->hop,
+                    {});
+            }
             if (network_monitor) {
                 // The sequence number is channel-layer metadata: replay
                 // fingerprints and forged-frame origin hints for the
-                // fleet correlation tier.
+                // fleet correlation tier. The claimed trace context
+                // rides along for exact provenance reconstruction.
                 network_monitor->note_rx(received.status,
                                          received.payload.size(),
-                                         received.sequence);
+                                         received.sequence, received.trace);
             }
         }
     }
@@ -665,6 +698,20 @@ void Node::append_chrome_trace(obs::ChromeTrace& out) const {
             return;
         }
         const std::uint32_t tid = out.thread(pid, recorder.name(r.source));
+        // Causal-trace endpoints render as Chrome flow events: Perfetto
+        // draws an arrow from each "net-send" to the "net-recv" with
+        // the same span id (record scalar a), across device tracks.
+        if (recorder.name(r.source) == "net") {
+            const std::string_view kind = recorder.name(r.kind);
+            if (kind == "net-send") {
+                out.flow_start(pid, tid, "frame", "m2m-flow", r.at, r.a);
+                return;
+            }
+            if (kind == "net-recv") {
+                out.flow_step(pid, tid, "frame", "m2m-flow", r.at, r.a);
+                return;
+            }
+        }
         out.instant(pid, tid, recorder.name(r.kind),
                     core::severity_name(
                         static_cast<core::EventSeverity>(r.severity)),

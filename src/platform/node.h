@@ -111,6 +111,16 @@ struct NodeConfig {
     /// provably idle cycles. Purely a speed knob — architecture-level
     /// results are bit-identical with it off.
     bool quiescence = true;
+    /// Cross-device causal tracing (net/trace.h): outbound M2M frames
+    /// carry an HMAC-covered trace-context extension, and the context
+    /// of each authenticated inbound frame becomes the parent of the
+    /// frames its handling produces. Off = v1 frames on the wire and
+    /// no per-frame trace work at all.
+    bool causal_tracing = true;
+    /// Fleet device index: the span-id namespace and provenance
+    /// identity used when causal_tracing is on (the Fleet sets it at
+    /// enrolment; standalone nodes keep 0).
+    std::uint32_t device_index = 0;
 };
 
 /// Runtime service/health counters every experiment reads.

@@ -19,7 +19,8 @@ MonitorEvent event(sim::Cycle at, EventCategory category,
                    EventSeverity severity, std::string resource = "res",
                    std::string detail = "detail") {
     return MonitorEvent{at, "test-monitor", category, severity,
-                        std::move(resource), std::move(detail), 0, 0};
+                        std::move(resource), std::move(detail), 0, 0,
+                        std::nullopt};
 }
 
 TEST(Evidence, ChainVerifies) {
@@ -441,7 +442,8 @@ protected:
 
     MonitorEvent trigger(const std::string& resource) {
         return MonitorEvent{sim.now(), "m", EventCategory::kMemory,
-                            EventSeverity::kCritical, resource, "d", 0, 0};
+                            EventSeverity::kCritical, resource, "d", 0, 0,
+                            std::nullopt};
     }
 
     sim::Simulator sim;

@@ -383,6 +383,8 @@ struct SiemArtifacts {
     std::string jsonl;
     std::string syslog;
     std::string head;
+    std::string chrome;      ///< Fleet Chrome trace incl. flow events.
+    std::string provenance;  ///< Reconstructed infection DAG (JSON).
     std::vector<std::string> campaign_postmortems;
     std::vector<std::pair<CampaignKind, std::uint64_t>> verdicts;
 };
@@ -421,6 +423,8 @@ SiemArtifacts run_campaign_estate(std::size_t threads, bool quiescence,
     out.jsonl = fleet.siem_stream().jsonl();
     out.syslog = fleet.siem_stream().syslog();
     out.head = fleet.siem_stream().head_hex();
+    out.chrome = fleet.chrome_trace();
+    out.provenance = fleet.campaign_monitor().provenance_json();
     out.campaign_postmortems = fleet.sealed_campaign_postmortems();
     for (const CampaignIncident& c : fleet.campaign_monitor().campaigns()) {
         out.verdicts.emplace_back(c.kind, c.detected_at);
@@ -432,11 +436,19 @@ TEST(FleetSiem, ExportAndVerdictsBitIdenticalAcrossThreadCounts) {
     const SiemArtifacts one = run_campaign_estate(1, true, false);
     const SiemArtifacts eight = run_campaign_estate(8, true, false);
 
-    // Non-vacuous: every campaign class was actually detected.
+    // Non-vacuous: every campaign class was actually detected, the
+    // export carries propagated traces, and the Chrome trace carries
+    // flow events.
     ASSERT_EQ(one.verdicts.size(), 3u);
+    ASSERT_NE(one.jsonl.find("\"trace\":{"), std::string::npos);
+    ASSERT_NE(one.chrome.find("\"ph\":\"s\""), std::string::npos);
+    ASSERT_NE(one.chrome.find("\"ph\":\"t\""), std::string::npos);
+    ASSERT_NE(one.provenance.find("\"exact\": true"), std::string::npos);
     EXPECT_EQ(one.jsonl, eight.jsonl);
     EXPECT_EQ(one.syslog, eight.syslog);
     EXPECT_EQ(one.head, eight.head);
+    EXPECT_EQ(one.chrome, eight.chrome);
+    EXPECT_EQ(one.provenance, eight.provenance);
     EXPECT_EQ(one.verdicts, eight.verdicts);
     EXPECT_EQ(one.campaign_postmortems, eight.campaign_postmortems);
 }
@@ -448,6 +460,8 @@ TEST(FleetSiem, QuiescenceFastForwardLeavesExportByteIdentical) {
     EXPECT_EQ(percycle.jsonl, skipped.jsonl);
     EXPECT_EQ(percycle.syslog, skipped.syslog);
     EXPECT_EQ(percycle.head, skipped.head);
+    EXPECT_EQ(percycle.chrome, skipped.chrome);
+    EXPECT_EQ(percycle.provenance, skipped.provenance);
     EXPECT_EQ(percycle.verdicts, skipped.verdicts);
     EXPECT_EQ(percycle.campaign_postmortems, skipped.campaign_postmortems);
 }
@@ -464,6 +478,8 @@ TEST(FleetSiem, MidCampaignBreachStaysDeterministic) {
     EXPECT_EQ(reference.jsonl, fast.jsonl);
     EXPECT_EQ(reference.syslog, fast.syslog);
     EXPECT_EQ(reference.head, fast.head);
+    EXPECT_EQ(reference.chrome, fast.chrome);
+    EXPECT_EQ(reference.provenance, fast.provenance);
     EXPECT_EQ(reference.verdicts, fast.verdicts);
     EXPECT_EQ(reference.campaign_postmortems, fast.campaign_postmortems);
 }

@@ -199,6 +199,161 @@ TEST(FleetCampaign, WormPropagationDetectedWithoutDeviceIncidents) {
     expect_no_device_incidents(fleet);
 }
 
+TEST(FleetCampaign, TracedWormReconstructsExactInfectionDag) {
+    // The provenance acceptance bar: on a traced 64-device estate the
+    // reconstructed DAG names the true patient zero and the exact
+    // infection edges — ground truth comes from the attack driver.
+    Fleet fleet(estate(64, 23));
+    attack::WormCampaign worm;
+    worm.launch(fleet);
+    EXPECT_EQ(worm.infections(), 64u);
+
+    fleet.run(20000);
+    fleet.drain_siem();
+
+    const ProvenanceReport& report = fleet.campaign_monitor().provenance();
+    EXPECT_TRUE(report.traced);
+    EXPECT_TRUE(report.exact);  // Every worm edge carried a context.
+    EXPECT_EQ(report.patient_zero,
+              static_cast<std::uint32_t>(worm.patient_zero()));
+    EXPECT_EQ(report.max_hop, worm.max_depth());
+
+    // Edge-exact: one reconstructed edge per victim, matching the
+    // driver's schedule (compare sorted by child — each victim is
+    // infected exactly once in both views).
+    ASSERT_EQ(report.edges.size(), worm.edges().size());
+    auto got = report.edges;
+    auto want = worm.edges();
+    const auto by_child = [](const auto& x, const auto& y) {
+        return x.child < y.child;
+    };
+    std::sort(got.begin(), got.end(), by_child);
+    std::sort(want.begin(), want.end(), by_child);
+    for (std::size_t i = 0; i < got.size(); ++i) {
+        EXPECT_EQ(got[i].parent, want[i].parent) << "edge " << i;
+        EXPECT_EQ(got[i].child, want[i].child) << "edge " << i;
+        EXPECT_EQ(got[i].hop, want[i].hop) << "edge " << i;
+    }
+
+    // The campaign SIEM record names patient zero and renders the
+    // propagation tree...
+    const std::string& jsonl = fleet.siem_stream().jsonl();
+    EXPECT_NE(jsonl.find("patient zero device 0 (depth 6, exact)"),
+              std::string::npos);
+    EXPECT_NE(jsonl.find("; tree 0->1,0->2,1->3"), std::string::npos);
+    // ...worm advisories carry the propagated trace objects...
+    EXPECT_NE(jsonl.find("\"trace\":{\"origin\":0,\"hop\":1"),
+              std::string::npos);
+    // ...and the sealed campaign postmortem embeds the DAG.
+    const auto sealed = fleet.sealed_campaign_postmortems();
+    ASSERT_FALSE(sealed.empty());
+    EXPECT_NE(sealed[0].find("\"provenance\": {\"traced\": true, "
+                             "\"exact\": true, \"patient_zero\": 0"),
+              std::string::npos);
+    EXPECT_TRUE(obs::verify_postmortem(sealed[0], fleet.siem_key()));
+
+    // The hop-depth histogram counts one sample per reconstructed edge.
+    const auto snapshot = fleet.collect_metrics();
+    const auto* depth =
+        snapshot.find_histogram("cres_fleet_infection_depth");
+    ASSERT_NE(depth, nullptr);
+    EXPECT_EQ(depth->count(), report.edges.size());
+    EXPECT_EQ(depth->max(), worm.max_depth());
+}
+
+TEST(FleetCampaign, UntracedEstateFallsBackToUnionFind) {
+    // causal_tracing off: v1 frames on the wire, no trace bytes in the
+    // export, no DAG — but the union-find correlation still detects
+    // the campaign.
+    FleetConfig config = estate(64, 23);
+    config.causal_tracing = false;
+    Fleet fleet(config);
+    attack::WormCampaign worm;
+    worm.launch(fleet);
+
+    fleet.run(20000);
+    fleet.drain_siem();
+
+    const ProvenanceReport& report = fleet.campaign_monitor().provenance();
+    EXPECT_FALSE(report.traced);
+    EXPECT_FALSE(report.exact);
+    EXPECT_TRUE(report.edges.empty());
+    EXPECT_TRUE(fleet.campaign_monitor().propagation_tree().empty());
+
+    ASSERT_FALSE(fleet.campaign_monitor().campaigns().empty());
+    EXPECT_EQ(fleet.campaign_monitor().campaigns().front().kind,
+              CampaignKind::kWorm);
+    const std::string& jsonl = fleet.siem_stream().jsonl();
+    EXPECT_EQ(jsonl.find("\"trace\""), std::string::npos);
+    EXPECT_EQ(jsonl.find("patient zero"), std::string::npos);
+    // The sealed campaign bundle has no provenance section either.
+    const auto sealed = fleet.sealed_campaign_postmortems();
+    ASSERT_FALSE(sealed.empty());
+    EXPECT_EQ(sealed[0].find("\"provenance\""), std::string::npos);
+    EXPECT_TRUE(obs::verify_postmortem(sealed[0], fleet.siem_key()));
+}
+
+TEST(FleetSiem, ZeroCapacityBuffersPublishNothingAndCountNothing) {
+    // siem_buffer_capacity 0 disables the export layer per node: a
+    // campaign runs, nothing stages, the drain appends nothing — and
+    // the header-only stream still verifies offline.
+    FleetConfig config = estate(8, 43);
+    config.siem_buffer_capacity = 0;
+    Fleet fleet(config);
+    attack::WormCampaign worm;
+    worm.launch(fleet);
+    fleet.run(20000);
+
+    EXPECT_EQ(fleet.drain_siem(), 0u);
+    const std::string& jsonl = fleet.siem_stream().jsonl();
+    const obs::SiemVerifyResult verdict =
+        obs::SiemStream::verify(jsonl, fleet.siem_key());
+    EXPECT_TRUE(verdict.ok) << verdict.reason;
+    EXPECT_EQ(verdict.records, 0u);
+    // Disabled buffers surface no drop-accounting records (there is no
+    // staging layer to account for) and feed no correlation.
+    EXPECT_EQ(kind_count(jsonl, "state"), 0u);
+    EXPECT_TRUE(fleet.campaign_monitor().campaigns().empty());
+}
+
+TEST(FleetSiem, EmptyFleetDrainYieldsVerifiableHeaderOnlyStream) {
+    Fleet fleet(estate(0, 47));
+    EXPECT_EQ(fleet.size(), 0u);
+    EXPECT_EQ(fleet.drain_siem(), 0u);
+    const std::string& jsonl = fleet.siem_stream().jsonl();
+    EXPECT_EQ(jsonl, std::string(obs::SiemStream::header()) + "\n");
+    const obs::SiemVerifyResult verdict =
+        obs::SiemStream::verify(jsonl, fleet.siem_key());
+    EXPECT_TRUE(verdict.ok) << verdict.reason;
+    EXPECT_EQ(verdict.records, 0u);
+}
+
+TEST(FleetSiem, OverflowBetweenDrainsSurfacesDropAccounting) {
+    // A 1-slot staging buffer under campaign load must drop — and the
+    // drain surfaces the loss as an explicit record instead of a
+    // silent gap.
+    FleetConfig config = estate(64, 23);
+    config.siem_buffer_capacity = 1;
+    Fleet fleet(config);
+    attack::WormCampaign worm;
+    attack::CoordinatedReplayCampaign replay;
+    worm.launch(fleet);
+    replay.launch(fleet);  // Second record per device overflows the slot.
+    fleet.run(60000);
+    fleet.drain_siem();
+
+    const std::string& jsonl = fleet.siem_stream().jsonl();
+    EXPECT_NE(jsonl.find("\"source\":\"siem-buffer\""), std::string::npos);
+    EXPECT_NE(jsonl.find("dropped records since last drain"),
+              std::string::npos);
+    EXPECT_TRUE(obs::SiemStream::verify(jsonl, fleet.siem_key()).ok);
+    // A second drain with no new overflow adds no new drop records.
+    const std::size_t drop_records = kind_count(jsonl, "state");
+    fleet.drain_siem();
+    EXPECT_EQ(kind_count(fleet.siem_stream().jsonl(), "state"),
+              drop_records);
+}
+
 TEST(FleetCampaign, CoordinatedReplayDetectedWithoutDeviceIncidents) {
     Fleet fleet(estate(64, 29));
     attack::CoordinatedReplayCampaign replay;

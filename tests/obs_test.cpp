@@ -82,6 +82,48 @@ TEST(Histogram, RecordTracksCountSumMinMax) {
     EXPECT_EQ(h.highest_bucket(), 10u);
 }
 
+// --- Quantile estimation (known-answer tests) -------------------------------
+// Prometheus-style: locate the bucket covering rank q*n, interpolate
+// linearly inside it, clamp to the observed [min, max].
+
+TEST(Histogram, QuantileEmptyAndSingleSampleKats) {
+    Histogram h;
+    EXPECT_EQ(h.estimate_quantile(0.5), 0u);  // Empty histogram.
+    h.record(100);
+    // One sample: every quantile is that sample (the min/max clamp
+    // overrides in-bucket interpolation).
+    EXPECT_EQ(h.p50(), 100u);
+    EXPECT_EQ(h.p95(), 100u);
+    EXPECT_EQ(h.p99(), 100u);
+}
+
+TEST(Histogram, QuantileBucketBoundaryKats) {
+    // 50 samples at 1 and 50 at 1024: p50 lands exactly on the upper
+    // boundary of the le=1 bucket; the tail quantiles land in the
+    // (1023, 2047] bucket, whose upper bound tightens to max()=1024.
+    Histogram h;
+    for (int i = 0; i < 50; ++i) h.record(1);
+    for (int i = 0; i < 50; ++i) h.record(1024);
+    EXPECT_EQ(h.p50(), 1u);
+    EXPECT_EQ(h.p95(), 1023u);
+    EXPECT_EQ(h.p99(), 1023u);
+    EXPECT_EQ(h.estimate_quantile(0.0), 1u);     // Clamped to min().
+    EXPECT_EQ(h.estimate_quantile(1.0), 1024u);  // Clamped to max().
+}
+
+TEST(Histogram, QuantileInterpolatesWithinOneBucket) {
+    // All mass in (511, 1023]: interpolation sweeps the bucket span
+    // monotonically with q.
+    Histogram h;
+    for (int i = 0; i < 100; ++i) h.record(512);
+    for (int i = 0; i < 100; ++i) h.record(1000);
+    const std::uint64_t p50 = h.p50();
+    const std::uint64_t p95 = h.p95();
+    EXPECT_GE(p50, 512u);
+    EXPECT_LE(p95, 1000u);
+    EXPECT_LE(p50, p95);
+}
+
 // --- Counter / gauge / registry --------------------------------------------
 
 TEST(MetricsRegistry, GetOrCreateReturnsStableReferences) {
@@ -161,6 +203,9 @@ TEST(MetricsRegistry, MergeIsDeterministicForAGivenFoldOrder) {
 
 MetricsRegistry golden_registry() {
     MetricsRegistry r;
+    r.set_help("cres_demo_events_total", "Demo events observed");
+    r.set_help("cres_monitor_polls_total",
+               "Monitor poll invocations by monitor");
     r.counter("cres_demo_events_total").inc(3);
     r.counter("cres_monitor_polls_total{monitor=\"bus-monitor\"}").inc(7);
     r.counter("cres_monitor_polls_total{monitor=\"cfi-monitor\"}").inc(9);
@@ -195,6 +240,41 @@ TEST(Exposition, TypeLinesAreDedupedAcrossLabelSets) {
         ++pos;
     }
     EXPECT_EQ(type_lines, 1u);  // One TYPE line despite two label sets.
+}
+
+TEST(Exposition, HelpLinesEmitOncePerBaseAndOnlyWhenRegistered) {
+    const std::string text = golden_registry().prometheus();
+    // Registered help precedes the TYPE line; one line per base even
+    // with two label sets; unregistered series get no HELP at all.
+    EXPECT_NE(text.find("# HELP cres_demo_events_total Demo events "
+                        "observed\n# TYPE cres_demo_events_total counter"),
+              std::string::npos);
+    std::size_t help_lines = 0;
+    std::size_t pos = 0;
+    while ((pos = text.find("# HELP cres_monitor_polls_total", pos)) !=
+           std::string::npos) {
+        ++help_lines;
+        ++pos;
+    }
+    EXPECT_EQ(help_lines, 1u);
+    EXPECT_EQ(text.find("# HELP cres_demo_queue_depth"), std::string::npos);
+}
+
+TEST(Exposition, MergeUnionsHelpFirstRegistrationWins) {
+    MetricsRegistry a;
+    MetricsRegistry b;
+    a.counter("x_total").inc();
+    b.counter("x_total").inc();
+    b.counter("y_total").inc();
+    a.set_help("x_total", "from a");
+    b.set_help("x_total", "from b");
+    b.set_help("y_total", "only b knows");
+    a.merge_from(b);
+    ASSERT_NE(a.find_help("x_total"), nullptr);
+    EXPECT_EQ(*a.find_help("x_total"), "from a");  // First wins.
+    ASSERT_NE(a.find_help("y_total"), nullptr);
+    EXPECT_EQ(*a.find_help("y_total"), "only b knows");
+    EXPECT_EQ(a.find_help("z_total"), nullptr);
 }
 
 TEST(Exposition, EmptyHistogramEmitsOnlyInfBucket) {
@@ -581,6 +661,57 @@ TEST(ChromeTraceExport, MatchesGoldenFile) {
     std::stringstream golden;
     golden << in.rdbuf();
     EXPECT_EQ(golden_chrome_trace().json(), golden.str());
+}
+
+ChromeTrace golden_flow_trace() {
+    // Two cross-device frames: each flow_start ("s") pairs with exactly
+    // one flow_step ("t") through its span id, across process tracks.
+    ChromeTrace t;
+    const std::uint32_t dev0 = t.process("device-0");
+    const std::uint32_t net0 = t.thread(dev0, "net");
+    const std::uint32_t dev1 = t.process("device-1");
+    const std::uint32_t net1 = t.thread(dev1, "net");
+    t.flow_start(dev0, net0, "frame", "m2m-flow", 1000,
+                 (std::uint64_t{1} << 32) | 1);
+    t.flow_step(dev1, net1, "frame", "m2m-flow", 1400,
+                (std::uint64_t{1} << 32) | 1);
+    t.flow_start(dev1, net1, "frame", "m2m-flow", 2000,
+                 (std::uint64_t{2} << 32) | 7);
+    t.flow_step(dev0, net0, "frame", "m2m-flow", 2500,
+                (std::uint64_t{2} << 32) | 7);
+    return t;
+}
+
+TEST(ChromeTraceExport, FlowEventsMatchGoldenFile) {
+    const std::string path =
+        std::string(CRES_OBS_GOLDEN_DIR) + "/chrome_flow.golden";
+    std::ifstream in(path);
+    ASSERT_TRUE(in) << "missing golden file " << path;
+    std::stringstream golden;
+    golden << in.rdbuf();
+    EXPECT_EQ(golden_flow_trace().json(), golden.str());
+}
+
+TEST(ChromeTraceExport, EveryFlowStepIdHasAMatchingFlowStart) {
+    const std::string json = golden_flow_trace().json();
+    // The s/t pairing contract the CI jq check enforces on the real
+    // estate artefact, pinned here at unit scope: same count of "s"
+    // and "t" phases, and both span ids appear exactly twice.
+    const auto count = [&json](const std::string& needle) {
+        std::size_t n = 0;
+        std::size_t pos = 0;
+        while ((pos = json.find(needle, pos)) != std::string::npos) {
+            ++n;
+            ++pos;
+        }
+        return n;
+    };
+    EXPECT_EQ(count("\"ph\":\"s\""), 2u);
+    EXPECT_EQ(count("\"ph\":\"t\""), 2u);
+    // Hex-string ids: full 64-bit span ids survive double-based JSON
+    // consumers (jq, browsers) only as strings.
+    EXPECT_EQ(count("\"id\":\"0x100000001\""), 2u);
+    EXPECT_EQ(count("\"id\":\"0x200000007\""), 2u);
 }
 
 TEST(ChromeTraceExport, TrackIdsAreAssignedInRegistrationOrder) {

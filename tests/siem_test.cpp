@@ -219,6 +219,43 @@ TEST(SiemStream, SyslogFramingRendersPriAndStructuredData) {
     EXPECT_EQ(lines, stream.records());
 }
 
+TEST(SiemStream, TracedRecordsRenderTraceObjectAndStillChain) {
+    SiemStream stream(test_key());
+    stream.append(0, "device-0", sample_event(100));  // Untraced.
+    SiemEvent traced = sample_event(200);
+    traced.traced = true;
+    traced.trace_origin = 3;
+    traced.trace_hop = 2;
+    traced.trace_span = (std::uint64_t{3} << 32) | 9;
+    traced.trace_parent = (std::uint64_t{1} << 32) | 4;
+    stream.append(1, "device-1", traced);
+
+    const std::string& jsonl = stream.jsonl();
+    // The trace object rides after "b" with the propagated context;
+    // exactly one record carries it.
+    EXPECT_NE(jsonl.find(",\"trace\":{\"origin\":3,\"hop\":2,\"span\":" +
+                         std::to_string((std::uint64_t{3} << 32) | 9) +
+                         ",\"parent\":" +
+                         std::to_string((std::uint64_t{1} << 32) | 4) + "}"),
+              std::string::npos);
+    EXPECT_EQ(jsonl.find("\"trace\""), jsonl.rfind("\"trace\""));
+    // The chain covers the trace bytes like any other body bytes.
+    EXPECT_TRUE(SiemStream::verify(jsonl, test_key()).ok);
+    std::string tampered = jsonl;
+    const std::size_t hop = tampered.find("\"hop\":2");
+    ASSERT_NE(hop, std::string::npos);
+    tampered[hop + 6] = '5';
+    EXPECT_FALSE(SiemStream::verify(tampered, test_key()).ok);
+}
+
+TEST(SiemStream, UntracedStreamsCarryNoTraceBytes) {
+    // The v1 compatibility contract: a stream of untraced records is
+    // byte-for-byte what a tracing-unaware build would have produced.
+    const SiemStream stream = sample_stream();
+    EXPECT_EQ(stream.jsonl().find("\"trace\""), std::string::npos);
+    EXPECT_EQ(stream.syslog().find("trace"), std::string::npos);
+}
+
 TEST(SiemStream, EveryOneByteFlipBreaksTheChain) {
     const SiemStream stream = sample_stream();
     const std::string& jsonl = stream.jsonl();
