@@ -16,14 +16,20 @@
 //   --raw                  input is a raw code section, not an image
 //   --load-addr <addr>     raw mode: section load address
 //   --entry <addr>         raw mode: entry point
+//   --json                 machine-readable report on stdout (one JSON
+//                          object per image; --demo emits an array)
 //   --demo                 analyze a built-in clean and a built-in
 //                          malicious image (no input file)
+//   --help                 print this help and exit 0
 //
 // Exit status: 0 clean, 2 findings fail policy, 64 usage/input error.
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "analysis/verifier.h"
@@ -36,31 +42,158 @@ namespace {
 
 using namespace cres;
 
+const char* const kHelp =
+    "usage: cres_lint [options] <image.fw>\n"
+    "       cres_lint [options] --raw --load-addr A --entry A <code.bin>\n"
+    "       cres_lint [options] --demo\n"
+    "\n"
+    "Runs the secure-boot admission verifier offline: CFG construction,\n"
+    "abstract-interpretation bounds/taint analysis and the policy pass\n"
+    "pipeline (docs/ANALYSIS.md). An image flagged with errors here is\n"
+    "exactly an image a deny-mode node refuses to boot.\n"
+    "\n"
+    "options:\n"
+    "  --unprivileged         ban mret/sret/smc/csrw/wfi\n"
+    "  --max-stack <bytes>    worst-case stack budget (default 8192)\n"
+    "  --warnings-as-errors   warnings also fail the audit\n"
+    "  --raw                  input is a raw code section, not an image\n"
+    "  --load-addr <addr>     raw mode: section load address\n"
+    "  --entry <addr>         raw mode: entry point\n"
+    "  --json                 machine-readable report on stdout (one\n"
+    "                         JSON object per image; --demo emits an\n"
+    "                         array of two)\n"
+    "  --demo                 analyze a built-in clean and a built-in\n"
+    "                         malicious image (no input file)\n"
+    "  --help                 print this help and exit\n"
+    "\n"
+    "exit status:\n"
+    "  0   the image passes policy (ADMISSIBLE) / --demo verdicts split\n"
+    "      as expected / --help\n"
+    "  2   findings fail policy (REJECTED in deny mode)\n"
+    "  64  usage error, unreadable input or malformed image\n";
+
 int usage() {
-    std::cerr
-        << "usage: cres_lint [--unprivileged] [--max-stack N]\n"
-           "                 [--warnings-as-errors] <image.fw>\n"
-           "       cres_lint [options] --raw --load-addr A --entry A "
-           "<code.bin>\n"
-           "       cres_lint [options] --demo\n";
+    std::cerr << kHelp;
     return 64;
 }
 
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (const char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+std::string hex_addr(mem::Addr addr) {
+    std::ostringstream os;
+    os << "0x" << std::hex << addr;
+    return os.str();
+}
+
+/// One image's audit as a JSON object (stable machine interface: the
+/// CI jq checks and fleet tooling consume this).
+std::string render_json(const std::string& name, mem::Addr load_addr,
+                        mem::Addr entry, const analysis::Report& report,
+                        bool pass) {
+    std::ostringstream os;
+    os << "{\"name\":\"" << json_escape(name) << "\","
+       << "\"load_addr\":\"" << hex_addr(load_addr) << "\","
+       << "\"entry\":\"" << hex_addr(entry) << "\","
+       << "\"verdict\":\"" << (pass ? "admissible" : "rejected") << "\","
+       << "\"errors\":" << report.errors() << ","
+       << "\"warnings\":" << report.warnings() << ","
+       << "\"infos\":" << report.count(analysis::Severity::kInfo) << ","
+       << "\"stats\":{"
+       << "\"words\":" << report.words << ","
+       << "\"tail_bytes\":" << report.tail_bytes << ","
+       << "\"reachable_insns\":" << report.reachable_insns << ","
+       << "\"blocks\":" << report.blocks << ","
+       << "\"indirect_jumps\":" << report.indirect_jumps << ","
+       << "\"max_stack_bytes\":" << report.max_stack_bytes << ","
+       << "\"stack_bounded\":" << (report.stack_bounded ? "true" : "false")
+       << "},";
+    os << "\"proof\":{";
+    if (report.proofs) {
+        os << "\"mem_ops\":" << report.proofs->mem_ops << ","
+           << "\"proven_ops\":" << report.proofs->proven_ops << ","
+           << "\"coverage\":" << report.proofs->coverage() << ","
+           << "\"certificates\":[";
+        bool first = true;
+        for (const auto& cert : report.proofs->certificates) {
+            if (!first) os << ",";
+            first = false;
+            os << "{\"entry\":\"" << hex_addr(cert.entry) << "\","
+               << "\"bound_bytes\":" << cert.bound_bytes << ","
+               << "\"bounded\":" << (cert.bounded ? "true" : "false") << "}";
+        }
+        os << "]";
+    } else {
+        os << "\"mem_ops\":0,\"proven_ops\":0,\"coverage\":0,"
+           << "\"certificates\":[]";
+    }
+    os << "},\"findings\":[";
+    bool first = true;
+    for (const auto& f : report.findings) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"severity\":\"" << analysis::severity_name(f.severity)
+           << "\",\"pass\":\"" << analysis::pass_name(f.pass)
+           << "\",\"addr\":\"" << hex_addr(f.addr) << "\",\"code\":\""
+           << json_escape(f.code) << "\",\"detail\":\""
+           << json_escape(f.detail) << "\"}";
+    }
+    os << "],\"taint_traces\":[";
+    first = true;
+    for (const auto& t : report.taint_traces) {
+        if (!first) os << ",";
+        first = false;
+        os << "{\"source\":\"" << json_escape(t.source)
+           << "\",\"source_pc\":\"" << hex_addr(t.source_pc)
+           << "\",\"sink\":\"" << json_escape(t.sink) << "\",\"sink_pc\":\""
+           << hex_addr(t.sink_pc) << "\"}";
+    }
+    os << "]}";
+    return os.str();
+}
+
 /// Analyzes one payload and prints the report. Returns the exit code.
+/// In JSON mode the object is appended to `json_out` instead of being
+/// printed (the caller decides between object and array framing).
 int audit(const analysis::FirmwareVerifier& verifier, const std::string& name,
-          BytesView code, mem::Addr load_addr, mem::Addr entry) {
+          BytesView code, mem::Addr load_addr, mem::Addr entry,
+          std::string* json_out) {
     const analysis::Report report = verifier.analyze(code, load_addr, entry);
+    const bool pass =
+        report.admissible(verifier.policy().warnings_as_errors);
+    if (json_out != nullptr) {
+        *json_out += render_json(name, load_addr, entry, report, pass);
+        return pass ? 0 : 2;
+    }
     std::cout << "== " << name << " @ 0x" << std::hex << load_addr
               << " entry 0x" << entry << std::dec << " ==\n"
               << report.render() << "\n";
-    const bool pass =
-        report.admissible(verifier.policy().warnings_as_errors);
     std::cout << "verdict: " << (pass ? "ADMISSIBLE" : "REJECTED") << "\n";
     return pass ? 0 : 2;
 }
 
-/// A deliberately hostile image: patches its own reachable code (W^X)
-/// and jumps into the data segment through a materialized pointer.
+/// A deliberately hostile image: patches its own reachable code (W^X),
+/// jumps into the data segment through a materialized pointer, and
+/// dispatches through a NIC-controlled function pointer (taint).
 isa::Program malicious_demo_program() {
     return isa::assemble(R"(
     start:
@@ -68,21 +201,29 @@ isa::Program malicious_demo_program() {
         la    r1, start
         li    r2, 0
         sw    r2, r1, 0        ; store over reachable code: W^X violation
-        li    r3, 0x20000
-        jalr  r0, r3, 0        ; transfer into the data segment
+        li    r4, 0x40006000
+        lw    r5, r4, 0        ; NIC RX read: untrusted source
+        jalr  r0, r5, 0        ; tainted dispatch: net data becomes pc
         halt
     )",
                          cres::platform::kCodeBase);
 }
 
-int run_demo(const analysis::FirmwareVerifier& verifier) {
+int run_demo(const analysis::FirmwareVerifier& verifier, bool json) {
+    std::string json_buf;
+    std::string* out = json ? &json_buf : nullptr;
     const isa::Program good = platform::control_loop_program();
     const int good_rc = audit(verifier, "control-loop (clean)", good.code,
-                              good.origin, good.symbol("start"));
-    std::cout << "\n";
+                              good.origin, good.symbol("start"), out);
+    if (json) {
+        json_buf += ",";
+    } else {
+        std::cout << "\n";
+    }
     const isa::Program bad = malicious_demo_program();
     const int bad_rc = audit(verifier, "wx-implant (malicious)", bad.code,
-                             bad.origin, bad.symbol("start"));
+                             bad.origin, bad.symbol("start"), out);
+    if (json) std::cout << "[" << json_buf << "]\n";
     // The demo succeeds when the verifier tells the two apart.
     return (good_rc == 0 && bad_rc != 0) ? 0 : 2;
 }
@@ -93,6 +234,7 @@ int main(int argc, char** argv) {
     analysis::Policy policy;
     bool raw = false;
     bool demo = false;
+    bool json = false;
     mem::Addr load_addr = platform::kCodeBase;
     mem::Addr entry = platform::kCodeBase;
     std::string path;
@@ -102,7 +244,10 @@ int main(int argc, char** argv) {
         auto next = [&]() -> const char* {
             return (i + 1 < argc) ? argv[++i] : nullptr;
         };
-        if (arg == "--unprivileged") {
+        if (arg == "--help" || arg == "-h") {
+            std::cout << kHelp;
+            return 0;
+        } else if (arg == "--unprivileged") {
             policy.banned_opcodes =
                 analysis::Policy::unprivileged().banned_opcodes;
         } else if (arg == "--warnings-as-errors") {
@@ -122,6 +267,8 @@ int main(int argc, char** argv) {
             const char* v = next();
             if (v == nullptr) return usage();
             entry = std::stoul(v, nullptr, 0);
+        } else if (arg == "--json") {
+            json = true;
         } else if (arg == "--demo") {
             demo = true;
         } else if (!arg.empty() && arg[0] == '-') {
@@ -133,7 +280,7 @@ int main(int argc, char** argv) {
     }
 
     const analysis::FirmwareVerifier verifier(std::move(policy));
-    if (demo) return run_demo(verifier);
+    if (demo) return run_demo(verifier, json);
     if (path.empty()) return usage();
 
     std::ifstream in(path, std::ios::binary);
@@ -144,13 +291,22 @@ int main(int argc, char** argv) {
     const Bytes data((std::istreambuf_iterator<char>(in)),
                      std::istreambuf_iterator<char>());
 
+    auto emit = [&](const std::string& name, BytesView code, mem::Addr base,
+                    mem::Addr at) {
+        std::string json_buf;
+        const int rc =
+            audit(verifier, name, code, base, at, json ? &json_buf : nullptr);
+        if (json) std::cout << json_buf << "\n";
+        return rc;
+    };
+
     if (raw) {
-        return audit(verifier, path, data, load_addr, entry);
+        return emit(path, data, load_addr, entry);
     }
     try {
         const boot::FirmwareImage image = boot::FirmwareImage::parse(data);
-        return audit(verifier, image.name, image.payload, image.load_addr,
-                     image.entry_point);
+        return emit(image.name, image.payload, image.load_addr,
+                    image.entry_point);
     } catch (const std::exception& e) {
         std::cerr << "cres_lint: '" << path
                   << "' is not a valid firmware image: " << e.what()

@@ -10,9 +10,12 @@ namespace {
 
 using isa::Opcode;
 
-/// Block-local constant propagation: which registers hold statically
-/// known values. r0 is architecturally zero; everything else starts
-/// unknown at block entry (blocks can be entered from anywhere).
+/// Constant propagation: which registers hold statically known
+/// values. r0 is architecturally zero. States flow along resolved
+/// control-flow edges (branches, direct jumps/calls, resolved jalr),
+/// so a `lui+ori` materialization straddling a block boundary still
+/// resolves; asynchronous entries (trap vectors) and call return
+/// sites conservatively start fresh.
 struct ConstState {
     std::array<std::optional<std::uint32_t>, 16> regs;
 
@@ -24,7 +27,21 @@ struct ConstState {
     void set(std::uint8_t r, std::optional<std::uint32_t> v) {
         if ((r & 0x0f) != 0) regs[r & 0x0f] = v;
     }
+
+    bool operator==(const ConstState&) const = default;
 };
+
+/// Pointwise meet: keep only constants both predecessor states agree
+/// on. Monotone (constants are only ever dropped), so re-walking
+/// blocks whose entry state shrank terminates.
+ConstState meet(const ConstState& a, const ConstState& b) {
+    ConstState out;
+    for (unsigned r = 1; r < 16; ++r) {
+        if (a.regs[r] && b.regs[r] && *a.regs[r] == *b.regs[r])
+            out.regs[r] = a.regs[r];
+    }
+    return out;
+}
 
 std::optional<std::uint32_t> eval_alu(Opcode op, std::uint32_t a,
                                       std::uint32_t b) {
@@ -139,8 +156,32 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
 
     std::deque<mem::Addr> worklist;
     std::set<mem::Addr> root_set;
+    // Constant state at each block entry, met over all incoming edges.
+    // Jump/access facts are buffered per block so re-walking a block
+    // whose entry state shrank replaces (not duplicates) its facts.
+    std::map<mem::Addr, ConstState> entry_state;
+    std::map<mem::Addr, std::vector<JumpSite>> block_jumps;
+    std::map<mem::Addr, std::vector<MemSite>> block_accesses;
+
+    auto flow_state = [&](mem::Addr target, const ConstState& incoming) {
+        if ((target & 3u) != 0 || !cfg.in_image(target)) return;
+        auto [it, inserted] = entry_state.try_emplace(target, incoming);
+        if (inserted) return;
+        const ConstState met = meet(it->second, incoming);
+        if (met == it->second) return;
+        it->second = met;
+        if (cfg.blocks.erase(target) != 0) {
+            block_jumps.erase(target);
+            block_accesses.erase(target);
+            worklist.push_back(target);
+        }
+    };
+
     auto add_root = [&](mem::Addr addr) {
         if ((addr & 3u) != 0 || !cfg.in_image(addr)) return;
+        // Roots are entered asynchronously (reset, traps): no registers
+        // are known there, so their entry state meets with fresh.
+        flow_state(addr, ConstState{});
         if (!root_set.insert(addr).second) return;
         cfg.roots.push_back(addr);
         worklist.push_back(addr);
@@ -155,6 +196,13 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
         BasicBlock bb;
         bb.start = start;
         ConstState st;
+        if (const auto se = entry_state.find(start); se != entry_state.end())
+            st = se->second;
+        const ConstState entry_snapshot = st;
+        std::vector<JumpSite>& bjumps = block_jumps[start];
+        std::vector<MemSite>& baccesses = block_accesses[start];
+        bjumps.clear();
+        baccesses.clear();
 
         // Stack-growth accounting, split around sp re-materialization.
         std::int64_t grow = 0, peak = 0, grow2 = 0, peak2 = 0;
@@ -169,10 +217,14 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
             }
         };
 
-        auto add_successor = [&](mem::Addr target) {
+        // Links a CFG edge and flows the given constant state into the
+        // successor. Call return sites pass fresh (callee may clobber
+        // anything); resolved edges pass the post-transfer state.
+        auto add_successor = [&](mem::Addr target, const ConstState& out) {
             if ((target & 3u) != 0 || !cfg.in_image(target)) return;
             bb.successors.push_back(target);
             worklist.push_back(target);
+            flow_state(target, out);
         };
 
         mem::Addr pc = start;
@@ -201,10 +253,12 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
                 case Opcode::kBgeu: {
                     const mem::Addr target =
                         pc + static_cast<std::uint32_t>(simm);
-                    cfg.jumps.push_back(
+                    bjumps.push_back(
                         {pc, target, JumpKind::kBranch, true, false});
-                    add_successor(target);
-                    add_successor(pc + 4);
+                    // Branches write no register: the current state
+                    // flows unchanged down both edges.
+                    add_successor(target, st);
+                    add_successor(pc + 4, st);
                     open = false;
                     break;
                 }
@@ -212,10 +266,12 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
                     const mem::Addr target =
                         pc + static_cast<std::uint32_t>(simm);
                     const bool call = insn.rd == kLr;
-                    cfg.jumps.push_back(
+                    bjumps.push_back(
                         {pc, target, JumpKind::kDirect, true, call});
-                    add_successor(target);
-                    if (call) add_successor(pc + 4);  // Callee returns here.
+                    ConstState out = st;
+                    propagate(insn, pc, out);  // Link register write.
+                    add_successor(target, out);
+                    if (call) add_successor(pc + 4, ConstState{});
                     open = false;
                     break;
                 }
@@ -228,16 +284,18 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
                         const mem::Addr target =
                             (*v + static_cast<std::uint32_t>(simm)) & ~3u;
                         const bool call = insn.rd == kLr;
-                        cfg.jumps.push_back(
+                        bjumps.push_back(
                             {pc, target, JumpKind::kResolved, true, call});
-                        add_successor(target);
-                        if (call) add_successor(pc + 4);
+                        ConstState out = st;
+                        propagate(insn, pc, out);
+                        add_successor(target, out);
+                        if (call) add_successor(pc + 4, ConstState{});
                     } else {
                         const bool call = insn.rd == kLr;
-                        cfg.jumps.push_back(
+                        bjumps.push_back(
                             {pc, 0, JumpKind::kIndirect, false, call});
                         bb.indirect_exit = true;
-                        if (call) add_successor(pc + 4);
+                        if (call) add_successor(pc + 4, ConstState{});
                     }
                     open = false;
                     break;
@@ -248,7 +306,7 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
                          insn.imm == isa::kCsrMepc ||
                          insn.imm == isa::kCsrSepc)) {
                         if (const auto v = st.get(insn.rs1)) {
-                            cfg.jumps.push_back(
+                            bjumps.push_back(
                                 {pc, *v, JumpKind::kVector, true, false});
                             add_root(*v);
                         }
@@ -273,7 +331,7 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
                                    insn.opcode == Opcode::kSh)
                                       ? 2
                                       : 1;
-                        cfg.accesses.push_back(
+                        baccesses.push_back(
                             {pc, *v + static_cast<std::uint32_t>(simm), size,
                              store});
                     }
@@ -322,7 +380,27 @@ Cfg build_cfg(BytesView code, mem::Addr base, mem::Addr entry) {
         bb.post_reset_net = grow2;
         bb.post_reset_peak = peak2;
         cfg.blocks.emplace(start, std::move(bb));
+
+        // A self-edge (or a successor that loops back before we
+        // finished) may have shrunk this block's own entry state while
+        // we walked it; if so the facts above were computed from stale
+        // constants — drop the block and re-walk it.
+        if (const auto se = entry_state.find(start);
+            se != entry_state.end() && !(se->second == entry_snapshot)) {
+            cfg.blocks.erase(start);
+            block_jumps.erase(start);
+            block_accesses.erase(start);
+            worklist.push_back(start);
+        }
     }
+
+    // Flatten the per-block fact buffers in block-start order so the
+    // output is deterministic regardless of worklist scheduling.
+    for (const auto& kv : block_jumps)
+        cfg.jumps.insert(cfg.jumps.end(), kv.second.begin(), kv.second.end());
+    for (const auto& kv : block_accesses)
+        cfg.accesses.insert(cfg.accesses.end(), kv.second.begin(),
+                            kv.second.end());
 
     return cfg;
 }

@@ -22,6 +22,8 @@ std::string_view pass_name(PassId pass) noexcept {
         case PassId::kMemory: return "memory";
         case PassId::kStack: return "stack";
         case PassId::kPrivilege: return "privilege";
+        case PassId::kBounds: return "bounds";
+        case PassId::kTaint: return "taint";
         case PassId::kReachability: return "reachability";
     }
     return "?";
@@ -63,6 +65,19 @@ std::string Report::render() const {
     if (tail_bytes != 0) os << " (+" << tail_bytes << " tail bytes)";
     os << " indirect=" << indirect_jumps << " max-stack=" << max_stack_bytes
        << (stack_bounded ? "" : " (UNBOUNDED)") << "\n";
+    if (proofs != nullptr) {
+        os << "proofs: " << proofs->proven_ops << "/" << proofs->mem_ops
+           << " accesses proven in-bounds ("
+           << static_cast<int>(proofs->coverage() * 100.0 + 0.5) << "%), "
+           << proofs->certificates.size() << " stack certificate(s)\n";
+    }
+    for (const TaintTrace& t : taint_traces) {
+        os << "taint: " << t.source << " read at ";
+        append_addr(os, t.source_pc);
+        os << " reaches " << t.sink << " at ";
+        append_addr(os, t.sink_pc);
+        os << "\n";
+    }
     for (const Finding& f : findings) {
         os << "  [" << severity_name(f.severity) << "] " << pass_name(f.pass)
            << " ";

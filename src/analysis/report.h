@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -32,6 +33,8 @@ enum class PassId : std::uint8_t {
     kMemory,        ///< W^X and segment checks on resolvable accesses.
     kStack,         ///< Worst-case stack depth along CFG paths.
     kPrivilege,     ///< Banned-opcode policy.
+    kBounds,        ///< Interval-domain in-bounds proofs (absint.h).
+    kTaint,         ///< Untrusted-input flow to control/CSR sinks.
     kReachability,  ///< Unreachable-code reporting.
 };
 
@@ -47,6 +50,49 @@ struct Finding {
     std::string detail;   ///< Human-readable context.
 };
 
+/// The proof artifact the abstract interpreter (absint.h) attaches to a
+/// Report: per-instruction proven-safe bits plus per-function stack
+/// certificates. It is a pure function of (code, base, entry) — the
+/// proofs are computed against the canonical SoC segment map — which is
+/// what lets a fleet cache one artifact per distinct firmware and lets
+/// the translator bake the safe bits into the shared TranslationImage.
+struct ProofAnnotations {
+    /// Per-word flags, indexed like Cfg::words.
+    enum : std::uint8_t { kLoadProven = 1, kStoreProven = 2 };
+    std::vector<std::uint8_t> safe;
+
+    /// Worst-case stack depth proof for one entry point (a CFG root or
+    /// a resolved call target). `bound_bytes` is meaningful only when
+    /// `bounded`; loop-bound inference can bound counted loops the
+    /// syntactic walk reports as unbounded.
+    struct StackCertificate {
+        mem::Addr entry = 0;
+        std::uint64_t bound_bytes = 0;
+        bool bounded = false;
+    };
+    std::vector<StackCertificate> certificates;
+
+    std::size_t mem_ops = 0;     ///< Reachable loads+stores analyzed.
+    std::size_t proven_ops = 0;  ///< Proven in-bounds and aligned.
+
+    /// Fraction of reachable memory accesses proven safe (0 when none).
+    [[nodiscard]] double coverage() const noexcept {
+        return mem_ops == 0 ? 0.0
+                            : static_cast<double>(proven_ops) /
+                                  static_cast<double>(mem_ops);
+    }
+};
+
+/// One provable untrusted-input flow: a load from an untrusted source
+/// (NIC RX, DMA descriptors, sensor MMIO) whose value reaches a
+/// control-flow or CSR sink.
+struct TaintTrace {
+    mem::Addr source_pc = 0;  ///< The tainting load.
+    mem::Addr sink_pc = 0;    ///< The consuming instruction.
+    std::string source;       ///< "nic-rx", "dma-desc", "sensor-mmio".
+    std::string sink;         ///< "indirect-jump", "store-address", "csr-write".
+};
+
 /// Verdict + findings + CFG statistics for one image.
 struct Report {
     std::vector<Finding> findings;
@@ -59,6 +105,12 @@ struct Report {
     std::size_t indirect_jumps = 0;    ///< Statically unresolved transfers.
     std::uint32_t max_stack_bytes = 0; ///< Worst-case depth found.
     bool stack_bounded = true;         ///< False when a growing cycle exists.
+
+    /// Proof artifact from the abstract-interpretation passes; shared
+    /// (fleet analysis cache) and immutable once attached.
+    std::shared_ptr<const ProofAnnotations> proofs;
+    /// Provable untrusted-input flows found by the taint pass.
+    std::vector<TaintTrace> taint_traces;
 
     [[nodiscard]] std::size_t count(Severity severity) const noexcept;
     [[nodiscard]] std::size_t errors() const noexcept {

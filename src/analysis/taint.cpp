@@ -1,0 +1,28 @@
+#include "analysis/taint.h"
+
+namespace cres::analysis {
+
+std::string_view taint_source_name(std::uint8_t mask) noexcept {
+    if (mask & kTaintNic) return "nic-rx";
+    if (mask & kTaintDma) return "dma-desc";
+    if (mask & kTaintSensor) return "sensor-mmio";
+    return "untrusted";
+}
+
+std::uint8_t taint_source_for_segment(std::string_view segment) noexcept {
+    if (segment == "nic") return kTaintNic;
+    if (segment == "dma") return kTaintDma;
+    if (segment == "sensor") return kTaintSensor;
+    return 0;
+}
+
+std::string_view taint_sink_name(TaintSinkKind kind) noexcept {
+    switch (kind) {
+        case TaintSinkKind::kIndirectJump: return "indirect-jump";
+        case TaintSinkKind::kStoreAddress: return "store-address";
+        case TaintSinkKind::kCsrWrite: return "csr-write";
+    }
+    return "?";
+}
+
+}  // namespace cres::analysis

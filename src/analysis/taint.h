@@ -1,0 +1,94 @@
+// Taint domain for the abstract interpreter (absint.h).
+//
+// Registers carry a may-taint bitmask seeded at untrusted input
+// sources — net RX buffers (NIC), DMA descriptors and sensor MMIO
+// reads — plus the pc of a representative tainting load so findings
+// can name the whole flow. The lattice is register-only: taint follows
+// provable register dataflow (ALU ops, derived pointers) and is
+// dropped at statically opaque boundaries (memory round-trips, call
+// returns, ecall services). Absence of taint therefore never *proves*
+// cleanliness; presence proves a concrete untrusted flow, which is
+// exactly what the admission gate rejects on.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "mem/bus.h"
+
+namespace cres::analysis {
+
+/// Taint source bits (one per untrusted-input class).
+enum TaintBit : std::uint8_t {
+    kTaintNic = 1,     ///< Network RX rings / NIC MMIO.
+    kTaintDma = 2,     ///< DMA descriptor / data registers.
+    kTaintSensor = 4,  ///< Sensor MMIO samples.
+};
+
+/// Name of the lowest set source bit ("nic-rx", "dma-desc",
+/// "sensor-mmio"), or "untrusted" for an empty mask.
+std::string_view taint_source_name(std::uint8_t mask) noexcept;
+
+/// Source bits for a load that provably reads the named SoC segment
+/// (the canonical map names its peripherals "nic", "dma", "sensor").
+std::uint8_t taint_source_for_segment(std::string_view segment) noexcept;
+
+/// The sinks the taint pass flags (all admission errors).
+enum class TaintSinkKind : std::uint8_t {
+    kIndirectJump,  ///< Tainted jalr target (gadget dispatch).
+    kStoreAddress,  ///< Tainted store address (write-what-where).
+    kCsrWrite,      ///< Taint reaching a privileged CSR write.
+};
+
+std::string_view taint_sink_name(TaintSinkKind kind) noexcept;
+
+/// Per-register taint state. Joins are pointwise mask-union; the
+/// representative origin is the smallest tainting pc so fixpoint
+/// results are deterministic regardless of visit order.
+struct TaintLattice {
+    std::array<std::uint8_t, 16> mask{};
+    std::array<mem::Addr, 16> origin{};
+
+    void clear() noexcept {
+        mask.fill(0);
+        origin.fill(0);
+    }
+
+    void set(unsigned r, std::uint8_t bits, mem::Addr origin_pc) noexcept {
+        if (r == 0 || r >= 16) return;  // r0 is hardwired zero.
+        mask[r] = bits;
+        origin[r] = bits != 0 ? origin_pc : 0;
+    }
+
+    /// Union of two registers' taint (for binary ALU results).
+    void combine(unsigned rd, unsigned ra, unsigned rb) noexcept {
+        if (rd == 0 || rd >= 16) return;
+        const std::uint8_t bits =
+            static_cast<std::uint8_t>(mask[ra & 15] | mask[rb & 15]);
+        mask[rd] = bits;
+        origin[rd] = bits == 0 ? 0
+                               : merged_origin(origin[ra & 15], origin[rb & 15]);
+    }
+
+    void join(const TaintLattice& other) noexcept {
+        for (unsigned r = 1; r < 16; ++r) {
+            const std::uint8_t bits =
+                static_cast<std::uint8_t>(mask[r] | other.mask[r]);
+            if (bits == 0) continue;
+            mask[r] = bits;
+            origin[r] = merged_origin(origin[r], other.origin[r]);
+        }
+    }
+
+    bool operator==(const TaintLattice&) const = default;
+
+private:
+    static mem::Addr merged_origin(mem::Addr a, mem::Addr b) noexcept {
+        if (a == 0) return b;
+        if (b == 0) return a;
+        return a < b ? a : b;
+    }
+};
+
+}  // namespace cres::analysis

@@ -1,11 +1,25 @@
 #include "analysis/translate.h"
 
+#include "analysis/absint.h"
+#include "analysis/verifier.h"
+
 namespace cres::analysis {
 
 isa::TranslationImage translate_image(BytesView code, mem::Addr base,
-                                      mem::Addr entry) {
+                                      mem::Addr entry,
+                                      const ProofAnnotations* proofs) {
     const Cfg cfg = build_cfg(code, base, entry);
     const std::size_t words = cfg.words.size();
+
+    // Derive the proof artifact locally when the caller (cache miss,
+    // standalone use) did not supply one. Always proven against the
+    // canonical SoC map so the translation stays a pure function of
+    // (code, base, entry) regardless of the admitting node's policy.
+    AbsIntResult local;
+    if (proofs == nullptr) {
+        local = analyze_image(cfg, SegmentMap::soc_default());
+        proofs = &local.proofs;
+    }
 
     isa::TranslationImage image;
     image.base = base;
@@ -15,8 +29,10 @@ isa::TranslationImage translate_image(BytesView code, mem::Addr base,
     image.translated.assign(words, 0);
 
     for (std::size_t i = 0; i < words; ++i) {
-        image.uops.push_back(isa::predecode(
-            cfg.words[i].raw, base + static_cast<mem::Addr>(i * 4)));
+        isa::Uop u = isa::predecode(cfg.words[i].raw,
+                                    base + static_cast<mem::Addr>(i * 4));
+        if (i < proofs->safe.size()) u.safe = proofs->safe[i];
+        image.uops.push_back(u);
     }
 
     const mem::Addr edge = base + image.size_bytes;
@@ -27,22 +43,32 @@ isa::TranslationImage translate_image(BytesView code, mem::Addr base,
             // The executor relies on this invariant: a word marked
             // translated is never UopKind::kInvalid, so the threaded
             // dispatch table needs no illegal-instruction edge.
-            if (cfg.words[idx].valid) image.translated[idx] = 1;
+            if (cfg.words[idx].valid)
+                image.translated[idx] |= isa::TranslationImage::kTranslated;
+        }
+        // Mark the superblock entry word: check elision re-arms only
+        // at these boundaries after computed control flow (cpu.cpp).
+        if (start < end) {
+            const std::size_t idx = cfg.index_of(start);
+            if ((image.translated[idx] &
+                 isa::TranslationImage::kTranslated) != 0)
+                image.translated[idx] |= isa::TranslationImage::kBlockStart;
         }
         image.blocks.push_back(isa::Superblock{
             start, end, block.terminal, block.indirect_exit});
     }
 
     for (const std::uint8_t flag : image.translated) {
-        image.translated_words += flag;
+        image.translated_words += flag & isa::TranslationImage::kTranslated;
     }
     return image;
 }
 
 std::shared_ptr<const isa::TranslationImage> translate_image_shared(
-    BytesView code, mem::Addr base, mem::Addr entry) {
+    BytesView code, mem::Addr base, mem::Addr entry,
+    const ProofAnnotations* proofs) {
     return std::make_shared<const isa::TranslationImage>(
-        translate_image(code, base, entry));
+        translate_image(code, base, entry, proofs));
 }
 
 }  // namespace cres::analysis

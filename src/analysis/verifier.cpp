@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "analysis/absint.h"
 #include "platform/memmap.h"
 
 namespace cres::analysis {
@@ -248,7 +249,8 @@ struct StackWalk {
     }
 };
 
-void stack_pass(const Cfg& cfg, const Policy& policy, Report& report) {
+void stack_pass(const Cfg& cfg, const Policy& policy, Report& report,
+                const AbsIntResult& absint) {
     StackWalk walk{cfg, policy, report, {}, {}, {}, 0, false, 0};
     for (const mem::Addr root : cfg.roots) {
         walk.walk(root, 0);
@@ -258,10 +260,47 @@ void stack_pass(const Cfg& cfg, const Policy& policy, Report& report) {
     report.stack_bounded = !walk.unbounded;
 
     if (walk.unbounded) {
-        add(report, PassId::kStack, Severity::kWarning, walk.unbounded_at,
-            "stack-unbounded",
-            "cycle through " + hex(walk.unbounded_at) +
-                " grows the stack on every iteration");
+        // Loop-bound inference may still certify the depth: when every
+        // root carries a bounded stack certificate, the syntactic
+        // "growing cycle" is a counted loop with a proven trip bound.
+        std::uint64_t tightened = 0;
+        bool all_roots_certified = absint.converged && !cfg.roots.empty();
+        for (const mem::Addr root : cfg.roots) {
+            const ProofAnnotations::StackCertificate* cert = nullptr;
+            for (const auto& c : absint.proofs.certificates) {
+                if (c.entry == root) {
+                    cert = &c;
+                    break;
+                }
+            }
+            if (cert == nullptr || !cert->bounded) {
+                all_roots_certified = false;
+                break;
+            }
+            tightened = std::max(tightened, cert->bound_bytes);
+        }
+        if (all_roots_certified) {
+            report.max_stack_bytes = static_cast<std::uint32_t>(
+                std::min<std::uint64_t>(tightened, 0xffffffffull));
+            report.stack_bounded = true;
+            add(report, PassId::kBounds, Severity::kInfo, walk.unbounded_at,
+                "stack-bound-tightened",
+                "counted loop through " + hex(walk.unbounded_at) +
+                    " certified: worst-case depth " +
+                    std::to_string(tightened) + " bytes");
+            if (tightened > policy.max_stack_bytes) {
+                add(report, PassId::kStack, Severity::kError, cfg.entry,
+                    "stack-depth-exceeded",
+                    "certified stack depth " + std::to_string(tightened) +
+                        " bytes exceeds the policy budget of " +
+                        std::to_string(policy.max_stack_bytes));
+            }
+        } else {
+            add(report, PassId::kStack, Severity::kWarning, walk.unbounded_at,
+                "stack-unbounded",
+                "cycle through " + hex(walk.unbounded_at) +
+                    " grows the stack on every iteration");
+        }
     }
     if (!walk.unbounded &&
         walk.max_depth > static_cast<std::int64_t>(policy.max_stack_bytes)) {
@@ -278,6 +317,51 @@ void stack_pass(const Cfg& cfg, const Policy& policy, Report& report) {
                 "sp written from a statically unknown value in block " +
                     hex(start));
         }
+    }
+}
+
+// --- bounds pass (pass 8) ----------------------------------------------
+
+void bounds_pass(const Cfg& cfg, Report& report, const AbsIntResult& absint) {
+    if (!absint.converged) {
+        add(report, PassId::kBounds, Severity::kWarning, cfg.entry,
+            "analysis-incomplete",
+            "abstract interpretation hit its iteration cap; "
+            "in-bounds proofs were dropped");
+        return;
+    }
+    for (const auto& [idx, c] : absint.checks) {
+        (void)idx;
+        if (!c.provably_oob) continue;
+        const std::string range =
+            c.lo == c.hi ? hex(c.lo) : hex(c.lo) + "-" + hex(c.hi);
+        if (c.is_store) {
+            add(report, PassId::kBounds, Severity::kError, c.at, "oob-store",
+                "store range " + range + " (+" + std::to_string(c.size) +
+                    ") provably misses every writable segment");
+        } else {
+            add(report, PassId::kBounds, Severity::kWarning, c.at, "oob-load",
+                "load range " + range + " (+" + std::to_string(c.size) +
+                    ") provably misses every mapped segment");
+        }
+    }
+    if (absint.proofs.mem_ops != 0) {
+        add(report, PassId::kBounds, Severity::kInfo, cfg.entry,
+            "bounds-proven",
+            std::to_string(absint.proofs.proven_ops) + "/" +
+                std::to_string(absint.proofs.mem_ops) +
+                " reachable memory accesses proven in-bounds and aligned");
+    }
+}
+
+// --- taint pass (pass 9) ------------------------------------------------
+
+void taint_pass(Report& report, const AbsIntResult& absint) {
+    for (const TaintTrace& t : absint.taint_traces) {
+        add(report, PassId::kTaint, Severity::kError, t.sink_pc,
+            "taint-" + t.sink,
+            t.source + " data read at " + hex(t.source_pc) +
+                " reaches " + t.sink + " sink");
     }
 }
 
@@ -374,6 +458,7 @@ Policy Policy::unprivileged() {
 Report FirmwareVerifier::analyze(BytesView code, mem::Addr load_addr,
                                  mem::Addr entry) const {
     const Cfg cfg = build_cfg(code, load_addr, entry);
+    AbsIntResult absint = analyze_image(cfg, policy_.segments);
 
     Report report;
     report.words = cfg.words.size();
@@ -385,9 +470,15 @@ Report FirmwareVerifier::analyze(BytesView code, mem::Addr load_addr,
     opcode_pass(cfg, report);
     control_flow_pass(cfg, policy_, report);
     memory_pass(cfg, policy_, report);
-    stack_pass(cfg, policy_, report);
+    stack_pass(cfg, policy_, report, absint);
     privilege_pass(cfg, policy_, report);
+    bounds_pass(cfg, report, absint);
+    taint_pass(report, absint);
     reachability_pass(cfg, policy_, report);
+
+    report.taint_traces = absint.taint_traces;
+    report.proofs =
+        std::make_shared<const ProofAnnotations>(std::move(absint.proofs));
 
     // Severity order first, then address: the gate's "reason" and the
     // lint listing both lead with what matters.
@@ -404,7 +495,13 @@ Report FirmwareVerifier::analyze(const boot::FirmwareImage& image) const {
 }
 
 boot::AdmissionVerdict AnalysisGate::admit(const boot::FirmwareImage& image) {
-    const Report report = verifier_.analyze(image);
+    // A fleet-shared analysis cache may hand us a precomputed report
+    // for this exact (code, base, entry); fall back to local analysis.
+    std::shared_ptr<const Report> cached;
+    if (report_provider_) cached = report_provider_(image);
+    Report computed;
+    if (cached == nullptr) computed = verifier_.analyze(image);
+    const Report& report = cached != nullptr ? *cached : computed;
 
     boot::AdmissionVerdict verdict;
     verdict.errors = report.errors();

@@ -9,8 +9,13 @@
 //   memory        W^X over the SoC segment map: no stores to reachable
 //                 code, no execution from data or MMIO
 //   stack         bounded worst-case stack depth along CFG paths
+//                 (tightened by absint.h loop-bound certificates)
 //   privilege     banned-opcode policy (e.g. privileged ops in
 //                 unprivileged images)
+//   bounds        abstract-interpretation in-bounds/alignment proofs
+//                 and provably out-of-bounds accesses (absint.h)
+//   taint         untrusted-input flow (NIC/DMA/sensor) into indirect
+//                 jumps, store addresses and privileged CSR writes
 //   reachability  unreachable-code reporting (informational)
 //
 // The same Report drives the secure-boot/update admission gate and the
@@ -19,6 +24,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -94,6 +100,11 @@ public:
     /// Called after every admission decision (metrics/evidence hook).
     using Observer = std::function<void(const boot::FirmwareImage& image,
                                         const Report& report, bool rejected)>;
+    /// Supplies a precomputed (typically fleet-cached) report for an
+    /// image; returning nullptr falls back to local analysis.
+    using ReportProvider =
+        std::function<std::shared_ptr<const Report>(
+            const boot::FirmwareImage& image)>;
 
     AnalysisGate(Policy policy, boot::AdmissionMode mode)
         : verifier_(std::move(policy)), mode_(mode) {}
@@ -101,6 +112,9 @@ public:
     boot::AdmissionVerdict admit(const boot::FirmwareImage& image) override;
 
     void set_observer(Observer observer) { observer_ = std::move(observer); }
+    void set_report_provider(ReportProvider provider) {
+        report_provider_ = std::move(provider);
+    }
 
     [[nodiscard]] const FirmwareVerifier& verifier() const noexcept {
         return verifier_;
@@ -111,6 +125,7 @@ private:
     FirmwareVerifier verifier_;
     boot::AdmissionMode mode_;
     Observer observer_;
+    ReportProvider report_provider_;
 };
 
 }  // namespace cres::analysis

@@ -60,6 +60,7 @@ Fleet::Fleet(FleetConfig config)
                                               fleet_metrics_,
                                               fleet_recorder_)),
       translation_cache_(std::make_shared<TranslationCache>()),
+      analysis_cache_(std::make_shared<AnalysisCache>()),
       firmware_store_(std::make_shared<FirmwareStore>()),
       // Every device runs the same firmware: assemble it once here,
       // not once per device inside enrolment.
@@ -97,6 +98,8 @@ void Fleet::enrol_device(std::size_t index) {
     node_config.quiescence = cfg_.quiescence;
     node_config.translate = cfg_.translate;
     node_config.translation_cache = translation_cache_;
+    node_config.analysis_cache = analysis_cache_;
+    node_config.elide_proven_checks = cfg_.elide_proven_checks;
     if (cfg_.share_firmware) node_config.firmware_store = firmware_store_;
 
     devices_[index] = std::make_unique<Device>(

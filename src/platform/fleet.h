@@ -84,6 +84,12 @@ struct FleetConfig {
     /// state stays private, so determinism is unaffected. Off = every
     /// device interprets — the E13c ablation baseline.
     bool translate = true;
+
+    /// Proof-carrying check elision on every device (docs/EXECUTION.md,
+    /// docs/ANALYSIS.md): translated loads/stores the shared analysis
+    /// artifact proved in-bounds + aligned skip their per-access
+    /// checks. Purely a speed knob — lockstep-identical off/on.
+    bool elide_proven_checks = true;
 };
 
 /// One attestation sweep across the fleet.
@@ -133,6 +139,13 @@ public:
     /// The fleet-shared firmware-keyed translation cache.
     [[nodiscard]] const TranslationCache& translation_cache() const noexcept {
         return *translation_cache_;
+    }
+
+    /// The fleet-shared firmware-keyed analysis-report cache: one
+    /// abstract-interpretation artifact per distinct firmware, shared
+    /// by every device's admission gate and translator.
+    [[nodiscard]] const AnalysisCache& analysis_cache() const noexcept {
+        return *analysis_cache_;
     }
 
     /// The fleet-shared firmware byte store (one entry per distinct
@@ -271,6 +284,7 @@ private:
     std::unique_ptr<obs::SiemStream> siem_stream_;
     std::unique_ptr<FleetMonitor> monitor_;
     std::shared_ptr<TranslationCache> translation_cache_;
+    std::shared_ptr<AnalysisCache> analysis_cache_;
     std::shared_ptr<FirmwareStore> firmware_store_;
     /// Assembled once per fleet — every device runs the same firmware,
     /// so per-device assembly is pure enrolment overhead at scale.

@@ -32,6 +32,7 @@ Node::Node(NodeConfig config)
       tee(bus, kTeeRamBase, kTeeRamSize) {
     build_memory_map();
     sim.set_quiescence(cfg.quiescence);
+    cpu.set_check_elision(cfg.elide_proven_checks);
     if (cfg.metrics) trace.bind_metrics(metrics);
 
     sim.add_tickable(&cpu);
@@ -66,6 +67,7 @@ Node::Node(NodeConfig config)
                         *mirror);
         bus.add_observer(mirror.get());
         shadow_cpu = std::make_unique<isa::Cpu>("cpu0-shadow", *shadow_bus);
+        shadow_cpu->set_check_elision(cfg.elide_proven_checks);
         // OS services are side-effect-free on the shadow.
         shadow_cpu->set_ecall_handler(
             [](isa::Cpu&, std::uint16_t) { return true; });
@@ -371,6 +373,14 @@ void Node::provision(const crypto::MerklePublicKey& vendor_pk,
                         .inc(report.warnings());
                 }
                 if (rejected) metrics.counter("cres_analysis_rejects").inc();
+                if (report.proofs) {
+                    metrics.counter("cres_analysis_proof_ops_total")
+                        .inc(report.proofs->mem_ops);
+                    metrics.counter("cres_analysis_proof_proven_total")
+                        .inc(report.proofs->proven_ops);
+                    metrics.counter("cres_analysis_proof_certificates")
+                        .inc(report.proofs->certificates.size());
+                }
             }
             trace.emit(sim.now(), "boot",
                        rejected ? "image-rejected" : "image-verified",
@@ -397,6 +407,24 @@ void Node::provision(const crypto::MerklePublicKey& vendor_pk,
                 ssm->submit(event);
             }
         });
+        if (cfg.analysis_cache) {
+            // Fleet-shared proofs: each distinct firmware is analyzed
+            // once estate-wide; every other node admits from the
+            // cached report (verdict logic still runs per node).
+            admission_gate->set_report_provider(
+                [this](const boot::FirmwareImage& image) {
+                    if (cfg.metrics) {
+                        metrics
+                            .counter("cres_analysis_proof_artifacts_total")
+                            .inc();
+                    }
+                    return cfg.analysis_cache->get_or_analyze(
+                        AnalysisCache::key_for(image.payload,
+                                               image.load_addr,
+                                               image.entry_point),
+                        image.payload, image.load_addr, image.entry_point);
+                });
+        }
         rom->set_admission_gate(admission_gate.get());
         update_agent->set_admission_gate(admission_gate.get());
     }
@@ -496,10 +524,23 @@ void Node::refresh_translation() {
         return;
     }
 
+    // Reuse the fleet-cached proof artifact when one is available so
+    // the translator does not re-run the abstract interpreter. The
+    // report shared_ptr must outlive the get_or_build call.
+    std::shared_ptr<const analysis::Report> cached_report;
+    const analysis::ProofAnnotations* proofs = nullptr;
+    if (cfg.analysis_cache) {
+        cached_report = cfg.analysis_cache->get_or_analyze(
+            AnalysisCache::key_for(code, base, entry_), code, base, entry_);
+        if (cached_report && cached_report->proofs)
+            proofs = cached_report->proofs.get();
+    }
+
     std::shared_ptr<const isa::TranslationImage> image =
         cfg.translation_cache
-            ? cfg.translation_cache->get_or_build(key, code, base, entry_)
-            : analysis::translate_image_shared(code, base, entry_);
+            ? cfg.translation_cache->get_or_build(key, code, base, entry_,
+                                                  proofs)
+            : analysis::translate_image_shared(code, base, entry_, proofs);
     cpu.install_translation(image);
     if (shadow_cpu) shadow_cpu->install_translation(std::move(image));
 }

@@ -56,6 +56,7 @@
 #include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/siem.h"
+#include "platform/analysis_cache.h"
 #include "platform/firmware_store.h"
 #include "platform/lockstep.h"
 #include "platform/memmap.h"
@@ -102,6 +103,17 @@ struct NodeConfig {
     /// nodes measuring the same image share a translation). Null =
     /// build privately per node.
     std::shared_ptr<TranslationCache> translation_cache;
+    /// Shared firmware-keyed analysis-report cache: the admission gate
+    /// reuses a fleet-cached Report (findings + proof artifact) instead
+    /// of re-running the abstract interpreter per node, and the
+    /// translator consumes the cached ProofAnnotations. Null = analyze
+    /// privately per node.
+    std::shared_ptr<AnalysisCache> analysis_cache;
+    /// Proof-carrying check elision (docs/EXECUTION.md): translated
+    /// loads/stores proven in-bounds + aligned skip their per-access
+    /// MPU/alignment checks. Purely a speed knob — lockstep-identical
+    /// to checked execution by construction.
+    bool elide_proven_checks = true;
     /// Shared firmware byte store: debug loads install their code as a
     /// copy-on-write RAM backing from here instead of copying into
     /// private pages, so fleet nodes running the same image share the

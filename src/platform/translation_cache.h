@@ -19,6 +19,10 @@
 #include "isa/uop.h"
 #include "util/bytes.h"
 
+namespace cres::analysis {
+struct ProofAnnotations;  // analysis/report.h
+}
+
 namespace cres::platform {
 
 class TranslationCache {
@@ -26,9 +30,11 @@ public:
     /// Returns the cached translation for `key`, building it from
     /// (code, base, entry) on the first request. Thread-safe: nodes
     /// rebooting concurrently on worker threads hit this during a run.
+    /// `proofs` optionally supplies a precomputed proof artifact (the
+    /// analysis-report cache); null lets the translator derive one.
     std::shared_ptr<const isa::TranslationImage> get_or_build(
         const crypto::Hash256& key, BytesView code, mem::Addr base,
-        mem::Addr entry);
+        mem::Addr entry, const analysis::ProofAnnotations* proofs = nullptr);
 
     /// Content key for images outside the secure-boot chain (debug
     /// loads): hash over code bytes, load address and entry point —

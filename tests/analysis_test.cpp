@@ -2,6 +2,9 @@
 // secure-boot/update admission gate (unit + end-to-end).
 #include <gtest/gtest.h>
 
+#include <sstream>
+
+#include "analysis/absint.h"
 #include "analysis/verifier.h"
 #include "boot/image.h"
 #include "boot/secureboot.h"
@@ -302,6 +305,201 @@ TEST(Verifier, RendersFindingsWithSeverityAndAddress) {
     EXPECT_NE(text.find("wx-violation"), std::string::npos) << text;
     EXPECT_NE(text.find("0x"), std::string::npos) << text;
     EXPECT_NE(report.summary().find("error"), std::string::npos);
+}
+
+// --- cross-block constant propagation ----------------------------------
+
+TEST(Cfg, ConstantsFlowAcrossBlockBoundaries) {
+    // An implant that splits its pointer materialization across a basic
+    // block boundary: the lui lands in one block, the ori + dispatch in
+    // the next (the label is a branch target, so it starts a block).
+    // Block-local propagation loses r1 at the boundary and the jalr
+    // stays unresolved; flow-through propagation resolves it into the
+    // data segment and the exec-from-data pass fires.
+    const isa::Program branch_split = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        li   r2, 1
+        lui  r1, 2
+        bne  r2, r0, mid
+    mid:
+        ori  r1, r1, 0
+        jalr r0, r1, 0
+        halt
+    )");
+    const Report branch_report = analyze_program(branch_split);
+    EXPECT_TRUE(has_code(branch_report, "exec-from-data"))
+        << branch_report.render();
+    EXPECT_FALSE(branch_report.admissible());
+
+    // Same implant split across an unconditional jump edge.
+    const isa::Program jump_split = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        lui  r1, 2
+        j    fin
+    fin:
+        ori  r1, r1, 0
+        jalr r0, r1, 0
+        halt
+    )");
+    const Report jump_report = analyze_program(jump_split);
+    EXPECT_TRUE(has_code(jump_report, "exec-from-data"))
+        << jump_report.render();
+    EXPECT_FALSE(jump_report.admissible());
+}
+
+// --- abstract interpretation -------------------------------------------
+
+TEST(AbsInt, WideningTerminatesOnUnboundedCountingLoop) {
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        li   r1, 0
+    loop:
+        addi r1, r1, 1
+        j    loop
+    )");
+    const Cfg cfg = build_cfg(p.code, p.origin, p.symbol("start"));
+    const AbsIntResult result =
+        analyze_image(cfg, SegmentMap::soc_default());
+    EXPECT_TRUE(result.converged);
+    EXPECT_LT(result.iterations, 1000u);
+}
+
+TEST(AbsInt, CountedLoopTightensStackBound) {
+    // Eight fixed-size pushes with no matching pops: per-iteration
+    // accounting calls this unbounded; the trip-count inference proves
+    // the loop runs exactly 8 times and certifies 8 * 4 bytes.
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        li   r7, 8
+    loop:
+        addi sp, sp, -4
+        sw   r0, sp, 0
+        addi r7, r7, -1
+        bne  r7, r0, loop
+        halt
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_TRUE(report.stack_bounded) << report.render();
+    EXPECT_TRUE(has_code(report, "stack-bound-tightened"))
+        << report.render();
+    // 8 pushes x 4 bytes = 32 concrete; the certificate over-counts by
+    // at most one iteration (entry ceiling + in-block peak).
+    EXPECT_GE(report.max_stack_bytes, 32u) << report.render();
+    EXPECT_LE(report.max_stack_bytes, 36u) << report.render();
+    EXPECT_TRUE(report.admissible());
+}
+
+TEST(AbsInt, SeedWorkloadsCarryProofAnnotations) {
+    const Report report = analyze_program(platform::control_loop_program());
+    ASSERT_NE(report.proofs, nullptr);
+    EXPECT_GT(report.proofs->mem_ops, 0u);
+    EXPECT_GT(report.proofs->proven_ops, 0u);
+    EXPECT_GT(report.proofs->coverage(), 0.0);
+    EXPECT_FALSE(report.proofs->certificates.empty());
+    EXPECT_TRUE(has_code(report, "bounds-proven")) << report.render();
+}
+
+TEST(AbsInt, RejectsProvablyOutOfBoundsStoreNamingThePc) {
+    // 0x1000 is below app RAM: in no segment and outside the image.
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        li   r1, 0x1000
+    sink:
+        sw   r0, r1, 0
+        halt
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_FALSE(report.admissible()) << report.render();
+    bool named = false;
+    for (const auto& f : report.findings) {
+        if (f.code == "oob-store") {
+            named = true;
+            EXPECT_EQ(f.addr, p.symbol("sink"));
+        }
+    }
+    EXPECT_TRUE(named) << report.render();
+}
+
+// --- taint KATs: every source x sink pair ------------------------------
+
+struct TaintSource {
+    const char* segment;
+    const char* source_name;
+    mem::Addr base;
+};
+
+struct TaintSink {
+    const char* code;
+    const char* asm_line;
+};
+
+TEST(Taint, EverySourceSinkPairIsRejectedAtTheSinkPc) {
+    const TaintSource sources[] = {
+        {"nic", "nic-rx", platform::kNicBase},
+        {"dma", "dma-desc", platform::kDmaBase},
+        {"sensor", "sensor-mmio", platform::kSensorBase},
+    };
+    const TaintSink sinks[] = {
+        {"taint-indirect-jump", "jalr r0, r2, 0"},
+        {"taint-store-address", "sw   r0, r2, 0"},
+        {"taint-csr-write", "csrw mtvec, r2"},
+    };
+    for (const TaintSource& src : sources) {
+        for (const TaintSink& sink : sinks) {
+            std::ostringstream os;
+            os << "start:\n"
+               << "    li   sp, " << kStackTop << "\n"
+               << "    li   r1, " << src.base << "\n"
+               << "    lw   r2, r1, 0\n"
+               << "sink:\n"
+               << "    " << sink.asm_line << "\n"
+               << "    halt\n";
+            const isa::Program p = asm_at_code_base(os.str());
+            const Report report = analyze_program(p);
+            SCOPED_TRACE(std::string(src.segment) + " -> " + sink.code);
+            EXPECT_FALSE(report.admissible()) << report.render();
+            bool named = false;
+            for (const auto& f : report.findings) {
+                if (f.code == sink.code) {
+                    named = true;
+                    EXPECT_EQ(f.addr, p.symbol("sink")) << report.render();
+                }
+            }
+            EXPECT_TRUE(named) << report.render();
+            bool traced = false;
+            for (const auto& t : report.taint_traces) {
+                if (t.sink_pc == p.symbol("sink") &&
+                    t.source == src.source_name) {
+                    traced = true;
+                }
+            }
+            EXPECT_TRUE(traced) << report.render();
+        }
+    }
+}
+
+TEST(Taint, SensorDataToActuatorStoreStaysAdmissible) {
+    // Tainted *data* through an untainted constant address is the
+    // control loop's whole job — only tainted addresses/targets sink.
+    std::ostringstream os;
+    os << "start:\n"
+       << "    li   sp, " << kStackTop << "\n"
+       << "    li   r1, " << platform::kSensorBase << "\n"
+       << "    lw   r2, r1, 0\n"
+       << "    li   r3, " << platform::kActuatorBase << "\n"
+       << "    sw   r2, r3, 0\n"
+       << "    halt\n";
+    const Report report = analyze_program(asm_at_code_base(os.str()));
+    EXPECT_EQ(report.errors(), 0u) << report.render();
+    EXPECT_TRUE(report.admissible());
+    for (const auto& f : report.findings) {
+        EXPECT_NE(f.code.substr(0, 6), "taint-") << report.render();
+    }
 }
 
 // --- admission gate ---------------------------------------------------
