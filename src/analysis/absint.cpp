@@ -600,6 +600,7 @@ struct Fixpoint {
         entry_other.clear();
         visits.clear();
         worklist.clear();
+        iterations = 0;
         capped = false;
         const std::size_t cap = cfg.blocks.size() * 64 + 256;
         for (const mem::Addr root : cfg.roots) merge(0, root, AbsState{});
@@ -847,6 +848,17 @@ AbsIntResult analyze_image(const Cfg& cfg, const SegmentMap& segments) {
     std::map<mem::Addr, std::vector<mem::Addr>> graph;
     std::map<std::pair<mem::Addr, int>, TaintTrace> traces;
 
+    // mret/sret resume at an epc the domain does not track: like an
+    // unresolved jalr, the continuation is arbitrary computed control
+    // flow, so a certificate whose walk reaches such a block must not
+    // claim a bound.
+    const auto computed_return = [&cfg](const BasicBlock& bb) {
+        if (bb.end <= bb.start || !cfg.in_image(bb.end - 4)) return false;
+        const DecodedWord& w = cfg.words[cfg.index_of(bb.end - 4)];
+        return w.valid && (w.insn.opcode == Opcode::kMret ||
+                           w.insn.opcode == Opcode::kSret);
+    };
+
     const auto sink = [&](mem::Addr source_pc, mem::Addr sink_pc,
                           std::uint8_t mask, TaintSinkKind kind) {
         if (mask == 0) return;
@@ -867,7 +879,7 @@ AbsIntResult analyze_image(const Cfg& cfg, const SegmentMap& segments) {
         BlockFacts bf;
         bf.peak_hi = st.depth_bounded ? st.depth_hi : 0;
         bf.depth_bounded = st.depth_bounded;
-        bf.poisoned = bb.indirect_exit;
+        bf.poisoned = bb.indirect_exit || computed_return(bb);
         const bool complete = fx.walk(
             bb, st,
             [&](mem::Addr pc, const Instruction&, const StepFacts& f,
@@ -997,12 +1009,14 @@ AbsIntResult analyze_image(const Cfg& cfg, const SegmentMap& segments) {
     // at its superblock's entry word, because the CPU re-arms elision
     // at every block entry — including entries the static join never
     // saw (computed flow, traps, external pc redirection). A word
-    // covered by several superblocks must be proven under every one.
+    // covered by several superblocks must be proven under every one,
+    // so the walk covers every CFG block — including blocks the
+    // fixpoint proved unreachable: the translator still marks their
+    // entry word kBlockStart, so runtime computed flow can enter
+    // there and re-arm elision with a state no analyzed prefix saw.
     std::map<std::size_t, std::pair<bool, bool>> word_proof;  // idx -> (ok, store)
     if (result.converged) {
         for (const auto& [start, bb] : cfg.blocks) {
-            const auto eit = fx.entry.find(start);
-            if (eit == fx.entry.end()) continue;
             AbsState st;
             st.taint.clear();
             fx.walk(bb, st,

@@ -263,8 +263,14 @@ void stack_pass(const Cfg& cfg, const Policy& policy, Report& report,
         // Loop-bound inference may still certify the depth: when every
         // root carries a bounded stack certificate, the syntactic
         // "growing cycle" is a counted loop with a proven trip bound.
+        // Computed control flow (jalr/mret/sret anywhere reachable)
+        // voids that: runtime can enter a loop header with a counter
+        // the statically-seen entries never saw, so a trip bound
+        // inferred from those entries understates the real depth.
         std::uint64_t tightened = 0;
-        bool all_roots_certified = absint.converged && !cfg.roots.empty();
+        bool all_roots_certified = absint.converged &&
+                                   !absint.computed_flow &&
+                                   !cfg.roots.empty();
         for (const mem::Addr root : cfg.roots) {
             const ProofAnnotations::StackCertificate* cert = nullptr;
             for (const auto& c : absint.proofs.certificates) {

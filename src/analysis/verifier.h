@@ -44,6 +44,8 @@ struct Segment {
     bool writable = false;
     bool executable = false;
     bool secure = false;  ///< Secure-world only (normal images keep out).
+
+    bool operator==(const Segment&) const = default;
 };
 
 /// The address-space model the memory and control-flow passes check
@@ -56,6 +58,8 @@ struct SegmentMap {
     static SegmentMap soc_default();
 
     [[nodiscard]] const Segment* find(mem::Addr addr) const noexcept;
+
+    bool operator==(const SegmentMap&) const = default;
 };
 
 /// Policy knobs for the pass pipeline.
@@ -72,6 +76,11 @@ struct Policy {
 
     /// Profile for unprivileged images: bans mret/sret/smc/csrw/wfi.
     static Policy unprivileged();
+
+    /// Identity matters for report sharing: a cached Report is only
+    /// valid for a consumer that would have analyzed under the same
+    /// policy (platform/analysis_cache.h).
+    bool operator==(const Policy&) const = default;
 };
 
 class FirmwareVerifier {

@@ -45,6 +45,13 @@ public:
                                                  mem::Addr base,
                                                  mem::Addr entry);
 
+    /// The policy every cached report was produced under. Consumers
+    /// with a different admission policy must not reuse these reports
+    /// (node.cpp falls back to local analysis on mismatch).
+    [[nodiscard]] const analysis::Policy& policy() const noexcept {
+        return verifier_.policy();
+    }
+
     [[nodiscard]] std::uint64_t hits() const;
     [[nodiscard]] std::uint64_t misses() const;
     [[nodiscard]] std::size_t size() const;

@@ -60,7 +60,11 @@ Fleet::Fleet(FleetConfig config)
                                               fleet_metrics_,
                                               fleet_recorder_)),
       translation_cache_(std::make_shared<TranslationCache>()),
-      analysis_cache_(std::make_shared<AnalysisCache>()),
+      // Built from the same (default) admission policy enrol_device
+      // leaves on every NodeConfig: nodes only reuse cached reports
+      // when the policies are identical (node.cpp), so a mismatch
+      // here would silently demote the cache to per-node analysis.
+      analysis_cache_(std::make_shared<AnalysisCache>(analysis::Policy{})),
       firmware_store_(std::make_shared<FirmwareStore>()),
       // Every device runs the same firmware: assemble it once here,
       // not once per device inside enrolment.

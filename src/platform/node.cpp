@@ -407,10 +407,15 @@ void Node::provision(const crypto::MerklePublicKey& vendor_pk,
                 ssm->submit(event);
             }
         });
-        if (cfg.analysis_cache) {
+        if (cfg.analysis_cache &&
+            cfg.analysis_cache->policy() == cfg.admission_policy) {
             // Fleet-shared proofs: each distinct firmware is analyzed
             // once estate-wide; every other node admits from the
-            // cached report (verdict logic still runs per node).
+            // cached report (verdict logic still runs per node). A
+            // node whose admission policy differs from the cache's
+            // must not admit from it — it keeps local analysis so a
+            // stricter policy is never silently judged under the
+            // fleet default.
             admission_gate->set_report_provider(
                 [this](const boot::FirmwareImage& image) {
                     if (cfg.metrics) {
@@ -526,10 +531,15 @@ void Node::refresh_translation() {
 
     // Reuse the fleet-cached proof artifact when one is available so
     // the translator does not re-run the abstract interpreter. The
-    // report shared_ptr must outlive the get_or_build call.
+    // report shared_ptr must outlive the get_or_build call. The same
+    // policy-identity rule as the admission gate applies: proofs from
+    // a cache built under a different policy (non-canonical segments)
+    // would break TranslationCache's assumption that an image is a
+    // pure function of (code, base, entry).
     std::shared_ptr<const analysis::Report> cached_report;
     const analysis::ProofAnnotations* proofs = nullptr;
-    if (cfg.analysis_cache) {
+    if (cfg.analysis_cache &&
+        cfg.analysis_cache->policy() == cfg.admission_policy) {
         cached_report = cfg.analysis_cache->get_or_analyze(
             AnalysisCache::key_for(code, base, entry_), code, base, entry_);
         if (cached_report && cached_report->proofs)

@@ -393,6 +393,66 @@ TEST(AbsInt, CountedLoopTightensStackBound) {
     EXPECT_TRUE(report.admissible());
 }
 
+TEST(AbsInt, ComputedReturnBlocksStackBoundTightening) {
+    // Same counted loop as above, but the image also reaches an mret:
+    // its continuation (mepc) is arbitrary computed control flow, so
+    // runtime can re-enter the loop header with a counter the static
+    // entries never saw. The inferred trip bound must not override
+    // the syntactic unbounded warning, and every certificate the mret
+    // block poisons must refuse to claim a bound.
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        li   r7, 8
+    loop:
+        addi sp, sp, -4
+        sw   r0, sp, 0
+        addi r7, r7, -1
+        bne  r7, r0, loop
+        mret
+    )");
+    const Report report = analyze_program(p);
+    EXPECT_FALSE(has_code(report, "stack-bound-tightened"))
+        << report.render();
+    EXPECT_FALSE(report.stack_bounded) << report.render();
+    EXPECT_TRUE(has_code(report, "stack-unbounded")) << report.render();
+    ASSERT_NE(report.proofs, nullptr);
+    ASSERT_FALSE(report.proofs->certificates.empty());
+    for (const auto& cert : report.proofs->certificates) {
+        EXPECT_FALSE(cert.bounded)
+            << "certificate through an mret claimed a bound";
+    }
+}
+
+TEST(AbsInt, ProofWalkCoversBlocksTheFixpointNeverReached) {
+    // The branch below is one-sided under the interval domain, so the
+    // fixpoint never visits the fall-through block — but the block is
+    // still in the CFG, the translator still marks its entry (and the
+    // entry of the `mid` block it jumps to) kBlockStart, and the CPU
+    // re-arms elision there after computed control flow. The load at
+    // `mid` is provable only under `good`'s prefix (the r1
+    // materialization), not from `mid`'s own entry, so its safe bit
+    // must stay clear.
+    std::ostringstream os;
+    os << "start:\n"
+       << "    li   r2, 1\n"
+       << "    bne  r2, r0, good\n"
+       << "    j    mid\n"
+       << "good:\n"
+       << "    li   r1, " << kDataBase << "\n"
+       << "mid:\n"
+       << "    lw   r3, r1, 0\n"
+       << "    halt\n";
+    const isa::Program p = isa::assemble(os.str(), kCodeBase);
+    const Cfg cfg = build_cfg(p.code, p.origin, p.symbol("start"));
+    ASSERT_NE(cfg.blocks.count(p.symbol("mid")), 0u);
+    const AbsIntResult result =
+        analyze_image(cfg, SegmentMap::soc_default());
+    EXPECT_TRUE(result.converged);
+    EXPECT_EQ(result.proofs.safe[cfg.index_of(p.symbol("mid"))], 0u)
+        << "safe bit proven only under an overlapping block's prefix";
+}
+
 TEST(AbsInt, SeedWorkloadsCarryProofAnnotations) {
     const Report report = analyze_program(platform::control_loop_program());
     ASSERT_NE(report.proofs, nullptr);
@@ -636,6 +696,44 @@ TEST(AnalysisGate, NodeDeniesMaliciousImageAndRecordsEvidence) {
         signed_image(vendor, platform::control_loop_program(), "ctrl");
     EXPECT_TRUE(node.secure_boot({good}).success);
     EXPECT_EQ(rejects->value(), 1u);
+}
+
+TEST(AnalysisGate, MismatchedCachePolicyFallsBackToLocalAnalysis) {
+    // The shared fleet cache analyzes under the *fleet's* policy. A
+    // node provisioned with a stricter one must not admit from it:
+    // the mul below is clean under the default policy already in the
+    // cache, but this node bans it, so admission has to re-analyze
+    // locally and reject.
+    auto vendor = test_vendor(27);
+    const isa::Program p = asm_at_code_base(R"(
+    start:
+        li   sp, 0x4fff0
+        li   r1, 3
+        mul  r1, r1, r1
+        halt
+    )");
+    const boot::FirmwareImage image = signed_image(vendor, p, "muler");
+
+    auto cache = std::make_shared<platform::AnalysisCache>();
+    // Warm the cache with the default-policy verdict (no findings).
+    const auto warmed = cache->get_or_analyze(
+        platform::AnalysisCache::key_for(image.payload, image.load_addr,
+                                         image.entry_point),
+        image.payload, image.load_addr, image.entry_point);
+    ASSERT_NE(warmed, nullptr);
+    EXPECT_EQ(warmed->errors(), 0u);
+
+    platform::NodeConfig config;
+    config.admission_policy.banned_opcodes.push_back(isa::Opcode::kMul);
+    config.analysis_cache = cache;
+    platform::Node node(config);
+    node.provision(vendor.public_key(), to_bytes("root"));
+    ASSERT_NE(node.admission_gate, nullptr);
+
+    const boot::BootReport report = node.secure_boot({image});
+    EXPECT_FALSE(report.success);
+    ASSERT_EQ(report.stages.size(), 1u);
+    EXPECT_EQ(report.stages[0].status, boot::BootStatus::kPolicyRejected);
 }
 
 TEST(AnalysisGate, NodeWarnModeAdmitsButStillObserves) {
